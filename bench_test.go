@@ -1,0 +1,259 @@
+// Package repro's root benchmarks regenerate every evaluation table and
+// figure (EXPERIMENTS.md E2..E8) under `go test -bench`. Each benchmark
+// reports the domain metric (guest cycles, MIPS, mutants/sec, coverage
+// percent) alongside the usual ns/op so the tables can be read straight
+// off the benchmark output.
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cover"
+	"repro/internal/emu"
+	"repro/internal/fault"
+	"repro/internal/flow"
+	"repro/internal/isa"
+	"repro/internal/plugin"
+	"repro/internal/qta"
+	"repro/internal/suites"
+	"repro/internal/timing"
+	"repro/internal/vp"
+	"repro/internal/workloads"
+)
+
+// benchWorkloads is the representative subset used where running all 15
+// kernels per variant would dominate benchmark time.
+var benchWorkloads = []string{"xtea", "crc32", "fir", "matmul", "sort", "pid"}
+
+func getWorkload(b *testing.B, name string) workloads.Workload {
+	b.Helper()
+	w, ok := workloads.ByName(name)
+	if !ok {
+		b.Fatalf("workload %s missing", name)
+	}
+	return w
+}
+
+// BenchmarkE2_QTA regenerates the QTA three-way timing table: one run
+// per iteration; static WCET, QTA time and dynamic cycles are reported
+// as metrics.
+func BenchmarkE2_QTA(b *testing.B) {
+	prof := timing.EdgeSmall()
+	for _, name := range benchWorkloads {
+		w := getWorkload(b, name)
+		b.Run(name, func(b *testing.B) {
+			var res qta.Result
+			for i := 0; i < b.N; i++ {
+				r, err := flow.RunQTA(w, prof)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			if !res.Sound() {
+				b.Fatalf("unsound: %+v", res)
+			}
+			b.ReportMetric(float64(res.StaticWCET), "static-cycles")
+			b.ReportMetric(float64(res.QTATime), "qta-cycles")
+			b.ReportMetric(float64(res.Dynamic), "dyn-cycles")
+			b.ReportMetric(float64(res.StaticWCET)/float64(res.Dynamic), "static/dyn")
+		})
+	}
+}
+
+// BenchmarkE3_Overhead measures plain emulation vs. counting-plugin vs.
+// QTA instrumentation cost on the same workload.
+func BenchmarkE3_Overhead(b *testing.B) {
+	prof := timing.EdgeSmall()
+	w := getWorkload(b, "xtea")
+	a, err := flow.Analyze(w.Source, prof, w.LoopBounds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, mk func() plugin.Plugin) {
+		var insts uint64
+		for i := 0; i < b.N; i++ {
+			var plugins []plugin.Plugin
+			if mk != nil {
+				plugins = append(plugins, mk())
+			}
+			p, stop, err := flow.RunWith(w, prof, plugins...)
+			if err != nil || stop.Reason != emu.StopExit {
+				b.Fatalf("%v %v", stop, err)
+			}
+			insts = p.Machine.Hart.Instret
+		}
+		b.ReportMetric(float64(insts), "guest-insts")
+	}
+	b.Run("plain", func(b *testing.B) { run(b, nil) })
+	b.Run("count-plugin", func(b *testing.B) {
+		run(b, func() plugin.Plugin { return &plugin.Count{} })
+	})
+	b.Run("qta", func(b *testing.B) {
+		run(b, func() plugin.Plugin { return qta.New(a.Annotated) })
+	})
+}
+
+// BenchmarkE4_Coverage times the three suite families under the coverage
+// collector and reports their coverage percentages.
+func BenchmarkE4_Coverage(b *testing.B) {
+	set := isa.RV32IMF
+	fams := []struct {
+		name  string
+		suite suites.Suite
+	}{
+		{"architectural", suites.Architectural(set)},
+		{"unit", suites.Unit(set)},
+		{"torture", suites.Torture(set, 4, 1000)},
+	}
+	for _, f := range fams {
+		b.Run(f.name, func(b *testing.B) {
+			var rep cover.Report
+			for i := 0; i < b.N; i++ {
+				c, err := suites.Run(f.suite, set)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = c.Report()
+			}
+			b.ReportMetric(cover.Pct(rep.OpsCovered, rep.OpsTotal), "insn-cov-%")
+			b.ReportMetric(cover.Pct(rep.GPRCovered, 32), "gpr-cov-%")
+		})
+	}
+}
+
+// faultTarget builds the shared campaign target.
+func faultTarget(b *testing.B, name string) (*fault.Target, *fault.Golden) {
+	b.Helper()
+	w := getWorkload(b, name)
+	prog, err := asm.AssembleAt(vp.Prelude+w.Source, vp.RAMBase)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tg := &fault.Target{Program: prog, Budget: w.Budget, Sensor: w.Sensor}
+	g, err := fault.RunGolden(tg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tg, g
+}
+
+// BenchmarkE5_Fault regenerates the outcome classification per fault
+// model and reports the masked/SDC fractions.
+func BenchmarkE5_Fault(b *testing.B) {
+	tg, g := faultTarget(b, "crc32")
+	end := vp.RAMBase + uint32(len(tg.Program.Bytes))
+	models := []struct {
+		name string
+		cfg  fault.PlanConfig
+	}{
+		{"gpr-transient", fault.PlanConfig{Seed: 9, GPRTransient: 100, GoldenInsts: g.Insts}},
+		{"mem-permanent", fault.PlanConfig{Seed: 9, MemPermanent: 100,
+			DataStart: vp.RAMBase, DataEnd: end}},
+		{"code-bitflip", fault.PlanConfig{Seed: 9, CodeBitflip: 100,
+			CodeStart: vp.RAMBase, CodeEnd: end}},
+	}
+	for _, m := range models {
+		b.Run(m.name, func(b *testing.B) {
+			var res *fault.Results
+			for i := 0; i < b.N; i++ {
+				r, err := fault.Campaign(tg, fault.NewPlan(m.cfg), runtime.NumCPU())
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			b.ReportMetric(100*float64(res.ByOutcome[fault.Masked])/float64(res.Total), "masked-%")
+			b.ReportMetric(100*float64(res.ByOutcome[fault.SDC])/float64(res.Total), "sdc-%")
+			b.ReportMetric(100*float64(res.ByOutcome[fault.Trapped])/float64(res.Total), "trapped-%")
+		})
+	}
+}
+
+// BenchmarkE6_Campaign measures campaign throughput against worker count
+// (mutants per second).
+func BenchmarkE6_Campaign(b *testing.B) {
+	tg, g := faultTarget(b, "pid")
+	plan := fault.NewPlan(fault.PlanConfig{Seed: 4, GPRTransient: 200, GoldenInsts: g.Insts})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fault.Campaign(tg, plan, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			mutantsPerOp := float64(len(plan.Faults))
+			b.ReportMetric(mutantsPerOp*float64(b.N)/b.Elapsed().Seconds(), "mutants/sec")
+		})
+	}
+}
+
+// BenchmarkE7_BMI regenerates the bit-manipulation speedup table: guest
+// cycles for the base and Xbmi variant of each kernel pair.
+func BenchmarkE7_BMI(b *testing.B) {
+	prof := timing.EdgeSmall()
+	for _, pair := range workloads.Pairs() {
+		base, bmi := pair[0], pair[1]
+		var cb, cx uint64
+		b.Run(base.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, stop, err := flow.RunWith(base, prof)
+				if err != nil || stop.Reason != emu.StopExit {
+					b.Fatalf("%v %v", stop, err)
+				}
+				cb = p.Machine.Hart.Cycle
+			}
+			b.ReportMetric(float64(cb), "guest-cycles")
+		})
+		b.Run(bmi.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, stop, err := flow.RunWith(bmi, prof)
+				if err != nil || stop.Reason != emu.StopExit {
+					b.Fatalf("%v %v", stop, err)
+				}
+				cx = p.Machine.Hart.Cycle
+			}
+			b.ReportMetric(float64(cx), "guest-cycles")
+			if cb > 0 {
+				b.ReportMetric(float64(cb)/float64(cx), "speedup-x")
+			}
+		})
+	}
+}
+
+// BenchmarkE8_MIPS measures raw emulation speed with and without the
+// translation-block cache.
+func BenchmarkE8_MIPS(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"tb-cache", false}, {"no-tb-cache", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for _, name := range benchWorkloads {
+				w := getWorkload(b, name)
+				b.Run(name, func(b *testing.B) {
+					var insts uint64
+					for i := 0; i < b.N; i++ {
+						p, err := vp.New(vp.Config{Sensor: w.Sensor})
+						if err != nil {
+							b.Fatal(err)
+						}
+						p.Machine.DisableTBCache = mode.disable
+						if _, err := p.LoadSource(vp.Prelude + w.Source); err != nil {
+							b.Fatal(err)
+						}
+						stop := p.Run(w.Budget)
+						if stop.Reason != emu.StopExit {
+							b.Fatalf("%v", stop)
+						}
+						insts = p.Machine.Hart.Instret
+					}
+					b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "MIPS")
+				})
+			}
+		})
+	}
+}

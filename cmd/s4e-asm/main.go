@@ -1,0 +1,74 @@
+// Command s4e-asm assembles RISC-V assembly into an ELF32 executable or
+// a flat binary image.
+//
+// Usage:
+//
+//	s4e-asm [-org addr] [-flat] [-o out] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/elf"
+	"repro/internal/vp"
+)
+
+func main() {
+	org := flag.Uint64("org", uint64(vp.RAMBase), "load address")
+	flat := flag.Bool("flat", false, "emit a flat binary instead of ELF")
+	out := flag.String("o", "", "output file (default: input with .elf/.bin)")
+	prelude := flag.Bool("prelude", true, "prepend the platform constant definitions")
+	compress := flag.Bool("compress", false, "apply RVC relaxation (compress eligible instructions to 16-bit forms)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: s4e-asm [flags] prog.s")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	text := string(src)
+	if *prelude {
+		text = vp.Prelude + text
+	}
+	prog, err := asm.AssembleAtOpt(text, uint32(*org), asm.Options{Compress: *compress})
+	if err != nil {
+		fatal(err)
+	}
+	name := *out
+	if name == "" {
+		base := strings.TrimSuffix(in, ".s")
+		if *flat {
+			name = base + ".bin"
+		} else {
+			name = base + ".elf"
+		}
+	}
+	var data []byte
+	if *flat {
+		data = prog.Bytes
+	} else {
+		data = elf.Write(&elf.Image{
+			Entry:    prog.Entry,
+			Segments: []elf.Segment{{Addr: prog.Org, Data: prog.Bytes}},
+			Symbols:  prog.Symbols,
+		})
+	}
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d bytes at 0x%08x, entry 0x%08x, %d symbols\n",
+		name, len(prog.Bytes), prog.Org, prog.Entry, len(prog.Symbols))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s4e-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command s4e-cov runs the instruction/register coverage analysis: over
+// the built-in suite families, or over explicit assembly programs.
+//
+// Usage:
+//
+//	s4e-cov [-isa rv32imf] -suites              # three-family study + union
+//	s4e-cov [-isa rv32imf] prog1.s prog2.s ...  # coverage of given programs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/isa"
+	"repro/internal/suites"
+)
+
+func main() {
+	isaName := flag.String("isa", "rv32imf", "ISA configuration the coverage is scored against")
+	suitesFlag := flag.Bool("suites", false, "run the built-in architectural/unit/torture study")
+	missing := flag.Bool("missing", false, "list uncovered instruction types")
+	flag.Parse()
+
+	set, err := parseISA(*isaName)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *suitesFlag {
+		_, table, err := exp.E4Coverage(set)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(table)
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: s4e-cov [-isa cfg] -suites | prog.s ...")
+		os.Exit(2)
+	}
+	var programs []suites.Program
+	for _, name := range flag.Args() {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fatal(err)
+		}
+		programs = append(programs, suites.Program{Name: name, Source: string(src), Budget: 10_000_000})
+	}
+	c, err := suites.Run(suites.Suite{Name: "cli", Programs: programs}, set)
+	if err != nil {
+		fatal(err)
+	}
+	r := c.Report()
+	fmt.Println(r)
+	if *missing {
+		fmt.Println("missing instruction types:", r.MissingOps)
+		fmt.Println("untouched GPRs:", r.MissingGPR)
+	}
+}
+
+func parseISA(s string) (isa.ExtSet, error) {
+	switch s {
+	case "rv32i":
+		return isa.RV32I, nil
+	case "rv32im":
+		return isa.RV32IM, nil
+	case "rv32imf":
+		return isa.RV32IMF, nil
+	case "rv32imb":
+		return isa.RV32IMB, nil
+	case "rv32imc":
+		return isa.RV32IMC, nil
+	case "full":
+		return isa.RV32Full, nil
+	}
+	return 0, fmt.Errorf("unknown ISA %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s4e-cov:", err)
+	os.Exit(1)
+}

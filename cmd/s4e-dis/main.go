@@ -1,0 +1,97 @@
+// Command s4e-dis disassembles an ELF32 RISC-V executable (or a flat
+// image with -org), objdump style, annotating symbol locations.
+//
+// Usage:
+//
+//	s4e-dis prog.elf
+//	s4e-dis -flat -org 0x80000000 prog.bin
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/decode"
+	"repro/internal/elf"
+)
+
+func main() {
+	flat := flag.Bool("flat", false, "input is a flat binary image")
+	org := flag.Uint64("org", 0x8000_0000, "load address for flat images")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: s4e-dis [-flat -org addr] prog.{elf,bin}")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	var segs []elf.Segment
+	symbols := map[uint32][]string{}
+	if *flat {
+		segs = []elf.Segment{{Addr: uint32(*org), Data: data}}
+	} else {
+		img, err := elf.Read(data)
+		if err != nil {
+			fatal(err)
+		}
+		segs = img.Segments
+		for name, addr := range img.Symbols {
+			symbols[addr] = append(symbols[addr], name)
+		}
+		for _, names := range symbols {
+			sort.Strings(names)
+		}
+		fmt.Printf("entry: 0x%08x\n", img.Entry)
+	}
+
+	for _, seg := range segs {
+		fmt.Printf("\nsegment 0x%08x (%d bytes):\n", seg.Addr, len(seg.Data))
+		disassemble(seg, symbols)
+	}
+}
+
+func disassemble(seg elf.Segment, symbols map[uint32][]string) {
+	addr := seg.Addr
+	for off := 0; off+2 <= len(seg.Data); {
+		for _, name := range symbols[addr] {
+			fmt.Printf("%s:\n", name)
+		}
+		lo := binary.LittleEndian.Uint16(seg.Data[off:])
+		var in decode.Inst
+		var raw string
+		if decode.IsCompressed(lo) {
+			in = decode.Decode16(lo)
+			raw = fmt.Sprintf("    %04x", lo)
+		} else {
+			if off+4 > len(seg.Data) {
+				fmt.Printf("%08x: %04x          .half\n", addr, lo)
+				return
+			}
+			word := uint32(lo) | uint32(binary.LittleEndian.Uint16(seg.Data[off+2:]))<<16
+			in = decode.Decode32(word)
+			raw = fmt.Sprintf("%08x", word)
+		}
+		text := in.String()
+		if tgt, ok := in.Target(addr); ok {
+			if names := symbols[tgt]; len(names) > 0 {
+				text += fmt.Sprintf("  <%s>", names[0])
+			} else {
+				text += fmt.Sprintf("  <0x%08x>", tgt)
+			}
+		}
+		fmt.Printf("%08x: %s  %s\n", addr, raw, text)
+		off += int(in.Size)
+		addr += uint32(in.Size)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s4e-dis:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+// Command s4e-experiments regenerates the evaluation tables (E1..E9 in
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	s4e-experiments             # run everything
+//	s4e-experiments -exp e2,e7  # selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	which := flag.String("exp", "", "comma-separated experiment ids (e1..e9); empty = all")
+	flag.Parse()
+	var ids []string
+	if *which != "" {
+		ids = strings.Split(*which, ",")
+	}
+	out, err := exp.All(ids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s4e-experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,93 @@
+// Command s4e-fault runs a fault-injection campaign against an assembly
+// program and prints the outcome classification table.
+//
+// Usage:
+//
+//	s4e-fault [-gpr 200] [-mem 100] [-code 100] [-workers N] [-seed S] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/fault"
+	"repro/internal/vp"
+)
+
+func main() {
+	gpr := flag.Int("gpr", 200, "transient register bit-flip count")
+	gprPerm := flag.Int("gprperm", 0, "permanent (stuck-at) register fault count")
+	mem := flag.Int("mem", 100, "permanent memory bit-flip count")
+	code := flag.Int("code", 100, "instruction-word bit-flip count")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers")
+	seed := flag.Int64("seed", 1, "fault plan seed")
+	budget := flag.Uint64("budget", 10_000_000, "instruction budget per mutant")
+	guided := flag.Bool("guided", false,
+		"derive the plan from a coverage-instrumented golden run (targets only used registers and executed code)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: s4e-fault [flags] prog.s")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.AssembleAt(vp.Prelude+string(src), vp.RAMBase)
+	if err != nil {
+		fatal(err)
+	}
+	tg := &fault.Target{Program: prog, Budget: *budget}
+
+	var plan fault.Plan
+	var g *fault.Golden
+	if *guided {
+		cfg, golden, err := fault.GuidedPlanConfig(tg, *seed, *gpr)
+		if err != nil {
+			fatal(err)
+		}
+		g = golden
+		fmt.Printf("guided plan: %d used registers, code 0x%08x..0x%08x\n",
+			len(cfg.UsedRegs), cfg.CodeStart, cfg.CodeEnd)
+		plan = fault.NewPlan(cfg)
+	} else {
+		golden, err := fault.RunGolden(tg)
+		if err != nil {
+			fatal(err)
+		}
+		g = golden
+		end := vp.RAMBase + uint32(len(prog.Bytes))
+		plan = fault.NewPlan(fault.PlanConfig{
+			Seed:         *seed,
+			GPRTransient: *gpr,
+			GPRPermanent: *gprPerm,
+			MemPermanent: *mem,
+			CodeBitflip:  *code,
+			GoldenInsts:  g.Insts,
+			CodeStart:    vp.RAMBase,
+			CodeEnd:      end,
+			DataStart:    vp.RAMBase,
+			DataEnd:      end,
+		})
+	}
+	fmt.Printf("golden: %v, %d instructions\n", g.Stop, g.Insts)
+	start := time.Now()
+	res, err := fault.Campaign(tg, plan, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	d := time.Since(start)
+	fmt.Print(res)
+	fmt.Printf("%d mutants in %v (%.0f mutants/sec, %d workers)\n",
+		res.Total, d.Round(time.Millisecond), float64(res.Total)/d.Seconds(), *workers)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s4e-fault:", err)
+	os.Exit(1)
+}

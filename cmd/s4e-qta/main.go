@@ -1,0 +1,85 @@
+// Command s4e-qta performs the timing-annotated co-simulation: it loads
+// an assembly program together with its WCET-annotated CFG (produced by
+// s4e-wcet) and reports the observed worst-case time against the static
+// bound and the dynamic cycle count.
+//
+// Usage:
+//
+//	s4e-qta [-profile edge-small] [-annot prog.qta.json] [-blockprofile] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/emu"
+	"repro/internal/qta"
+	"repro/internal/timing"
+	"repro/internal/vp"
+	"repro/internal/wcet"
+)
+
+func main() {
+	profName := flag.String("profile", "edge-small", "timing profile (must match the annotation)")
+	annot := flag.String("annot", "", "annotated CFG (default: input + .qta.json)")
+	budget := flag.Uint64("budget", 100_000_000, "instruction budget")
+	blockProfile := flag.Bool("blockprofile", false, "print the per-block visit profile")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: s4e-qta [flags] prog.s")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	prof, ok := timing.Profiles()[*profName]
+	if !ok {
+		fatal(fmt.Errorf("unknown profile %q", *profName))
+	}
+	name := *annot
+	if name == "" {
+		name = strings.TrimSuffix(flag.Arg(0), ".s") + ".qta.json"
+	}
+	annotData, err := os.ReadFile(name)
+	if err != nil {
+		fatal(err)
+	}
+	an, err := wcet.Decode(annotData)
+	if err != nil {
+		fatal(err)
+	}
+	if an.Profile != prof.Name() {
+		fmt.Fprintf(os.Stderr, "s4e-qta: warning: annotation was computed for profile %s\n", an.Profile)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	p, err := vp.New(vp.Config{Profile: prof, ConsoleOut: os.Stdout})
+	if err != nil {
+		fatal(err)
+	}
+	q := qta.New(an)
+	if err := p.Machine.Hooks.Register(q); err != nil {
+		fatal(err)
+	}
+	if _, err := p.LoadSource(vp.Prelude + string(src)); err != nil {
+		fatal(err)
+	}
+	stop := p.Run(*budget)
+	if stop.Reason != emu.StopExit && stop.Reason != emu.StopEbreak {
+		fatal(fmt.Errorf("program ended with %v", stop))
+	}
+	res := q.NewResult(flag.Arg(0), p.Machine.Hart.Cycle, p.Machine.Hart.Instret)
+	fmt.Println(res)
+	fmt.Printf("blocks executed: %d/%d, unannotated transitions: %d, sound: %v\n",
+		res.BlocksSeen, res.BlocksTotal, res.Missing, res.Sound())
+	if *blockProfile {
+		fmt.Print(q.Profile())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s4e-qta:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command s4e-run executes a RISC-V program (ELF or assembly source) on
+// the edge virtual platform.
+//
+// Usage:
+//
+//	s4e-run [-profile edge-small] [-isa rv32imfc] [-trace] [-budget N] prog.{s,elf}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/plugin"
+	"repro/internal/timing"
+	"repro/internal/vp"
+)
+
+// parseISA maps a -isa flag value to an extension set.
+func parseISA(s string) (isa.ExtSet, error) {
+	switch strings.ToLower(s) {
+	case "rv32i":
+		return isa.RV32I, nil
+	case "rv32im":
+		return isa.RV32IM, nil
+	case "rv32imf":
+		return isa.RV32IMF, nil
+	case "rv32imb":
+		return isa.RV32IMB, nil
+	case "rv32imc":
+		return isa.RV32IMC, nil
+	case "rv32imfc":
+		return isa.RV32IMFC, nil
+	case "full", "rv32full":
+		return isa.RV32Full, nil
+	}
+	return 0, fmt.Errorf("unknown ISA configuration %q", s)
+}
+
+func main() {
+	profName := flag.String("profile", "unit", "timing profile: unit, edge-small, edge-fast")
+	isaName := flag.String("isa", "full", "ISA configuration: rv32i(m)(f)(b)(c), full")
+	trace := flag.Bool("trace", false, "print an instruction trace")
+	budget := flag.Uint64("budget", 100_000_000, "instruction budget")
+	stats := flag.Bool("stats", true, "print run statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: s4e-run [flags] prog.{s,elf}")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	prof, ok := timing.Profiles()[*profName]
+	if !ok {
+		fatal(fmt.Errorf("unknown profile %q", *profName))
+	}
+	set, err := parseISA(*isaName)
+	if err != nil {
+		fatal(err)
+	}
+
+	p, err := vp.New(vp.Config{Profile: prof, ISA: set, ConsoleOut: os.Stdout})
+	if err != nil {
+		fatal(err)
+	}
+	if *trace {
+		if err := p.Machine.Hooks.Register(&plugin.Tracer{W: os.Stderr}); err != nil {
+			fatal(err)
+		}
+	}
+
+	in := flag.Arg(0)
+	data, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	if strings.HasSuffix(in, ".s") || strings.HasSuffix(in, ".S") {
+		if _, err := p.LoadSource(vp.Prelude + string(data)); err != nil {
+			fatal(err)
+		}
+	} else {
+		if _, err := p.LoadELF(data); err != nil {
+			fatal(err)
+		}
+	}
+
+	stop := p.Run(*budget)
+	if *stats {
+		h := &p.Machine.Hart
+		fmt.Fprintf(os.Stderr, "stop:    %v\ninsts:   %d\ncycles:  %d (%s)\nblocks:  %d cached\n",
+			stop, h.Instret, h.Cycle, prof.Name(), p.Machine.CachedBlocks())
+	}
+	if stop.Reason == emu.StopExit {
+		os.Exit(int(stop.Code & 0x7f))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s4e-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command s4e-torture generates random terminating RISC-V test programs.
+//
+// Usage:
+//
+//	s4e-torture [-n 10] [-insts 300] [-isa rv32imf] [-seed S] [-dir out/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/isa"
+	"repro/internal/torture"
+)
+
+func main() {
+	n := flag.Int("n", 10, "number of programs")
+	insts := flag.Int("insts", 300, "body instructions per program")
+	isaName := flag.String("isa", "rv32im", "ISA configuration")
+	seed := flag.Int64("seed", 1, "base seed")
+	dir := flag.String("dir", "", "output directory (default: stdout, first program only)")
+	flag.Parse()
+
+	var set isa.ExtSet
+	switch *isaName {
+	case "rv32i":
+		set = isa.RV32I
+	case "rv32im":
+		set = isa.RV32IM
+	case "rv32imf":
+		set = isa.RV32IMF
+	case "rv32imb":
+		set = isa.RV32IMB
+	case "full":
+		set = isa.RV32Full
+	default:
+		fatal(fmt.Errorf("unknown ISA %q", *isaName))
+	}
+
+	if *dir == "" {
+		p := torture.Generate(torture.Config{Seed: *seed, Insts: *insts, ISA: set})
+		fmt.Print(p.Source)
+		return
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for i := 0; i < *n; i++ {
+		p := torture.Generate(torture.Config{Seed: *seed + int64(i), Insts: *insts, ISA: set})
+		name := filepath.Join(*dir, fmt.Sprintf("torture-%04d.s", i))
+		if err := os.WriteFile(name, []byte(p.Source), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d programs to %s\n", *n, *dir)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s4e-torture:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command s4e-wcet runs the static WCET analysis over an assembly
+// program and writes the WCET-annotated CFG (the QTA input artifact).
+//
+// Usage:
+//
+//	s4e-wcet [-profile edge-small] [-bounds loop=32,fill=16] [-o prog.qta.json] [-dot prog.dot] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/flow"
+	"repro/internal/timing"
+)
+
+func parseBounds(s string) (map[string]int, error) {
+	out := map[string]int{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad bound %q (want label=N)", part)
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad bound count %q", kv[1])
+		}
+		out[strings.TrimSpace(kv[0])] = n
+	}
+	return out, nil
+}
+
+func main() {
+	profName := flag.String("profile", "edge-small", "timing profile")
+	boundsFlag := flag.String("bounds", "", "loop bounds: label=N,label=N,...")
+	out := flag.String("o", "", "annotated CFG output (default: input + .qta.json)")
+	dot := flag.String("dot", "", "also write the CFG in Graphviz format")
+	report := flag.Bool("report", false, "print the full per-block analysis report")
+	infer := flag.Bool("infer", true, "infer bounds of canonical counted loops automatically")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: s4e-wcet [flags] prog.s")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	prof, ok := timing.Profiles()[*profName]
+	if !ok {
+		fatal(fmt.Errorf("unknown profile %q", *profName))
+	}
+	bounds, err := parseBounds(*boundsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	a, err := flow.AnalyzeOpt(string(src), prof, bounds, *infer)
+	if err != nil {
+		fatal(err)
+	}
+	name := *out
+	if name == "" {
+		name = strings.TrimSuffix(flag.Arg(0), ".s") + ".qta.json"
+	}
+	data, err := a.Annotated.Encode()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		fatal(err)
+	}
+	if *dot != "" {
+		symByAddr := map[uint32]string{}
+		for n, addr := range a.Program.Symbols {
+			symByAddr[addr] = n
+		}
+		if err := os.WriteFile(*dot, []byte(a.Graph.DOT(symByAddr)), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("%s: %d blocks, %d edges, %d bounded loops\n",
+		name, len(a.Annotated.Blocks), len(a.Annotated.Edges), len(a.Annotated.Bounds))
+	fmt.Printf("WCET bound: %d cycles (profile %s)\n", a.Annotated.WCET, prof.Name())
+	if *report {
+		symByAddr := map[uint32]string{}
+		for n, addr := range a.Program.Symbols {
+			symByAddr[addr] = n
+		}
+		fmt.Print(a.Annotated.Report(symByAddr))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s4e-wcet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,262 @@
+// Package asm implements a two-pass RISC-V assembler for the RV32 ISA
+// implemented by the emulator (I, M, F, Zicsr, Zifencei, Xbmi, and
+// explicit C-extension mnemonics), with the standard pseudo-instruction
+// set, numeric local labels, expressions with %hi/%lo, and the data
+// directives bare-metal programs need. It plays the cross-toolchain's
+// role in the ecosystem: every workload, test suite and torture program
+// in the repository is built with it.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultOrg is the default load/link address, matching the RAM base of
+// the virtual platform.
+const DefaultOrg uint32 = 0x8000_0000
+
+// Program is the output of assembly: a flat binary image at Org plus its
+// symbol table.
+type Program struct {
+	Org       uint32            // load address of Bytes[0]
+	Entry     uint32            // _start if defined, else Org
+	Bytes     []byte            // the image
+	TextBytes int               // bytes occupied by instructions (code density metric)
+	Symbols   map[string]uint32 // labels and .equ constants
+	Lines     map[uint32]int    // instruction address -> source line
+}
+
+// Symbol returns the address of a defined symbol.
+func (p *Program) Symbol(name string) (uint32, bool) {
+	v, ok := p.Symbols[name]
+	return v, ok
+}
+
+// Error is one assembly diagnostic.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// ErrorList aggregates diagnostics from one assembly run.
+type ErrorList []Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 1 {
+		return l[0].Error()
+	}
+	msgs := make([]string, len(l))
+	for i, e := range l {
+		msgs[i] = e.Error()
+	}
+	return fmt.Sprintf("asm: %d errors:\n%s", len(l), strings.Join(msgs, "\n"))
+}
+
+// stmtKind distinguishes parsed statements.
+type stmtKind uint8
+
+const (
+	kindInstr stmtKind = iota
+	kindDirective
+)
+
+type stmt struct {
+	line   int
+	kind   stmtKind
+	mnem   string   // lower-cased mnemonic or directive (with '.')
+	args   []string // comma-split operands
+	addr   uint32
+	size   uint32
+	liWide bool // li chose the 2-instruction expansion in pass 1
+
+	// compressed marks instructions the RVC relaxation decided to emit
+	// as 16-bit encodings.
+	compressed bool
+}
+
+// Options selects assembler behaviour beyond the defaults.
+type Options struct {
+	// Compress enables RVC relaxation: eligible 32-bit instructions are
+	// iteratively re-encoded as compressed 16-bit forms, shrinking the
+	// image the way a linker-relaxing RISC-V toolchain does.
+	Compress bool
+}
+
+type assembler struct {
+	org        uint32
+	opt        Options
+	syms       map[string]int64
+	numeric    map[int][]uint32 // numeric label -> sorted definition addresses
+	stmts      []*stmt
+	labelQueue []pendingLabel
+	errs       ErrorList
+	image      []byte
+	lines      map[uint32]int
+}
+
+// pendingLabel is a label definition recorded during parsing; pass 1
+// assigns it the address of the statement at index idx (or the end of
+// the image if it labels nothing).
+type pendingLabel struct {
+	name string
+	line int
+	idx  int
+}
+
+// Assemble assembles source at the default origin.
+func Assemble(src string) (*Program, error) { return AssembleAt(src, DefaultOrg) }
+
+// AssembleAt assembles source with the location counter starting at org.
+func AssembleAt(src string, org uint32) (*Program, error) {
+	return AssembleAtOpt(src, org, Options{})
+}
+
+// AssembleAtOpt assembles with explicit options.
+func AssembleAtOpt(src string, org uint32, opt Options) (*Program, error) {
+	a := &assembler{
+		org:     org,
+		opt:     opt,
+		syms:    make(map[string]int64),
+		numeric: make(map[int][]uint32),
+		lines:   make(map[uint32]int),
+	}
+	a.parse(src)
+	if len(a.errs) == 0 {
+		a.pass1()
+	}
+	if len(a.errs) == 0 {
+		a.pass2()
+	}
+	if len(a.errs) > 0 {
+		sort.Slice(a.errs, func(i, j int) bool { return a.errs[i].Line < a.errs[j].Line })
+		return nil, a.errs
+	}
+	p := &Program{
+		Org:     a.org,
+		Entry:   a.org,
+		Bytes:   a.image,
+		Symbols: make(map[string]uint32, len(a.syms)),
+		Lines:   a.lines,
+	}
+	for _, s := range a.stmts {
+		if s.kind == kindInstr {
+			p.TextBytes += int(s.size)
+		}
+	}
+	for name, v := range a.syms {
+		p.Symbols[name] = uint32(v)
+	}
+	if e, ok := p.Symbols["_start"]; ok {
+		p.Entry = e
+	}
+	return p, nil
+}
+
+func (a *assembler) errorf(line int, format string, args ...any) {
+	a.errs = append(a.errs, Error{Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// stripComment removes #, //, and ; comments, respecting string quotes.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '#' || c == ';':
+			return line[:i]
+		case c == '/' && i+1 < len(line) && line[i+1] == '/':
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// splitArgs splits on top-level commas (outside parens and strings).
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	if tail := strings.TrimSpace(s[start:]); tail != "" || len(out) > 0 {
+		out = append(out, tail)
+	}
+	return out
+}
+
+func (a *assembler) parse(src string) {
+	a.labelQueue = nil
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(stripComment(raw))
+		for line != "" {
+			// Peel leading labels.
+			colon := -1
+			for i := 0; i < len(line); i++ {
+				if line[i] == ':' {
+					colon = i
+					break
+				}
+				if !isSymChar(line[i]) {
+					break
+				}
+			}
+			if colon >= 0 {
+				name := line[:colon]
+				a.labelQueue = append(a.labelQueue, pendingLabel{name, lineNo + 1, len(a.stmts)})
+				line = strings.TrimSpace(line[colon+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		sp := strings.IndexAny(line, " \t")
+		mnem := line
+		rest := ""
+		if sp >= 0 {
+			mnem = line[:sp]
+			rest = strings.TrimSpace(line[sp+1:])
+		}
+		s := &stmt{
+			line: lineNo + 1,
+			mnem: strings.ToLower(mnem),
+			args: splitArgs(rest),
+		}
+		if strings.HasPrefix(s.mnem, ".") {
+			s.kind = kindDirective
+		}
+		a.stmts = append(a.stmts, s)
+	}
+}

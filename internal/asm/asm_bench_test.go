@@ -1,0 +1,32 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// A representative mid-size source: loops, labels, data, pseudo-ops.
+func benchSource() string {
+	var sb strings.Builder
+	sb.WriteString("_start:\n\tla gp, data\n")
+	for i := 0; i < 100; i++ {
+		sb.WriteString("\tli a0, 123456\n")
+		sb.WriteString("\tadd a1, a0, a2\n")
+		sb.WriteString("\tlw a3, 4(gp)\n")
+		sb.WriteString("\tsw a3, 8(gp)\n")
+		sb.WriteString("1:\taddi a4, a4, -1\n")
+		sb.WriteString("\tbnez a4, 1b\n")
+	}
+	sb.WriteString("\tebreak\ndata:\t.space 64\n")
+	return sb.String()
+}
+
+func BenchmarkAssemble(b *testing.B) {
+	src := benchSource()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,518 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/decode"
+	"repro/internal/isa"
+)
+
+// asmWords assembles source and returns the image as 32-bit words.
+func asmWords(t *testing.T, src string) []uint32 {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble failed: %v", err)
+	}
+	if len(p.Bytes)%4 != 0 {
+		t.Fatalf("image size %d not word aligned", len(p.Bytes))
+	}
+	words := make([]uint32, len(p.Bytes)/4)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint32(p.Bytes[4*i:])
+	}
+	return words
+}
+
+// disasm decodes the i-th word and returns its disassembly.
+func disasm(w uint32) string { return decode.Decode32(w).String() }
+
+func TestBasicInstructions(t *testing.T) {
+	words := asmWords(t, `
+		addi a0, zero, 5
+		add  a1, a0, a0
+		sub  a2, a1, a0
+		lw   a3, 8(sp)
+		sw   a3, -4(sp)
+		lui  a4, 0x12345
+		and  a5, a4, a3
+	`)
+	want := []string{
+		"addi a0, zero, 5",
+		"add a1, a0, a0",
+		"sub a2, a1, a0",
+		"lw a3, 8(sp)",
+		"sw a3, -4(sp)",
+		"lui a4, 0x12345",
+		"and a5, a4, a3",
+	}
+	for i, w := range want {
+		if got := disasm(words[i]); got != w {
+			t.Errorf("word %d: %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestBranchesAndLabels(t *testing.T) {
+	words := asmWords(t, `
+start:
+		addi a0, zero, 10
+loop:
+		addi a0, a0, -1
+		bnez a0, loop
+		beq  a0, zero, done
+		j    start
+done:
+		ebreak
+	`)
+	// bnez at offset 8 targets loop at offset 4: imm = -4.
+	in := decode.Decode32(words[2])
+	if in.Op != isa.OpBNE || in.Imm != -4 {
+		t.Errorf("bnez: %v imm=%d", in.Op, in.Imm)
+	}
+	// beq at offset 12 targets done at offset 20: imm = +8.
+	in = decode.Decode32(words[3])
+	if in.Op != isa.OpBEQ || in.Imm != 8 {
+		t.Errorf("beq: %v imm=%d", in.Op, in.Imm)
+	}
+	// j at offset 16 targets start at 0: imm = -16.
+	in = decode.Decode32(words[4])
+	if in.Op != isa.OpJAL || in.Rd != isa.Zero || in.Imm != -16 {
+		t.Errorf("j: %+v", in)
+	}
+}
+
+func TestNumericLocalLabels(t *testing.T) {
+	words := asmWords(t, `
+1:		addi a0, a0, 1
+		bnez a0, 1b
+2:		addi a1, a1, 1
+		j 1f
+		nop
+1:		bnez a1, 2b
+	`)
+	if in := decode.Decode32(words[1]); in.Imm != -4 {
+		t.Errorf("1b branch imm = %d, want -4", in.Imm)
+	}
+	if in := decode.Decode32(words[3]); in.Imm != 8 {
+		t.Errorf("1f jump imm = %d, want 8", in.Imm)
+	}
+	if in := decode.Decode32(words[5]); in.Imm != -12 {
+		t.Errorf("2b branch imm = %d, want -12", in.Imm)
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	words := asmWords(t, `
+		li a0, 42
+		li a1, -2048
+		li a2, 0x12345678
+		li a3, -1
+		li a4, 0x800
+	`)
+	if got := disasm(words[0]); got != "addi a0, zero, 42" {
+		t.Errorf("small li: %q", got)
+	}
+	if got := disasm(words[1]); got != "addi a1, zero, -2048" {
+		t.Errorf("edge li: %q", got)
+	}
+	// 0x12345678 -> lui 0x12345 + addi 0x678.
+	in := decode.Decode32(words[2])
+	if in.Op != isa.OpLUI || uint32(in.Imm) != 0x12345000 {
+		t.Errorf("wide li hi: %+v", in)
+	}
+	in = decode.Decode32(words[3])
+	if in.Op != isa.OpADDI || in.Imm != 0x678 {
+		t.Errorf("wide li lo: %+v", in)
+	}
+	// -1 fits addi.
+	if got := disasm(words[4]); got != "addi a3, zero, -1" {
+		t.Errorf("li -1: %q", got)
+	}
+	// 0x800 = 2048 needs the wide form with carry: lui 0x1, addi -2048.
+	in = decode.Decode32(words[5])
+	if in.Op != isa.OpLUI || uint32(in.Imm) != 0x1000 {
+		t.Errorf("li 0x800 hi: %+v", in)
+	}
+	in = decode.Decode32(words[6])
+	if in.Op != isa.OpADDI || in.Imm != -2048 {
+		t.Errorf("li 0x800 lo: %+v", in)
+	}
+}
+
+func TestLaAndHiLo(t *testing.T) {
+	p, err := Assemble(`
+		la a0, data
+		lui a1, %hi(data)
+		addi a1, a1, %lo(data)
+		.align 4
+data:	.word 0xdeadbeef
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataAddr, ok := p.Symbol("data")
+	if !ok {
+		t.Fatal("data symbol missing")
+	}
+	if dataAddr%16 != 0 {
+		t.Errorf("data not 16-aligned: 0x%x", dataAddr)
+	}
+	words := make([]uint32, 4)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint32(p.Bytes[4*i:])
+	}
+	// la and the explicit %hi/%lo pair must produce identical fields.
+	laHi, laLo := decode.Decode32(words[0]), decode.Decode32(words[1])
+	exHi, exLo := decode.Decode32(words[2]), decode.Decode32(words[3])
+	if uint32(laHi.Imm) != uint32(exHi.Imm) || laLo.Imm != exLo.Imm {
+		t.Errorf("la expansion %x/%d != %%hi/%%lo %x/%d",
+			uint32(laHi.Imm), laLo.Imm, uint32(exHi.Imm), exLo.Imm)
+	}
+	if uint32(laHi.Imm)+uint32(laLo.Imm) != dataAddr {
+		t.Errorf("la hi+lo = 0x%x, want 0x%x", uint32(laHi.Imm)+uint32(laLo.Imm), dataAddr)
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	words := asmWords(t, `
+		nop
+		mv   a0, a1
+		not  a2, a3
+		neg  a4, a5
+		seqz a0, a1
+		snez a2, a3
+		ret
+		jr   t0
+	`)
+	want := []string{
+		"addi zero, zero, 0",
+		"addi a0, a1, 0",
+		"xori a2, a3, -1",
+		"sub a4, zero, a5",
+		"sltiu a0, a1, 1",
+		"sltu a2, zero, a3",
+		"jalr zero, 0(ra)",
+		"jalr zero, 0(t0)",
+	}
+	for i, w := range want {
+		if got := disasm(words[i]); got != w {
+			t.Errorf("word %d: %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestCSRPseudo(t *testing.T) {
+	words := asmWords(t, `
+		csrr  a0, mstatus
+		csrw  mtvec, a1
+		csrs  mie, a2
+		csrwi mscratch, 5
+		rdcycle a3
+	`)
+	want := []string{
+		"csrrs a0, mstatus, zero",
+		"csrrw zero, mtvec, a1",
+		"csrrs zero, mie, a2",
+		"csrrwi zero, mscratch, 5",
+		"csrrs a3, cycle, zero",
+	}
+	for i, w := range want {
+		if got := disasm(words[i]); got != w {
+			t.Errorf("word %d: %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestCallRetAcrossRange(t *testing.T) {
+	p, err := Assemble(`
+_start:
+		call func
+		ebreak
+func:
+		ret
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// call = auipc ra + jalr ra.
+	w0 := binary.LittleEndian.Uint32(p.Bytes)
+	w1 := binary.LittleEndian.Uint32(p.Bytes[4:])
+	in0, in1 := decode.Decode32(w0), decode.Decode32(w1)
+	if in0.Op != isa.OpAUIPC || in0.Rd != isa.RA {
+		t.Errorf("call[0]: %v", in0)
+	}
+	if in1.Op != isa.OpJALR || in1.Rd != isa.RA || in1.Rs1 != isa.RA {
+		t.Errorf("call[1]: %v", in1)
+	}
+	funcAddr := p.Symbols["func"]
+	if p.Org+uint32(in0.Imm)+uint32(in1.Imm) != funcAddr {
+		t.Errorf("call target = 0x%x, want 0x%x", p.Org+uint32(in0.Imm)+uint32(in1.Imm), funcAddr)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p, err := Assemble(`
+		.byte 1, 2, 0xff
+		.half 0x1234
+		.align 2
+		.word 0xcafebabe, 7
+		.space 3
+		.byte 9
+		.asciz "ok"
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Bytes
+	if b[0] != 1 || b[1] != 2 || b[2] != 0xff {
+		t.Errorf(".byte: % x", b[:3])
+	}
+	if binary.LittleEndian.Uint16(b[3:]) != 0x1234 {
+		t.Errorf(".half: % x", b[3:5])
+	}
+	// .align 2 pads to offset 8.
+	if binary.LittleEndian.Uint32(b[8:]) != 0xcafebabe {
+		t.Errorf(".word at 8: % x", b[8:12])
+	}
+	if binary.LittleEndian.Uint32(b[12:]) != 7 {
+		t.Errorf(".word 7: % x", b[12:16])
+	}
+	if b[16] != 0 || b[17] != 0 || b[18] != 0 || b[19] != 9 {
+		t.Errorf(".space/.byte: % x", b[16:20])
+	}
+	if string(b[20:22]) != "ok" || b[22] != 0 {
+		t.Errorf(".asciz: % x", b[20:23])
+	}
+}
+
+func TestEquAndExpressions(t *testing.T) {
+	p, err := Assemble(`
+		.equ BASE, 0x1000
+		.equ SIZE, 4*8
+		li a0, BASE + SIZE
+		li a1, (1 << 10) | 0xf
+		li a2, ~0 & 0xff
+		li a3, 'A'
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLi := func(off int, want int32) {
+		t.Helper()
+		in := decode.Decode32(binary.LittleEndian.Uint32(p.Bytes[off:]))
+		if in.Imm != want {
+			t.Errorf("li at %d: %d, want %d", off, in.Imm, want)
+		}
+	}
+	// BASE+SIZE = 0x1020: wide expansion (lui+addi) since > 2047.
+	in := decode.Decode32(binary.LittleEndian.Uint32(p.Bytes[0:]))
+	if in.Op != isa.OpLUI || uint32(in.Imm) != 0x1000 {
+		t.Errorf("BASE+SIZE hi: %+v", in)
+	}
+	checkLi(4, 0x20)  // addi part of the wide expansion
+	checkLi(8, 0x40f) // fits the short form
+	checkLi(12, 0xff)
+	checkLi(16, 65)
+}
+
+func TestOrgAndEntry(t *testing.T) {
+	p, err := AssembleAt(`
+		.org 0x80000100
+_start:
+		nop
+	`, 0x8000_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 0x8000_0100 {
+		t.Errorf("entry = 0x%x", p.Entry)
+	}
+	if len(p.Bytes) != 0x104 {
+		t.Errorf("image size = 0x%x", len(p.Bytes))
+	}
+	// The .org gap is zero filled.
+	for i := 0; i < 0x100; i++ {
+		if p.Bytes[i] != 0 {
+			t.Fatalf("gap byte %d not zero", i)
+		}
+	}
+}
+
+func TestCompressedMnemonics(t *testing.T) {
+	p, err := Assemble(`
+		c.addi a0, 1
+		c.li   a1, -3
+		c.mv   a2, a0
+		c.add  a2, a1
+		c.lw   a3, 4(a0)
+		c.sw   a3, 8(a0)
+		c.nop
+		c.ebreak
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []isa.Op{
+		isa.OpCADDI, isa.OpCLI, isa.OpCMV, isa.OpCADD,
+		isa.OpCLW, isa.OpCSW, isa.OpCNOP, isa.OpCEBREAK,
+	}
+	for i, op := range wantOps {
+		h := binary.LittleEndian.Uint16(p.Bytes[2*i:])
+		in := decode.Decode16(h)
+		if in.Op != op {
+			t.Errorf("half %d: %v, want %v", i, in.Op, op)
+		}
+	}
+}
+
+func TestCompressedBranchTargets(t *testing.T) {
+	p, err := Assemble(`
+loop:	c.addi a0, -1
+		c.bnez a0, loop
+		c.j    loop
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := decode.Decode16(binary.LittleEndian.Uint16(p.Bytes[2:]))
+	if b.Op != isa.OpCBNEZ || b.Imm != -2 {
+		t.Errorf("c.bnez: %+v", b)
+	}
+	j := decode.Decode16(binary.LittleEndian.Uint16(p.Bytes[4:]))
+	if j.Op != isa.OpCJ || j.Imm != -4 {
+		t.Errorf("c.j: %+v", j)
+	}
+}
+
+func TestFloatInstructions(t *testing.T) {
+	words := asmWords(t, `
+		flw    fa0, 0(a0)
+		fadd.s fa1, fa0, fa0
+		fmadd.s fa2, fa0, fa1, fa1
+		fcvt.w.s a1, fa2
+		fmv.s  fa3, fa1
+		fsw    fa2, 4(a0)
+	`)
+	want := []string{
+		"flw fa0, 0(a0)",
+		"fadd.s fa1, fa0, fa0",
+		"fmadd.s fa2, fa0, fa1, fa1",
+		"fcvt.w.s a1, fa2",
+		"fsgnj.s fa3, fa1, fa1",
+		"fsw fa2, 4(a0)",
+	}
+	for i, w := range want {
+		if got := disasm(words[i]); got != w {
+			t.Errorf("word %d: %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestBMIInstructions(t *testing.T) {
+	words := asmWords(t, `
+		cpop a0, a1
+		clz  a2, a3
+		andn a4, a5, a6
+		rori a0, a1, 7
+		rev8 a2, a3
+		min  a4, a5, a6
+	`)
+	want := []string{
+		"cpop a0, a1",
+		"clz a2, a3",
+		"andn a4, a5, a6",
+		"rori a0, a1, 7",
+		"rev8 a2, a3",
+		"min a4, a5, a6",
+	}
+	for i, w := range want {
+		if got := disasm(words[i]); got != w {
+			t.Errorf("word %d: %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestErrorReporting(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"bogus a0, a1", "unknown instruction"},
+		{"addi a0, a1", "expects 3 operands"},
+		{"addi a0, a1, 5000", "out of range"},
+		{"lw a0, 4(q9)", "unknown register"},
+		{"j missing", "undefined symbol"},
+		{"x:\nx:\nnop", "redefined"},
+		{".org 0x10\n.org 0x8", "behind"},
+		{".word 1 +", "unexpected end"},
+		{"li a0", "expects 2 operands"},
+		{"csrr a0, nosuchcsr", "unknown CSR"},
+		{"c.addi4spn a0, 3", "invalid"},
+	}
+	for _, c := range cases {
+		_, err := AssembleAt(c.src, 0)
+		if err == nil {
+			t.Errorf("%q should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q error = %q, want fragment %q", c.src, err.Error(), c.frag)
+		}
+	}
+}
+
+func TestMultipleErrorsCollected(t *testing.T) {
+	_, err := Assemble("bogus1\nnop\nbogus2\n")
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	el, ok := err.(ErrorList)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if len(el) != 2 {
+		t.Errorf("got %d errors, want 2: %v", len(el), el)
+	}
+	if el[0].Line != 1 || el[1].Line != 3 {
+		t.Errorf("error lines: %v", el)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	words := asmWords(t, `
+		# full line comment
+		nop            # trailing
+		nop            // c++ style
+		nop            ; asm style
+
+		.asciz "a#b"   # hash inside string is literal
+		.align 2
+	`)
+	if len(words) != 4 { // 3 nops + padded string word
+		t.Fatalf("words = %d", len(words))
+	}
+	p, _ := Assemble(`.asciz "x#y"`)
+	if string(p.Bytes[:3]) != "x#y" {
+		t.Errorf("string with hash: % x", p.Bytes)
+	}
+}
+
+func TestLinesMap(t *testing.T) {
+	p, err := Assemble("nop\nnop\nlabel:\naddi a0, a0, 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lines[p.Org] != 1 || p.Lines[p.Org+4] != 2 || p.Lines[p.Org+8] != 4 {
+		t.Errorf("line map: %v", p.Lines)
+	}
+}
+
+func TestBranchOutOfRange(t *testing.T) {
+	src := "beq a0, a1, far\n.space 8192\nfar: nop\n"
+	if _, err := Assemble(src); err == nil {
+		t.Error("branch beyond ±4KiB should fail")
+	}
+}

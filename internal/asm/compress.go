@@ -1,0 +1,129 @@
+package asm
+
+import (
+	"repro/internal/decode"
+	"repro/internal/isa"
+)
+
+// compressInst maps a 32-bit instruction to its 16-bit equivalent when
+// the C extension has one for these exact operands. Control-flow
+// offsets are checked against a reduced range (half the architectural
+// limit) because relaxation shifts addresses between rounds; the final
+// encode still validates the true range.
+func compressInst(in decode.Inst) (decode.Inst, bool) {
+	creg := func(r isa.Reg) bool { return r >= 8 && r <= 15 }
+	out := decode.Inst{}
+
+	switch in.Op {
+	case isa.OpADDI:
+		switch {
+		case in.Rd == 0 && in.Rs1 == 0 && in.Imm == 0:
+			return decode.Inst{Op: isa.OpCNOP}, true
+		case in.Rd == isa.SP && in.Rs1 == isa.SP && in.Imm != 0 &&
+			in.Imm%16 == 0 && in.Imm >= -512 && in.Imm <= 496:
+			return decode.Inst{Op: isa.OpCADDI16SP, Rd: isa.SP, Rs1: isa.SP, Imm: in.Imm}, true
+		case in.Rd != 0 && in.Rs1 == in.Rd && in.Imm != 0 && in.Imm >= -32 && in.Imm <= 31:
+			return decode.Inst{Op: isa.OpCADDI, Rd: in.Rd, Rs1: in.Rd, Imm: in.Imm}, true
+		case in.Rd != 0 && in.Rs1 == 0 && in.Imm >= -32 && in.Imm <= 31:
+			return decode.Inst{Op: isa.OpCLI, Rd: in.Rd, Imm: in.Imm}, true
+		case in.Rd != 0 && in.Rs1 != 0 && in.Imm == 0:
+			return decode.Inst{Op: isa.OpCMV, Rd: in.Rd, Rs2: in.Rs1}, true
+		case creg(in.Rd) && in.Rs1 == isa.SP && in.Imm > 0 && in.Imm <= 1020 && in.Imm%4 == 0:
+			return decode.Inst{Op: isa.OpCADDI4SPN, Rd: in.Rd, Rs1: isa.SP, Imm: in.Imm}, true
+		}
+	case isa.OpADD:
+		switch {
+		case in.Rd != 0 && in.Rs1 == in.Rd && in.Rs2 != 0:
+			return decode.Inst{Op: isa.OpCADD, Rd: in.Rd, Rs1: in.Rd, Rs2: in.Rs2}, true
+		case in.Rd != 0 && in.Rs2 == in.Rd && in.Rs1 != 0:
+			return decode.Inst{Op: isa.OpCADD, Rd: in.Rd, Rs1: in.Rd, Rs2: in.Rs1}, true
+		case in.Rd != 0 && in.Rs1 == 0 && in.Rs2 != 0:
+			return decode.Inst{Op: isa.OpCMV, Rd: in.Rd, Rs2: in.Rs2}, true
+		case in.Rd != 0 && in.Rs2 == 0 && in.Rs1 != 0:
+			return decode.Inst{Op: isa.OpCMV, Rd: in.Rd, Rs2: in.Rs1}, true
+		}
+	case isa.OpLUI:
+		hi := in.Imm >> 12
+		if in.Rd != 0 && in.Rd != isa.SP && hi != 0 && hi >= -32 && hi <= 31 {
+			return decode.Inst{Op: isa.OpCLUI, Rd: in.Rd, Imm: in.Imm}, true
+		}
+	case isa.OpLW:
+		switch {
+		case in.Rd != 0 && in.Rs1 == isa.SP && in.Imm >= 0 && in.Imm <= 252 && in.Imm%4 == 0:
+			return decode.Inst{Op: isa.OpCLWSP, Rd: in.Rd, Rs1: isa.SP, Imm: in.Imm}, true
+		case creg(in.Rd) && creg(in.Rs1) && in.Imm >= 0 && in.Imm <= 124 && in.Imm%4 == 0:
+			return decode.Inst{Op: isa.OpCLW, Rd: in.Rd, Rs1: in.Rs1, Imm: in.Imm}, true
+		}
+	case isa.OpSW:
+		switch {
+		case in.Rs1 == isa.SP && in.Imm >= 0 && in.Imm <= 252 && in.Imm%4 == 0:
+			return decode.Inst{Op: isa.OpCSWSP, Rs2: in.Rs2, Rs1: isa.SP, Imm: in.Imm}, true
+		case creg(in.Rs2) && creg(in.Rs1) && in.Imm >= 0 && in.Imm <= 124 && in.Imm%4 == 0:
+			return decode.Inst{Op: isa.OpCSW, Rs2: in.Rs2, Rs1: in.Rs1, Imm: in.Imm}, true
+		}
+	case isa.OpSLLI:
+		if in.Rd != 0 && in.Rs1 == in.Rd && in.Imm >= 1 && in.Imm <= 31 {
+			return decode.Inst{Op: isa.OpCSLLI, Rd: in.Rd, Rs1: in.Rd, Imm: in.Imm}, true
+		}
+	case isa.OpSRLI:
+		if creg(in.Rd) && in.Rs1 == in.Rd && in.Imm >= 1 && in.Imm <= 31 {
+			return decode.Inst{Op: isa.OpCSRLI, Rd: in.Rd, Rs1: in.Rd, Imm: in.Imm}, true
+		}
+	case isa.OpSRAI:
+		if creg(in.Rd) && in.Rs1 == in.Rd && in.Imm >= 1 && in.Imm <= 31 {
+			return decode.Inst{Op: isa.OpCSRAI, Rd: in.Rd, Rs1: in.Rd, Imm: in.Imm}, true
+		}
+	case isa.OpANDI:
+		if creg(in.Rd) && in.Rs1 == in.Rd && in.Imm >= -32 && in.Imm <= 31 {
+			return decode.Inst{Op: isa.OpCANDI, Rd: in.Rd, Rs1: in.Rd, Imm: in.Imm}, true
+		}
+	case isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpSUB:
+		cop := map[isa.Op]isa.Op{
+			isa.OpAND: isa.OpCAND, isa.OpOR: isa.OpCOR,
+			isa.OpXOR: isa.OpCXOR, isa.OpSUB: isa.OpCSUB,
+		}[in.Op]
+		switch {
+		case creg(in.Rd) && in.Rs1 == in.Rd && creg(in.Rs2):
+			return decode.Inst{Op: cop, Rd: in.Rd, Rs1: in.Rd, Rs2: in.Rs2}, true
+		case in.Op != isa.OpSUB && creg(in.Rd) && in.Rs2 == in.Rd && creg(in.Rs1):
+			// commutative forms can swap operands
+			return decode.Inst{Op: cop, Rd: in.Rd, Rs1: in.Rd, Rs2: in.Rs1}, true
+		}
+	case isa.OpJAL:
+		// Half-range margin against relaxation shift.
+		if in.Imm >= -1024 && in.Imm <= 1023 && in.Imm%2 == 0 {
+			if in.Rd == 0 {
+				return decode.Inst{Op: isa.OpCJ, Rd: 0, Imm: in.Imm}, true
+			}
+			if in.Rd == isa.RA {
+				return decode.Inst{Op: isa.OpCJAL, Rd: isa.RA, Imm: in.Imm}, true
+			}
+		}
+	case isa.OpJALR:
+		if in.Imm == 0 && in.Rs1 != 0 {
+			if in.Rd == 0 {
+				return decode.Inst{Op: isa.OpCJR, Rs1: in.Rs1}, true
+			}
+			if in.Rd == isa.RA {
+				return decode.Inst{Op: isa.OpCJALR, Rd: isa.RA, Rs1: in.Rs1}, true
+			}
+		}
+	case isa.OpBEQ, isa.OpBNE:
+		cop := isa.OpCBEQZ
+		if in.Op == isa.OpBNE {
+			cop = isa.OpCBNEZ
+		}
+		// Half-range margin (architectural ±256).
+		if in.Imm >= -128 && in.Imm <= 127 && in.Imm%2 == 0 {
+			if in.Rs2 == 0 && creg(in.Rs1) {
+				return decode.Inst{Op: cop, Rs1: in.Rs1, Rs2: 0, Imm: in.Imm}, true
+			}
+			if in.Rs1 == 0 && creg(in.Rs2) {
+				return decode.Inst{Op: cop, Rs1: in.Rs2, Rs2: 0, Imm: in.Imm}, true
+			}
+		}
+	case isa.OpEBREAK:
+		return decode.Inst{Op: isa.OpCEBREAK}, true
+	}
+	return out, false
+}

@@ -1,0 +1,335 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// exprEval evaluates assembler expressions: integers in any Go base
+// syntax, character literals, symbols/labels, the %hi/%lo relocation
+// operators, and the usual C operator set with precedence.
+type exprEval struct {
+	src  string
+	pos  int
+	syms func(name string) (int64, bool)
+}
+
+// evalExpr evaluates an expression string. syms resolves symbol values
+// (labels, .equ constants, '.' for the current location counter).
+func evalExpr(src string, syms func(string) (int64, bool)) (int64, error) {
+	e := &exprEval{src: src, syms: syms}
+	v, err := e.parseOr()
+	if err != nil {
+		return 0, err
+	}
+	e.skipSpace()
+	if e.pos != len(e.src) {
+		return 0, fmt.Errorf("trailing garbage %q in expression", e.src[e.pos:])
+	}
+	return v, nil
+}
+
+func (e *exprEval) skipSpace() {
+	for e.pos < len(e.src) && (e.src[e.pos] == ' ' || e.src[e.pos] == '\t') {
+		e.pos++
+	}
+}
+
+func (e *exprEval) peek() byte {
+	e.skipSpace()
+	if e.pos < len(e.src) {
+		return e.src[e.pos]
+	}
+	return 0
+}
+
+func (e *exprEval) accept(s string) bool {
+	e.skipSpace()
+	if strings.HasPrefix(e.src[e.pos:], s) {
+		e.pos += len(s)
+		return true
+	}
+	return false
+}
+
+// Precedence climbing: | ^ & <<>> +- */%  unary.
+func (e *exprEval) parseOr() (int64, error) {
+	v, err := e.parseXor()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		e.skipSpace()
+		if e.pos < len(e.src) && e.src[e.pos] == '|' {
+			e.pos++
+			r, err := e.parseXor()
+			if err != nil {
+				return 0, err
+			}
+			v |= r
+			continue
+		}
+		return v, nil
+	}
+}
+
+func (e *exprEval) parseXor() (int64, error) {
+	v, err := e.parseAnd()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		e.skipSpace()
+		if e.pos < len(e.src) && e.src[e.pos] == '^' {
+			e.pos++
+			r, err := e.parseAnd()
+			if err != nil {
+				return 0, err
+			}
+			v ^= r
+			continue
+		}
+		return v, nil
+	}
+}
+
+func (e *exprEval) parseAnd() (int64, error) {
+	v, err := e.parseShift()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		e.skipSpace()
+		if e.pos < len(e.src) && e.src[e.pos] == '&' {
+			e.pos++
+			r, err := e.parseShift()
+			if err != nil {
+				return 0, err
+			}
+			v &= r
+			continue
+		}
+		return v, nil
+	}
+}
+
+func (e *exprEval) parseShift() (int64, error) {
+	v, err := e.parseAdd()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch {
+		case e.accept("<<"):
+			r, err := e.parseAdd()
+			if err != nil {
+				return 0, err
+			}
+			v <<= uint(r & 63)
+		case e.accept(">>"):
+			r, err := e.parseAdd()
+			if err != nil {
+				return 0, err
+			}
+			v >>= uint(r & 63)
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (e *exprEval) parseAdd() (int64, error) {
+	v, err := e.parseMul()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		e.skipSpace()
+		if e.pos >= len(e.src) {
+			return v, nil
+		}
+		switch e.src[e.pos] {
+		case '+':
+			e.pos++
+			r, err := e.parseMul()
+			if err != nil {
+				return 0, err
+			}
+			v += r
+		case '-':
+			e.pos++
+			r, err := e.parseMul()
+			if err != nil {
+				return 0, err
+			}
+			v -= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (e *exprEval) parseMul() (int64, error) {
+	v, err := e.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		e.skipSpace()
+		if e.pos >= len(e.src) {
+			return v, nil
+		}
+		switch e.src[e.pos] {
+		case '*':
+			e.pos++
+			r, err := e.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			v *= r
+		case '/':
+			e.pos++
+			r, err := e.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero in expression")
+			}
+			v /= r
+		case '%':
+			// Distinguish modulo from %hi/%lo, which only appear in
+			// unary position and were consumed there.
+			e.pos++
+			r, err := e.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("modulo by zero in expression")
+			}
+			v %= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (e *exprEval) parseUnary() (int64, error) {
+	e.skipSpace()
+	if e.pos >= len(e.src) {
+		return 0, fmt.Errorf("unexpected end of expression")
+	}
+	switch e.src[e.pos] {
+	case '-':
+		e.pos++
+		v, err := e.parseUnary()
+		return -v, err
+	case '+':
+		e.pos++
+		return e.parseUnary()
+	case '~':
+		e.pos++
+		v, err := e.parseUnary()
+		return ^v, err
+	case '%':
+		// %hi(expr) / %lo(expr): the standard RISC-V absolute
+		// relocation split with carry correction.
+		rest := e.src[e.pos:]
+		switch {
+		case strings.HasPrefix(rest, "%hi("):
+			e.pos += 3
+			v, err := e.parseParen()
+			if err != nil {
+				return 0, err
+			}
+			return int64(int32((uint32(v) + 0x800) >> 12)), nil
+		case strings.HasPrefix(rest, "%lo("):
+			e.pos += 3
+			v, err := e.parseParen()
+			if err != nil {
+				return 0, err
+			}
+			return int64(int32(uint32(v)<<20) >> 20), nil
+		}
+		return 0, fmt.Errorf("unknown %% operator in %q", e.src[e.pos:])
+	case '(':
+		return e.parseParen()
+	case '\'':
+		return e.parseChar()
+	}
+	return e.parseAtom()
+}
+
+func (e *exprEval) parseParen() (int64, error) {
+	if !e.accept("(") {
+		return 0, fmt.Errorf("expected '(' in expression")
+	}
+	v, err := e.parseOr()
+	if err != nil {
+		return 0, err
+	}
+	if !e.accept(")") {
+		return 0, fmt.Errorf("missing ')' in expression")
+	}
+	return v, nil
+}
+
+func (e *exprEval) parseChar() (int64, error) {
+	s := e.src[e.pos:]
+	val, _, tail, err := strconv.UnquoteChar(s[1:], '\'')
+	if err != nil {
+		return 0, fmt.Errorf("bad character literal: %v", err)
+	}
+	if !strings.HasPrefix(tail, "'") {
+		return 0, fmt.Errorf("unterminated character literal")
+	}
+	e.pos += len(s) - len(tail) + 1
+	return int64(val), nil
+}
+
+func isSymChar(c byte) bool {
+	return c == '_' || c == '.' || c == '$' ||
+		'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9'
+}
+
+func (e *exprEval) parseAtom() (int64, error) {
+	start := e.pos
+	for e.pos < len(e.src) && isSymChar(e.src[e.pos]) {
+		e.pos++
+	}
+	tok := e.src[start:e.pos]
+	if tok == "" {
+		return 0, fmt.Errorf("unexpected character %q in expression", string(e.src[start]))
+	}
+	if c := tok[0]; c >= '0' && c <= '9' {
+		// Numeric literal, or a numeric local-label reference like 1f/2b.
+		if n := len(tok); n >= 2 && (tok[n-1] == 'f' || tok[n-1] == 'b') {
+			if _, err := strconv.ParseUint(tok[:n-1], 10, 32); err == nil {
+				if e.syms != nil {
+					if v, ok := e.syms(tok); ok {
+						return v, nil
+					}
+				}
+				return 0, fmt.Errorf("undefined local label %q", tok)
+			}
+		}
+		v, err := strconv.ParseUint(tok, 0, 64)
+		if err != nil {
+			// Allow negative-range 32-bit values written in decimal.
+			s, serr := strconv.ParseInt(tok, 0, 64)
+			if serr != nil {
+				return 0, fmt.Errorf("bad number %q", tok)
+			}
+			return s, nil
+		}
+		return int64(v), nil
+	}
+	if e.syms != nil {
+		if v, ok := e.syms(tok); ok {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("undefined symbol %q", tok)
+}

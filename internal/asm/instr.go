@@ -1,0 +1,363 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strings"
+
+	"repro/internal/decode"
+	"repro/internal/encode"
+	"repro/internal/isa"
+)
+
+// instrSize decides a statement's size in pass 1. Pseudo-instructions
+// with data-dependent expansions make their choice here and stick to it.
+func (a *assembler) instrSize(s *stmt) uint32 {
+	if strings.HasPrefix(s.mnem, "c.") || s.compressed {
+		return 2
+	}
+	switch s.mnem {
+	case "li":
+		if len(s.args) == 2 {
+			if v, err := evalExpr(s.args[1], a.pass1Resolver(s.addr)); err == nil &&
+				v >= -2048 && v <= 2047 {
+				return 4
+			}
+		}
+		s.liWide = true
+		return 8
+	case "la":
+		return 8
+	case "call", "tail":
+		return 8 // auipc+jalr pair, full 32-bit range
+	}
+	return 4
+}
+
+// encodeInstr encodes one instruction statement (possibly a pseudo
+// expanding to several words). It returns nil after reporting an error.
+func (a *assembler) encodeInstr(s *stmt) []byte {
+	if s.compressed {
+		return a.encodeCompressed(s)
+	}
+	insts, halves, ok := a.expand(s)
+	if !ok {
+		return nil
+	}
+	var out []byte
+	for _, h := range halves {
+		var b [2]byte
+		binary.LittleEndian.PutUint16(b[:], h)
+		out = append(out, b[:]...)
+	}
+	for _, in := range insts {
+		w, err := encode.Encode(in)
+		if err != nil {
+			a.errorf(s.line, "%v", err)
+			return nil
+		}
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], w)
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// encodeCompressed emits the 16-bit form the relaxation decided on.
+func (a *assembler) encodeCompressed(s *stmt) []byte {
+	s.compressed = false
+	insts, halves, ok := a.expand(s)
+	s.compressed = true
+	if !ok {
+		return nil
+	}
+	if len(halves) != 0 || len(insts) != 1 {
+		a.errorf(s.line, "internal: compression decision on multi-instruction statement")
+		return nil
+	}
+	cin, can := compressInst(insts[0])
+	if !can {
+		a.errorf(s.line, "internal: relaxation instability — %q no longer compressible", s.mnem)
+		return nil
+	}
+	h, err := encode.Encode16(cin)
+	if err != nil {
+		a.errorf(s.line, "%v", err)
+		return nil
+	}
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], h)
+	return b[:]
+}
+
+// operand parsing helpers ---------------------------------------------
+
+func (a *assembler) reg(s *stmt, arg string) (isa.Reg, bool) {
+	r, err := isa.ParseReg(arg)
+	if err != nil {
+		a.errorf(s.line, "%v", err)
+		return 0, false
+	}
+	return r, true
+}
+
+func (a *assembler) freg(s *stmt, arg string) (isa.Reg, bool) {
+	r, err := isa.ParseFReg(arg)
+	if err != nil {
+		a.errorf(s.line, "%v", err)
+		return 0, false
+	}
+	return isa.Reg(r), true
+}
+
+func (a *assembler) csr(s *stmt, arg string) (isa.CSR, bool) {
+	c, err := isa.ParseCSR(arg)
+	if err != nil {
+		a.errorf(s.line, "%v", err)
+		return 0, false
+	}
+	return c, true
+}
+
+func (a *assembler) imm(s *stmt, arg string) (int32, bool) {
+	v, err := evalExpr(arg, a.resolver(s.addr))
+	if err != nil {
+		a.errorf(s.line, "%v", err)
+		return 0, false
+	}
+	if v < -(1<<31) || v > 1<<32-1 {
+		a.errorf(s.line, "value %d does not fit in 32 bits", v)
+		return 0, false
+	}
+	return int32(uint32(v)), true
+}
+
+// mem parses "offset(reg)"; a bare "offset" means offset(x0)-style only
+// when allowZeroBase is set.
+func (a *assembler) mem(s *stmt, arg string) (int32, isa.Reg, bool) {
+	open := strings.LastIndexByte(arg, '(')
+	if open < 0 || !strings.HasSuffix(arg, ")") {
+		a.errorf(s.line, "expected offset(reg), got %q", arg)
+		return 0, 0, false
+	}
+	r, ok := a.reg(s, strings.TrimSpace(arg[open+1:len(arg)-1]))
+	if !ok {
+		return 0, 0, false
+	}
+	offStr := strings.TrimSpace(arg[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	off, ok := a.imm(s, offStr)
+	return off, r, ok
+}
+
+// target evaluates a branch/jump target and returns the pc-relative
+// offset.
+func (a *assembler) target(s *stmt, arg string) (int32, bool) {
+	v, ok := a.imm(s, arg)
+	if !ok {
+		return 0, false
+	}
+	return int32(uint32(v) - s.addr), true
+}
+
+func (a *assembler) nargs(s *stmt, n int) bool {
+	if len(s.args) != n {
+		a.errorf(s.line, "%s expects %d operands, got %d", s.mnem, n, len(s.args))
+		return false
+	}
+	return true
+}
+
+// expand turns a statement into 32-bit instructions and/or 16-bit
+// compressed halves. Exactly one of the two slices is non-empty except
+// for errors (nil, nil, false).
+func (a *assembler) expand(s *stmt) ([]decode.Inst, []uint16, bool) {
+	if strings.HasPrefix(s.mnem, "c.") {
+		h, ok := a.expandCompressed(s)
+		if !ok {
+			return nil, nil, false
+		}
+		return nil, []uint16{h}, true
+	}
+	if insts, ok, handled := a.expandPseudo(s); handled {
+		if !ok {
+			return nil, nil, false
+		}
+		return insts, nil, true
+	}
+
+	op := isa.ByName(s.mnem)
+	if !op.Valid() {
+		a.errorf(s.line, "unknown instruction %q", s.mnem)
+		return nil, nil, false
+	}
+	p, ok := isa.PatternFor(op)
+	if !ok {
+		a.errorf(s.line, "%s cannot be assembled directly", s.mnem)
+		return nil, nil, false
+	}
+	in := decode.Inst{Op: op}
+	fd, f1, f2 := isa.UsesFPRegs(op)
+	pickReg := func(arg string, fp bool) (isa.Reg, bool) {
+		if fp {
+			return a.freg(s, arg)
+		}
+		return a.reg(s, arg)
+	}
+
+	switch p.Fmt {
+	case isa.FmtNone:
+		if len(s.args) != 0 && op != isa.OpFENCE {
+			a.errorf(s.line, "%s takes no operands", s.mnem)
+			return nil, nil, false
+		}
+	case isa.FmtR:
+		if !a.nargs(s, 3) {
+			return nil, nil, false
+		}
+		var ok1, ok2, ok3 bool
+		in.Rd, ok1 = pickReg(s.args[0], fd)
+		in.Rs1, ok2 = pickReg(s.args[1], f1)
+		in.Rs2, ok3 = pickReg(s.args[2], f2)
+		if !ok1 || !ok2 || !ok3 {
+			return nil, nil, false
+		}
+	case isa.FmtR4:
+		if !a.nargs(s, 4) {
+			return nil, nil, false
+		}
+		var ok1, ok2, ok3, ok4 bool
+		in.Rd, ok1 = a.freg(s, s.args[0])
+		in.Rs1, ok2 = a.freg(s, s.args[1])
+		in.Rs2, ok3 = a.freg(s, s.args[2])
+		var r3 isa.Reg
+		r3, ok4 = a.freg(s, s.args[3])
+		in.Rs3 = r3
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			return nil, nil, false
+		}
+	case isa.FmtI:
+		switch op.Class() {
+		case isa.ClassLoad, isa.ClassFPLoad:
+			if !a.nargs(s, 2) {
+				return nil, nil, false
+			}
+			rd, ok1 := pickReg(s.args[0], fd)
+			off, rs1, ok2 := a.mem(s, s.args[1])
+			if !ok1 || !ok2 {
+				return nil, nil, false
+			}
+			in.Rd, in.Rs1, in.Imm = rd, rs1, off
+		default: // jalr and ALU immediates
+			if op == isa.OpJALR && len(s.args) == 2 && strings.HasSuffix(s.args[1], ")") {
+				rd, ok1 := a.reg(s, s.args[0])
+				off, rs1, ok2 := a.mem(s, s.args[1])
+				if !ok1 || !ok2 {
+					return nil, nil, false
+				}
+				in.Rd, in.Rs1, in.Imm = rd, rs1, off
+				break
+			}
+			if !a.nargs(s, 3) {
+				return nil, nil, false
+			}
+			rd, ok1 := a.reg(s, s.args[0])
+			rs1, ok2 := a.reg(s, s.args[1])
+			imm, ok3 := a.imm(s, s.args[2])
+			if !ok1 || !ok2 || !ok3 {
+				return nil, nil, false
+			}
+			in.Rd, in.Rs1, in.Imm = rd, rs1, imm
+		}
+	case isa.FmtIShift:
+		if !a.nargs(s, 3) {
+			return nil, nil, false
+		}
+		rd, ok1 := a.reg(s, s.args[0])
+		rs1, ok2 := a.reg(s, s.args[1])
+		imm, ok3 := a.imm(s, s.args[2])
+		if !ok1 || !ok2 || !ok3 {
+			return nil, nil, false
+		}
+		in.Rd, in.Rs1, in.Imm = rd, rs1, imm
+	case isa.FmtS:
+		if !a.nargs(s, 2) {
+			return nil, nil, false
+		}
+		rs2, ok1 := pickReg(s.args[0], f2)
+		off, rs1, ok2 := a.mem(s, s.args[1])
+		if !ok1 || !ok2 {
+			return nil, nil, false
+		}
+		in.Rs2, in.Rs1, in.Imm = rs2, rs1, off
+	case isa.FmtB:
+		if !a.nargs(s, 3) {
+			return nil, nil, false
+		}
+		rs1, ok1 := a.reg(s, s.args[0])
+		rs2, ok2 := a.reg(s, s.args[1])
+		off, ok3 := a.target(s, s.args[2])
+		if !ok1 || !ok2 || !ok3 {
+			return nil, nil, false
+		}
+		in.Rs1, in.Rs2, in.Imm = rs1, rs2, off
+	case isa.FmtU:
+		if !a.nargs(s, 2) {
+			return nil, nil, false
+		}
+		rd, ok1 := a.reg(s, s.args[0])
+		imm, ok2 := a.imm(s, s.args[1])
+		if !ok1 || !ok2 {
+			return nil, nil, false
+		}
+		if imm < -(1<<19) || imm > 0xfffff {
+			a.errorf(s.line, "%s immediate %d out of 20-bit range", s.mnem, imm)
+			return nil, nil, false
+		}
+		in.Rd, in.Imm = rd, int32(uint32(imm)<<12)
+	case isa.FmtJ:
+		if !a.nargs(s, 2) {
+			return nil, nil, false
+		}
+		rd, ok1 := a.reg(s, s.args[0])
+		off, ok2 := a.target(s, s.args[1])
+		if !ok1 || !ok2 {
+			return nil, nil, false
+		}
+		in.Rd, in.Imm = rd, off
+	case isa.FmtCSR:
+		if !a.nargs(s, 3) {
+			return nil, nil, false
+		}
+		rd, ok1 := a.reg(s, s.args[0])
+		csr, ok2 := a.csr(s, s.args[1])
+		rs1, ok3 := a.reg(s, s.args[2])
+		if !ok1 || !ok2 || !ok3 {
+			return nil, nil, false
+		}
+		in.Rd, in.CSR, in.Rs1 = rd, csr, rs1
+	case isa.FmtCSRI:
+		if !a.nargs(s, 3) {
+			return nil, nil, false
+		}
+		rd, ok1 := a.reg(s, s.args[0])
+		csr, ok2 := a.csr(s, s.args[1])
+		imm, ok3 := a.imm(s, s.args[2])
+		if !ok1 || !ok2 || !ok3 {
+			return nil, nil, false
+		}
+		in.Rd, in.CSR, in.Imm = rd, csr, imm
+	case isa.FmtRUnary:
+		if !a.nargs(s, 2) {
+			return nil, nil, false
+		}
+		rd, ok1 := pickReg(s.args[0], fd)
+		rs1, ok2 := pickReg(s.args[1], f1)
+		if !ok1 || !ok2 {
+			return nil, nil, false
+		}
+		in.Rd, in.Rs1 = rd, rs1
+	}
+	return []decode.Inst{in}, nil, true
+}

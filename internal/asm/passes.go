@@ -1,0 +1,318 @@
+package asm
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+)
+
+// isNumericLabel reports whether a label name is a numeric local label.
+func isNumericLabel(name string) (int, bool) {
+	n, err := strconv.Atoi(name)
+	if err != nil || name == "" {
+		return 0, false
+	}
+	return n, true
+}
+
+// pass1 assigns addresses and sizes, defining all labels; with
+// compression enabled it iterates layout rounds until the RVC relaxation
+// reaches a fixpoint.
+func (a *assembler) pass1() {
+	a.layout()
+	if a.opt.Compress {
+		for round := 0; round < 16 && len(a.errs) == 0; round++ {
+			if !a.relax() {
+				break
+			}
+			a.layout()
+		}
+	}
+	if len(a.errs) == 0 {
+		last := a.org
+		if n := len(a.stmts); n > 0 {
+			last = a.stmts[n-1].addr + a.stmts[n-1].size
+		}
+		a.image = make([]byte, last-a.org)
+	}
+}
+
+// layout runs one sizing round: resets the symbol tables and assigns
+// every statement its address and size under the current compression
+// decisions. It is idempotent at the relaxation fixpoint.
+func (a *assembler) layout() {
+	a.syms = make(map[string]int64)
+	a.numeric = make(map[int][]uint32)
+
+	labelsAt := make(map[int][]pendingLabel)
+	for _, l := range a.labelQueue {
+		labelsAt[l.idx] = append(labelsAt[l.idx], l)
+	}
+	define := func(l pendingLabel, addr uint32) {
+		if n, ok := isNumericLabel(l.name); ok {
+			a.numeric[n] = append(a.numeric[n], addr)
+			return
+		}
+		if _, dup := a.syms[l.name]; dup {
+			a.errorf(l.line, "label %q redefined", l.name)
+			return
+		}
+		a.syms[l.name] = int64(addr)
+	}
+
+	lc := a.org
+	for i, s := range a.stmts {
+		for _, l := range labelsAt[i] {
+			define(l, lc)
+		}
+		s.addr = lc
+		var size uint32
+		if s.kind == kindDirective {
+			size = a.directiveSize(s, lc)
+		} else {
+			size = a.instrSize(s)
+		}
+		s.size = size
+		if lc+size < lc {
+			a.errorf(s.line, "location counter overflow")
+			return
+		}
+		lc += size
+	}
+	for _, l := range labelsAt[len(a.stmts)] {
+		define(l, lc)
+	}
+	for n := range a.numeric {
+		sort.Slice(a.numeric[n], func(i, j int) bool { return a.numeric[n][i] < a.numeric[n][j] })
+	}
+}
+
+// relax probes every instruction statement for RVC compressibility under
+// the current layout and reports whether any decision changed. Already
+// compressed statements are re-verified (relaxation can move branch
+// targets) and reverted when they no longer fit the margin.
+func (a *assembler) relax() bool {
+	changed := false
+	for _, s := range a.stmts {
+		if s.kind != kindInstr || len(s.mnem) > 2 && s.mnem[:2] == "c." {
+			continue
+		}
+		ok := a.probeCompress(s)
+		if ok != s.compressed {
+			s.compressed = ok
+			changed = true
+		}
+	}
+	return changed
+}
+
+// probeCompress reports whether the statement expands to exactly one
+// 32-bit instruction with a compressed equivalent, without emitting
+// diagnostics.
+func (a *assembler) probeCompress(s *stmt) bool {
+	savedErrs := len(a.errs)
+	savedCompressed := s.compressed
+	s.compressed = false // expand as the 32-bit form for probing
+	insts, halves, ok := a.expand(s)
+	s.compressed = savedCompressed
+	a.errs = a.errs[:savedErrs] // discard probe diagnostics
+	if !ok || len(halves) != 0 || len(insts) != 1 {
+		return false
+	}
+	_, can := compressInst(insts[0])
+	return can
+}
+
+// pass1Resolver resolves symbols with the partial table available during
+// sizing; forward references fail (callers fall back to worst-case size).
+func (a *assembler) pass1Resolver(lc uint32) func(string) (int64, bool) {
+	return func(name string) (int64, bool) {
+		if name == "." {
+			return int64(lc), true
+		}
+		v, ok := a.syms[name]
+		return v, ok
+	}
+}
+
+// resolver returns the full pass-2 symbol resolver for a statement at
+// the given address, handling '.', regular symbols and numeric local
+// label references (1b/1f).
+func (a *assembler) resolver(addr uint32) func(string) (int64, bool) {
+	return func(name string) (int64, bool) {
+		if name == "." {
+			return int64(addr), true
+		}
+		if n := len(name); n >= 2 && (name[n-1] == 'b' || name[n-1] == 'f') {
+			if num, ok := isNumericLabel(name[:n-1]); ok {
+				defs := a.numeric[num]
+				if name[n-1] == 'b' {
+					// Most recent definition at or before addr.
+					for i := len(defs) - 1; i >= 0; i-- {
+						if defs[i] <= addr {
+							return int64(defs[i]), true
+						}
+					}
+					return 0, false
+				}
+				// First definition strictly after addr.
+				for _, d := range defs {
+					if d > addr {
+						return int64(d), true
+					}
+				}
+				return 0, false
+			}
+		}
+		v, ok := a.syms[name]
+		return v, ok
+	}
+}
+
+// directiveSize computes a directive's size, handling definition-type
+// directives (.equ) immediately.
+func (a *assembler) directiveSize(s *stmt, lc uint32) uint32 {
+	switch s.mnem {
+	case ".org":
+		if len(s.args) != 1 {
+			a.errorf(s.line, ".org needs one argument")
+			return 0
+		}
+		v, err := evalExpr(s.args[0], a.pass1Resolver(lc))
+		if err != nil {
+			a.errorf(s.line, ".org: %v", err)
+			return 0
+		}
+		if uint32(v) < lc {
+			a.errorf(s.line, ".org 0x%x is behind the location counter 0x%x", uint32(v), lc)
+			return 0
+		}
+		return uint32(v) - lc
+	case ".align", ".p2align":
+		if len(s.args) < 1 {
+			a.errorf(s.line, "%s needs an argument", s.mnem)
+			return 0
+		}
+		v, err := evalExpr(s.args[0], a.pass1Resolver(lc))
+		if err != nil || v < 0 || v > 16 {
+			a.errorf(s.line, "bad alignment %q", s.args[0])
+			return 0
+		}
+		align := uint32(1) << uint(v)
+		return (align - lc%align) % align
+	case ".word", ".long":
+		return 4 * uint32(len(s.args))
+	case ".half", ".short":
+		return 2 * uint32(len(s.args))
+	case ".byte":
+		return uint32(len(s.args))
+	case ".space", ".zero", ".skip":
+		if len(s.args) < 1 {
+			a.errorf(s.line, "%s needs a size", s.mnem)
+			return 0
+		}
+		v, err := evalExpr(s.args[0], a.pass1Resolver(lc))
+		if err != nil || v < 0 {
+			a.errorf(s.line, "bad size %q", s.args[0])
+			return 0
+		}
+		return uint32(v)
+	case ".ascii", ".asciz", ".string":
+		str, err := a.unquote(s)
+		if err != nil {
+			return 0
+		}
+		if s.mnem == ".ascii" {
+			return uint32(len(str))
+		}
+		return uint32(len(str)) + 1
+	case ".equ", ".set":
+		if len(s.args) != 2 {
+			a.errorf(s.line, "%s needs name, value", s.mnem)
+			return 0
+		}
+		v, err := evalExpr(s.args[1], a.pass1Resolver(lc))
+		if err != nil {
+			a.errorf(s.line, "%s: %v", s.mnem, err)
+			return 0
+		}
+		a.syms[s.args[0]] = v
+		return 0
+	case ".globl", ".global", ".section", ".text", ".data", ".bss",
+		".option", ".type", ".size", ".file", ".attribute":
+		return 0 // accepted for source compatibility; layout stays linear
+	}
+	a.errorf(s.line, "unknown directive %s", s.mnem)
+	return 0
+}
+
+func (a *assembler) unquote(s *stmt) (string, error) {
+	if len(s.args) != 1 || len(s.args[0]) < 2 || s.args[0][0] != '"' {
+		a.errorf(s.line, "%s needs one quoted string", s.mnem)
+		return "", errBad
+	}
+	str, err := strconv.Unquote(s.args[0])
+	if err != nil {
+		a.errorf(s.line, "bad string %s: %v", s.args[0], err)
+		return "", errBad
+	}
+	return str, nil
+}
+
+// pass2 encodes every statement into the image.
+func (a *assembler) pass2() {
+	for _, s := range a.stmts {
+		if s.kind == kindDirective {
+			a.emitDirective(s)
+		} else {
+			code := a.encodeInstr(s)
+			if len(code) != int(s.size) {
+				if len(code) != 0 { // 0 = error already reported
+					a.errorf(s.line, "internal: size changed between passes (%d -> %d)",
+						s.size, len(code))
+				}
+				continue
+			}
+			copy(a.image[s.addr-a.org:], code)
+			a.lines[s.addr] = s.line
+		}
+	}
+}
+
+func (a *assembler) emitDirective(s *stmt) {
+	off := s.addr - a.org
+	put := func(i uint32, size uint32, v int64) {
+		for b := uint32(0); b < size; b++ {
+			a.image[off+i+b] = byte(uint64(v) >> (8 * b))
+		}
+	}
+	switch s.mnem {
+	case ".word", ".long", ".half", ".short", ".byte":
+		var size uint32 = 4
+		switch s.mnem {
+		case ".half", ".short":
+			size = 2
+		case ".byte":
+			size = 1
+		}
+		for i, arg := range s.args {
+			v, err := evalExpr(arg, a.resolver(s.addr))
+			if err != nil {
+				a.errorf(s.line, "%s: %v", s.mnem, err)
+				return
+			}
+			put(uint32(i)*size, size, v)
+		}
+	case ".ascii", ".asciz", ".string":
+		str, err := a.unquote(s)
+		if err != nil {
+			return
+		}
+		copy(a.image[off:], str)
+		// .asciz/.string append the NUL, already zero in the image.
+	}
+	// .org/.align/.space pads are zero-filled by allocation.
+}
+
+// errBad is a sentinel for diagnostics already reported via errorf.
+var errBad = errors.New("asm: bad statement")

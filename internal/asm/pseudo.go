@@ -1,0 +1,442 @@
+package asm
+
+import (
+	"repro/internal/decode"
+	"repro/internal/encode"
+	"repro/internal/isa"
+)
+
+// expandPseudo handles the standard pseudo-instruction set. handled is
+// false when the mnemonic is not a pseudo (the caller then tries the
+// real instruction table).
+func (a *assembler) expandPseudo(s *stmt) (insts []decode.Inst, ok, handled bool) {
+	mk := func(in ...decode.Inst) ([]decode.Inst, bool, bool) { return in, true, true }
+	fail := func() ([]decode.Inst, bool, bool) { return nil, false, true }
+
+	switch s.mnem {
+	case "nop":
+		if !a.nargs(s, 0) {
+			return fail()
+		}
+		return mk(decode.Inst{Op: isa.OpADDI})
+
+	case "li":
+		if !a.nargs(s, 2) {
+			return fail()
+		}
+		rd, ok1 := a.reg(s, s.args[0])
+		v, ok2 := a.imm(s, s.args[1])
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		if !s.liWide {
+			if v < -2048 || v > 2047 {
+				a.errorf(s.line, "internal: li value %d grew after pass 1", v)
+				return fail()
+			}
+			return mk(decode.Inst{Op: isa.OpADDI, Rd: rd, Imm: v})
+		}
+		hi := (uint32(v) + 0x800) & 0xfffff000
+		lo := int32(uint32(v)-hi) << 20 >> 20
+		return mk(
+			decode.Inst{Op: isa.OpLUI, Rd: rd, Imm: int32(hi)},
+			decode.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rd, Imm: lo},
+		)
+
+	case "la":
+		if !a.nargs(s, 2) {
+			return fail()
+		}
+		rd, ok1 := a.reg(s, s.args[0])
+		v, ok2 := a.imm(s, s.args[1])
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		hi := (uint32(v) + 0x800) & 0xfffff000
+		lo := int32(uint32(v)-hi) << 20 >> 20
+		return mk(
+			decode.Inst{Op: isa.OpLUI, Rd: rd, Imm: int32(hi)},
+			decode.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rd, Imm: lo},
+		)
+
+	case "mv":
+		if !a.nargs(s, 2) {
+			return fail()
+		}
+		rd, ok1 := a.reg(s, s.args[0])
+		rs, ok2 := a.reg(s, s.args[1])
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		return mk(decode.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rs})
+
+	case "not":
+		rd, rs, ok := a.twoRegs(s)
+		if !ok {
+			return fail()
+		}
+		return mk(decode.Inst{Op: isa.OpXORI, Rd: rd, Rs1: rs, Imm: -1})
+	case "neg":
+		rd, rs, ok := a.twoRegs(s)
+		if !ok {
+			return fail()
+		}
+		return mk(decode.Inst{Op: isa.OpSUB, Rd: rd, Rs2: rs})
+	case "seqz":
+		rd, rs, ok := a.twoRegs(s)
+		if !ok {
+			return fail()
+		}
+		return mk(decode.Inst{Op: isa.OpSLTIU, Rd: rd, Rs1: rs, Imm: 1})
+	case "snez":
+		rd, rs, ok := a.twoRegs(s)
+		if !ok {
+			return fail()
+		}
+		return mk(decode.Inst{Op: isa.OpSLTU, Rd: rd, Rs2: rs})
+	case "sltz":
+		rd, rs, ok := a.twoRegs(s)
+		if !ok {
+			return fail()
+		}
+		return mk(decode.Inst{Op: isa.OpSLT, Rd: rd, Rs1: rs})
+	case "sgtz":
+		rd, rs, ok := a.twoRegs(s)
+		if !ok {
+			return fail()
+		}
+		return mk(decode.Inst{Op: isa.OpSLT, Rd: rd, Rs2: rs})
+
+	case "beqz", "bnez", "blez", "bgez", "bltz", "bgtz":
+		if !a.nargs(s, 2) {
+			return fail()
+		}
+		rs, ok1 := a.reg(s, s.args[0])
+		off, ok2 := a.target(s, s.args[1])
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		var in decode.Inst
+		switch s.mnem {
+		case "beqz":
+			in = decode.Inst{Op: isa.OpBEQ, Rs1: rs}
+		case "bnez":
+			in = decode.Inst{Op: isa.OpBNE, Rs1: rs}
+		case "blez":
+			in = decode.Inst{Op: isa.OpBGE, Rs2: rs} // 0 >= rs
+		case "bgez":
+			in = decode.Inst{Op: isa.OpBGE, Rs1: rs}
+		case "bltz":
+			in = decode.Inst{Op: isa.OpBLT, Rs1: rs}
+		case "bgtz":
+			in = decode.Inst{Op: isa.OpBLT, Rs2: rs} // 0 < rs
+		}
+		in.Imm = off
+		return mk(in)
+
+	case "bgt", "ble", "bgtu", "bleu":
+		if !a.nargs(s, 3) {
+			return fail()
+		}
+		rs1, ok1 := a.reg(s, s.args[0])
+		rs2, ok2 := a.reg(s, s.args[1])
+		off, ok3 := a.target(s, s.args[2])
+		if !ok1 || !ok2 || !ok3 {
+			return fail()
+		}
+		op := map[string]isa.Op{
+			"bgt": isa.OpBLT, "ble": isa.OpBGE,
+			"bgtu": isa.OpBLTU, "bleu": isa.OpBGEU,
+		}[s.mnem]
+		return mk(decode.Inst{Op: op, Rs1: rs2, Rs2: rs1, Imm: off})
+
+	case "j":
+		if !a.nargs(s, 1) {
+			return fail()
+		}
+		off, ok := a.target(s, s.args[0])
+		if !ok {
+			return fail()
+		}
+		return mk(decode.Inst{Op: isa.OpJAL, Imm: off})
+
+	case "jal":
+		if len(s.args) == 1 { // jal target  (rd = ra)
+			off, ok := a.target(s, s.args[0])
+			if !ok {
+				return fail()
+			}
+			return mk(decode.Inst{Op: isa.OpJAL, Rd: isa.RA, Imm: off})
+		}
+		return nil, false, false // two-operand form: real instruction
+
+	case "jr":
+		if !a.nargs(s, 1) {
+			return fail()
+		}
+		rs, ok := a.reg(s, s.args[0])
+		if !ok {
+			return fail()
+		}
+		return mk(decode.Inst{Op: isa.OpJALR, Rs1: rs})
+
+	case "jalr":
+		if len(s.args) == 1 { // jalr rs  (rd = ra)
+			rs, ok := a.reg(s, s.args[0])
+			if !ok {
+				return fail()
+			}
+			return mk(decode.Inst{Op: isa.OpJALR, Rd: isa.RA, Rs1: rs})
+		}
+		return nil, false, false
+
+	case "call", "tail":
+		if !a.nargs(s, 1) {
+			return fail()
+		}
+		v, ok := a.imm(s, s.args[0])
+		if !ok {
+			return fail()
+		}
+		link := isa.RA
+		if s.mnem == "tail" {
+			link = isa.Zero
+		}
+		rel := uint32(v) - s.addr
+		hi := (rel + 0x800) & 0xfffff000
+		lo := int32(rel-hi) << 20 >> 20
+		// auipc t1-free form: use the link register as scratch like GNU as
+		// does (ra for call, t1 for tail).
+		scratch := link
+		if s.mnem == "tail" {
+			scratch = isa.T1
+		}
+		return mk(
+			decode.Inst{Op: isa.OpAUIPC, Rd: scratch, Imm: int32(hi)},
+			decode.Inst{Op: isa.OpJALR, Rd: link, Rs1: scratch, Imm: lo},
+		)
+
+	case "ret":
+		if !a.nargs(s, 0) {
+			return fail()
+		}
+		return mk(decode.Inst{Op: isa.OpJALR, Rs1: isa.RA})
+
+	case "csrr":
+		if !a.nargs(s, 2) {
+			return fail()
+		}
+		rd, ok1 := a.reg(s, s.args[0])
+		c, ok2 := a.csr(s, s.args[1])
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		return mk(decode.Inst{Op: isa.OpCSRRS, Rd: rd, CSR: c})
+	case "csrw", "csrs", "csrc":
+		if !a.nargs(s, 2) {
+			return fail()
+		}
+		c, ok1 := a.csr(s, s.args[0])
+		rs, ok2 := a.reg(s, s.args[1])
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		op := map[string]isa.Op{"csrw": isa.OpCSRRW, "csrs": isa.OpCSRRS, "csrc": isa.OpCSRRC}[s.mnem]
+		return mk(decode.Inst{Op: op, CSR: c, Rs1: rs})
+	case "csrwi", "csrsi", "csrci":
+		if !a.nargs(s, 2) {
+			return fail()
+		}
+		c, ok1 := a.csr(s, s.args[0])
+		imm, ok2 := a.imm(s, s.args[1])
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		op := map[string]isa.Op{"csrwi": isa.OpCSRRWI, "csrsi": isa.OpCSRRSI, "csrci": isa.OpCSRRCI}[s.mnem]
+		return mk(decode.Inst{Op: op, CSR: c, Imm: imm})
+
+	case "rdcycle", "rdtime", "rdinstret", "rdcycleh", "rdtimeh", "rdinstreth":
+		if !a.nargs(s, 1) {
+			return fail()
+		}
+		rd, ok := a.reg(s, s.args[0])
+		if !ok {
+			return fail()
+		}
+		c := map[string]isa.CSR{
+			"rdcycle": isa.CSRCycle, "rdtime": isa.CSRTime, "rdinstret": isa.CSRInstret,
+			"rdcycleh": isa.CSRCycleH, "rdtimeh": isa.CSRTimeH, "rdinstreth": isa.CSRInstretH,
+		}[s.mnem]
+		return mk(decode.Inst{Op: isa.OpCSRRS, Rd: rd, CSR: c})
+
+	case "fmv.s", "fabs.s", "fneg.s":
+		if !a.nargs(s, 2) {
+			return fail()
+		}
+		rd, ok1 := a.freg(s, s.args[0])
+		rs, ok2 := a.freg(s, s.args[1])
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		op := map[string]isa.Op{
+			"fmv.s": isa.OpFSGNJS, "fabs.s": isa.OpFSGNJXS, "fneg.s": isa.OpFSGNJNS,
+		}[s.mnem]
+		return mk(decode.Inst{Op: op, Rd: rd, Rs1: rs, Rs2: rs})
+	}
+	return nil, false, false
+}
+
+// twoRegs parses the common "rd, rs" pseudo operand pair.
+func (a *assembler) twoRegs(s *stmt) (rd, rs isa.Reg, ok bool) {
+	if !a.nargs(s, 2) {
+		return 0, 0, false
+	}
+	rd, ok1 := a.reg(s, s.args[0])
+	rs, ok2 := a.reg(s, s.args[1])
+	return rd, rs, ok1 && ok2
+}
+
+// expandCompressed assembles an explicit c.* mnemonic via Encode16.
+func (a *assembler) expandCompressed(s *stmt) (uint16, bool) {
+	op := isa.ByName(s.mnem)
+	if !op.Valid() || op.Extension() != isa.ExtC {
+		a.errorf(s.line, "unknown compressed instruction %q", s.mnem)
+		return 0, false
+	}
+	in := decode.Inst{Op: op}
+	switch op {
+	case isa.OpCNOP, isa.OpCEBREAK:
+		if !a.nargs(s, 0) {
+			return 0, false
+		}
+	case isa.OpCADDI, isa.OpCLI, isa.OpCSLLI, isa.OpCSRLI, isa.OpCSRAI, isa.OpCANDI:
+		if !a.nargs(s, 2) {
+			return 0, false
+		}
+		rd, ok1 := a.reg(s, s.args[0])
+		imm, ok2 := a.imm(s, s.args[1])
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		in.Rd, in.Rs1, in.Imm = rd, rd, imm
+	case isa.OpCLUI:
+		if !a.nargs(s, 2) {
+			return 0, false
+		}
+		rd, ok1 := a.reg(s, s.args[0])
+		imm, ok2 := a.imm(s, s.args[1])
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		in.Rd, in.Imm = rd, imm<<12
+	case isa.OpCADDI16SP:
+		if !a.nargs(s, 1) {
+			return 0, false
+		}
+		imm, ok := a.imm(s, s.args[0])
+		if !ok {
+			return 0, false
+		}
+		in.Rd, in.Rs1, in.Imm = isa.SP, isa.SP, imm
+	case isa.OpCADDI4SPN:
+		if !a.nargs(s, 2) {
+			return 0, false
+		}
+		rd, ok1 := a.reg(s, s.args[0])
+		imm, ok2 := a.imm(s, s.args[1])
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		in.Rd, in.Rs1, in.Imm = rd, isa.SP, imm
+	case isa.OpCMV, isa.OpCADD, isa.OpCSUB, isa.OpCXOR, isa.OpCOR, isa.OpCAND:
+		if !a.nargs(s, 2) {
+			return 0, false
+		}
+		rd, ok1 := a.reg(s, s.args[0])
+		rs, ok2 := a.reg(s, s.args[1])
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		in.Rd, in.Rs1, in.Rs2 = rd, rd, rs
+		if op == isa.OpCMV {
+			in.Rs1 = 0
+		}
+	case isa.OpCJ, isa.OpCJAL:
+		if !a.nargs(s, 1) {
+			return 0, false
+		}
+		off, ok := a.target(s, s.args[0])
+		if !ok {
+			return 0, false
+		}
+		in.Imm = off
+		if op == isa.OpCJAL {
+			in.Rd = isa.RA
+		}
+	case isa.OpCJR, isa.OpCJALR:
+		if !a.nargs(s, 1) {
+			return 0, false
+		}
+		rs, ok := a.reg(s, s.args[0])
+		if !ok {
+			return 0, false
+		}
+		in.Rs1 = rs
+		if op == isa.OpCJALR {
+			in.Rd = isa.RA
+		}
+	case isa.OpCBEQZ, isa.OpCBNEZ:
+		if !a.nargs(s, 2) {
+			return 0, false
+		}
+		rs, ok1 := a.reg(s, s.args[0])
+		off, ok2 := a.target(s, s.args[1])
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		in.Rs1, in.Imm = rs, off
+	case isa.OpCLW, isa.OpCSW:
+		if !a.nargs(s, 2) {
+			return 0, false
+		}
+		rx, ok1 := a.reg(s, s.args[0])
+		off, rs1, ok2 := a.mem(s, s.args[1])
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		in.Rs1, in.Imm = rs1, off
+		if op == isa.OpCLW {
+			in.Rd = rx
+		} else {
+			in.Rs2 = rx
+		}
+	case isa.OpCLWSP, isa.OpCSWSP:
+		if !a.nargs(s, 2) {
+			return 0, false
+		}
+		rx, ok1 := a.reg(s, s.args[0])
+		off, rs1, ok2 := a.mem(s, s.args[1])
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		if rs1 != isa.SP {
+			a.errorf(s.line, "%s base register must be sp", s.mnem)
+			return 0, false
+		}
+		in.Rs1, in.Imm = isa.SP, off
+		if op == isa.OpCLWSP {
+			in.Rd = rx
+		} else {
+			in.Rs2 = rx
+		}
+	default:
+		a.errorf(s.line, "compressed instruction %q not supported", s.mnem)
+		return 0, false
+	}
+	h, err := encode.Encode16(in)
+	if err != nil {
+		a.errorf(s.line, "%v", err)
+		return 0, false
+	}
+	return h, true
+}

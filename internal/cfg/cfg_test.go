@@ -1,0 +1,315 @@
+package cfg_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+)
+
+// build assembles source at 0 and reconstructs its CFG.
+func build(t *testing.T, src string) (*asm.Program, *cfg.Graph) {
+	t.Helper()
+	prog, err := asm.AssembleAt(src, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(prog.Bytes, prog.Org, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, g
+}
+
+func TestStraightLineSingleBlock(t *testing.T) {
+	_, g := build(t, `
+		addi a0, zero, 1
+		addi a1, zero, 2
+		add a2, a0, a1
+		ebreak
+	`)
+	if len(g.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(g.Blocks))
+	}
+	b := g.Blocks[g.Entry]
+	if len(b.Insts) != 4 || b.Term != cfg.TermHalt {
+		t.Errorf("block: %d insts, term %v", len(b.Insts), b.Term)
+	}
+}
+
+func TestBranchSplitsBlocks(t *testing.T) {
+	prog, g := build(t, `
+		addi a0, zero, 5
+loop:	addi a0, a0, -1
+		bnez a0, loop
+		ebreak
+	`)
+	if len(g.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3 (%v)", len(g.Blocks), g.Order)
+	}
+	loopAddr := prog.Symbols["loop"]
+	lb, ok := g.Blocks[loopAddr]
+	if !ok {
+		t.Fatal("no block at loop label")
+	}
+	if lb.Term != cfg.TermBranch || len(lb.Succs) != 2 {
+		t.Fatalf("loop block: term %v succs %v", lb.Term, lb.Succs)
+	}
+	var taken, fall *cfg.Succ
+	for i := range lb.Succs {
+		switch lb.Succs[i].Kind {
+		case cfg.EdgeTaken:
+			taken = &lb.Succs[i]
+		case cfg.EdgeFall:
+			fall = &lb.Succs[i]
+		}
+	}
+	if taken == nil || taken.Addr != loopAddr {
+		t.Errorf("taken edge: %+v", taken)
+	}
+	if fall == nil || fall.Addr != lb.End() {
+		t.Errorf("fall edge: %+v", fall)
+	}
+}
+
+func TestDataNotDecoded(t *testing.T) {
+	prog, g := build(t, `
+		la a0, data
+		lw a1, 0(a0)
+		ebreak
+data:	.word 0xffffffff, 0x00000000
+	`)
+	dataAddr := prog.Symbols["data"]
+	for _, start := range g.Order {
+		b := g.Blocks[start]
+		if b.End() > dataAddr {
+			t.Errorf("block [0x%x,0x%x) overlaps data at 0x%x", b.Start, b.End(), dataAddr)
+		}
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	prog, g := build(t, `
+_start:
+		jal ra, fn
+		ebreak
+fn:		addi a0, a0, 1
+		ret
+	`)
+	entryBlock := g.Blocks[g.Entry]
+	if entryBlock.Term != cfg.TermCall {
+		t.Fatalf("entry term = %v", entryBlock.Term)
+	}
+	if entryBlock.CallTarget != prog.Symbols["fn"] {
+		t.Errorf("call target 0x%x", entryBlock.CallTarget)
+	}
+	if len(entryBlock.Succs) != 1 || entryBlock.Succs[0].Addr != entryBlock.End() {
+		t.Errorf("call fallthrough: %+v", entryBlock.Succs)
+	}
+	fn := g.Blocks[prog.Symbols["fn"]]
+	if fn == nil || fn.Term != cfg.TermRet {
+		t.Fatalf("fn block: %+v", fn)
+	}
+	callees := g.Callees(g.Entry)
+	if len(callees) != 1 || callees[0] != prog.Symbols["fn"] {
+		t.Errorf("callees: %v", callees)
+	}
+	// The function partition of _start must not include fn's body.
+	for _, u := range g.FunctionBlocks(g.Entry) {
+		if u == prog.Symbols["fn"] {
+			t.Error("call edge leaked into FunctionBlocks")
+		}
+	}
+}
+
+func TestSelfJumpIsHalt(t *testing.T) {
+	_, g := build(t, `
+		addi a0, zero, 1
+idle:	j idle
+	`)
+	var haltSeen bool
+	for _, start := range g.Order {
+		b := g.Blocks[start]
+		if b.Term == cfg.TermHalt && len(b.Succs) == 0 {
+			haltSeen = true
+		}
+	}
+	if !haltSeen {
+		t.Error("self-jump idle block not classified as halt")
+	}
+}
+
+func TestBlockAt(t *testing.T) {
+	_, g := build(t, `
+		addi a0, zero, 1
+		addi a1, zero, 2
+		beqz a0, skip
+		addi a2, zero, 3
+skip:	ebreak
+	`)
+	b, ok := g.BlockAt(g.Entry + 4)
+	if !ok || b.Start != g.Entry {
+		t.Errorf("BlockAt mid-block failed: %+v %v", b, ok)
+	}
+	if _, ok := g.BlockAt(0xdead0000); ok {
+		t.Error("BlockAt outside code should miss")
+	}
+}
+
+func TestInstructionPartition(t *testing.T) {
+	// Every decoded instruction must belong to exactly one block, blocks
+	// must not overlap, and every edge must point at a block start.
+	_, g := build(t, `
+		li a0, 16
+outer:	li a1, 8
+inner:	addi a1, a1, -1
+		bnez a1, inner
+		addi a0, a0, -1
+		bgtz a0, outer
+		jal ra, helper
+		ebreak
+helper:	addi t0, t0, 1
+		beqz t0, helper
+		ret
+	`)
+	type span struct{ lo, hi uint32 }
+	var spans []span
+	for _, start := range g.Order {
+		b := g.Blocks[start]
+		if len(b.Insts) == 0 {
+			t.Fatalf("empty block at 0x%x", start)
+		}
+		for i, a := range b.Addrs {
+			if i > 0 && a != b.Addrs[i-1]+uint32(b.Insts[i-1].Size) {
+				t.Errorf("gap inside block 0x%x", start)
+			}
+		}
+		spans = append(spans, span{b.Start, b.End()})
+		for _, s := range b.Succs {
+			if _, ok := g.Blocks[s.Addr]; !ok {
+				t.Errorf("edge 0x%x->0x%x targets no block", start, s.Addr)
+			}
+		}
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].lo < spans[i-1].hi {
+			t.Errorf("blocks overlap: %+v %+v", spans[i-1], spans[i])
+		}
+	}
+}
+
+func TestDominatorsSimpleDiamond(t *testing.T) {
+	prog, g := build(t, `
+entry:	beqz a0, left
+right:	addi a1, zero, 1
+		j join
+left:	addi a1, zero, 2
+join:	ebreak
+	`)
+	idom := g.Dominators(g.Entry)
+	join := prog.Symbols["join"]
+	left := prog.Symbols["left"]
+	right := prog.Symbols["right"]
+	if idom[join] != g.Entry {
+		t.Errorf("idom(join) = 0x%x, want entry 0x%x", idom[join], g.Entry)
+	}
+	if idom[left] != g.Entry || idom[right] != g.Entry {
+		t.Errorf("idom(left/right) = 0x%x/0x%x", idom[left], idom[right])
+	}
+}
+
+func TestNaturalLoopsNested(t *testing.T) {
+	prog, g := build(t, `
+		li a0, 4
+outer:	li a1, 3
+inner:	addi a1, a1, -1
+		bnez a1, inner
+		addi a0, a0, -1
+		bnez a0, outer
+		ebreak
+	`)
+	loops, err := g.NaturalLoops(g.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(loops))
+	}
+	byHead := map[uint32]*cfg.Loop{}
+	for _, l := range loops {
+		byHead[l.Head] = l
+	}
+	outer := byHead[prog.Symbols["outer"]]
+	inner := byHead[prog.Symbols["inner"]]
+	if outer == nil || inner == nil {
+		t.Fatalf("loop heads: %v", byHead)
+	}
+	if inner.Parent != outer {
+		t.Error("inner loop not nested in outer")
+	}
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Errorf("depths: outer %d inner %d", outer.Depth, inner.Depth)
+	}
+	if !outer.Blocks[inner.Head] {
+		t.Error("outer loop must contain inner head")
+	}
+}
+
+func TestLoopWithBreak(t *testing.T) {
+	prog, g := build(t, `
+		li a0, 10
+loop:	addi a0, a0, -1
+		beqz a0, out
+		blt a0, zero, out
+		j loop
+out:	ebreak
+	`)
+	loops, err := g.NaturalLoops(g.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	if loops[0].Head != prog.Symbols["loop"] {
+		t.Errorf("head = 0x%x", loops[0].Head)
+	}
+	if loops[0].Blocks[prog.Symbols["out"]] {
+		t.Error("exit block must not be in the loop")
+	}
+}
+
+func TestCompressedMixedCFG(t *testing.T) {
+	_, g := build(t, `
+		c.li a0, 5
+loop:	c.addi a0, -1
+		c.bnez a0, loop
+		c.ebreak
+	`)
+	if len(g.Blocks) != 3 {
+		t.Fatalf("blocks = %d", len(g.Blocks))
+	}
+	loops, err := g.NaturalLoops(g.Entry)
+	if err != nil || len(loops) != 1 {
+		t.Fatalf("loops: %v, %v", loops, err)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	prog, g := build(t, `
+main:	beqz a0, end
+		addi a0, a0, -1
+end:	ebreak
+	`)
+	symByAddr := map[uint32]string{}
+	for name, addr := range prog.Symbols {
+		symByAddr[addr] = name
+	}
+	dot := g.DOT(symByAddr)
+	for _, frag := range []string{"digraph", "main:", "taken", "->"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+}

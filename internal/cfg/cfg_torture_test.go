@@ -1,0 +1,78 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/isa"
+	"repro/internal/torture"
+)
+
+// The CFG invariants must hold over arbitrary generated programs: every
+// block is non-empty and internally contiguous, blocks never overlap,
+// every edge targets a block start, and all loops are reducible with
+// in-loop heads dominated by themselves.
+func TestCFGInvariantsOnTorturePrograms(t *testing.T) {
+	prelude := "\t.equ SYSCON_EXIT, 0x00100000\n"
+	for seed := int64(100); seed < 130; seed++ {
+		p := torture.Generate(torture.Config{Seed: seed, Insts: 300, ISA: isa.RV32Full})
+		prog, err := asm.AssembleAt(prelude+p.Source, 0x8000_0000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		g, err := cfg.Build(prog.Bytes, prog.Org, prog.Entry)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		var prevEnd uint32
+		for i, start := range g.Order {
+			b := g.Blocks[start]
+			if len(b.Insts) == 0 {
+				t.Fatalf("seed %d: empty block 0x%x", seed, start)
+			}
+			if i > 0 && b.Start < prevEnd {
+				t.Fatalf("seed %d: overlapping blocks at 0x%x", seed, b.Start)
+			}
+			prevEnd = b.End()
+			for j := 1; j < len(b.Addrs); j++ {
+				if b.Addrs[j] != b.Addrs[j-1]+uint32(b.Insts[j-1].Size) {
+					t.Fatalf("seed %d: gap inside block 0x%x", seed, start)
+				}
+			}
+			for _, s := range b.Succs {
+				if _, ok := g.Blocks[s.Addr]; !ok {
+					t.Fatalf("seed %d: dangling edge 0x%x -> 0x%x", seed, start, s.Addr)
+				}
+			}
+		}
+
+		loops, err := g.NaturalLoops(g.Entry)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Every generated loop label must be found as a loop head.
+		heads := map[uint32]bool{}
+		for _, l := range loops {
+			heads[l.Head] = true
+			if !l.Blocks[l.Head] {
+				t.Fatalf("seed %d: loop head outside its own body", seed)
+			}
+			for _, back := range l.Back {
+				if !l.Blocks[back] {
+					t.Fatalf("seed %d: back-edge source outside loop", seed)
+				}
+			}
+		}
+		for label := range p.LoopBounds {
+			addr, ok := prog.Symbols[label]
+			if !ok {
+				t.Fatalf("seed %d: loop label %s missing from symbols", seed, label)
+			}
+			if !heads[addr] {
+				t.Errorf("seed %d: generated loop %s not detected as natural loop", seed, label)
+			}
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package cover implements the register and instruction coverage metric
+// for RISC-V ISA modules: it measures whether each instruction type of
+// the configured ISA executes and whether each GPR, FPR and CSR is
+// accessed, the qualification metric the ecosystem applies to test
+// suites. The collector runs as an emulator plugin and collections can
+// be merged across suites.
+package cover
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/decode"
+	"repro/internal/isa"
+	"repro/internal/plugin"
+)
+
+// Coverage accumulates execution counts per instruction type and access
+// counts per register.
+type Coverage struct {
+	ISA isa.ExtSet
+
+	Ops  map[isa.Op]uint64
+	GPR  [isa.NumRegs]uint64 // reads + writes
+	FPR  [isa.NumRegs]uint64
+	CSRs map[isa.CSR]uint64
+}
+
+// New creates a collector for the given ISA configuration.
+func New(set isa.ExtSet) *Coverage {
+	return &Coverage{
+		ISA:  set,
+		Ops:  make(map[isa.Op]uint64),
+		CSRs: make(map[isa.CSR]uint64),
+	}
+}
+
+// Name implements plugin.Plugin.
+func (c *Coverage) Name() string { return "coverage" }
+
+// OnInsnExec implements plugin.InsnExecer.
+func (c *Coverage) OnInsnExec(pc uint32, in decode.Inst) {
+	if !in.Valid() {
+		return
+	}
+	c.Ops[in.Op]++
+	c.recordRegs(in)
+	if in.Op.Class() == isa.ClassCSR {
+		c.CSRs[in.CSR]++
+	}
+}
+
+// recordRegs attributes the instruction's register operands to the GPR
+// and FPR access counters.
+func (c *Coverage) recordRegs(in decode.Inst) {
+	p, ok := isa.PatternFor(in.Op)
+	fd, f1, f2 := isa.UsesFPRegs(in.Op)
+	mark := func(r isa.Reg, fp bool) {
+		if fp {
+			c.FPR[r]++
+		} else {
+			c.GPR[r]++
+		}
+	}
+	if !ok {
+		// Compressed instruction: operands were expanded by the decoder.
+		c.markCompressed(in)
+		return
+	}
+	switch p.Fmt {
+	case isa.FmtNone:
+	case isa.FmtR:
+		mark(in.Rd, fd)
+		mark(in.Rs1, f1)
+		mark(in.Rs2, f2)
+	case isa.FmtR4:
+		mark(in.Rd, true)
+		mark(in.Rs1, true)
+		mark(in.Rs2, true)
+		mark(in.Rs3, true)
+	case isa.FmtI, isa.FmtIShift:
+		mark(in.Rd, fd)
+		mark(in.Rs1, false)
+	case isa.FmtS:
+		mark(in.Rs1, false)
+		mark(in.Rs2, f2)
+	case isa.FmtB:
+		mark(in.Rs1, false)
+		mark(in.Rs2, false)
+	case isa.FmtU, isa.FmtJ:
+		mark(in.Rd, false)
+	case isa.FmtCSR:
+		mark(in.Rd, false)
+		mark(in.Rs1, false)
+	case isa.FmtCSRI:
+		mark(in.Rd, false)
+	case isa.FmtRUnary:
+		mark(in.Rd, fd)
+		mark(in.Rs1, f1)
+	}
+}
+
+func (c *Coverage) markCompressed(in decode.Inst) {
+	switch in.Op {
+	case isa.OpCNOP, isa.OpCEBREAK:
+	case isa.OpCJ, isa.OpCJAL:
+		c.GPR[in.Rd]++
+	case isa.OpCJR, isa.OpCJALR:
+		c.GPR[in.Rd]++
+		c.GPR[in.Rs1]++
+	case isa.OpCBEQZ, isa.OpCBNEZ:
+		c.GPR[in.Rs1]++
+	case isa.OpCSW, isa.OpCSWSP:
+		c.GPR[in.Rs1]++
+		c.GPR[in.Rs2]++
+	case isa.OpCMV:
+		c.GPR[in.Rd]++
+		c.GPR[in.Rs2]++
+	case isa.OpCADD, isa.OpCSUB, isa.OpCXOR, isa.OpCOR, isa.OpCAND:
+		c.GPR[in.Rd]++
+		c.GPR[in.Rs2]++
+	default: // c.addi-style rd/rs1 forms and loads
+		c.GPR[in.Rd]++
+		c.GPR[in.Rs1]++
+	}
+}
+
+// Merge folds other into c (suite union). The ISA configurations must
+// match.
+func (c *Coverage) Merge(other *Coverage) error {
+	if other.ISA != c.ISA {
+		return fmt.Errorf("cover: merging different ISA configs %v / %v", c.ISA, other.ISA)
+	}
+	for op, n := range other.Ops {
+		c.Ops[op] += n
+	}
+	for i := range c.GPR {
+		c.GPR[i] += other.GPR[i]
+		c.FPR[i] += other.FPR[i]
+	}
+	for a, n := range other.CSRs {
+		c.CSRs[a] += n
+	}
+	return nil
+}
+
+// Report is the coverage summary for one collection.
+type Report struct {
+	ISA string
+
+	OpsCovered, OpsTotal int
+	GPRCovered           int
+	FPRCovered, FPRTotal int // FPRTotal is 0 when F is not configured
+	CSRCovered, CSRTotal int
+
+	MissingOps []string
+	MissingGPR []string
+}
+
+// Pct formats a covered/total ratio as a percentage.
+func Pct(covered, total int) float64 {
+	if total == 0 {
+		return 100
+	}
+	return 100 * float64(covered) / float64(total)
+}
+
+// Report summarizes the collection against its ISA configuration.
+func (c *Coverage) Report() Report {
+	r := Report{ISA: c.ISA.String()}
+	for _, op := range isa.OpsIn(c.ISA) {
+		r.OpsTotal++
+		if c.Ops[op] > 0 {
+			r.OpsCovered++
+		} else {
+			r.MissingOps = append(r.MissingOps, op.String())
+		}
+	}
+	for i := 0; i < isa.NumRegs; i++ {
+		if c.GPR[i] > 0 {
+			r.GPRCovered++
+		} else {
+			r.MissingGPR = append(r.MissingGPR, isa.Reg(i).String())
+		}
+	}
+	if c.ISA.Has(isa.ExtF) {
+		r.FPRTotal = isa.NumRegs
+		for i := 0; i < isa.NumRegs; i++ {
+			if c.FPR[i] > 0 {
+				r.FPRCovered++
+			}
+		}
+	}
+	r.CSRTotal = len(isa.CSRs())
+	for _, a := range isa.CSRs() {
+		if c.CSRs[a] > 0 {
+			r.CSRCovered++
+		}
+	}
+	sort.Strings(r.MissingOps)
+	return r
+}
+
+// String renders the table row format the coverage tool prints.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ISA %s: insn types %d/%d (%.1f%%), GPR %d/32 (%.1f%%)",
+		r.ISA, r.OpsCovered, r.OpsTotal, Pct(r.OpsCovered, r.OpsTotal),
+		r.GPRCovered, Pct(r.GPRCovered, 32))
+	if r.FPRTotal > 0 {
+		fmt.Fprintf(&sb, ", FPR %d/%d (%.1f%%)", r.FPRCovered, r.FPRTotal,
+			Pct(r.FPRCovered, r.FPRTotal))
+	}
+	fmt.Fprintf(&sb, ", CSR %d/%d", r.CSRCovered, r.CSRTotal)
+	return sb.String()
+}
+
+var _ plugin.InsnExecer = (*Coverage)(nil)

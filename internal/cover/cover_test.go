@@ -1,0 +1,176 @@
+package cover_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/decode"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/vp"
+)
+
+// runWithCoverage executes source with a coverage collector.
+func runWithCoverage(t *testing.T, src string, set isa.ExtSet) *cover.Coverage {
+	t.Helper()
+	c := cover.New(set)
+	p, err := vp.New(vp.Config{ISA: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Machine.Hooks.Register(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LoadSource(vp.Prelude + src); err != nil {
+		t.Fatal(err)
+	}
+	stop := p.Run(100_000)
+	if stop.Reason != emu.StopEbreak && stop.Reason != emu.StopExit {
+		t.Fatalf("run ended with %v", stop)
+	}
+	return c
+}
+
+func TestOpCounting(t *testing.T) {
+	c := runWithCoverage(t, `
+		add a0, a1, a2
+		add a3, a4, a5
+		sub s0, s1, s2
+		ebreak
+	`, isa.RV32I)
+	if c.Ops[isa.OpADD] != 2 || c.Ops[isa.OpSUB] != 1 {
+		t.Errorf("op counts: add=%d sub=%d", c.Ops[isa.OpADD], c.Ops[isa.OpSUB])
+	}
+	if c.Ops[isa.OpEBREAK] != 1 {
+		t.Errorf("ebreak counted %d times", c.Ops[isa.OpEBREAK])
+	}
+}
+
+func TestGPRAttribution(t *testing.T) {
+	c := runWithCoverage(t, `
+		add s2, s3, s4
+		ebreak
+	`, isa.RV32I)
+	for _, r := range []isa.Reg{isa.S2, isa.S3, isa.S4} {
+		if c.GPR[r] == 0 {
+			t.Errorf("register %v not counted", r)
+		}
+	}
+	if c.GPR[isa.A7] != 0 {
+		t.Error("untouched register counted")
+	}
+}
+
+func TestFPRAttribution(t *testing.T) {
+	c := runWithCoverage(t, `
+		la a0, buf
+		li t0, 2
+		fcvt.s.w ft3, t0
+		fadd.s fs1, ft3, ft3
+		fsw fs1, 0(a0)
+		flw fa7, 0(a0)
+		ebreak
+buf:	.word 0
+	`, isa.RV32IMF)
+	if c.FPR[3] == 0 { // ft3
+		t.Error("ft3 not counted")
+	}
+	if c.FPR[9] == 0 { // fs1
+		t.Error("fs1 not counted")
+	}
+	if c.FPR[17] == 0 { // fa7
+		t.Error("fa7 (flw destination) not counted")
+	}
+	// The integer base register of fsw/flw is a GPR access.
+	if c.GPR[isa.A0] == 0 {
+		t.Error("fp load/store base register not counted as GPR")
+	}
+}
+
+func TestCSRAttribution(t *testing.T) {
+	c := runWithCoverage(t, `
+		csrw mscratch, a0
+		csrr a1, cycle
+		ebreak
+	`, isa.RV32IM)
+	if c.CSRs[isa.CSRMscratch] == 0 || c.CSRs[isa.CSRCycle] == 0 {
+		t.Errorf("CSR counts: %v", c.CSRs)
+	}
+}
+
+func TestReportPercentages(t *testing.T) {
+	c := runWithCoverage(t, `
+		add a0, a1, a2
+		ebreak
+	`, isa.RV32I)
+	r := c.Report()
+	if r.OpsTotal == 0 || r.OpsCovered < 2 { // add + ebreak + li-expansions
+		t.Errorf("report: %+v", r)
+	}
+	if r.GPRCovered == 0 || r.GPRCovered > 32 {
+		t.Errorf("GPR covered = %d", r.GPRCovered)
+	}
+	if len(r.MissingOps) != r.OpsTotal-r.OpsCovered {
+		t.Error("missing ops inconsistent")
+	}
+	if !strings.Contains(r.String(), "insn types") {
+		t.Errorf("report string: %q", r.String())
+	}
+	if cover.Pct(1, 2) != 50 || cover.Pct(0, 0) != 100 {
+		t.Error("Pct wrong")
+	}
+}
+
+func TestMergeUnion(t *testing.T) {
+	a := runWithCoverage(t, "add a0, a1, a2\nebreak\n", isa.RV32I)
+	b := runWithCoverage(t, "sub s0, s1, s2\nebreak\n", isa.RV32I)
+	before := a.Report().OpsCovered
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	after := a.Report().OpsCovered
+	if after != before+1 { // sub is new
+		t.Errorf("merge: %d -> %d ops", before, after)
+	}
+	if a.GPR[isa.S0] == 0 {
+		t.Error("merged register counts lost")
+	}
+	other := cover.New(isa.RV32IMF)
+	if err := a.Merge(other); err == nil {
+		t.Error("merging different ISA configs should fail")
+	}
+}
+
+func TestFPRTotalOnlyWithF(t *testing.T) {
+	c := cover.New(isa.RV32IM)
+	if c.Report().FPRTotal != 0 {
+		t.Error("FPR universe should be empty without F")
+	}
+	cf := cover.New(isa.RV32IMF)
+	if cf.Report().FPRTotal != 32 {
+		t.Error("FPR universe should be 32 with F")
+	}
+}
+
+func TestInvalidInstIgnored(t *testing.T) {
+	c := cover.New(isa.RV32I)
+	c.OnInsnExec(0, decode.Inst{})
+	if len(c.Ops) != 0 {
+		t.Error("invalid instruction must not be counted")
+	}
+}
+
+func TestISAScaling(t *testing.T) {
+	// The same program yields a higher percentage on a smaller ISA
+	// configuration — the coverage metric scales with the module set.
+	src := "add a0, a1, a2\nmul a3, a4, a5\nebreak\n"
+	small := runWithCoverage(t, src, isa.RV32IM).Report()
+	big := runWithCoverage(t, src, isa.RV32Full).Report()
+	if small.OpsTotal >= big.OpsTotal {
+		t.Errorf("op universe should grow: %d vs %d", small.OpsTotal, big.OpsTotal)
+	}
+	if cover.Pct(small.OpsCovered, small.OpsTotal) <= cover.Pct(big.OpsCovered, big.OpsTotal) {
+		t.Error("percentage should shrink with a bigger universe")
+	}
+}

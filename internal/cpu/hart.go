@@ -1,0 +1,237 @@
+// Package cpu holds the architectural state of one RV32 hart — integer
+// and floating-point register files, program counter, and the M-mode CSR
+// file with its trap machinery — independent of how instructions are
+// executed. The emulator mutates this state; the fault injector flips
+// bits in it; snapshots copy it.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Hart is the architectural state of one hardware thread.
+type Hart struct {
+	X  [32]uint32 // integer registers; X[0] must read as zero
+	F  [32]uint32 // single-precision FP registers (raw bits)
+	PC uint32
+
+	// M-mode CSRs.
+	Mstatus  uint32
+	Mie      uint32
+	Mip      uint32
+	Mtvec    uint32
+	Mscratch uint32
+	Mepc     uint32
+	Mcause   uint32
+	Mtval    uint32
+
+	// FP accrued exception flags and rounding mode (fcsr).
+	Fflags uint32 // low 5 bits
+	Frm    uint32 // low 3 bits
+
+	// Counters, advanced by the emulator.
+	Cycle   uint64
+	Instret uint64
+}
+
+// Reset puts the hart in its architectural reset state with the given
+// boot PC.
+func (h *Hart) Reset(pc uint32) {
+	*h = Hart{PC: pc}
+	h.Mstatus = uint32(isa.MstatusMPP) // MPP = machine
+}
+
+// Reg reads an integer register, with x0 hardwired to zero.
+func (h *Hart) Reg(r isa.Reg) uint32 {
+	if r == 0 {
+		return 0
+	}
+	return h.X[r]
+}
+
+// SetReg writes an integer register; writes to x0 are discarded.
+func (h *Hart) SetReg(r isa.Reg, v uint32) {
+	if r != 0 {
+		h.X[r] = v
+	}
+}
+
+// CSRError reports an illegal CSR access; the emulator turns it into an
+// illegal-instruction trap.
+type CSRError struct {
+	CSR   isa.CSR
+	Write bool
+}
+
+func (e *CSRError) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("cpu: illegal CSR %s of %v", op, e.CSR)
+}
+
+// ReadCSR returns the value of a CSR, or a CSRError for unimplemented
+// addresses.
+func (h *Hart) ReadCSR(c isa.CSR) (uint32, error) {
+	switch c {
+	case isa.CSRFflags:
+		return h.Fflags & 0x1f, nil
+	case isa.CSRFrm:
+		return h.Frm & 7, nil
+	case isa.CSRFcsr:
+		return h.Frm&7<<5 | h.Fflags&0x1f, nil
+	case isa.CSRCycle, isa.CSRMcycle:
+		return uint32(h.Cycle), nil
+	case isa.CSRCycleH, isa.CSRMcycleH:
+		return uint32(h.Cycle >> 32), nil
+	case isa.CSRTime:
+		return uint32(h.Cycle), nil // time ticks with cycle on this platform
+	case isa.CSRTimeH:
+		return uint32(h.Cycle >> 32), nil
+	case isa.CSRInstret, isa.CSRMinstret:
+		return uint32(h.Instret), nil
+	case isa.CSRInstretH, isa.CSRMinstretH:
+		return uint32(h.Instret >> 32), nil
+	case isa.CSRMvendorid, isa.CSRMimpid:
+		return 0, nil
+	case isa.CSRMarchid:
+		return 0x53344544, nil // "S4ED"
+	case isa.CSRMhartid:
+		return 0, nil
+	case isa.CSRMstatus:
+		return h.Mstatus, nil
+	case isa.CSRMisa:
+		// RV32IMFC + X: MXL=1 (32-bit), bits for I, M, F, C, X.
+		return 1<<30 | 1<<8 | 1<<12 | 1<<5 | 1<<2 | 1<<23, nil
+	case isa.CSRMedeleg, isa.CSRMideleg, isa.CSRMcounteren:
+		return 0, nil
+	case isa.CSRMie:
+		return h.Mie, nil
+	case isa.CSRMtvec:
+		return h.Mtvec, nil
+	case isa.CSRMscratch:
+		return h.Mscratch, nil
+	case isa.CSRMepc:
+		return h.Mepc &^ 1, nil
+	case isa.CSRMcause:
+		return h.Mcause, nil
+	case isa.CSRMtval:
+		return h.Mtval, nil
+	case isa.CSRMip:
+		return h.Mip, nil
+	}
+	return 0, &CSRError{CSR: c}
+}
+
+// mstatus bits this implementation stores: MIE, MPIE, MPP (WARL: always
+// machine).
+const mstatusMask = isa.MstatusMIE | isa.MstatusMPIE | isa.MstatusMPP
+
+// WriteCSR writes a CSR with WARL masking, or returns a CSRError for
+// read-only or unimplemented addresses.
+func (h *Hart) WriteCSR(c isa.CSR, v uint32) error {
+	if c.ReadOnly() {
+		return &CSRError{CSR: c, Write: true}
+	}
+	switch c {
+	case isa.CSRFflags:
+		h.Fflags = v & 0x1f
+	case isa.CSRFrm:
+		h.Frm = v & 7
+	case isa.CSRFcsr:
+		h.Fflags = v & 0x1f
+		h.Frm = v >> 5 & 7
+	case isa.CSRMstatus:
+		h.Mstatus = v&mstatusMask | uint32(isa.MstatusMPP) // MPP pinned to M
+	case isa.CSRMisa, isa.CSRMedeleg, isa.CSRMideleg, isa.CSRMcounteren:
+		// WARL read-only-zero behaviour: writes ignored.
+	case isa.CSRMie:
+		h.Mie = v & (1<<isa.IntMachineSoftware | 1<<isa.IntMachineTimer | 1<<isa.IntMachineExternal)
+	case isa.CSRMtvec:
+		h.Mtvec = v &^ 2 // direct or vectored; reserved mode bit cleared
+	case isa.CSRMscratch:
+		h.Mscratch = v
+	case isa.CSRMepc:
+		h.Mepc = v &^ 1
+	case isa.CSRMcause:
+		h.Mcause = v
+	case isa.CSRMtval:
+		h.Mtval = v
+	case isa.CSRMip:
+		// Only the software-pending bit is directly writable here; timer
+		// and external pending bits track their sources.
+		h.Mip = h.Mip&^uint32(1<<isa.IntMachineSoftware) | v&(1<<isa.IntMachineSoftware)
+	case isa.CSRMcycle:
+		h.Cycle = h.Cycle&^uint64(0xffffffff) | uint64(v)
+	case isa.CSRMcycleH:
+		h.Cycle = h.Cycle&0xffffffff | uint64(v)<<32
+	case isa.CSRMinstret:
+		h.Instret = h.Instret&^uint64(0xffffffff) | uint64(v)
+	case isa.CSRMinstretH:
+		h.Instret = h.Instret&0xffffffff | uint64(v)<<32
+	default:
+		return &CSRError{CSR: c, Write: true}
+	}
+	return nil
+}
+
+// Trap enters the M-mode trap handler for the given cause. The interrupt
+// flag must already be folded into cause's top bit. pc is the address of
+// the trapping instruction (or the next PC for interrupts).
+func (h *Hart) Trap(cause, tval, pc uint32) {
+	h.Mepc = pc
+	h.Mcause = cause
+	h.Mtval = tval
+	// Save and clear MIE.
+	mie := h.Mstatus & isa.MstatusMIE
+	h.Mstatus &^= uint32(isa.MstatusMIE | isa.MstatusMPIE)
+	if mie != 0 {
+		h.Mstatus |= isa.MstatusMPIE
+	}
+	base := h.Mtvec &^ 3
+	if h.Mtvec&1 != 0 && cause>>31 != 0 {
+		// Vectored mode: interrupts jump to base + 4*cause.
+		h.PC = base + 4*(cause&0x7fffffff)
+	} else {
+		h.PC = base
+	}
+}
+
+// MRet returns from an M-mode trap: restores MIE from MPIE and jumps to
+// mepc.
+func (h *Hart) MRet() {
+	h.Mstatus &^= uint32(isa.MstatusMIE)
+	if h.Mstatus&isa.MstatusMPIE != 0 {
+		h.Mstatus |= isa.MstatusMIE
+	}
+	h.Mstatus |= isa.MstatusMPIE
+	h.PC = h.Mepc
+}
+
+// PendingInterrupt returns the highest-priority enabled pending interrupt
+// cause, and ok=false if none is deliverable (priority: external,
+// software, timer — the architectural MEI > MSI > MTI order).
+func (h *Hart) PendingInterrupt() (uint32, bool) {
+	if h.Mstatus&isa.MstatusMIE == 0 {
+		return 0, false
+	}
+	pend := h.Mip & h.Mie
+	switch {
+	case pend&(1<<isa.IntMachineExternal) != 0:
+		return isa.IntMachineExternal, true
+	case pend&(1<<isa.IntMachineSoftware) != 0:
+		return isa.IntMachineSoftware, true
+	case pend&(1<<isa.IntMachineTimer) != 0:
+		return isa.IntMachineTimer, true
+	}
+	return 0, false
+}
+
+// Snapshot returns a copy of the full architectural state.
+func (h *Hart) Snapshot() Hart { return *h }
+
+// Restore replaces the hart state with a snapshot.
+func (h *Hart) Restore(s Hart) { *h = s }

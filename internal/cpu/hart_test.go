@@ -1,0 +1,246 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestX0HardwiredZero(t *testing.T) {
+	var h Hart
+	h.SetReg(0, 0xdeadbeef)
+	if h.Reg(0) != 0 {
+		t.Error("x0 must read zero")
+	}
+	h.SetReg(1, 42)
+	if h.Reg(1) != 42 {
+		t.Error("x1 write lost")
+	}
+}
+
+func TestResetState(t *testing.T) {
+	var h Hart
+	h.SetReg(5, 99)
+	h.Cycle = 1000
+	h.Reset(0x8000_0000)
+	if h.PC != 0x8000_0000 || h.Reg(5) != 0 || h.Cycle != 0 {
+		t.Errorf("reset incomplete: %+v", h)
+	}
+	if h.Mstatus&isa.MstatusMPP != isa.MstatusMPP {
+		t.Error("MPP should reset to machine mode")
+	}
+}
+
+func TestCSRReadWriteBasics(t *testing.T) {
+	var h Hart
+	h.Reset(0)
+	if err := h.WriteCSR(isa.CSRMscratch, 0x12345678); err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.ReadCSR(isa.CSRMscratch)
+	if err != nil || v != 0x12345678 {
+		t.Errorf("mscratch = 0x%x, %v", v, err)
+	}
+}
+
+func TestCSRReadOnlyRejectsWrites(t *testing.T) {
+	var h Hart
+	for _, c := range []isa.CSR{isa.CSRMhartid, isa.CSRMvendorid, isa.CSRCycle} {
+		if err := h.WriteCSR(c, 1); err == nil {
+			t.Errorf("write to read-only %v should fail", c)
+		}
+	}
+}
+
+func TestCSRUnimplemented(t *testing.T) {
+	var h Hart
+	if _, err := h.ReadCSR(isa.CSR(0x123)); err == nil {
+		t.Error("read of unimplemented CSR should fail")
+	}
+	if err := h.WriteCSR(isa.CSR(0x123), 0); err == nil {
+		t.Error("write of unimplemented CSR should fail")
+	}
+	var ce *CSRError
+	_, err := h.ReadCSR(isa.CSR(0x123))
+	if e, ok := err.(*CSRError); ok {
+		ce = e
+	}
+	if ce == nil || ce.Error() == "" {
+		t.Error("CSRError type/message missing")
+	}
+}
+
+func TestCountersSplitAcrossWords(t *testing.T) {
+	var h Hart
+	h.Cycle = 0x1_0000_0002
+	h.Instret = 0x2_0000_0003
+	lo, _ := h.ReadCSR(isa.CSRMcycle)
+	hi, _ := h.ReadCSR(isa.CSRMcycleH)
+	if lo != 2 || hi != 1 {
+		t.Errorf("mcycle halves: %d, %d", lo, hi)
+	}
+	lo, _ = h.ReadCSR(isa.CSRInstret)
+	hi, _ = h.ReadCSR(isa.CSRInstretH)
+	if lo != 3 || hi != 2 {
+		t.Errorf("instret halves: %d, %d", lo, hi)
+	}
+	// Writes to the machine counter halves must stick.
+	h.WriteCSR(isa.CSRMcycle, 100)
+	if uint32(h.Cycle) != 100 || h.Cycle>>32 != 1 {
+		t.Errorf("mcycle write: 0x%x", h.Cycle)
+	}
+}
+
+func TestFcsrComposition(t *testing.T) {
+	var h Hart
+	h.WriteCSR(isa.CSRFcsr, 0xff)
+	fl, _ := h.ReadCSR(isa.CSRFflags)
+	rm, _ := h.ReadCSR(isa.CSRFrm)
+	if fl != 0x1f || rm != 0x7 {
+		t.Errorf("fflags=0x%x frm=0x%x", fl, rm)
+	}
+	h.WriteCSR(isa.CSRFflags, 0)
+	v, _ := h.ReadCSR(isa.CSRFcsr)
+	if v != 0x7<<5 {
+		t.Errorf("fcsr = 0x%x", v)
+	}
+}
+
+func TestTrapAndMRet(t *testing.T) {
+	var h Hart
+	h.Reset(0x100)
+	h.WriteCSR(isa.CSRMtvec, 0x2000)
+	h.Mstatus |= isa.MstatusMIE
+	h.Trap(isa.ExcIllegalInst, 0xbad, 0x104)
+
+	if h.PC != 0x2000 {
+		t.Errorf("trap PC = 0x%x", h.PC)
+	}
+	if h.Mepc != 0x104 || h.Mcause != isa.ExcIllegalInst || h.Mtval != 0xbad {
+		t.Errorf("trap CSRs: mepc=0x%x mcause=%d mtval=0x%x", h.Mepc, h.Mcause, h.Mtval)
+	}
+	if h.Mstatus&isa.MstatusMIE != 0 {
+		t.Error("MIE not cleared by trap")
+	}
+	if h.Mstatus&isa.MstatusMPIE == 0 {
+		t.Error("MPIE not saved")
+	}
+
+	h.MRet()
+	if h.PC != 0x104 {
+		t.Errorf("mret PC = 0x%x", h.PC)
+	}
+	if h.Mstatus&isa.MstatusMIE == 0 {
+		t.Error("MIE not restored by mret")
+	}
+}
+
+func TestVectoredInterrupts(t *testing.T) {
+	var h Hart
+	h.WriteCSR(isa.CSRMtvec, 0x2000|1) // vectored mode
+	h.Trap(uint32(isa.IntMachineTimer)|1<<31, 0, 0x100)
+	if h.PC != 0x2000+4*isa.IntMachineTimer {
+		t.Errorf("vectored interrupt PC = 0x%x", h.PC)
+	}
+	// Exceptions always go to base even in vectored mode.
+	h.WriteCSR(isa.CSRMtvec, 0x3000|1)
+	h.Trap(isa.ExcIllegalInst, 0, 0x100)
+	if h.PC != 0x3000 {
+		t.Errorf("vectored exception PC = 0x%x", h.PC)
+	}
+}
+
+func TestPendingInterruptPriority(t *testing.T) {
+	var h Hart
+	h.Mstatus = isa.MstatusMIE
+	h.Mie = 1<<isa.IntMachineSoftware | 1<<isa.IntMachineTimer | 1<<isa.IntMachineExternal
+	h.Mip = h.Mie
+	if c, ok := h.PendingInterrupt(); !ok || c != isa.IntMachineExternal {
+		t.Errorf("priority: got %d, %v; want external", c, ok)
+	}
+	h.Mip &^= 1 << isa.IntMachineExternal
+	if c, _ := h.PendingInterrupt(); c != isa.IntMachineSoftware {
+		t.Errorf("priority: got %d, want software", c)
+	}
+	h.Mip = 1 << isa.IntMachineTimer
+	if c, _ := h.PendingInterrupt(); c != isa.IntMachineTimer {
+		t.Errorf("got %d, want timer", c)
+	}
+}
+
+func TestInterruptGating(t *testing.T) {
+	var h Hart
+	h.Mie = 1 << isa.IntMachineTimer
+	h.Mip = 1 << isa.IntMachineTimer
+	// MIE clear: no delivery.
+	if _, ok := h.PendingInterrupt(); ok {
+		t.Error("interrupt delivered with MIE clear")
+	}
+	h.Mstatus = isa.MstatusMIE
+	h.Mie = 0
+	if _, ok := h.PendingInterrupt(); ok {
+		t.Error("interrupt delivered with mie bit clear")
+	}
+}
+
+func TestMstatusWARL(t *testing.T) {
+	var h Hart
+	h.WriteCSR(isa.CSRMstatus, 0xffffffff)
+	v, _ := h.ReadCSR(isa.CSRMstatus)
+	if v&^uint32(mstatusMask) != 0 {
+		t.Errorf("mstatus kept illegal bits: 0x%x", v)
+	}
+}
+
+func TestMepcAlignment(t *testing.T) {
+	var h Hart
+	h.WriteCSR(isa.CSRMepc, 0x1001)
+	v, _ := h.ReadCSR(isa.CSRMepc)
+	if v != 0x1000 {
+		t.Errorf("mepc = 0x%x, low bit must be masked", v)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	var h Hart
+	h.Reset(0x100)
+	h.SetReg(10, 1234)
+	h.Cycle = 77
+	snap := h.Snapshot()
+	h.SetReg(10, 0)
+	h.PC = 0x9999
+	h.Restore(snap)
+	if h.Reg(10) != 1234 || h.PC != 0x100 || h.Cycle != 77 {
+		t.Errorf("restore incomplete: %+v", h)
+	}
+}
+
+// Property: every implemented CSR that accepts a write reads back a value
+// that is a subset-masked version of what was written (WARL), and a
+// second identical write is idempotent.
+func TestQuickCSRWARLIdempotent(t *testing.T) {
+	f := func(v uint32) bool {
+		for _, c := range isa.CSRs() {
+			var h Hart
+			if err := h.WriteCSR(c, v); err != nil {
+				continue // read-only
+			}
+			r1, err := h.ReadCSR(c)
+			if err != nil {
+				return false
+			}
+			if err := h.WriteCSR(c, r1); err != nil {
+				return false
+			}
+			r2, _ := h.ReadCSR(c)
+			if r1 != r2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+package decode
+
+import "repro/internal/isa"
+
+// Decode16 decodes a 16-bit compressed (C extension, RV32) instruction.
+// Operands are expanded to their architectural values: register fields
+// hold full x-register indices and Imm holds the scaled, sign- or
+// zero-extended immediate, so the emulator can execute compressed
+// instructions with the same semantics code as their 32-bit expansions.
+func Decode16(half uint16) Inst {
+	in := Inst{Raw: uint32(half), Size: 2}
+	if half&3 == 3 {
+		return in // not a compressed encoding
+	}
+	w := uint32(half)
+	op := w & 3
+	funct3 := w >> 13 & 7
+	rc := func(pos uint) isa.Reg { return isa.Reg(w>>pos&7) + 8 } // x8..x15
+	rfull := isa.Reg(w >> 7 & 31)
+	r2full := isa.Reg(w >> 2 & 31)
+
+	switch op {
+	case 0:
+		switch funct3 {
+		case 0: // c.addi4spn
+			imm := w>>11&3<<4 | w>>7&15<<6 | w>>6&1<<2 | w>>5&1<<3
+			if imm == 0 {
+				return in // reserved (includes the all-zero illegal inst)
+			}
+			in.Op = isa.OpCADDI4SPN
+			in.Rd, in.Rs1, in.Imm = rc(2), isa.SP, int32(imm)
+		case 2: // c.lw
+			in.Op = isa.OpCLW
+			in.Rd, in.Rs1, in.Imm = rc(2), rc(7), int32(immCLS(w))
+		case 6: // c.sw
+			in.Op = isa.OpCSW
+			in.Rs2, in.Rs1, in.Imm = rc(2), rc(7), int32(immCLS(w))
+		}
+	case 1:
+		switch funct3 {
+		case 0: // c.addi / c.nop
+			imm := immCI(w)
+			if rfull == 0 && imm == 0 {
+				in.Op = isa.OpCNOP
+				return in
+			}
+			in.Op = isa.OpCADDI
+			in.Rd, in.Rs1, in.Imm = rfull, rfull, imm
+		case 1: // c.jal (RV32)
+			in.Op = isa.OpCJAL
+			in.Rd, in.Imm = isa.RA, immCJ(w)
+		case 2: // c.li
+			in.Op = isa.OpCLI
+			in.Rd, in.Imm = rfull, immCI(w)
+		case 3:
+			if rfull == isa.SP { // c.addi16sp
+				imm := w>>12&1<<9 | w>>6&1<<4 | w>>5&1<<6 | w>>3&3<<7 | w>>2&1<<5
+				simm := int32(imm) << 22 >> 22
+				if simm == 0 {
+					return in // reserved
+				}
+				in.Op = isa.OpCADDI16SP
+				in.Rd, in.Rs1, in.Imm = isa.SP, isa.SP, simm
+			} else { // c.lui
+				imm := w>>12&1<<17 | w>>2&31<<12
+				simm := int32(imm) << 14 >> 14
+				if simm == 0 || rfull == 0 {
+					return in // reserved
+				}
+				in.Op = isa.OpCLUI
+				in.Rd, in.Imm = rfull, simm
+			}
+		case 4:
+			rd := rc(7)
+			switch w >> 10 & 3 {
+			case 0, 1: // c.srli / c.srai
+				if w>>12&1 != 0 {
+					return in // shamt[5] reserved on RV32
+				}
+				in.Rd, in.Rs1, in.Imm = rd, rd, int32(w>>2&31)
+				if w>>10&3 == 0 {
+					in.Op = isa.OpCSRLI
+				} else {
+					in.Op = isa.OpCSRAI
+				}
+			case 2: // c.andi
+				in.Op = isa.OpCANDI
+				in.Rd, in.Rs1, in.Imm = rd, rd, immCI(w)
+			case 3:
+				if w>>12&1 != 0 {
+					return in // reserved (RV64 c.subw/c.addw)
+				}
+				in.Rd, in.Rs1, in.Rs2 = rd, rd, rc(2)
+				switch w >> 5 & 3 {
+				case 0:
+					in.Op = isa.OpCSUB
+				case 1:
+					in.Op = isa.OpCXOR
+				case 2:
+					in.Op = isa.OpCOR
+				case 3:
+					in.Op = isa.OpCAND
+				}
+			}
+		case 5: // c.j
+			in.Op = isa.OpCJ
+			in.Rd, in.Imm = isa.Zero, immCJ(w)
+		case 6: // c.beqz
+			in.Op = isa.OpCBEQZ
+			in.Rs1, in.Rs2, in.Imm = rc(7), isa.Zero, immCB(w)
+		case 7: // c.bnez
+			in.Op = isa.OpCBNEZ
+			in.Rs1, in.Rs2, in.Imm = rc(7), isa.Zero, immCB(w)
+		}
+	case 2:
+		switch funct3 {
+		case 0: // c.slli
+			if w>>12&1 != 0 || rfull == 0 {
+				return in
+			}
+			in.Op = isa.OpCSLLI
+			in.Rd, in.Rs1, in.Imm = rfull, rfull, int32(w>>2&31)
+		case 2: // c.lwsp
+			if rfull == 0 {
+				return in // reserved
+			}
+			in.Op = isa.OpCLWSP
+			in.Rd, in.Rs1 = rfull, isa.SP
+			in.Imm = int32(w>>12&1<<5 | w>>4&7<<2 | w>>2&3<<6)
+		case 4:
+			bit12 := w>>12&1 != 0
+			switch {
+			case !bit12 && r2full == 0: // c.jr
+				if rfull == 0 {
+					return in // reserved
+				}
+				in.Op = isa.OpCJR
+				in.Rs1 = rfull
+			case !bit12: // c.mv
+				in.Op = isa.OpCMV
+				in.Rd, in.Rs2 = rfull, r2full
+			case rfull == 0 && r2full == 0: // c.ebreak
+				in.Op = isa.OpCEBREAK
+			case r2full == 0: // c.jalr
+				in.Op = isa.OpCJALR
+				in.Rd, in.Rs1 = isa.RA, rfull
+			default: // c.add
+				in.Op = isa.OpCADD
+				in.Rd, in.Rs1, in.Rs2 = rfull, rfull, r2full
+			}
+		case 6: // c.swsp
+			in.Op = isa.OpCSWSP
+			in.Rs2, in.Rs1 = r2full, isa.SP
+			in.Imm = int32(w>>9&15<<2 | w>>7&3<<6)
+		}
+	}
+	return in
+}
+
+// immCI extracts the sign-extended 6-bit CI-format immediate.
+func immCI(w uint32) int32 {
+	imm := w>>12&1<<5 | w>>2&31
+	return int32(imm) << 26 >> 26
+}
+
+// immCLS extracts the zero-extended word-scaled CL/CS-format offset.
+func immCLS(w uint32) uint32 {
+	return w>>10&7<<3 | w>>6&1<<2 | w>>5&1<<6
+}
+
+// immCJ extracts the sign-extended CJ-format jump offset.
+func immCJ(w uint32) int32 {
+	imm := w>>12&1<<11 | w>>11&1<<4 | w>>9&3<<8 | w>>8&1<<10 |
+		w>>7&1<<6 | w>>6&1<<7 | w>>3&7<<1 | w>>2&1<<5
+	return int32(imm) << 20 >> 20
+}
+
+// immCB extracts the sign-extended CB-format branch offset.
+func immCB(w uint32) int32 {
+	imm := w>>12&1<<8 | w>>10&3<<3 | w>>5&3<<6 | w>>3&3<<1 | w>>2&1<<5
+	return int32(imm) << 23 >> 23
+}

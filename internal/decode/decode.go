@@ -1,0 +1,134 @@
+package decode
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// maskGroup is the set of patterns sharing one mask, indexed by their
+// match value. Grouping by mask lets the decoder probe each mask once.
+type maskGroup struct {
+	mask  uint32
+	byVal map[uint32]isa.Pattern
+}
+
+// groups holds the mask groups ordered by descending popcount so the most
+// specific encodings (e.g. clz, whose mask pins the rs2 field) win over
+// broader ones (e.g. rori).
+var groups = func() []maskGroup {
+	byMask := make(map[uint32]map[uint32]isa.Pattern)
+	for _, p := range isa.Patterns() {
+		m := byMask[p.Mask]
+		if m == nil {
+			m = make(map[uint32]isa.Pattern)
+			byMask[p.Mask] = m
+		}
+		if prev, dup := m[p.Match]; dup {
+			panic("decode: conflicting patterns " + prev.Op.String() + " / " + p.Op.String())
+		}
+		m[p.Match] = p
+	}
+	out := make([]maskGroup, 0, len(byMask))
+	for mask, byVal := range byMask {
+		out = append(out, maskGroup{mask, byVal})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := bits.OnesCount32(out[i].mask), bits.OnesCount32(out[j].mask)
+		if pi != pj {
+			return pi > pj
+		}
+		return out[i].mask > out[j].mask
+	})
+	return out
+}()
+
+// IsCompressed reports whether the 16-bit parcel starts a compressed
+// instruction (low two bits != 11).
+func IsCompressed(low uint16) bool { return low&3 != 3 }
+
+// Decode decodes the instruction starting at the given parcel. word must
+// contain at least the low 16 bits of the encoding; for a 32-bit
+// instruction it must contain all 32. The returned Inst has Op ==
+// isa.OpInvalid if the encoding is not recognized (Size still reports the
+// architectural length of the attempted encoding).
+func Decode(word uint32) Inst {
+	if IsCompressed(uint16(word)) {
+		return Decode16(uint16(word))
+	}
+	return Decode32(word)
+}
+
+// Decode32 decodes a 32-bit instruction word.
+func Decode32(word uint32) Inst {
+	for _, g := range groups {
+		if p, ok := g.byVal[word&g.mask]; ok {
+			return extract(p, word)
+		}
+	}
+	return Inst{Raw: word, Size: 4}
+}
+
+func extract(p isa.Pattern, word uint32) Inst {
+	in := Inst{Op: p.Op, Raw: word, Size: 4}
+	rd := isa.Reg(word >> 7 & 31)
+	rs1 := isa.Reg(word >> 15 & 31)
+	rs2 := isa.Reg(word >> 20 & 31)
+	switch p.Fmt {
+	case isa.FmtNone:
+	case isa.FmtR:
+		in.Rd, in.Rs1, in.Rs2 = rd, rs1, rs2
+	case isa.FmtR4:
+		in.Rd, in.Rs1, in.Rs2 = rd, rs1, rs2
+		in.Rs3 = isa.Reg(word >> 27 & 31)
+	case isa.FmtI:
+		in.Rd, in.Rs1 = rd, rs1
+		in.Imm = int32(word) >> 20
+	case isa.FmtIShift:
+		in.Rd, in.Rs1 = rd, rs1
+		in.Imm = int32(word >> 20 & 31)
+	case isa.FmtS:
+		in.Rs1, in.Rs2 = rs1, rs2
+		in.Imm = int32(word)>>25<<5 | int32(word>>7&31)
+	case isa.FmtB:
+		in.Rs1, in.Rs2 = rs1, rs2
+		in.Imm = immB(word)
+	case isa.FmtU:
+		in.Rd = rd
+		in.Imm = int32(word & 0xfffff000)
+	case isa.FmtJ:
+		in.Rd = rd
+		in.Imm = immJ(word)
+	case isa.FmtCSR:
+		in.Rd, in.Rs1 = rd, rs1
+		in.CSR = isa.CSR(word >> 20)
+	case isa.FmtCSRI:
+		in.Rd = rd
+		in.Imm = int32(word >> 15 & 31) // uimm in the rs1 field
+		in.CSR = isa.CSR(word >> 20)
+	case isa.FmtRUnary:
+		in.Rd, in.Rs1 = rd, rs1
+	}
+	return in
+}
+
+// immB extracts the B-type branch offset (sign-extended, even).
+func immB(w uint32) int32 {
+	imm := uint32(0)
+	imm |= w >> 31 & 1 << 12
+	imm |= w >> 7 & 1 << 11
+	imm |= w >> 25 & 0x3f << 5
+	imm |= w >> 8 & 0xf << 1
+	return int32(imm) << 19 >> 19
+}
+
+// immJ extracts the J-type jump offset (sign-extended, even).
+func immJ(w uint32) int32 {
+	imm := uint32(0)
+	imm |= w >> 31 & 1 << 20
+	imm |= w >> 12 & 0xff << 12
+	imm |= w >> 20 & 1 << 11
+	imm |= w >> 21 & 0x3ff << 1
+	return int32(imm) << 11 >> 11
+}

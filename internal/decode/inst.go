@@ -1,0 +1,152 @@
+// Package decode turns RISC-V machine-code words into structured
+// instructions. It implements a table-driven matcher over the pattern
+// table in internal/isa (mirroring QEMU's DecodeTree-generated decoders)
+// plus a hand-written decoder for the 16-bit compressed formats.
+package decode
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Inst is one decoded instruction. Register fields index the integer or
+// floating-point register file depending on the Op (see isa.UsesFPRegs).
+// Compressed instructions are decoded into their expanded operand values
+// (e.g. c.addi carries the full immediate) with Size == 2.
+type Inst struct {
+	Op   isa.Op
+	Rd   isa.Reg
+	Rs1  isa.Reg
+	Rs2  isa.Reg
+	Rs3  isa.Reg // fused FP only
+	Imm  int32   // sign-extended immediate, or shamt/uimm zero-extended
+	CSR  isa.CSR // CSR address for Zicsr instructions
+	Raw  uint32  // original encoding (low 16 bits for compressed)
+	Size uint8   // encoding size in bytes: 2 or 4
+}
+
+// Valid reports whether the instruction decoded successfully.
+func (i Inst) Valid() bool { return i.Op.Valid() }
+
+// Target returns the absolute control-flow target of a direct branch or
+// jump located at pc, and ok=false for indirect or non-control-flow
+// instructions.
+func (i Inst) Target(pc uint32) (uint32, bool) {
+	switch i.Op {
+	case isa.OpJAL, isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE,
+		isa.OpBLTU, isa.OpBGEU,
+		isa.OpCJ, isa.OpCJAL, isa.OpCBEQZ, isa.OpCBNEZ:
+		return pc + uint32(i.Imm), true
+	}
+	return 0, false
+}
+
+// WritesReg returns the integer register written by the instruction, and
+// ok=false if it writes none (stores, branches, FP-target ops, x0).
+func (i Inst) WritesReg() (isa.Reg, bool) {
+	fd, _, _ := isa.UsesFPRegs(i.Op)
+	if fd {
+		return 0, false
+	}
+	switch i.Op.Class() {
+	case isa.ClassStore, isa.ClassBranch, isa.ClassFPStore, isa.ClassSystem:
+		return 0, false
+	}
+	switch i.Op {
+	case isa.OpCJ, isa.OpCJR, isa.OpCBEQZ, isa.OpCBNEZ:
+		return 0, false
+	}
+	if i.Rd == isa.Zero {
+		return 0, false
+	}
+	return i.Rd, true
+}
+
+// String disassembles the instruction using standard assembler syntax.
+func (i Inst) String() string {
+	if !i.Valid() {
+		return fmt.Sprintf(".word 0x%08x", i.Raw)
+	}
+	if i.Size == 2 {
+		return i.compressedString()
+	}
+	p, ok := isa.PatternFor(i.Op)
+	if !ok {
+		return i.Op.String()
+	}
+	fd, f1, f2 := isa.UsesFPRegs(i.Op)
+	rd := regName(i.Rd, fd)
+	rs1 := regName(i.Rs1, f1)
+	rs2 := regName(i.Rs2, f2)
+	switch p.Fmt {
+	case isa.FmtNone:
+		return i.Op.String()
+	case isa.FmtR:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, rd, rs1, rs2)
+	case isa.FmtR4:
+		return fmt.Sprintf("%s %s, %s, %s, %s", i.Op, rd, rs1, rs2, isa.FReg(i.Rs3))
+	case isa.FmtI:
+		switch i.Op.Class() {
+		case isa.ClassLoad, isa.ClassFPLoad:
+			return fmt.Sprintf("%s %s, %d(%s)", i.Op, rd, i.Imm, rs1)
+		}
+		if i.Op == isa.OpJALR {
+			return fmt.Sprintf("%s %s, %d(%s)", i.Op, rd, i.Imm, rs1)
+		}
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, rd, rs1, i.Imm)
+	case isa.FmtIShift:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, rd, rs1, i.Imm)
+	case isa.FmtS:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, rs2, i.Imm, rs1)
+	case isa.FmtB:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, rs1, rs2, i.Imm)
+	case isa.FmtU:
+		return fmt.Sprintf("%s %s, 0x%x", i.Op, rd, uint32(i.Imm)>>12)
+	case isa.FmtJ:
+		return fmt.Sprintf("%s %s, %d", i.Op, rd, i.Imm)
+	case isa.FmtCSR:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, rd, i.CSR, rs1)
+	case isa.FmtCSRI:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, rd, i.CSR, i.Imm)
+	case isa.FmtRUnary:
+		return fmt.Sprintf("%s %s, %s", i.Op, rd, rs1)
+	}
+	return i.Op.String()
+}
+
+func regName(r isa.Reg, fp bool) string {
+	if fp {
+		return isa.FReg(r).String()
+	}
+	return r.String()
+}
+
+func (i Inst) compressedString() string {
+	switch i.Op {
+	case isa.OpCNOP, isa.OpCEBREAK:
+		return i.Op.String()
+	case isa.OpCJ, isa.OpCJAL:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	case isa.OpCJR, isa.OpCJALR:
+		return fmt.Sprintf("%s %s", i.Op, i.Rs1)
+	case isa.OpCBEQZ, isa.OpCBNEZ:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rs1, i.Imm)
+	case isa.OpCLW, isa.OpCLWSP:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rd, i.Imm, i.Rs1)
+	case isa.OpCSW, isa.OpCSWSP:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rs2, i.Imm, i.Rs1)
+	case isa.OpCMV, isa.OpCADD:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rs2)
+	case isa.OpCSUB, isa.OpCXOR, isa.OpCOR, isa.OpCAND:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rs2)
+	case isa.OpCLUI:
+		return fmt.Sprintf("%s %s, 0x%x", i.Op, i.Rd, uint32(i.Imm)>>12)
+	case isa.OpCADDI16SP:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	case isa.OpCADDI4SPN:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+	default:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+	}
+}

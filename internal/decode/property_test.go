@@ -1,0 +1,85 @@
+package decode
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// For every pattern, filling the don't-care bits with random values must
+// decode back to that op — unless a strictly more specific pattern also
+// matches the word, in which case the decoder must prefer it. This
+// checks the decodetree-style dispatch exhaustively against the table.
+func TestDecodeHonorsPatternSpecificity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	patterns := isa.Patterns()
+	for _, p := range patterns {
+		for trial := 0; trial < 500; trial++ {
+			word := p.Match | rng.Uint32()&^p.Mask
+			in := Decode32(word)
+			if in.Op == p.Op {
+				continue
+			}
+			// A different op decoded: it must come from a more specific
+			// pattern that also matches the word.
+			var winner *isa.Pattern
+			for i := range patterns {
+				q := &patterns[i]
+				if q.Op == in.Op && word&q.Mask == q.Match {
+					winner = q
+					break
+				}
+			}
+			if winner == nil {
+				t.Fatalf("%v: word 0x%08x decoded to unrelated %v", p.Op, word, in.Op)
+			}
+			if bits.OnesCount32(winner.Mask) <= bits.OnesCount32(p.Mask) {
+				t.Fatalf("%v: word 0x%08x lost to less specific %v", p.Op, word, in.Op)
+			}
+		}
+	}
+}
+
+// Operand extraction must be total over the don't-care space: register
+// fields always land in range and immediates respect their format's
+// bounds.
+func TestDecodeOperandRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range isa.Patterns() {
+		for trial := 0; trial < 200; trial++ {
+			word := p.Match | rng.Uint32()&^p.Mask
+			in := Decode32(word)
+			if !in.Valid() {
+				t.Fatalf("%v: constructed word 0x%08x does not decode", p.Op, word)
+			}
+			if !in.Rd.Valid() || !in.Rs1.Valid() || !in.Rs2.Valid() || !in.Rs3.Valid() {
+				t.Fatalf("%v: register out of range in %+v", p.Op, in)
+			}
+			q, _ := isa.PatternFor(in.Op)
+			switch q.Fmt {
+			case isa.FmtI:
+				if in.Imm < -2048 || in.Imm > 2047 {
+					t.Fatalf("%v: I-imm %d out of range", in.Op, in.Imm)
+				}
+			case isa.FmtIShift, isa.FmtCSRI:
+				if in.Imm < 0 || in.Imm > 31 {
+					t.Fatalf("%v: shamt/uimm %d out of range", in.Op, in.Imm)
+				}
+			case isa.FmtB:
+				if in.Imm < -4096 || in.Imm > 4095 || in.Imm&1 != 0 {
+					t.Fatalf("%v: B-imm %d invalid", in.Op, in.Imm)
+				}
+			case isa.FmtJ:
+				if in.Imm < -(1<<20) || in.Imm >= 1<<20 || in.Imm&1 != 0 {
+					t.Fatalf("%v: J-imm %d invalid", in.Op, in.Imm)
+				}
+			case isa.FmtU:
+				if uint32(in.Imm)&0xfff != 0 {
+					t.Fatalf("%v: U-imm 0x%x has low bits", in.Op, uint32(in.Imm))
+				}
+			}
+		}
+	}
+}

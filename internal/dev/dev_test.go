@@ -1,0 +1,172 @@
+package dev
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestUARTTransmit(t *testing.T) {
+	var out bytes.Buffer
+	u := NewUART(&out)
+	for _, b := range []byte("hi\n") {
+		if err := u.Store(UARTTxData, 1, uint32(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out.String() != "hi\n" {
+		t.Errorf("writer got %q", out.String())
+	}
+	if u.Output() != "hi\n" {
+		t.Errorf("Output() = %q", u.Output())
+	}
+}
+
+func TestUARTReceive(t *testing.T) {
+	u := NewUART(nil)
+	if st, _ := u.Load(UARTStatus, 4); st&2 != 0 {
+		t.Error("rx-avail set on empty queue")
+	}
+	if v, _ := u.Load(UARTRxData, 4); v != 0xffffffff {
+		t.Error("empty rx should read 0xffffffff")
+	}
+	u.Feed([]byte{0x41, 0x42})
+	if st, _ := u.Load(UARTStatus, 4); st&2 == 0 {
+		t.Error("rx-avail clear with data queued")
+	}
+	if v, _ := u.Load(UARTRxData, 4); v != 0x41 {
+		t.Errorf("rx = 0x%x, want 0x41", v)
+	}
+	if v, _ := u.Load(UARTRxData, 4); v != 0x42 {
+		t.Errorf("rx = 0x%x, want 0x42", v)
+	}
+	if v, _ := u.Load(UARTRxData, 4); v != 0xffffffff {
+		t.Error("drained rx should read 0xffffffff")
+	}
+}
+
+func TestUARTBadOffset(t *testing.T) {
+	u := NewUART(nil)
+	if _, err := u.Load(0x40, 4); err == nil {
+		t.Error("bad load offset should error")
+	}
+	if err := u.Store(0x40, 4, 0); err == nil {
+		t.Error("bad store offset should error")
+	}
+}
+
+func TestCLINTTimer(t *testing.T) {
+	c := NewCLINT()
+	if c.TimerPending() {
+		t.Error("timer pending at reset (mtimecmp should be all-ones)")
+	}
+	// Program mtimecmp = 100.
+	c.Store(CLINTMtimecmp, 4, 100)
+	c.Store(CLINTMtimecmpH, 4, 0)
+	if c.TimerPending() {
+		t.Error("timer pending before mtime reaches mtimecmp")
+	}
+	c.Advance(99)
+	if c.TimerPending() {
+		t.Error("pending at mtime=99 < 100")
+	}
+	c.Advance(1)
+	if !c.TimerPending() {
+		t.Error("not pending at mtime=100")
+	}
+	if v, _ := c.Load(CLINTMtime, 4); v != 100 {
+		t.Errorf("mtime = %d", v)
+	}
+	if ev, ok := c.NextTimerEvent(); ok {
+		t.Errorf("NextTimerEvent while pending = %d, true", ev)
+	}
+}
+
+func TestCLINTNextTimerEvent(t *testing.T) {
+	c := NewCLINT()
+	if _, ok := c.NextTimerEvent(); ok {
+		t.Error("unprogrammed timer should have no next event")
+	}
+	c.Store(CLINTMtimecmp, 4, 500)
+	c.Store(CLINTMtimecmpH, 4, 0)
+	ev, ok := c.NextTimerEvent()
+	if !ok || ev != 500 {
+		t.Errorf("NextTimerEvent = %d, %v; want 500, true", ev, ok)
+	}
+}
+
+func TestCLINTSoftware(t *testing.T) {
+	c := NewCLINT()
+	if c.SoftwarePending() {
+		t.Error("msip set at reset")
+	}
+	c.Store(CLINTMsip, 4, 1)
+	if !c.SoftwarePending() {
+		t.Error("msip not set after store")
+	}
+	if v, _ := c.Load(CLINTMsip, 4); v != 1 {
+		t.Errorf("msip reads %d", v)
+	}
+	c.Store(CLINTMsip, 4, 0)
+	if c.SoftwarePending() {
+		t.Error("msip not cleared")
+	}
+}
+
+func TestCLINT64BitRegisters(t *testing.T) {
+	c := NewCLINT()
+	c.Store(CLINTMtime, 4, 0xdeadbeef)
+	c.Store(CLINTMtimeH, 4, 0x12345678)
+	if c.Time() != 0x12345678deadbeef {
+		t.Errorf("mtime = 0x%x", c.Time())
+	}
+	lo, _ := c.Load(CLINTMtime, 4)
+	hi, _ := c.Load(CLINTMtimeH, 4)
+	if lo != 0xdeadbeef || hi != 0x12345678 {
+		t.Errorf("mtime halves = 0x%x 0x%x", lo, hi)
+	}
+	if _, err := c.Load(0x9999, 4); err == nil {
+		t.Error("bad offset should error")
+	}
+}
+
+func TestSysConExit(t *testing.T) {
+	var got *uint32
+	s := &SysCon{OnExit: func(code uint32) { got = &code }}
+	if err := s.Store(SysConExit, 4, 42); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || *got != 42 {
+		t.Errorf("OnExit got %v", got)
+	}
+	if _, err := s.Load(SysConExit, 4); err != nil {
+		t.Error("exit register should be readable (as zero)")
+	}
+	if err := s.Store(0x10, 4, 0); err == nil {
+		t.Error("bad offset should error")
+	}
+	// Nil OnExit must not crash.
+	(&SysCon{}).Store(SysConExit, 4, 1)
+}
+
+func TestSensorStreaming(t *testing.T) {
+	s := NewSensor([]int16{10, -20, 30})
+	if n, _ := s.Load(SensorCount, 4); n != 3 {
+		t.Errorf("count = %d", n)
+	}
+	if v, _ := s.Load(SensorSample, 4); v != 10 {
+		t.Errorf("sample = %d", v)
+	}
+	if v, _ := s.Load(SensorSample, 4); int32(v) != -20 {
+		t.Errorf("sample = %d, want -20 sign-extended", int32(v))
+	}
+	if n, _ := s.Load(SensorCount, 4); n != 1 {
+		t.Errorf("count = %d", n)
+	}
+	s.Load(SensorSample, 4)
+	if v, _ := s.Load(SensorSample, 4); v != 0 {
+		t.Errorf("drained sensor reads %d, want 0", v)
+	}
+	if err := s.Store(SensorSample, 4, 1); err == nil {
+		t.Error("sensor must be read-only")
+	}
+}

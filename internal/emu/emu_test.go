@@ -1,0 +1,714 @@
+package emu_test
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/plugin"
+	"repro/internal/timing"
+	"repro/internal/vp"
+)
+
+// run assembles and executes src on a fresh platform, returning it.
+func run(t *testing.T, src string) (*vp.Platform, emu.StopInfo) {
+	t.Helper()
+	p, err := vp.New(vp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LoadSource(vp.Prelude + src); err != nil {
+		t.Fatal(err)
+	}
+	stop := p.Run(1_000_000)
+	return p, stop
+}
+
+// runExpectEbreak runs src and fails the test unless it stops at ebreak.
+func runExpectEbreak(t *testing.T, src string) *vp.Platform {
+	t.Helper()
+	p, stop := run(t, src)
+	if stop.Reason != emu.StopEbreak {
+		t.Fatalf("stopped with %v, want ebreak; uart=%q", stop, p.Output())
+	}
+	return p
+}
+
+func reg(p *vp.Platform, r isa.Reg) uint32 { return p.Machine.Hart.Reg(r) }
+
+func TestArithmeticBasics(t *testing.T) {
+	p := runExpectEbreak(t, `
+		li a0, 20
+		li a1, 22
+		add a2, a0, a1
+		sub a3, a0, a1
+		li a4, -7
+		mul a5, a0, a4
+		div a6, a4, a0
+		rem a7, a4, a0
+		ebreak
+	`)
+	if reg(p, isa.A2) != 42 {
+		t.Errorf("add: %d", reg(p, isa.A2))
+	}
+	if int32(reg(p, isa.A3)) != -2 {
+		t.Errorf("sub: %d", int32(reg(p, isa.A3)))
+	}
+	if int32(reg(p, isa.A5)) != -140 {
+		t.Errorf("mul: %d", int32(reg(p, isa.A5)))
+	}
+	if int32(reg(p, isa.A6)) != 0 {
+		t.Errorf("div: %d", int32(reg(p, isa.A6)))
+	}
+	if int32(reg(p, isa.A7)) != -7 {
+		t.Errorf("rem: %d", int32(reg(p, isa.A7)))
+	}
+}
+
+func TestDivisionSpecialCases(t *testing.T) {
+	p := runExpectEbreak(t, `
+		li a0, 5
+		li a1, 0
+		div a2, a0, a1      # /0 -> -1
+		divu a3, a0, a1     # /0 -> 0xffffffff
+		rem a4, a0, a1      # %0 -> a0
+		li a5, 0x80000000
+		li a6, -1
+		div a7, a5, a6      # overflow -> 0x80000000
+		rem t0, a5, a6      # overflow -> 0
+		ebreak
+	`)
+	if reg(p, isa.A2) != 0xffffffff || reg(p, isa.A3) != 0xffffffff {
+		t.Error("divide by zero results wrong")
+	}
+	if reg(p, isa.A4) != 5 {
+		t.Error("rem by zero should return dividend")
+	}
+	if reg(p, isa.A7) != 0x80000000 || reg(p, isa.T0) != 0 {
+		t.Error("signed overflow division wrong")
+	}
+}
+
+func TestMulhVariants(t *testing.T) {
+	p := runExpectEbreak(t, `
+		li a0, 0x80000000
+		li a1, 2
+		mulh a2, a0, a1     # -2^31 * 2 -> hi = -1
+		mulhu a3, a0, a1    # 2^31 * 2 -> hi = 1
+		mulhsu a4, a0, a1   # signed * unsigned
+		ebreak
+	`)
+	if reg(p, isa.A2) != 0xffffffff {
+		t.Errorf("mulh: 0x%x", reg(p, isa.A2))
+	}
+	if reg(p, isa.A3) != 1 {
+		t.Errorf("mulhu: 0x%x", reg(p, isa.A3))
+	}
+	if reg(p, isa.A4) != 0xffffffff {
+		t.Errorf("mulhsu: 0x%x", reg(p, isa.A4))
+	}
+}
+
+func TestShiftsAndCompares(t *testing.T) {
+	p := runExpectEbreak(t, `
+		li a0, -8
+		srai a1, a0, 2      # -2
+		srli a2, a0, 28     # 0xf
+		li a3, 3
+		sll a4, a3, a3      # 24
+		slt a5, a0, a3      # 1 (signed)
+		sltu a6, a0, a3     # 0 (unsigned: big)
+		slti a7, a0, 0      # 1
+		sltiu t0, a3, 10    # 1
+		ebreak
+	`)
+	if int32(reg(p, isa.A1)) != -2 || reg(p, isa.A2) != 0xf || reg(p, isa.A4) != 24 {
+		t.Error("shift results wrong")
+	}
+	if reg(p, isa.A5) != 1 || reg(p, isa.A6) != 0 || reg(p, isa.A7) != 1 || reg(p, isa.T0) != 1 {
+		t.Error("compare results wrong")
+	}
+}
+
+func TestMemoryAccessSizes(t *testing.T) {
+	p := runExpectEbreak(t, `
+		la a0, buf
+		li a1, 0x81828384
+		sw a1, 0(a0)
+		lb a2, 0(a0)        # sign-extended 0x84
+		lbu a3, 0(a0)
+		lh a4, 0(a0)        # sign-extended 0x8384
+		lhu a5, 2(a0)       # 0x8182
+		sb a1, 4(a0)
+		lbu a6, 4(a0)
+		sh a1, 6(a0)
+		lhu a7, 6(a0)
+		ebreak
+buf:	.space 16
+	`)
+	if reg(p, isa.A2) != 0xffffff84 || reg(p, isa.A3) != 0x84 {
+		t.Errorf("byte loads: 0x%x 0x%x", reg(p, isa.A2), reg(p, isa.A3))
+	}
+	if reg(p, isa.A4) != 0xffff8384 || reg(p, isa.A5) != 0x8182 {
+		t.Errorf("half loads: 0x%x 0x%x", reg(p, isa.A4), reg(p, isa.A5))
+	}
+	if reg(p, isa.A6) != 0x84 || reg(p, isa.A7) != 0x8384 {
+		t.Errorf("narrow stores: 0x%x 0x%x", reg(p, isa.A6), reg(p, isa.A7))
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	p := runExpectEbreak(t, `
+		li a0, 0
+		li a1, 10
+1:		addi a0, a0, 3
+		addi a1, a1, -1
+		bnez a1, 1b
+		ebreak
+	`)
+	if reg(p, isa.A0) != 30 {
+		t.Errorf("loop sum = %d", reg(p, isa.A0))
+	}
+}
+
+func TestFunctionCall(t *testing.T) {
+	p := runExpectEbreak(t, `
+_start:
+		li a0, 5
+		call square
+		mv s0, a0
+		li a0, 7
+		call square
+		add s0, s0, a0
+		ebreak
+square:
+		mul a0, a0, a0
+		ret
+	`)
+	if reg(p, isa.S0) != 74 {
+		t.Errorf("5^2+7^2 = %d", reg(p, isa.S0))
+	}
+}
+
+func TestUARTHello(t *testing.T) {
+	p := runExpectEbreak(t, `
+		la a0, msg
+		li a1, UART_TX
+1:		lbu a2, 0(a0)
+		beqz a2, 2f
+		sw a2, 0(a1)
+		addi a0, a0, 1
+		j 1b
+2:		ebreak
+msg:	.asciz "hello, edge\n"
+	`)
+	if p.Output() != "hello, edge\n" {
+		t.Errorf("uart: %q", p.Output())
+	}
+}
+
+func TestSysConExit(t *testing.T) {
+	_, stop := run(t, `
+		li a0, 7
+		li a1, SYSCON_EXIT
+		sw a0, 0(a1)
+		ebreak              # never reached
+	`)
+	if stop.Reason != emu.StopExit || stop.Code != 7 {
+		t.Errorf("stop = %v", stop)
+	}
+}
+
+func TestIllegalInstructionTrapsToStop(t *testing.T) {
+	_, stop := run(t, `
+		.word 0xffffffff
+	`)
+	if stop.Reason != emu.StopTrap || stop.Cause != isa.ExcIllegalInst {
+		t.Errorf("stop = %v", stop)
+	}
+}
+
+func TestTrapHandlerEcall(t *testing.T) {
+	p := runExpectEbreak(t, `
+		la t0, handler
+		csrw mtvec, t0
+		li s0, 0
+		ecall               # handler sets s0 and skips
+		addi s0, s0, 100
+		ebreak
+handler:
+		csrr t1, mcause
+		li s0, 1
+		csrr t2, mepc
+		addi t2, t2, 4
+		csrw mepc, t2
+		mret
+	`)
+	if reg(p, isa.S0) != 101 {
+		t.Errorf("s0 = %d", reg(p, isa.S0))
+	}
+	if reg(p, isa.T1) != isa.ExcEcallM {
+		t.Errorf("mcause in handler = %d", reg(p, isa.T1))
+	}
+}
+
+func TestMisalignedLoadTrap(t *testing.T) {
+	_, stop := run(t, `
+		li a0, 0x80000001
+		lw a1, 0(a0)
+	`)
+	if stop.Reason != emu.StopTrap || stop.Cause != isa.ExcLoadAddrMisaligned {
+		t.Errorf("stop = %v", stop)
+	}
+	if stop.Tval != 0x80000001 {
+		t.Errorf("tval = 0x%x", stop.Tval)
+	}
+}
+
+func TestTimerInterrupt(t *testing.T) {
+	p := runExpectEbreak(t, `
+		la t0, handler
+		csrw mtvec, t0
+		# mtimecmp = mtime + 100
+		li t1, CLINT_MTIME
+		lw t2, 0(t1)
+		addi t2, t2, 100
+		li t1, CLINT_MTIMECMP
+		sw t2, 0(t1)
+		sw zero, 4(t1)      # mtimecmph = 0
+		# enable timer interrupt
+		li t3, 128          # MTIE
+		csrw mie, t3
+		csrsi mstatus, 8    # MIE
+		li s0, 0
+1:		beqz s0, 1b         # spin until the handler fires
+		ebreak
+handler:
+		li s0, 1
+		# disable further timer interrupts
+		csrw mie, zero
+		mret
+	`)
+	if reg(p, isa.S0) != 1 {
+		t.Error("timer interrupt never delivered")
+	}
+}
+
+func TestSoftwareInterrupt(t *testing.T) {
+	p := runExpectEbreak(t, `
+		la t0, handler
+		csrw mtvec, t0
+		li t1, 8            # MSIE
+		csrw mie, t1
+		li s0, 0
+		li t2, CLINT_MSIP
+		li t3, 1
+		sw t3, 0(t2)        # raise msip; interrupts still masked
+		csrsi mstatus, 8    # MIE on -> delivery
+		nop
+		nop
+		bnez s0, 1f
+		ebreak              # failure path: not delivered
+1:		ebreak
+handler:
+		li s0, 1
+		li t2, CLINT_MSIP
+		sw zero, 0(t2)      # ack
+		mret
+	`)
+	if reg(p, isa.S0) != 1 {
+		t.Error("software interrupt not delivered")
+	}
+	if p.Machine.Hart.Mcause != uint32(isa.IntMachineSoftware)|1<<31 {
+		t.Errorf("mcause = 0x%x", p.Machine.Hart.Mcause)
+	}
+}
+
+func TestCycleAndInstretCounters(t *testing.T) {
+	p := runExpectEbreak(t, `
+		rdcycle s0
+		rdinstret s1
+		nop
+		nop
+		nop
+		rdcycle s2
+		rdinstret s3
+		ebreak
+	`)
+	dcyc := reg(p, isa.S2) - reg(p, isa.S0)
+	dins := reg(p, isa.S3) - reg(p, isa.S1)
+	// Each rdinstret observes the count of instructions retired before
+	// itself, so the delta covers rdinstret s1, three nops and rdcycle.
+	if dins != 5 {
+		t.Errorf("instret delta = %d, want 5", dins)
+	}
+	if dcyc < dins {
+		t.Errorf("cycle delta %d < instret delta %d", dcyc, dins)
+	}
+}
+
+func TestBMIExecution(t *testing.T) {
+	p := runExpectEbreak(t, `
+		li a0, 0xf0f01234
+		cpop a1, a0
+		clz a2, a0
+		ctz a3, a0
+		rev8 a4, a0
+		li t0, 0x0000ff00
+		orc.b a5, t0
+		li t1, 0xdead
+		li t2, 0xbeef
+		andn a6, t1, t2
+		min a7, t1, t2
+		maxu s0, t1, t2
+		li s1, 5
+		bset s2, zero, s1
+		rori s3, a0, 4
+		ebreak
+	`)
+	if reg(p, isa.A1) != 13 {
+		t.Errorf("cpop: %d", reg(p, isa.A1))
+	}
+	if reg(p, isa.A2) != 0 || reg(p, isa.A3) != 2 {
+		t.Errorf("clz/ctz: %d %d", reg(p, isa.A2), reg(p, isa.A3))
+	}
+	if reg(p, isa.A4) != 0x3412f0f0 {
+		t.Errorf("rev8: 0x%x", reg(p, isa.A4))
+	}
+	if reg(p, isa.A5) != 0x0000ff00 {
+		t.Errorf("orc.b: 0x%x", reg(p, isa.A5))
+	}
+	if reg(p, isa.A6) != 0xdead&^0xbeef {
+		t.Errorf("andn: 0x%x", reg(p, isa.A6))
+	}
+	if reg(p, isa.A7) != 0xbeef || reg(p, isa.S0) != 0xdead {
+		t.Errorf("min/maxu: 0x%x 0x%x", reg(p, isa.A7), reg(p, isa.S0))
+	}
+	if reg(p, isa.S2) != 32 {
+		t.Errorf("bset: %d", reg(p, isa.S2))
+	}
+	if reg(p, isa.S3) != 0x4f0f0123 {
+		t.Errorf("rori: 0x%x", reg(p, isa.S3))
+	}
+}
+
+func TestISARestriction(t *testing.T) {
+	p, err := vp.New(vp.Config{ISA: isa.RV32IM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LoadSource("cpop a0, a0\nebreak\n"); err != nil {
+		t.Fatal(err)
+	}
+	stop := p.Run(100)
+	if stop.Reason != emu.StopTrap || stop.Cause != isa.ExcIllegalInst {
+		t.Errorf("cpop on RV32IM should trap illegal, got %v", stop)
+	}
+}
+
+func TestCompressedExecution(t *testing.T) {
+	p := runExpectEbreak(t, `
+		c.li a0, 10
+		c.addi a0, 5
+		c.mv a1, a0
+		c.add a1, a0
+		li a2, 0
+1:		c.addi a2, 1
+		c.addi a0, -1
+		c.bnez a0, 1b
+		c.ebreak
+	`)
+	if reg(p, isa.A1) != 30 {
+		t.Errorf("c.add: %d", reg(p, isa.A1))
+	}
+	if reg(p, isa.A2) != 15 {
+		t.Errorf("compressed loop count: %d", reg(p, isa.A2))
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	p := runExpectEbreak(t, `
+		la a0, vals
+		flw fa0, 0(a0)      # 1.5
+		flw fa1, 4(a0)      # 2.5
+		fadd.s fa2, fa0, fa1
+		fmul.s fa3, fa0, fa1
+		fcvt.w.s a1, fa2    # 4
+		fcvt.w.s a2, fa3    # 3 (3.75 truncated)
+		flt.s a3, fa0, fa1  # 1
+		li a4, 100
+		fcvt.s.w fa4, a4
+		fcvt.w.s a5, fa4    # 100
+		fdiv.s fa5, fa1, fa0
+		fsqrt.s fa6, fa1
+		fmadd.s fa7, fa0, fa1, fa2  # 1.5*2.5+4 = 7.75
+		fcvt.w.s a6, fa7    # 7
+		ebreak
+vals:	.word 0x3fc00000, 0x40200000
+	`)
+	if reg(p, isa.A1) != 4 || reg(p, isa.A2) != 3 {
+		t.Errorf("fp add/mul: %d %d", reg(p, isa.A1), reg(p, isa.A2))
+	}
+	if reg(p, isa.A3) != 1 || reg(p, isa.A5) != 100 {
+		t.Errorf("fp cmp/cvt: %d %d", reg(p, isa.A3), reg(p, isa.A5))
+	}
+	if reg(p, isa.A6) != 7 {
+		t.Errorf("fmadd: %d", reg(p, isa.A6))
+	}
+}
+
+func TestFclassAndNaN(t *testing.T) {
+	p := runExpectEbreak(t, `
+		li a0, 0x7fc00000   # quiet NaN
+		fmv.w.x fa0, a0
+		fclass.s a1, fa0
+		li a2, 0xff800000   # -inf
+		fmv.w.x fa1, a2
+		fclass.s a3, fa1
+		fadd.s fa2, fa0, fa1  # NaN + -inf = canonical NaN
+		fmv.x.w a4, fa2
+		feq.s a5, fa0, fa0    # NaN != NaN per IEEE -> 0
+		ebreak
+	`)
+	if reg(p, isa.A1) != 1<<9 {
+		t.Errorf("fclass(qNaN) = 0x%x", reg(p, isa.A1))
+	}
+	if reg(p, isa.A3) != 1<<0 {
+		t.Errorf("fclass(-inf) = 0x%x", reg(p, isa.A3))
+	}
+	if reg(p, isa.A4) != 0x7fc00000 {
+		t.Errorf("NaN not canonicalized: 0x%x", reg(p, isa.A4))
+	}
+	if reg(p, isa.A5) != 0 {
+		t.Error("feq(NaN,NaN) must be 0")
+	}
+}
+
+func TestSelfModifyingCodeInvalidatesTB(t *testing.T) {
+	// The program overwrites the instruction at 'patch' (addi s0, s0, 1)
+	// with addi s0, s0, 64, then loops over it again.
+	p := runExpectEbreak(t, `
+		li s0, 0
+		li s1, 2            # two passes
+loop:
+patch:	addi s0, s0, 1
+		addi s1, s1, -1
+		beqz s1, done
+		# patch the instruction: addi s0, s0, 64
+		la t0, patch
+		la t1, newinsn
+		lw t2, 0(t1)
+		sw t2, 0(t0)
+		j loop
+done:	ebreak
+newinsn:
+		addi s0, s0, 64
+	`)
+	if reg(p, isa.S0) != 65 {
+		t.Errorf("self-modifying result = %d, want 65 (1 then 64)", reg(p, isa.S0))
+	}
+}
+
+func TestBudgetStopAndResume(t *testing.T) {
+	p, err := vp.New(vp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LoadSource("1: j 1b\n"); err != nil {
+		t.Fatal(err)
+	}
+	stop := p.Run(100)
+	if stop.Reason != emu.StopBudget {
+		t.Fatalf("stop = %v", stop)
+	}
+	before := p.Machine.Hart.Instret
+	stop = p.Run(50) // resumable
+	if stop.Reason != emu.StopBudget {
+		t.Fatalf("resume stop = %v", stop)
+	}
+	if p.Machine.Hart.Instret <= before {
+		t.Error("no progress after resume")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	src := `
+		li a0, 0
+		li a1, 1000
+1:		add a0, a0, a1
+		addi a1, a1, -3
+		bgtz a1, 1b
+		ebreak
+	`
+	type result struct {
+		a0      uint32
+		cycles  uint64
+		instret uint64
+	}
+	runOnce := func(withPlugin bool) result {
+		p, err := vp.New(vp.Config{Profile: timing.EdgeSmall()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withPlugin {
+			if err := p.Machine.Hooks.Register(&plugin.Count{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := p.LoadSource(src); err != nil {
+			t.Fatal(err)
+		}
+		if stop := p.Run(10_000_000); stop.Reason != emu.StopEbreak {
+			t.Fatalf("stop = %v", stop)
+		}
+		return result{p.Machine.Hart.Reg(isa.A0), p.Machine.Hart.Cycle, p.Machine.Hart.Instret}
+	}
+	r1, r2, r3 := runOnce(false), runOnce(false), runOnce(true)
+	if r1 != r2 {
+		t.Errorf("two plain runs differ: %+v %+v", r1, r2)
+	}
+	if r1 != r3 {
+		t.Errorf("plugin perturbs architectural state: %+v %+v", r1, r3)
+	}
+}
+
+func TestPluginObservations(t *testing.T) {
+	p, err := vp.New(vp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &plugin.Count{}
+	if err := p.Machine.Hooks.Register(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LoadSource(`
+		la a0, buf
+		lw a1, 0(a0)
+		sw a1, 4(a0)
+		sw a1, 8(a0)
+		ebreak
+buf:	.word 42
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if stop := p.Run(1000); stop.Reason != emu.StopEbreak {
+		t.Fatalf("stop = %v", stop)
+	}
+	if c.Loads != 1 || c.Stores != 2 {
+		t.Errorf("mem events: %d loads %d stores", c.Loads, c.Stores)
+	}
+	// la expands to 2 insns; total = 2+1+2+1(ebreak is observed too) = wait:
+	// ebreak is dispatched to hooks before stopping, so 6 insns.
+	if c.Insns != 6 {
+		t.Errorf("insn events: %d, want 6", c.Insns)
+	}
+	if c.Blocks == 0 {
+		t.Error("no block events")
+	}
+}
+
+func TestTimingProfileAffectsCycles(t *testing.T) {
+	// The multiplier operand is full width so edge-small's early-out
+	// multiplier runs at its worst case and stays slower than edge-fast.
+	src := `
+		li a0, 1000
+		li a1, 0x70000000
+		li a3, 3
+1:		mul a2, a3, a1
+		addi a0, a0, -1
+		bnez a0, 1b
+		ebreak
+	`
+	cycles := func(prof *timing.Profile) uint64 {
+		p, err := vp.New(vp.Config{Profile: prof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.LoadSource(src); err != nil {
+			t.Fatal(err)
+		}
+		if stop := p.Run(10_000_000); stop.Reason != emu.StopEbreak {
+			t.Fatalf("stop = %v", stop)
+		}
+		return p.Machine.Hart.Cycle
+	}
+	small, fast, unit := cycles(timing.EdgeSmall()), cycles(timing.EdgeFast()), cycles(timing.Unit())
+	if !(small > fast && fast > unit) {
+		t.Errorf("cycle ordering: small=%d fast=%d unit=%d", small, fast, unit)
+	}
+}
+
+func TestWFIIsANop(t *testing.T) {
+	p := runExpectEbreak(t, `
+		li s0, 1
+		wfi
+		li s0, 2
+		ebreak
+	`)
+	if reg(p, isa.S0) != 2 {
+		t.Error("wfi did not continue")
+	}
+}
+
+func TestStepMatchesRun(t *testing.T) {
+	src := vp.Prelude + `
+		li a0, 3
+		li a1, 4
+		mul a2, a0, a1
+		addi a2, a2, 30
+		ebreak
+	`
+	p1, _ := vp.New(vp.Config{})
+	p1.LoadSource(src)
+	stop := p1.Run(100)
+	p2, _ := vp.New(vp.Config{})
+	p2.LoadSource(src)
+	var stop2 *emu.StopInfo
+	for i := 0; i < 100 && stop2 == nil; i++ {
+		stop2 = p2.Machine.Step()
+	}
+	if stop2 == nil {
+		t.Fatal("step run never stopped")
+	}
+	if stop.Reason != stop2.Reason || p1.Machine.Hart.Reg(isa.A2) != p2.Machine.Hart.Reg(isa.A2) {
+		t.Errorf("step vs run divergence: %v/%v, a2 %d/%d",
+			stop, *stop2, p1.Machine.Hart.Reg(isa.A2), p2.Machine.Hart.Reg(isa.A2))
+	}
+	if p1.Machine.Hart.Instret != p2.Machine.Hart.Instret {
+		t.Errorf("instret: run=%d step=%d", p1.Machine.Hart.Instret, p2.Machine.Hart.Instret)
+	}
+}
+
+func TestFenceIInvalidates(t *testing.T) {
+	p := runExpectEbreak(t, `
+		li s0, 0
+		la t0, target
+		la t1, newinsn
+		lw t2, 0(t1)
+		j go
+go:
+		sw t2, 0(t0)
+		fence.i
+target:	addi s0, s0, 1
+		ebreak
+newinsn:
+		addi s0, s0, 42
+	`)
+	if reg(p, isa.S0) != 42 {
+		t.Errorf("fence.i result = %d, want 42", reg(p, isa.S0))
+	}
+}
+
+func TestCachedBlocksGrow(t *testing.T) {
+	p, _ := vp.New(vp.Config{})
+	p.LoadSource(`
+		li a0, 3
+1:		addi a0, a0, -1
+		bnez a0, 1b
+		ebreak
+	`)
+	p.Run(1000)
+	if p.Machine.CachedBlocks() == 0 {
+		t.Error("translation cache unused")
+	}
+}

@@ -1,0 +1,234 @@
+package emu
+
+import (
+	"math"
+
+	"repro/internal/cpu"
+	"repro/internal/decode"
+	"repro/internal/isa"
+)
+
+// canonicalNaN is the RISC-V canonical single-precision quiet NaN.
+const canonicalNaN = 0x7fc00000
+
+// fflags bits.
+const (
+	flagNX = 1 << 0 // inexact
+	flagUF = 1 << 1 // underflow
+	flagOF = 1 << 2 // overflow
+	flagDZ = 1 << 3 // divide by zero
+	flagNV = 1 << 4 // invalid
+)
+
+func f32(bits uint32) float32 { return math.Float32frombits(bits) }
+func f32b(v float32) uint32   { return math.Float32bits(v) }
+func isNaN32(v float32) bool  { return v != v }
+func isSNaN(bits uint32) bool {
+	// Signalling NaN: NaN with the top mantissa bit clear.
+	return bits&0x7f800000 == 0x7f800000 && bits&0x007fffff != 0 && bits&0x00400000 == 0
+}
+
+// box canonicalizes NaN results, matching RISC-V's canonical-NaN
+// requirement and keeping the emulator deterministic across hosts.
+func box(v float32) uint32 {
+	if isNaN32(v) {
+		return canonicalNaN
+	}
+	return f32b(v)
+}
+
+// execFP executes the F-extension instructions; returns false if it
+// trapped. rs1v is the integer value of rs1 (used by loads/stores and
+// int->float moves).
+//
+// Rounding uses the host's round-to-nearest-even; the fflags NV and DZ
+// flags are exact, NX/OF/UF are approximated (documented in DESIGN.md).
+func (m *Machine) execFP(in decode.Inst, pc, rs1v uint32) bool {
+	h := &m.Hart
+	a := f32(h.F[in.Rs1])
+	b := f32(h.F[in.Rs2])
+
+	setNVIfSNaN := func(vals ...uint32) {
+		for _, v := range vals {
+			if isSNaN(v) {
+				h.Fflags |= flagNV
+				return
+			}
+		}
+	}
+
+	switch in.Op {
+	case isa.OpFLW:
+		v, ok := m.memLoad(pc, rs1v+uint32(in.Imm), 4)
+		if !ok {
+			return false
+		}
+		h.F[in.Rd] = v
+	case isa.OpFSW:
+		ok, _ := m.memStore(pc, rs1v+uint32(in.Imm), 4, h.F[in.Rs2])
+		if !ok {
+			return false
+		}
+	case isa.OpFADDS:
+		setNVIfSNaN(h.F[in.Rs1], h.F[in.Rs2])
+		h.F[in.Rd] = box(a + b)
+	case isa.OpFSUBS:
+		setNVIfSNaN(h.F[in.Rs1], h.F[in.Rs2])
+		h.F[in.Rd] = box(a - b)
+	case isa.OpFMULS:
+		setNVIfSNaN(h.F[in.Rs1], h.F[in.Rs2])
+		h.F[in.Rd] = box(a * b)
+	case isa.OpFDIVS:
+		setNVIfSNaN(h.F[in.Rs1], h.F[in.Rs2])
+		if b == 0 && !isNaN32(a) && a != 0 {
+			h.Fflags |= flagDZ
+		}
+		h.F[in.Rd] = box(a / b)
+	case isa.OpFSQRTS:
+		if a < 0 {
+			h.Fflags |= flagNV
+		}
+		h.F[in.Rd] = box(float32(math.Sqrt(float64(a))))
+	case isa.OpFMADDS, isa.OpFMSUBS, isa.OpFNMSUBS, isa.OpFNMADDS:
+		c := f32(h.F[in.Rs3])
+		setNVIfSNaN(h.F[in.Rs1], h.F[in.Rs2], h.F[in.Rs3])
+		var r float64
+		switch in.Op {
+		case isa.OpFMADDS:
+			r = math.FMA(float64(a), float64(b), float64(c))
+		case isa.OpFMSUBS:
+			r = math.FMA(float64(a), float64(b), -float64(c))
+		case isa.OpFNMSUBS:
+			r = math.FMA(-float64(a), float64(b), float64(c))
+		case isa.OpFNMADDS:
+			r = math.FMA(-float64(a), float64(b), -float64(c))
+		}
+		h.F[in.Rd] = box(float32(r))
+	case isa.OpFSGNJS:
+		h.F[in.Rd] = h.F[in.Rs1]&0x7fffffff | h.F[in.Rs2]&0x80000000
+	case isa.OpFSGNJNS:
+		h.F[in.Rd] = h.F[in.Rs1]&0x7fffffff | ^h.F[in.Rs2]&0x80000000
+	case isa.OpFSGNJXS:
+		h.F[in.Rd] = h.F[in.Rs1] ^ h.F[in.Rs2]&0x80000000
+	case isa.OpFMINS, isa.OpFMAXS:
+		setNVIfSNaN(h.F[in.Rs1], h.F[in.Rs2])
+		switch {
+		case isNaN32(a) && isNaN32(b):
+			h.F[in.Rd] = canonicalNaN
+		case isNaN32(a):
+			h.F[in.Rd] = h.F[in.Rs2]
+		case isNaN32(b):
+			h.F[in.Rd] = h.F[in.Rs1]
+		default:
+			lt := a < b || (a == b && h.F[in.Rs1]>>31 == 1) // -0 < +0
+			if (in.Op == isa.OpFMINS) == lt {
+				h.F[in.Rd] = h.F[in.Rs1]
+			} else {
+				h.F[in.Rd] = h.F[in.Rs2]
+			}
+		}
+	case isa.OpFCVTWS:
+		h.SetReg(in.Rd, cvtF2I(h, a, true))
+	case isa.OpFCVTWUS:
+		h.SetReg(in.Rd, cvtF2I(h, a, false))
+	case isa.OpFMVXW:
+		h.SetReg(in.Rd, h.F[in.Rs1])
+	case isa.OpFEQS:
+		if isSNaN(h.F[in.Rs1]) || isSNaN(h.F[in.Rs2]) {
+			h.Fflags |= flagNV
+		}
+		h.SetReg(in.Rd, b2u(a == b))
+	case isa.OpFLTS:
+		if isNaN32(a) || isNaN32(b) {
+			h.Fflags |= flagNV
+		}
+		h.SetReg(in.Rd, b2u(a < b))
+	case isa.OpFLES:
+		if isNaN32(a) || isNaN32(b) {
+			h.Fflags |= flagNV
+		}
+		h.SetReg(in.Rd, b2u(a <= b))
+	case isa.OpFCLASSS:
+		h.SetReg(in.Rd, fclass(h.F[in.Rs1]))
+	case isa.OpFCVTSW:
+		h.F[in.Rd] = f32b(float32(int32(rs1v)))
+	case isa.OpFCVTSWU:
+		h.F[in.Rd] = f32b(float32(rs1v))
+	case isa.OpFMVWX:
+		h.F[in.Rd] = rs1v
+	default:
+		m.trap(isa.ExcIllegalInst, in.Raw, pc)
+		return false
+	}
+	return true
+}
+
+// cvtF2I converts float32 to int32/uint32 with RISC-V saturation and NV
+// semantics, rounding toward zero (the fcvt.w.s/fcvt.wu.s rtz form the
+// toolchain emits for C casts).
+func cvtF2I(h *cpu.Hart, v float32, signed bool) uint32 {
+	if isNaN32(v) {
+		h.Fflags |= flagNV
+		if signed {
+			return 0x7fffffff
+		}
+		return 0xffffffff
+	}
+	t := math.Trunc(float64(v))
+	if signed {
+		switch {
+		case t < -2147483648:
+			h.Fflags |= flagNV
+			return 0x80000000
+		case t > 2147483647:
+			h.Fflags |= flagNV
+			return 0x7fffffff
+		}
+		if t != float64(v) {
+			h.Fflags |= flagNX
+		}
+		return uint32(int32(t))
+	}
+	switch {
+	case t < 0:
+		h.Fflags |= flagNV
+		return 0
+	case t > 4294967295:
+		h.Fflags |= flagNV
+		return 0xffffffff
+	}
+	if t != float64(v) {
+		h.Fflags |= flagNX
+	}
+	return uint32(t)
+}
+
+// fclass implements the fclass.s classification mask.
+func fclass(bits uint32) uint32 {
+	sign := bits>>31 != 0
+	exp := bits >> 23 & 0xff
+	man := bits & 0x7fffff
+	switch {
+	case exp == 0xff && man != 0:
+		if bits&0x00400000 != 0 {
+			return 1 << 9 // quiet NaN
+		}
+		return 1 << 8 // signalling NaN
+	case exp == 0xff && sign:
+		return 1 << 0 // -inf
+	case exp == 0xff:
+		return 1 << 7 // +inf
+	case exp == 0 && man == 0 && sign:
+		return 1 << 3 // -0
+	case exp == 0 && man == 0:
+		return 1 << 4 // +0
+	case exp == 0 && sign:
+		return 1 << 2 // negative subnormal
+	case exp == 0:
+		return 1 << 5 // positive subnormal
+	case sign:
+		return 1 << 1 // negative normal
+	default:
+		return 1 << 6 // positive normal
+	}
+}

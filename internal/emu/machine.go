@@ -1,0 +1,361 @@
+// Package emu implements the RV32 instruction-set emulator at the heart
+// of the virtual platform — the Go replacement for QEMU in the ecosystem.
+// Like QEMU it executes code a translated block at a time: straight-line
+// instruction sequences are decoded once, cached, and replayed, with
+// instrumentation hooks (internal/plugin) dispatched at translation,
+// block, instruction and memory granularity.
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/decode"
+	"repro/internal/dev"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/plugin"
+	"repro/internal/timing"
+)
+
+// maxTBInsts bounds translated-block length, like QEMU's TB size limit.
+const maxTBInsts = 64
+
+// StopReason says why Run returned.
+type StopReason uint8
+
+const (
+	StopNone   StopReason = iota
+	StopExit              // software requested exit via the syscon device
+	StopEbreak            // ebreak with HaltOnEbreak
+	StopTrap              // trap raised with no handler installed (mtvec=0)
+	StopBudget            // instruction budget exhausted
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopNone:
+		return "running"
+	case StopExit:
+		return "exit"
+	case StopEbreak:
+		return "ebreak"
+	case StopTrap:
+		return "unhandled trap"
+	case StopBudget:
+		return "budget exhausted"
+	}
+	return "stop?"
+}
+
+// StopInfo describes how a run ended.
+type StopInfo struct {
+	Reason StopReason
+	Code   uint32 // exit code for StopExit
+	Cause  uint32 // trap cause for StopTrap
+	Tval   uint32 // trap value for StopTrap
+	PC     uint32 // PC at stop
+}
+
+func (s StopInfo) String() string {
+	switch s.Reason {
+	case StopExit:
+		return fmt.Sprintf("exit(%d) at pc=0x%08x", s.Code, s.PC)
+	case StopTrap:
+		return fmt.Sprintf("unhandled trap %q tval=0x%08x at pc=0x%08x",
+			isa.ExcName(s.Cause), s.Tval, s.PC)
+	default:
+		return fmt.Sprintf("%s at pc=0x%08x", s.Reason, s.PC)
+	}
+}
+
+// tb is one translated block.
+type tb struct {
+	info plugin.BlockInfo
+	end  uint32 // exclusive upper address
+}
+
+// Machine is one emulated hart plus its bus, timing model and plugins.
+type Machine struct {
+	Hart cpu.Hart
+	Bus  *mem.Bus
+
+	// Profile selects the cycle model; nil means 1 cycle per instruction.
+	Profile *timing.Profile
+
+	// Clint, when non-nil, drives timer/software interrupts from the
+	// cycle counter.
+	Clint *dev.CLINT
+
+	// Hooks is the plugin registry.
+	Hooks plugin.Hooks
+
+	// ISA restricts the accepted instruction set; executing an
+	// instruction outside it raises an illegal-instruction trap, which
+	// is how the platform scales across ISA-module configurations.
+	ISA isa.ExtSet
+
+	// HaltOnEbreak makes ebreak stop the machine instead of trapping.
+	HaltOnEbreak bool
+
+	// DisableTBCache forces re-translation of every block (the
+	// interpreter-style baseline for the translation-cache ablation).
+	DisableTBCache bool
+
+	stop     *StopInfo
+	tbs      map[uint32]*tb
+	codeLo   uint32
+	codeHi   uint32
+	lastLoad isa.Reg // destination of the immediately preceding load, 0 if none
+
+	// icache holds the direct-mapped I-cache tags (line address + 1;
+	// zero = invalid) when the profile models one.
+	icache []uint32
+}
+
+// New creates a machine on the given bus with the full ISA enabled, the
+// unit timing model, and ebreak halting.
+func New(bus *mem.Bus) *Machine {
+	m := &Machine{
+		Bus:          bus,
+		ISA:          isa.RV32Full,
+		HaltOnEbreak: true,
+		tbs:          make(map[uint32]*tb),
+	}
+	m.Hart.Reset(0)
+	return m
+}
+
+// Reset clears architectural state and the translation cache, and boots
+// at pc.
+func (m *Machine) Reset(pc uint32) {
+	m.Hart.Reset(pc)
+	m.stop = nil
+	m.InvalidateTBs()
+	m.lastLoad = 0
+	m.icache = nil
+}
+
+// icacheFetch simulates the instruction-cache lookup for one fetch and
+// returns the accumulated miss penalty.
+func (m *Machine) icacheFetch(pc uint32, size uint8) uint32 {
+	p := m.Profile
+	lb := p.ICacheLineBytes
+	if m.icache == nil {
+		m.icache = make([]uint32, p.ICacheLines)
+	}
+	var pen uint32
+	first := pc &^ (lb - 1)
+	last := (pc + uint32(size) - 1) &^ (lb - 1)
+	for line := first; ; line += lb {
+		set := line / lb % p.ICacheLines
+		if m.icache[set] != line+1 {
+			m.icache[set] = line + 1
+			pen += p.ICacheMissPenalty
+		}
+		if line == last {
+			break
+		}
+	}
+	return pen
+}
+
+// RequestStop asks the machine to stop with an exit code; the syscon
+// device calls this.
+func (m *Machine) RequestStop(code uint32) {
+	m.stop = &StopInfo{Reason: StopExit, Code: code, PC: m.Hart.PC}
+}
+
+// Stopped returns the pending stop info, if any.
+func (m *Machine) Stopped() *StopInfo { return m.stop }
+
+// ClearStop discards a pending stop so the machine can run again after a
+// snapshot restore.
+func (m *Machine) ClearStop() { m.stop = nil }
+
+// InvalidateTBs drops the translation cache and the modelled I-cache
+// (fence.i, code stores, and the fault injector's instruction mutations
+// call this).
+func (m *Machine) InvalidateTBs() {
+	m.tbs = make(map[uint32]*tb)
+	m.codeLo, m.codeHi = ^uint32(0), 0
+	m.icache = nil
+}
+
+// translate builds (or fetches) the translated block starting at pc.
+func (m *Machine) translate(pc uint32) (*tb, *mem.Fault) {
+	if t, ok := m.tbs[pc]; ok && !m.DisableTBCache {
+		return t, nil
+	}
+	var insts []decode.Inst
+	var addrs []uint32
+	addr := pc
+	for len(insts) < maxTBInsts {
+		lo, f := m.Bus.Fetch16(addr)
+		if f != nil {
+			if len(insts) == 0 {
+				return nil, f
+			}
+			break // block ends at the edge of fetchable memory
+		}
+		var in decode.Inst
+		if decode.IsCompressed(lo) {
+			in = decode.Decode16(lo)
+		} else {
+			hi, f := m.Bus.Fetch16(addr + 2)
+			if f != nil {
+				if len(insts) == 0 {
+					return nil, f
+				}
+				break
+			}
+			in = decode.Decode32(uint32(lo) | uint32(hi)<<16)
+		}
+		insts = append(insts, in)
+		addrs = append(addrs, addr)
+		if !in.Valid() || in.Op.IsControlFlow() || !in.Op.In(m.ISA) {
+			break // terminator: executing it traps or transfers control
+		}
+		if in.Op == isa.OpWFI || in.Op == isa.OpFENCEI {
+			break // serializing instructions end the block
+		}
+		addr += uint32(in.Size)
+	}
+	t := &tb{
+		info: plugin.BlockInfo{PC: pc, Insts: insts, Addrs: addrs},
+	}
+	t.end = pc + t.info.Size()
+	m.tbs[pc] = t
+	if pc < m.codeLo {
+		m.codeLo = pc
+	}
+	if t.end > m.codeHi {
+		m.codeHi = t.end
+	}
+	m.Hooks.Translate(t.info)
+	return t, nil
+}
+
+// pollInterrupts syncs interrupt sources into mip and takes a pending
+// interrupt if one is deliverable.
+func (m *Machine) pollInterrupts() {
+	h := &m.Hart
+	if m.Clint != nil {
+		m.Clint.SetTime(h.Cycle)
+		if m.Clint.TimerPending() {
+			h.Mip |= 1 << isa.IntMachineTimer
+		} else {
+			h.Mip &^= 1 << isa.IntMachineTimer
+		}
+		if m.Clint.SoftwarePending() {
+			h.Mip |= 1 << isa.IntMachineSoftware
+		} else {
+			h.Mip &^= 1 << isa.IntMachineSoftware
+		}
+	}
+	if cause, ok := h.PendingInterrupt(); ok {
+		m.trap(cause|1<<31, 0, h.PC)
+	}
+}
+
+// trap takes a trap or stops the machine if no handler is installed.
+func (m *Machine) trap(cause, tval, pc uint32) {
+	h := &m.Hart
+	m.Hooks.Trap(cause, tval, pc)
+	if h.Mtvec == 0 && cause>>31 == 0 {
+		// Exceptions without a handler stop the simulation: the usual
+		// configuration for bare test programs.
+		m.stop = &StopInfo{Reason: StopTrap, Cause: cause, Tval: tval, PC: pc}
+		return
+	}
+	h.Trap(cause, tval, pc)
+	if m.Profile != nil {
+		h.Cycle += uint64(m.Profile.TrapPenalty)
+	}
+	m.lastLoad = 0
+}
+
+// Run executes until the machine stops or the instruction budget is
+// exhausted. budget 0 means unlimited (dangerous with diverging code).
+func (m *Machine) Run(budget uint64) StopInfo {
+	h := &m.Hart
+	left := budget
+	for m.stop == nil {
+		m.pollInterrupts()
+		if m.stop != nil {
+			break
+		}
+		t, f := m.translate(h.PC)
+		if f != nil {
+			m.trap(f.Cause, f.Addr, h.PC)
+			continue
+		}
+		m.Hooks.BlockExec(t.info)
+		m.lastLoad = 0 // hazard state does not cross block boundaries
+		diverted := false
+		for i, in := range t.info.Insts {
+			if budget != 0 && left == 0 {
+				m.stop = &StopInfo{Reason: StopBudget, PC: h.PC}
+				break
+			}
+			if m.Hooks.HasInsnHooks() {
+				m.Hooks.InsnExec(t.info.Addrs[i], in)
+			}
+			diverted = m.execOne(in)
+			if budget != 0 {
+				left--
+			}
+			if diverted || m.stop != nil {
+				break
+			}
+		}
+		if m.stop == nil && !diverted && budget != 0 && left == 0 {
+			m.stop = &StopInfo{Reason: StopBudget, PC: h.PC}
+		}
+	}
+	s := *m.stop
+	if s.Reason == StopBudget {
+		// A budget stop is resumable: clear it so Run can be called again.
+		m.stop = nil
+	}
+	return s
+}
+
+// Step executes exactly one instruction (no block caching); the fault
+// injector and debugger use it for precise control.
+func (m *Machine) Step() *StopInfo {
+	if m.stop != nil {
+		return m.stop
+	}
+	m.pollInterrupts()
+	if m.stop != nil {
+		return m.stop
+	}
+	h := &m.Hart
+	pc := h.PC
+	lo, f := m.Bus.Fetch16(pc)
+	if f != nil {
+		m.trap(f.Cause, f.Addr, pc)
+		return m.stop
+	}
+	var in decode.Inst
+	if decode.IsCompressed(lo) {
+		in = decode.Decode16(lo)
+	} else {
+		hi, f := m.Bus.Fetch16(pc + 2)
+		if f != nil {
+			m.trap(f.Cause, f.Addr, pc)
+			return m.stop
+		}
+		in = decode.Decode32(uint32(lo) | uint32(hi)<<16)
+	}
+	if m.Hooks.HasInsnHooks() {
+		m.Hooks.InsnExec(pc, in)
+	}
+	m.execOne(in)
+	return m.stop
+}
+
+// UART-style convenience: expose the translation cache size for the
+// ablation benchmarks.
+func (m *Machine) CachedBlocks() int { return len(m.tbs) }

@@ -1,0 +1,330 @@
+// Package encode produces RISC-V machine code from decoded instruction
+// structures. It is the exact inverse of internal/decode over the shared
+// pattern table in internal/isa, a property the test suite checks
+// exhaustively; the assembler, torture generator and fault mutator all
+// emit code through it.
+package encode
+
+import (
+	"fmt"
+
+	"repro/internal/decode"
+	"repro/internal/isa"
+)
+
+// Encode encodes a 32-bit instruction. Compressed ops are rejected; use
+// Encode16. The instruction's operand fields must be within architectural
+// ranges (immediates representable, registers < 32).
+func Encode(in decode.Inst) (uint32, error) {
+	p, ok := isa.PatternFor(in.Op)
+	if !ok {
+		if in.Op.Extension() == isa.ExtC {
+			return 0, fmt.Errorf("encode: %s is a compressed instruction; use Encode16", in.Op)
+		}
+		return 0, fmt.Errorf("encode: no encoding for %s", in.Op)
+	}
+	if !in.Rd.Valid() || !in.Rs1.Valid() || !in.Rs2.Valid() || !in.Rs3.Valid() {
+		return 0, fmt.Errorf("encode: %s: register index out of range", in.Op)
+	}
+	w := p.Match
+	rd := uint32(in.Rd) << 7
+	rs1 := uint32(in.Rs1) << 15
+	rs2 := uint32(in.Rs2) << 20
+	switch p.Fmt {
+	case isa.FmtNone:
+		// fixed encoding
+	case isa.FmtR:
+		w |= rd | rs1 | rs2
+	case isa.FmtR4:
+		w |= rd | rs1 | rs2 | uint32(in.Rs3)<<27
+	case isa.FmtI:
+		if in.Imm < -2048 || in.Imm > 2047 {
+			return 0, fmt.Errorf("encode: %s: immediate %d out of range [-2048,2047]", in.Op, in.Imm)
+		}
+		w |= rd | rs1 | uint32(in.Imm)&0xfff<<20
+	case isa.FmtIShift:
+		if in.Imm < 0 || in.Imm > 31 {
+			return 0, fmt.Errorf("encode: %s: shift amount %d out of range [0,31]", in.Op, in.Imm)
+		}
+		w |= rd | rs1 | uint32(in.Imm)<<20
+	case isa.FmtS:
+		if in.Imm < -2048 || in.Imm > 2047 {
+			return 0, fmt.Errorf("encode: %s: offset %d out of range [-2048,2047]", in.Op, in.Imm)
+		}
+		imm := uint32(in.Imm) & 0xfff
+		w |= rs1 | rs2 | imm>>5<<25 | imm&31<<7
+	case isa.FmtB:
+		if in.Imm < -4096 || in.Imm > 4095 || in.Imm&1 != 0 {
+			return 0, fmt.Errorf("encode: %s: branch offset %d invalid", in.Op, in.Imm)
+		}
+		imm := uint32(in.Imm)
+		w |= rs1 | rs2
+		w |= imm >> 12 & 1 << 31
+		w |= imm >> 5 & 0x3f << 25
+		w |= imm >> 1 & 0xf << 8
+		w |= imm >> 11 & 1 << 7
+	case isa.FmtU:
+		if uint32(in.Imm)&0xfff != 0 {
+			return 0, fmt.Errorf("encode: %s: immediate 0x%x has low bits set", in.Op, uint32(in.Imm))
+		}
+		w |= rd | uint32(in.Imm)
+	case isa.FmtJ:
+		if in.Imm < -(1<<20) || in.Imm >= 1<<20 || in.Imm&1 != 0 {
+			return 0, fmt.Errorf("encode: %s: jump offset %d invalid", in.Op, in.Imm)
+		}
+		imm := uint32(in.Imm)
+		w |= rd
+		w |= imm >> 20 & 1 << 31
+		w |= imm >> 1 & 0x3ff << 21
+		w |= imm >> 11 & 1 << 20
+		w |= imm >> 12 & 0xff << 12
+	case isa.FmtCSR:
+		w |= rd | rs1 | uint32(in.CSR)<<20
+	case isa.FmtCSRI:
+		if in.Imm < 0 || in.Imm > 31 {
+			return 0, fmt.Errorf("encode: %s: uimm %d out of range [0,31]", in.Op, in.Imm)
+		}
+		w |= rd | uint32(in.Imm)<<15 | uint32(in.CSR)<<20
+	case isa.FmtRUnary:
+		w |= rd | rs1
+	default:
+		return 0, fmt.Errorf("encode: %s: unhandled format %v", in.Op, p.Fmt)
+	}
+	return w, nil
+}
+
+// MustEncode is Encode for statically known-valid instructions; it panics
+// on error. Intended for tables and tests.
+func MustEncode(in decode.Inst) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Encode16 encodes a compressed (C extension) instruction. The operand
+// fields must already be in their expanded form, exactly as Decode16
+// produces them (full register indices, scaled immediates).
+func Encode16(in decode.Inst) (uint16, error) {
+	cr := func(r isa.Reg) (uint32, error) {
+		if r < 8 || r > 15 {
+			return 0, fmt.Errorf("encode: %s: register %s not in x8..x15", in.Op, r)
+		}
+		return uint32(r) - 8, nil
+	}
+	imm := uint32(in.Imm)
+	switch in.Op {
+	case isa.OpCNOP:
+		return 0x0001, nil
+	case isa.OpCEBREAK:
+		return 0x9002, nil
+	case isa.OpCADDI4SPN:
+		rd, err := cr(in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		if in.Imm <= 0 || in.Imm > 1020 || in.Imm&3 != 0 {
+			return 0, fmt.Errorf("encode: c.addi4spn: immediate %d invalid", in.Imm)
+		}
+		w := uint32(0x0000) | rd<<2
+		w |= imm >> 4 & 3 << 11
+		w |= imm >> 6 & 15 << 7
+		w |= imm >> 2 & 1 << 6
+		w |= imm >> 3 & 1 << 5
+		return uint16(w), nil
+	case isa.OpCLW, isa.OpCSW:
+		r1, err := cr(in.Rs1)
+		if err != nil {
+			return 0, err
+		}
+		var rx uint32
+		if in.Op == isa.OpCLW {
+			rx, err = cr(in.Rd)
+		} else {
+			rx, err = cr(in.Rs2)
+		}
+		if err != nil {
+			return 0, err
+		}
+		if in.Imm < 0 || in.Imm > 124 || in.Imm&3 != 0 {
+			return 0, fmt.Errorf("encode: %s: offset %d invalid", in.Op, in.Imm)
+		}
+		var w uint32
+		if in.Op == isa.OpCLW {
+			w = 0x4000
+		} else {
+			w = 0xc000
+		}
+		w |= r1<<7 | rx<<2
+		w |= imm >> 3 & 7 << 10
+		w |= imm >> 2 & 1 << 6
+		w |= imm >> 6 & 1 << 5
+		return uint16(w), nil
+	case isa.OpCADDI, isa.OpCLI:
+		if in.Imm < -32 || in.Imm > 31 {
+			return 0, fmt.Errorf("encode: %s: immediate %d out of range [-32,31]", in.Op, in.Imm)
+		}
+		var w uint32
+		if in.Op == isa.OpCADDI {
+			w = 0x0001
+		} else {
+			w = 0x4001
+		}
+		w |= uint32(in.Rd) << 7
+		w |= imm >> 5 & 1 << 12
+		w |= imm & 31 << 2
+		return uint16(w), nil
+	case isa.OpCJAL, isa.OpCJ:
+		if in.Imm < -2048 || in.Imm > 2047 || in.Imm&1 != 0 {
+			return 0, fmt.Errorf("encode: %s: offset %d invalid", in.Op, in.Imm)
+		}
+		var w uint32
+		if in.Op == isa.OpCJAL {
+			w = 0x2001
+		} else {
+			w = 0xa001
+		}
+		w |= imm >> 11 & 1 << 12
+		w |= imm >> 4 & 1 << 11
+		w |= imm >> 8 & 3 << 9
+		w |= imm >> 10 & 1 << 8
+		w |= imm >> 6 & 1 << 7
+		w |= imm >> 7 & 1 << 6
+		w |= imm >> 1 & 7 << 3
+		w |= imm >> 5 & 1 << 2
+		return uint16(w), nil
+	case isa.OpCADDI16SP:
+		if in.Imm < -512 || in.Imm > 511 || in.Imm&15 != 0 || in.Imm == 0 {
+			return 0, fmt.Errorf("encode: c.addi16sp: immediate %d invalid", in.Imm)
+		}
+		w := uint32(0x6101)
+		w |= imm >> 9 & 1 << 12
+		w |= imm >> 4 & 1 << 6
+		w |= imm >> 6 & 1 << 5
+		w |= imm >> 7 & 3 << 3
+		w |= imm >> 5 & 1 << 2
+		return uint16(w), nil
+	case isa.OpCLUI:
+		if in.Rd == 0 || in.Rd == isa.SP {
+			return 0, fmt.Errorf("encode: c.lui: rd must not be x0/x2")
+		}
+		hi := in.Imm >> 12
+		if hi < -32 || hi > 31 || hi == 0 || in.Imm&0xfff != 0 {
+			return 0, fmt.Errorf("encode: c.lui: immediate 0x%x invalid", uint32(in.Imm))
+		}
+		w := uint32(0x6001) | uint32(in.Rd)<<7
+		w |= uint32(hi) >> 5 & 1 << 12
+		w |= uint32(hi) & 31 << 2
+		return uint16(w), nil
+	case isa.OpCSRLI, isa.OpCSRAI, isa.OpCANDI:
+		rd, err := cr(in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		var w uint32
+		switch in.Op {
+		case isa.OpCSRLI:
+			w = 0x8001
+			if in.Imm < 0 || in.Imm > 31 {
+				return 0, fmt.Errorf("encode: c.srli: shamt %d invalid", in.Imm)
+			}
+		case isa.OpCSRAI:
+			w = 0x8401
+			if in.Imm < 0 || in.Imm > 31 {
+				return 0, fmt.Errorf("encode: c.srai: shamt %d invalid", in.Imm)
+			}
+		case isa.OpCANDI:
+			w = 0x8801
+			if in.Imm < -32 || in.Imm > 31 {
+				return 0, fmt.Errorf("encode: c.andi: immediate %d invalid", in.Imm)
+			}
+			w |= imm >> 5 & 1 << 12
+		}
+		w |= rd<<7 | imm&31<<2
+		return uint16(w), nil
+	case isa.OpCSUB, isa.OpCXOR, isa.OpCOR, isa.OpCAND:
+		rd, err := cr(in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		r2, err := cr(in.Rs2)
+		if err != nil {
+			return 0, err
+		}
+		w := uint32(0x8c01) | rd<<7 | r2<<2
+		switch in.Op {
+		case isa.OpCXOR:
+			w |= 1 << 5
+		case isa.OpCOR:
+			w |= 2 << 5
+		case isa.OpCAND:
+			w |= 3 << 5
+		}
+		return uint16(w), nil
+	case isa.OpCBEQZ, isa.OpCBNEZ:
+		r1, err := cr(in.Rs1)
+		if err != nil {
+			return 0, err
+		}
+		if in.Imm < -256 || in.Imm > 255 || in.Imm&1 != 0 {
+			return 0, fmt.Errorf("encode: %s: offset %d invalid", in.Op, in.Imm)
+		}
+		var w uint32
+		if in.Op == isa.OpCBEQZ {
+			w = 0xc001
+		} else {
+			w = 0xe001
+		}
+		w |= r1 << 7
+		w |= imm >> 8 & 1 << 12
+		w |= imm >> 3 & 3 << 10
+		w |= imm >> 6 & 3 << 5
+		w |= imm >> 1 & 3 << 3
+		w |= imm >> 5 & 1 << 2
+		return uint16(w), nil
+	case isa.OpCSLLI:
+		if in.Rd == 0 || in.Imm < 0 || in.Imm > 31 {
+			return 0, fmt.Errorf("encode: c.slli: invalid operands")
+		}
+		return uint16(0x0002 | uint32(in.Rd)<<7 | imm&31<<2), nil
+	case isa.OpCLWSP:
+		if in.Rd == 0 || in.Imm < 0 || in.Imm > 252 || in.Imm&3 != 0 {
+			return 0, fmt.Errorf("encode: c.lwsp: invalid operands")
+		}
+		w := uint32(0x4002) | uint32(in.Rd)<<7
+		w |= imm >> 5 & 1 << 12
+		w |= imm >> 2 & 7 << 4
+		w |= imm >> 6 & 3 << 2
+		return uint16(w), nil
+	case isa.OpCSWSP:
+		if in.Imm < 0 || in.Imm > 252 || in.Imm&3 != 0 {
+			return 0, fmt.Errorf("encode: c.swsp: offset %d invalid", in.Imm)
+		}
+		w := uint32(0xc002) | uint32(in.Rs2)<<2
+		w |= imm >> 2 & 15 << 9
+		w |= imm >> 6 & 3 << 7
+		return uint16(w), nil
+	case isa.OpCJR:
+		if in.Rs1 == 0 {
+			return 0, fmt.Errorf("encode: c.jr: rs1 must not be x0")
+		}
+		return uint16(0x8002 | uint32(in.Rs1)<<7), nil
+	case isa.OpCJALR:
+		if in.Rs1 == 0 {
+			return 0, fmt.Errorf("encode: c.jalr: rs1 must not be x0")
+		}
+		return uint16(0x9002 | uint32(in.Rs1)<<7), nil
+	case isa.OpCMV:
+		if in.Rs2 == 0 {
+			return 0, fmt.Errorf("encode: c.mv: rs2 must not be x0")
+		}
+		return uint16(0x8002 | uint32(in.Rd)<<7 | uint32(in.Rs2)<<2), nil
+	case isa.OpCADD:
+		if in.Rs2 == 0 {
+			return 0, fmt.Errorf("encode: c.add: rs2 must not be x0")
+		}
+		return uint16(0x9002 | uint32(in.Rd)<<7 | uint32(in.Rs2)<<2), nil
+	}
+	return 0, fmt.Errorf("encode: %s is not a compressed instruction", in.Op)
+}

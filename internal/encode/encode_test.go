@@ -1,0 +1,330 @@
+package encode
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/decode"
+	"repro/internal/isa"
+)
+
+// randInst builds a random architecturally valid instruction for op.
+func randInst(rng *rand.Rand, op isa.Op) decode.Inst {
+	p, ok := isa.PatternFor(op)
+	if !ok {
+		panic("randInst: no pattern for " + op.String())
+	}
+	in := decode.Inst{Op: op}
+	reg := func() isa.Reg { return isa.Reg(rng.Intn(32)) }
+	switch p.Fmt {
+	case isa.FmtNone:
+	case isa.FmtR:
+		in.Rd, in.Rs1, in.Rs2 = reg(), reg(), reg()
+	case isa.FmtR4:
+		in.Rd, in.Rs1, in.Rs2, in.Rs3 = reg(), reg(), reg(), reg()
+	case isa.FmtI:
+		in.Rd, in.Rs1 = reg(), reg()
+		in.Imm = int32(rng.Intn(4096) - 2048)
+	case isa.FmtIShift:
+		in.Rd, in.Rs1 = reg(), reg()
+		in.Imm = int32(rng.Intn(32))
+	case isa.FmtS:
+		in.Rs1, in.Rs2 = reg(), reg()
+		in.Imm = int32(rng.Intn(4096) - 2048)
+	case isa.FmtB:
+		in.Rs1, in.Rs2 = reg(), reg()
+		in.Imm = int32(rng.Intn(4096)-2048) * 2
+	case isa.FmtU:
+		in.Rd = reg()
+		in.Imm = int32(rng.Uint32() & 0xfffff000)
+	case isa.FmtJ:
+		in.Rd = reg()
+		in.Imm = int32(rng.Intn(1<<20)-1<<19) * 2
+	case isa.FmtCSR:
+		in.Rd, in.Rs1 = reg(), reg()
+		in.CSR = isa.CSR(rng.Intn(1 << 12))
+	case isa.FmtCSRI:
+		in.Rd = reg()
+		in.Imm = int32(rng.Intn(32))
+		in.CSR = isa.CSR(rng.Intn(1 << 12))
+	case isa.FmtRUnary:
+		in.Rd, in.Rs1 = reg(), reg()
+	}
+	return in
+}
+
+// normalize clears fields that are not part of op's encoding so decoded
+// instructions can be compared field-wise with their sources.
+func normalize(in decode.Inst) decode.Inst {
+	in.Raw = 0
+	in.Size = 0
+	return in
+}
+
+// The fundamental decoder/encoder contract: decode(encode(i)) == i for
+// every op and every valid operand assignment.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, op := range isa.Ops() {
+		if op.Extension() == isa.ExtC {
+			continue
+		}
+		for trial := 0; trial < 200; trial++ {
+			want := randInst(rng, op)
+			w, err := Encode(want)
+			if err != nil {
+				t.Fatalf("%v: encode %+v: %v", op, want, err)
+			}
+			got := decode.Decode32(w)
+			if got.Op != op {
+				t.Fatalf("%v: encoded 0x%08x decodes to %v (%+v)", op, w, got.Op, want)
+			}
+			if normalize(got) != normalize(want) {
+				t.Fatalf("%v: round trip mismatch:\n  in:  %+v\n  out: %+v\n  word 0x%08x",
+					op, want, got, w)
+			}
+		}
+	}
+}
+
+// Compressed round trip over every compressed op.
+func TestEncode16DecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	creg := func() isa.Reg { return isa.Reg(8 + rng.Intn(8)) }
+	full := func() isa.Reg { return isa.Reg(1 + rng.Intn(31)) }
+	gen := map[isa.Op]func() decode.Inst{
+		isa.OpCNOP:    func() decode.Inst { return decode.Inst{Op: isa.OpCNOP} },
+		isa.OpCEBREAK: func() decode.Inst { return decode.Inst{Op: isa.OpCEBREAK} },
+		isa.OpCADDI4SPN: func() decode.Inst {
+			return decode.Inst{Op: isa.OpCADDI4SPN, Rd: creg(), Rs1: isa.SP,
+				Imm: int32(rng.Intn(255)+1) * 4}
+		},
+		isa.OpCLW: func() decode.Inst {
+			return decode.Inst{Op: isa.OpCLW, Rd: creg(), Rs1: creg(),
+				Imm: int32(rng.Intn(32)) * 4}
+		},
+		isa.OpCSW: func() decode.Inst {
+			return decode.Inst{Op: isa.OpCSW, Rs2: creg(), Rs1: creg(),
+				Imm: int32(rng.Intn(32)) * 4}
+		},
+		isa.OpCADDI: func() decode.Inst {
+			r := full()
+			imm := int32(rng.Intn(63) - 31)
+			if r == 0 && imm == 0 {
+				imm = 1
+			}
+			return decode.Inst{Op: isa.OpCADDI, Rd: r, Rs1: r, Imm: imm}
+		},
+		isa.OpCJAL: func() decode.Inst {
+			return decode.Inst{Op: isa.OpCJAL, Rd: isa.RA,
+				Imm: int32(rng.Intn(2048)-1024) * 2}
+		},
+		isa.OpCJ: func() decode.Inst {
+			return decode.Inst{Op: isa.OpCJ, Rd: isa.Zero,
+				Imm: int32(rng.Intn(2048)-1024) * 2}
+		},
+		isa.OpCLI: func() decode.Inst {
+			return decode.Inst{Op: isa.OpCLI, Rd: full(),
+				Imm: int32(rng.Intn(64) - 32)}
+		},
+		isa.OpCADDI16SP: func() decode.Inst {
+			imm := int32(rng.Intn(63)-31) * 16
+			if imm == 0 {
+				imm = 16
+			}
+			return decode.Inst{Op: isa.OpCADDI16SP, Rd: isa.SP, Rs1: isa.SP, Imm: imm}
+		},
+		isa.OpCLUI: func() decode.Inst {
+			r := full()
+			for r == isa.SP {
+				r = full()
+			}
+			hi := int32(rng.Intn(63) - 31)
+			if hi == 0 {
+				hi = 1
+			}
+			return decode.Inst{Op: isa.OpCLUI, Rd: r, Imm: hi << 12}
+		},
+		isa.OpCSRLI: func() decode.Inst {
+			r := creg()
+			return decode.Inst{Op: isa.OpCSRLI, Rd: r, Rs1: r, Imm: int32(rng.Intn(32))}
+		},
+		isa.OpCSRAI: func() decode.Inst {
+			r := creg()
+			return decode.Inst{Op: isa.OpCSRAI, Rd: r, Rs1: r, Imm: int32(rng.Intn(32))}
+		},
+		isa.OpCANDI: func() decode.Inst {
+			r := creg()
+			return decode.Inst{Op: isa.OpCANDI, Rd: r, Rs1: r, Imm: int32(rng.Intn(64) - 32)}
+		},
+		isa.OpCSUB: func() decode.Inst {
+			r := creg()
+			return decode.Inst{Op: isa.OpCSUB, Rd: r, Rs1: r, Rs2: creg()}
+		},
+		isa.OpCXOR: func() decode.Inst {
+			r := creg()
+			return decode.Inst{Op: isa.OpCXOR, Rd: r, Rs1: r, Rs2: creg()}
+		},
+		isa.OpCOR: func() decode.Inst {
+			r := creg()
+			return decode.Inst{Op: isa.OpCOR, Rd: r, Rs1: r, Rs2: creg()}
+		},
+		isa.OpCAND: func() decode.Inst {
+			r := creg()
+			return decode.Inst{Op: isa.OpCAND, Rd: r, Rs1: r, Rs2: creg()}
+		},
+		isa.OpCBEQZ: func() decode.Inst {
+			return decode.Inst{Op: isa.OpCBEQZ, Rs1: creg(), Rs2: isa.Zero,
+				Imm: int32(rng.Intn(256)-128) * 2}
+		},
+		isa.OpCBNEZ: func() decode.Inst {
+			return decode.Inst{Op: isa.OpCBNEZ, Rs1: creg(), Rs2: isa.Zero,
+				Imm: int32(rng.Intn(256)-128) * 2}
+		},
+		isa.OpCSLLI: func() decode.Inst {
+			r := full()
+			return decode.Inst{Op: isa.OpCSLLI, Rd: r, Rs1: r, Imm: int32(rng.Intn(32))}
+		},
+		isa.OpCLWSP: func() decode.Inst {
+			return decode.Inst{Op: isa.OpCLWSP, Rd: full(), Rs1: isa.SP,
+				Imm: int32(rng.Intn(64)) * 4}
+		},
+		isa.OpCSWSP: func() decode.Inst {
+			return decode.Inst{Op: isa.OpCSWSP, Rs2: isa.Reg(rng.Intn(32)), Rs1: isa.SP,
+				Imm: int32(rng.Intn(64)) * 4}
+		},
+		isa.OpCJR:   func() decode.Inst { return decode.Inst{Op: isa.OpCJR, Rs1: full()} },
+		isa.OpCJALR: func() decode.Inst { return decode.Inst{Op: isa.OpCJALR, Rd: isa.RA, Rs1: full()} },
+		isa.OpCMV: func() decode.Inst {
+			return decode.Inst{Op: isa.OpCMV, Rd: full(), Rs2: full()}
+		},
+		isa.OpCADD: func() decode.Inst {
+			r := full()
+			return decode.Inst{Op: isa.OpCADD, Rd: r, Rs1: r, Rs2: full()}
+		},
+	}
+	for _, op := range isa.Ops() {
+		if op.Extension() != isa.ExtC {
+			continue
+		}
+		g, ok := gen[op]
+		if !ok {
+			t.Fatalf("no generator for compressed op %v", op)
+		}
+		for trial := 0; trial < 200; trial++ {
+			want := g()
+			h, err := Encode16(want)
+			if err != nil {
+				t.Fatalf("%v: encode %+v: %v", op, want, err)
+			}
+			got := decode.Decode16(h)
+			if got.Op != op {
+				t.Fatalf("%v: encoded 0x%04x decodes to %v (%+v)", op, h, got.Op, want)
+			}
+			if normalize(got) != normalize(want) {
+				t.Fatalf("%v: round trip mismatch:\n  in:  %+v\n  out: %+v\n  half 0x%04x",
+					op, want, got, h)
+			}
+		}
+	}
+}
+
+// Property: any valid compressed decode re-encodes to the identical bits
+// (the compressed format has canonical encodings for everything we accept).
+func TestDecode16EncodeFixedPoint(t *testing.T) {
+	for w := 0; w < 1<<16; w++ {
+		in := decode.Decode16(uint16(w))
+		if !in.Valid() {
+			continue
+		}
+		h, err := Encode16(in)
+		if err != nil {
+			t.Fatalf("0x%04x decoded to %v but re-encode failed: %v", w, in, err)
+		}
+		if h != uint16(w) {
+			t.Fatalf("0x%04x -> %v -> 0x%04x (not a fixed point)", w, in, h)
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	cases := []decode.Inst{
+		{Op: isa.OpADDI, Rd: 1, Rs1: 1, Imm: 2048},
+		{Op: isa.OpADDI, Rd: 1, Rs1: 1, Imm: -2049},
+		{Op: isa.OpSLLI, Rd: 1, Rs1: 1, Imm: 32},
+		{Op: isa.OpSW, Rs1: 1, Rs2: 2, Imm: 4000},
+		{Op: isa.OpBEQ, Rs1: 1, Rs2: 2, Imm: 3},    // odd
+		{Op: isa.OpBEQ, Rs1: 1, Rs2: 2, Imm: 5000}, // too far
+		{Op: isa.OpLUI, Rd: 1, Imm: 0x123},         // low bits set
+		{Op: isa.OpJAL, Rd: 1, Imm: 1 << 20},       // too far
+		{Op: isa.OpCSRRWI, Rd: 1, Imm: 32, CSR: 0x300},
+	}
+	for _, c := range cases {
+		if _, err := Encode(c); err == nil {
+			t.Errorf("Encode(%+v) should have failed", c)
+		}
+	}
+}
+
+func TestEncodeRejectsCompressedOps(t *testing.T) {
+	if _, err := Encode(decode.Inst{Op: isa.OpCADDI, Rd: 1, Rs1: 1, Imm: 1}); err == nil {
+		t.Error("Encode must reject compressed ops")
+	}
+	if _, err := Encode16(decode.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 1}); err == nil {
+		t.Error("Encode16 must reject 32-bit ops")
+	}
+}
+
+// testing/quick property: any ADDI with in-range immediate round-trips.
+func TestQuickADDIRoundTrip(t *testing.T) {
+	f := func(rd, rs1 uint8, imm int16) bool {
+		in := decode.Inst{
+			Op:  isa.OpADDI,
+			Rd:  isa.Reg(rd % 32),
+			Rs1: isa.Reg(rs1 % 32),
+			Imm: int32(imm % 2048),
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out := decode.Decode32(w)
+		return normalize(out) == normalize(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// testing/quick property: branch offsets round-trip over the full range.
+func TestQuickBranchOffsets(t *testing.T) {
+	f := func(rs1, rs2 uint8, off int16) bool {
+		in := decode.Inst{
+			Op:  isa.OpBNE,
+			Rs1: isa.Reg(rs1 % 32),
+			Rs2: isa.Reg(rs2 % 32),
+			Imm: int32(off) * 2 / 2 * 2, // force even, stays in ±4094
+		}
+		if in.Imm < -4096 || in.Imm > 4095 {
+			return true // out of encodable range, skip
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		return decode.Decode32(w).Imm == in.Imm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode should panic on invalid input")
+		}
+	}()
+	MustEncode(decode.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 1, Imm: 99999})
+}

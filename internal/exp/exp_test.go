@@ -1,0 +1,106 @@
+package exp_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/fault"
+	"repro/internal/isa"
+	"repro/internal/timing"
+)
+
+func TestE1ListsEveryComponent(t *testing.T) {
+	out := exp.E1Inventory()
+	for _, frag := range []string{"internal/emu", "internal/qta", "internal/wcet",
+		"internal/fault", "internal/cover", "internal/torture"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("inventory missing %s", frag)
+		}
+	}
+}
+
+func TestE2AllSound(t *testing.T) {
+	rows, table, err := exp.E2QTA(timing.EdgeSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 12 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Sound() {
+			t.Errorf("%s unsound: %+v", r.Program, r)
+		}
+	}
+	if !strings.Contains(table, "static/dyn") {
+		t.Error("table header missing")
+	}
+}
+
+func TestE4ShapesHold(t *testing.T) {
+	rows, _, err := exp.E4Coverage(isa.RV32IM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]exp.CoverageRow{}
+	for _, r := range rows {
+		byName[r.Suite] = r
+	}
+	arch, tor, union := byName["architectural"], byName["torture"], byName["union"]
+	if arch.Report.GPRCovered >= tor.Report.GPRCovered {
+		t.Error("architectural should touch fewer GPRs than torture")
+	}
+	if tor.Report.OpsCovered >= arch.Report.OpsCovered {
+		t.Error("torture should cover fewer op types than architectural")
+	}
+	if union.Report.GPRCovered != 32 {
+		t.Errorf("union GPR = %d", union.Report.GPRCovered)
+	}
+}
+
+func TestE5KeyFaultsAreNeverMasked(t *testing.T) {
+	res, table, err := exp.E5Faults("xtea", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := res.ByModel[fault.MemPermanent]
+	if mem[fault.Masked] != 0 {
+		t.Errorf("stuck bits in the XTEA key were masked: %v", mem)
+	}
+	if !strings.Contains(table, "mutants") {
+		t.Error("table header missing")
+	}
+}
+
+func TestE7PopcountWinsBig(t *testing.T) {
+	rows, _, err := exp.E7BMI(timing.EdgeSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pop *exp.SpeedupRow
+	for i, r := range rows {
+		if r.Kernel == "popcount" {
+			pop = &rows[i]
+		}
+		if r.Speedup <= 1 {
+			t.Errorf("%s: BMI not faster (%.2f)", r.Kernel, r.Speedup)
+		}
+	}
+	if pop == nil || pop.Speedup < 3 {
+		t.Errorf("popcount speedup should be the headline (>3x): %+v", pop)
+	}
+}
+
+func TestAllSelectsExperiments(t *testing.T) {
+	out, err := exp.All([]string{"e1", "e7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E1:") || !strings.Contains(out, "E7:") {
+		t.Error("selected experiments missing")
+	}
+	if strings.Contains(out, "E5:") {
+		t.Error("unselected experiment ran")
+	}
+}

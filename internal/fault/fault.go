@@ -1,0 +1,474 @@
+// Package fault implements the QEMU-based fault effect analysis of the
+// ecosystem: automatic generation of bit-flip faults (transient register
+// flips, permanent memory and instruction-word corruption), mutant
+// execution on the virtual platform, and classification of each outcome
+// against a golden run — the qualification flow safety standards like
+// ISO 26262 require for embedded software.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/timing"
+	"repro/internal/vp"
+)
+
+// Model is the fault model of one injection.
+type Model uint8
+
+const (
+	// GPRTransient flips one bit of one register once, after a trigger
+	// number of retired instructions (an SEU in the register file).
+	GPRTransient Model = iota
+	// GPRPermanent forces one bit of one register to a stuck value for
+	// the whole run (a defective register-file cell). Simulated by
+	// re-applying the stuck value before every instruction.
+	GPRPermanent
+	// MemPermanent flips one bit in RAM before execution (a stuck cell
+	// in the data section).
+	MemPermanent
+	// CodeBitflip flips one bit of one instruction word before
+	// execution (a corrupted fetch path / flash cell).
+	CodeBitflip
+)
+
+func (m Model) String() string {
+	switch m {
+	case GPRTransient:
+		return "gpr-transient"
+	case GPRPermanent:
+		return "gpr-permanent"
+	case MemPermanent:
+		return "mem-permanent"
+	case CodeBitflip:
+		return "code-bitflip"
+	}
+	return "model?"
+}
+
+// Fault is one concrete injection.
+type Fault struct {
+	Model   Model
+	Reg     isa.Reg // GPRTransient / GPRPermanent
+	Bit     uint8   // bit index (register/word) or bit-in-byte (memory)
+	Stuck1  bool    // GPRPermanent: stuck-at-1 instead of stuck-at-0
+	Addr    uint32  // MemPermanent / CodeBitflip target address
+	Trigger uint64  // GPRTransient: retired instructions before the flip
+}
+
+func (f Fault) String() string {
+	switch f.Model {
+	case GPRTransient:
+		return fmt.Sprintf("%v %s bit %d @ inst %d", f.Model, f.Reg, f.Bit, f.Trigger)
+	case GPRPermanent:
+		v := 0
+		if f.Stuck1 {
+			v = 1
+		}
+		return fmt.Sprintf("%v %s bit %d stuck-at-%d", f.Model, f.Reg, f.Bit, v)
+	default:
+		return fmt.Sprintf("%v 0x%08x bit %d", f.Model, f.Addr, f.Bit)
+	}
+}
+
+// Outcome classifies one mutant run.
+type Outcome uint8
+
+const (
+	// Masked: the run finished normally with the golden result.
+	Masked Outcome = iota
+	// SDC: silent data corruption — finished normally, wrong result.
+	SDC
+	// Trapped: the fault surfaced as a trap (illegal instruction,
+	// access fault, ...) or unexpected ebreak.
+	Trapped
+	// Hung: the instruction budget expired (livelock/runaway).
+	Hung
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Masked:
+		return "masked"
+	case SDC:
+		return "sdc"
+	case Trapped:
+		return "trapped"
+	case Hung:
+		return "hung"
+	}
+	return "outcome?"
+}
+
+// Golden is the reference behaviour of the fault-free program.
+type Golden struct {
+	Stop   emu.StopInfo
+	Output string
+	Insts  uint64 // retired instructions of the fault-free run
+}
+
+// Target describes the program under campaign.
+type Target struct {
+	Program *asm.Program
+	Budget  uint64
+	Profile *timing.Profile
+	Sensor  []int16
+
+	// RAMSize bounds the platform memory; 0 picks a minimal size
+	// covering the image plus stack headroom, which keeps per-worker
+	// platforms and snapshots cheap.
+	RAMSize uint32
+}
+
+func (t *Target) ramSize() uint32 {
+	if t.RAMSize != 0 {
+		return t.RAMSize
+	}
+	need := uint32(len(t.Program.Bytes)) + 64<<10
+	const minRAM = 1 << 20
+	if need < minRAM {
+		return minRAM
+	}
+	return need
+}
+
+// newPlatform builds a fresh loaded platform for one run.
+func (t *Target) newPlatform() (*vp.Platform, error) {
+	p, err := vp.New(vp.Config{Profile: t.Profile, Sensor: t.Sensor, RAMSize: t.ramSize()})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.LoadProgram(t.Program); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// injector owns one reusable platform plus its post-load snapshot; each
+// campaign worker holds one, restoring between mutants instead of
+// rebuilding the platform (the throughput mechanism of the campaign
+// runner).
+type injector struct {
+	t    *Target
+	p    *vp.Platform
+	base *vp.Snapshot
+}
+
+func newInjector(t *Target) (*injector, error) {
+	p, err := t.newPlatform()
+	if err != nil {
+		return nil, err
+	}
+	return &injector{t: t, p: p, base: p.Snapshot()}, nil
+}
+
+// RunGolden executes the fault-free program and records its behaviour.
+func RunGolden(t *Target) (*Golden, error) {
+	p, err := t.newPlatform()
+	if err != nil {
+		return nil, err
+	}
+	stop := p.Run(t.Budget)
+	if stop.Reason != emu.StopExit && stop.Reason != emu.StopEbreak {
+		return nil, fmt.Errorf("fault: golden run ended with %v", stop)
+	}
+	return &Golden{Stop: stop, Output: p.Output(), Insts: p.Machine.Hart.Instret}, nil
+}
+
+// Inject runs one mutant and classifies it against the golden behaviour.
+func Inject(t *Target, g *Golden, f Fault) (Outcome, error) {
+	inj, err := newInjector(t)
+	if err != nil {
+		return 0, err
+	}
+	return inj.run(g, f)
+}
+
+// run executes one mutant on the injector's recycled platform.
+func (inj *injector) run(g *Golden, f Fault) (Outcome, error) {
+	t := inj.t
+	p := inj.p
+	inj.p.Restore(inj.base)
+	switch f.Model {
+	case MemPermanent, CodeBitflip:
+		ram := p.RAM.Bytes()
+		off := f.Addr - vp.RAMBase
+		if int(off) >= len(ram) {
+			return 0, fmt.Errorf("fault: address 0x%08x outside RAM", f.Addr)
+		}
+		ram[off+uint32(f.Bit/8)] ^= 1 << (f.Bit % 8)
+		p.Machine.InvalidateTBs()
+	}
+
+	if f.Model == GPRPermanent {
+		return injectStuck(t, g, f, p)
+	}
+
+	var stop emu.StopInfo
+	if f.Model == GPRTransient {
+		stop = p.Run(f.Trigger)
+		if stop.Reason == emu.StopBudget {
+			p.Machine.Hart.X[f.Reg] ^= 1 << f.Bit
+			if f.Reg == 0 {
+				p.Machine.Hart.X[0] = 0 // x0 is hardwired; flip is absorbed
+			}
+			remaining := uint64(1)
+			if t.Budget > f.Trigger {
+				remaining = t.Budget - f.Trigger
+			}
+			stop = p.Run(remaining)
+		}
+		// Otherwise the program finished before the trigger: the flip
+		// never landed and the run is the golden one.
+	} else {
+		stop = p.Run(t.Budget)
+	}
+
+	switch stop.Reason {
+	case emu.StopBudget:
+		return Hung, nil
+	case emu.StopTrap:
+		return Trapped, nil
+	case emu.StopExit, emu.StopEbreak:
+		if stop.Reason == g.Stop.Reason && stop.Code == g.Stop.Code && p.Output() == g.Output {
+			return Masked, nil
+		}
+		if stop.Reason != g.Stop.Reason {
+			return Trapped, nil
+		}
+		return SDC, nil
+	}
+	return Trapped, nil
+}
+
+// injectStuck simulates a stuck register-file bit by re-applying the
+// stuck value before every instruction (single-step execution, so the
+// classification is exact at the cost of translation-cache speed).
+func injectStuck(t *Target, g *Golden, f Fault, p *vp.Platform) (Outcome, error) {
+	h := &p.Machine.Hart
+	apply := func() {
+		if f.Reg == 0 {
+			return
+		}
+		if f.Stuck1 {
+			h.X[f.Reg] |= 1 << f.Bit
+		} else {
+			h.X[f.Reg] &^= 1 << f.Bit
+		}
+	}
+	var stop *emu.StopInfo
+	for steps := uint64(0); steps < t.Budget; steps++ {
+		apply()
+		if stop = p.Machine.Step(); stop != nil {
+			break
+		}
+	}
+	if stop == nil {
+		return Hung, nil
+	}
+	switch stop.Reason {
+	case emu.StopTrap:
+		return Trapped, nil
+	case emu.StopExit, emu.StopEbreak:
+		if stop.Reason == g.Stop.Reason && stop.Code == g.Stop.Code && p.Output() == g.Output {
+			return Masked, nil
+		}
+		if stop.Reason != g.Stop.Reason {
+			return Trapped, nil
+		}
+		return SDC, nil
+	}
+	return Trapped, nil
+}
+
+// Plan is a generated fault list.
+type Plan struct {
+	Faults []Fault
+}
+
+// PlanConfig controls fault-list generation.
+type PlanConfig struct {
+	Seed int64
+	// Counts per model.
+	GPRTransient, GPRPermanent, MemPermanent, CodeBitflip int
+	// GoldenInsts bounds transient triggers (retired instructions of
+	// the golden run).
+	GoldenInsts uint64
+	// CodeRange restricts code bit flips to [Start, End) — typically the
+	// program's executed text, a coverage-guided choice.
+	CodeStart, CodeEnd uint32
+	// DataRange restricts memory faults.
+	DataStart, DataEnd uint32
+	// UsedRegs restricts register faults to registers the program
+	// actually touches (from the coverage analysis); empty means all.
+	UsedRegs []isa.Reg
+}
+
+// NewPlan generates a deterministic fault list.
+func NewPlan(cfg PlanConfig) Plan {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var faults []Fault
+	regs := cfg.UsedRegs
+	if len(regs) == 0 {
+		for r := isa.Reg(1); r < 32; r++ {
+			regs = append(regs, r)
+		}
+	}
+	for i := 0; i < cfg.GPRTransient; i++ {
+		trig := uint64(1)
+		if cfg.GoldenInsts > 1 {
+			trig = 1 + uint64(rng.Int63n(int64(cfg.GoldenInsts)))
+		}
+		faults = append(faults, Fault{
+			Model:   GPRTransient,
+			Reg:     regs[rng.Intn(len(regs))],
+			Bit:     uint8(rng.Intn(32)),
+			Trigger: trig,
+		})
+	}
+	for i := 0; i < cfg.GPRPermanent; i++ {
+		faults = append(faults, Fault{
+			Model:  GPRPermanent,
+			Reg:    regs[rng.Intn(len(regs))],
+			Bit:    uint8(rng.Intn(32)),
+			Stuck1: rng.Intn(2) == 1,
+		})
+	}
+	for i := 0; i < cfg.MemPermanent; i++ {
+		span := int64(cfg.DataEnd - cfg.DataStart)
+		if span <= 0 {
+			break
+		}
+		faults = append(faults, Fault{
+			Model: MemPermanent,
+			Addr:  cfg.DataStart + uint32(rng.Int63n(span))&^3,
+			Bit:   uint8(rng.Intn(32)),
+		})
+	}
+	for i := 0; i < cfg.CodeBitflip; i++ {
+		span := int64(cfg.CodeEnd-cfg.CodeStart) / 4
+		if span <= 0 {
+			break
+		}
+		faults = append(faults, Fault{
+			Model: CodeBitflip,
+			Addr:  cfg.CodeStart + uint32(rng.Int63n(span))*4,
+			Bit:   uint8(rng.Intn(32)),
+		})
+	}
+	return Plan{Faults: faults}
+}
+
+// Results aggregates a campaign.
+type Results struct {
+	Total     int
+	ByOutcome map[Outcome]int
+	ByModel   map[Model]map[Outcome]int
+	// Details pairs each fault with its outcome, in plan order.
+	Details []Outcome
+}
+
+// Campaign runs every fault in the plan against the target, using the
+// given number of parallel workers (<=0 means 1), and classifies each
+// mutant. Each worker owns a private platform, so the campaign scales
+// with cores — the property the fault paper demonstrates on QEMU.
+func Campaign(t *Target, plan Plan, workers int) (*Results, error) {
+	golden, err := RunGolden(t)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	res := &Results{
+		Total:     len(plan.Faults),
+		ByOutcome: make(map[Outcome]int),
+		ByModel:   make(map[Model]map[Outcome]int),
+		Details:   make([]Outcome, len(plan.Faults)),
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	// Buffered and pre-filled so a worker failing early can never block
+	// the producer.
+	idx := make(chan int, len(plan.Faults))
+	for i := range plan.Faults {
+		idx <- i
+	}
+	close(idx)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inj, err := newInjector(t)
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, err)
+				mu.Unlock()
+				return
+			}
+			for i := range idx {
+				out, err := inj.run(golden, plan.Faults[i])
+				mu.Lock()
+				if err != nil {
+					errs = append(errs, err)
+				} else {
+					res.Details[i] = out
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	for i, out := range res.Details {
+		res.ByOutcome[out]++
+		m := plan.Faults[i].Model
+		if res.ByModel[m] == nil {
+			res.ByModel[m] = make(map[Outcome]int)
+		}
+		res.ByModel[m][out]++
+	}
+	return res, nil
+}
+
+// String renders the campaign classification table.
+func (r *Results) String() string {
+	var sb strings.Builder
+	outcomes := []Outcome{Masked, SDC, Trapped, Hung}
+	fmt.Fprintf(&sb, "%-16s %8s %8s %8s %8s %8s\n", "model", "total", "masked", "sdc", "trapped", "hung")
+	models := make([]Model, 0, len(r.ByModel))
+	for m := range r.ByModel {
+		models = append(models, m)
+	}
+	sort.Slice(models, func(i, j int) bool { return models[i] < models[j] })
+	for _, m := range models {
+		row := r.ByModel[m]
+		total := 0
+		for _, n := range row {
+			total += n
+		}
+		fmt.Fprintf(&sb, "%-16s %8d", m, total)
+		for _, o := range outcomes {
+			fmt.Fprintf(&sb, " %8d", row[o])
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "%-16s %8d", "all", r.Total)
+	for _, o := range outcomes {
+		fmt.Fprintf(&sb, " %8d", r.ByOutcome[o])
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

@@ -1,0 +1,150 @@
+// Package flow wires the ecosystem's tool chain end to end: assemble a
+// program, reconstruct its CFG, run the static WCET analysis, execute it
+// on the virtual platform with the QTA plugin attached, and collect the
+// three-way timing comparison. The command-line tools, the examples and
+// the experiment harness are thin wrappers over this package.
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/emu"
+	"repro/internal/plugin"
+	"repro/internal/qta"
+	"repro/internal/timing"
+	"repro/internal/vp"
+	"repro/internal/wcet"
+	"repro/internal/workloads"
+)
+
+// Analysis is the static half of the flow.
+type Analysis struct {
+	Program   *asm.Program
+	Graph     *cfg.Graph
+	Annotated *wcet.Annotated
+}
+
+// Analyze assembles source (with the platform prelude) and runs CFG
+// reconstruction plus WCET analysis under the given profile and loop
+// bounds.
+func Analyze(src string, prof *timing.Profile, bounds map[string]int) (*Analysis, error) {
+	return AnalyzeOpt(src, prof, bounds, false)
+}
+
+// AnalyzeOpt is Analyze with automatic loop-bound inference selectable.
+func AnalyzeOpt(src string, prof *timing.Profile, bounds map[string]int, infer bool) (*Analysis, error) {
+	return AnalyzeFull(src, prof, bounds, infer, asm.Options{})
+}
+
+// AnalyzeFull additionally exposes the assembler options, so the timing
+// flow can run over RVC-compressed builds.
+func AnalyzeFull(src string, prof *timing.Profile, bounds map[string]int, infer bool, asmOpt asm.Options) (*Analysis, error) {
+	prog, err := asm.AssembleAtOpt(vp.Prelude+src, vp.RAMBase, asmOpt)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cfg.Build(prog.Bytes, prog.Org, prog.Entry)
+	if err != nil {
+		return nil, err
+	}
+	an, err := wcet.Analyze(g, wcet.Config{
+		Profile:     prof,
+		Bounds:      bounds,
+		Symbols:     prog.Symbols,
+		InferBounds: infer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{Program: prog, Graph: g, Annotated: an}, nil
+}
+
+// RunQTACompressed is RunQTA over the RVC-compressed build of the
+// workload: the whole timing flow on mixed 16/32-bit code.
+func RunQTACompressed(w workloads.Workload, prof *timing.Profile) (qta.Result, error) {
+	a, err := AnalyzeFull(w.Source, prof, w.LoopBounds, false, asm.Options{Compress: true})
+	if err != nil {
+		return qta.Result{}, fmt.Errorf("flow: %s: %w", w.Name, err)
+	}
+	p, err := vp.New(vp.Config{Profile: prof, Sensor: w.Sensor})
+	if err != nil {
+		return qta.Result{}, err
+	}
+	q := qta.New(a.Annotated)
+	if err := p.Machine.Hooks.Register(q); err != nil {
+		return qta.Result{}, err
+	}
+	if err := p.LoadProgram(a.Program); err != nil {
+		return qta.Result{}, err
+	}
+	stop := p.Run(w.Budget)
+	if stop.Reason != emu.StopExit {
+		return qta.Result{}, fmt.Errorf("flow: %s stopped with %v", w.Name, stop)
+	}
+	if stop.Code != w.Expect {
+		return qta.Result{}, fmt.Errorf("flow: %s produced 0x%08x, want 0x%08x",
+			w.Name, stop.Code, w.Expect)
+	}
+	return q.NewResult(w.Name+"(rvc)", p.Machine.Hart.Cycle, p.Machine.Hart.Instret), nil
+}
+
+// RunQTA performs the full QTA flow for one workload: static analysis,
+// then co-simulation with the timing-annotated CFG on the edge platform.
+func RunQTA(w workloads.Workload, prof *timing.Profile) (qta.Result, error) {
+	a, err := Analyze(w.Source, prof, w.LoopBounds)
+	if err != nil {
+		return qta.Result{}, fmt.Errorf("flow: %s: %w", w.Name, err)
+	}
+	p, err := vp.New(vp.Config{Profile: prof, Sensor: w.Sensor})
+	if err != nil {
+		return qta.Result{}, err
+	}
+	q := qta.New(a.Annotated)
+	if err := p.Machine.Hooks.Register(q); err != nil {
+		return qta.Result{}, err
+	}
+	if err := p.LoadProgram(a.Program); err != nil {
+		return qta.Result{}, err
+	}
+	stop := p.Run(w.Budget)
+	if stop.Reason != emu.StopExit {
+		return qta.Result{}, fmt.Errorf("flow: %s stopped with %v", w.Name, stop)
+	}
+	if stop.Code != w.Expect {
+		return qta.Result{}, fmt.Errorf("flow: %s produced 0x%08x, want 0x%08x",
+			w.Name, stop.Code, w.Expect)
+	}
+	res := q.NewResult(w.Name, p.Machine.Hart.Cycle, p.Machine.Hart.Instret)
+	return res, nil
+}
+
+// Run executes a workload without instrumentation and returns the
+// platform for inspection.
+func Run(w workloads.Workload, prof *timing.Profile) (*vp.Platform, emu.StopInfo, error) {
+	return RunWith(w, prof)
+}
+
+// RunWith executes a workload with the given plugins attached and
+// verifies the checksum.
+func RunWith(w workloads.Workload, prof *timing.Profile, plugins ...plugin.Plugin) (*vp.Platform, emu.StopInfo, error) {
+	p, err := vp.New(vp.Config{Profile: prof, Sensor: w.Sensor})
+	if err != nil {
+		return nil, emu.StopInfo{}, err
+	}
+	for _, pl := range plugins {
+		if err := p.Machine.Hooks.Register(pl); err != nil {
+			return nil, emu.StopInfo{}, err
+		}
+	}
+	if _, err := p.LoadSource(vp.Prelude + w.Source); err != nil {
+		return nil, emu.StopInfo{}, err
+	}
+	stop := p.Run(w.Budget)
+	if stop.Reason == emu.StopExit && stop.Code != w.Expect {
+		return p, stop, fmt.Errorf("flow: %s produced 0x%08x, want 0x%08x",
+			w.Name, stop.Code, w.Expect)
+	}
+	return p, stop, nil
+}

@@ -1,0 +1,68 @@
+package flow_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/flow"
+	"repro/internal/timing"
+	"repro/internal/workloads"
+)
+
+func TestAnalyzeProducesAllArtifacts(t *testing.T) {
+	w, _ := workloads.ByName("pid")
+	a, err := flow.Analyze(w.Source, timing.EdgeSmall(), w.LoopBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Program == nil || a.Graph == nil || a.Annotated == nil {
+		t.Fatal("missing artifacts")
+	}
+	if a.Annotated.WCET == 0 || len(a.Annotated.Blocks) == 0 {
+		t.Error("empty analysis")
+	}
+	if a.Annotated.Entry != a.Program.Entry {
+		t.Error("entry mismatch between program and annotation")
+	}
+}
+
+func TestAnalyzeReportsAssemblyErrors(t *testing.T) {
+	if _, err := flow.Analyze("garbage op\n", timing.Unit(), nil); err == nil {
+		t.Error("bad source should fail")
+	}
+}
+
+func TestAnalyzeReportsMissingBounds(t *testing.T) {
+	src := `
+loop:	addi a0, a0, -1
+	bnez a0, loop
+	ebreak
+`
+	_, err := flow.Analyze(src, timing.Unit(), nil)
+	if err == nil || !strings.Contains(err.Error(), "bound") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunQTAChecksChecksum(t *testing.T) {
+	w, _ := workloads.ByName("xtea")
+	w.Expect++ // sabotage the expectation
+	if _, err := flow.RunQTA(w, timing.Unit()); err == nil {
+		t.Error("checksum mismatch should be reported")
+	}
+}
+
+func TestRunWithoutPlugins(t *testing.T) {
+	w, _ := workloads.ByName("sort")
+	p, stop, err := flow.Run(w, timing.EdgeFast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Reason != emu.StopExit || stop.Code != w.Expect {
+		t.Errorf("stop = %v", stop)
+	}
+	if p.Machine.Hart.Cycle == 0 {
+		t.Error("no cycles recorded")
+	}
+}

@@ -1,0 +1,193 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CSR is a control-and-status-register address (12 bits).
+type CSR uint16
+
+// Machine-mode and unprivileged CSR addresses implemented by the platform.
+const (
+	// Unprivileged floating-point CSRs.
+	CSRFflags CSR = 0x001
+	CSRFrm    CSR = 0x002
+	CSRFcsr   CSR = 0x003
+
+	// Unprivileged counters.
+	CSRCycle    CSR = 0xC00
+	CSRTime     CSR = 0xC01
+	CSRInstret  CSR = 0xC02
+	CSRCycleH   CSR = 0xC80
+	CSRTimeH    CSR = 0xC81
+	CSRInstretH CSR = 0xC82
+
+	// Machine information registers.
+	CSRMvendorid CSR = 0xF11
+	CSRMarchid   CSR = 0xF12
+	CSRMimpid    CSR = 0xF13
+	CSRMhartid   CSR = 0xF14
+
+	// Machine trap setup.
+	CSRMstatus    CSR = 0x300
+	CSRMisa       CSR = 0x301
+	CSRMedeleg    CSR = 0x302
+	CSRMideleg    CSR = 0x303
+	CSRMie        CSR = 0x304
+	CSRMtvec      CSR = 0x305
+	CSRMcounteren CSR = 0x306
+
+	// Machine trap handling.
+	CSRMscratch CSR = 0x340
+	CSRMepc     CSR = 0x341
+	CSRMcause   CSR = 0x342
+	CSRMtval    CSR = 0x343
+	CSRMip      CSR = 0x344
+
+	// Machine counters.
+	CSRMcycle    CSR = 0xB00
+	CSRMinstret  CSR = 0xB02
+	CSRMcycleH   CSR = 0xB80
+	CSRMinstretH CSR = 0xB82
+)
+
+// csrNames is the catalog of implemented CSRs.
+var csrNames = map[CSR]string{
+	CSRFflags:     "fflags",
+	CSRFrm:        "frm",
+	CSRFcsr:       "fcsr",
+	CSRCycle:      "cycle",
+	CSRTime:       "time",
+	CSRInstret:    "instret",
+	CSRCycleH:     "cycleh",
+	CSRTimeH:      "timeh",
+	CSRInstretH:   "instreth",
+	CSRMvendorid:  "mvendorid",
+	CSRMarchid:    "marchid",
+	CSRMimpid:     "mimpid",
+	CSRMhartid:    "mhartid",
+	CSRMstatus:    "mstatus",
+	CSRMisa:       "misa",
+	CSRMedeleg:    "medeleg",
+	CSRMideleg:    "mideleg",
+	CSRMie:        "mie",
+	CSRMtvec:      "mtvec",
+	CSRMcounteren: "mcounteren",
+	CSRMscratch:   "mscratch",
+	CSRMepc:       "mepc",
+	CSRMcause:     "mcause",
+	CSRMtval:      "mtval",
+	CSRMip:        "mip",
+	CSRMcycle:     "mcycle",
+	CSRMinstret:   "minstret",
+	CSRMcycleH:    "mcycleh",
+	CSRMinstretH:  "minstreth",
+}
+
+var csrByName = func() map[string]CSR {
+	m := make(map[string]CSR, len(csrNames))
+	for a, n := range csrNames {
+		m[n] = a
+	}
+	return m
+}()
+
+// String returns the architectural name of the CSR, or a hex literal for
+// addresses outside the implemented catalog.
+func (c CSR) String() string {
+	if n, ok := csrNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("0x%03x", uint16(c))
+}
+
+// Known reports whether the CSR address is in the implemented catalog.
+func (c CSR) Known() bool {
+	_, ok := csrNames[c]
+	return ok
+}
+
+// ReadOnly reports whether the CSR address is architecturally read-only
+// (top two bits of the address are 11).
+func (c CSR) ReadOnly() bool { return c>>10 == 3 }
+
+// ParseCSR parses a CSR name ("mstatus") or numeric address ("0x300").
+func ParseCSR(s string) (CSR, error) {
+	if a, ok := csrByName[strings.ToLower(s)]; ok {
+		return a, nil
+	}
+	if v, err := strconv.ParseUint(strings.ToLower(s), 0, 32); err == nil && v < 1<<12 {
+		return CSR(v), nil
+	}
+	return 0, fmt.Errorf("isa: unknown CSR %q", s)
+}
+
+// CSRs returns the implemented CSR addresses in ascending order. The
+// coverage analyzer uses this as the CSR coverage universe.
+func CSRs() []CSR {
+	out := make([]CSR, 0, len(csrNames))
+	for a := range csrNames {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Interrupt cause codes (mcause with the interrupt bit set).
+const (
+	IntMachineSoftware = 3
+	IntMachineTimer    = 7
+	IntMachineExternal = 11
+)
+
+// Exception cause codes (mcause with the interrupt bit clear).
+const (
+	ExcInstAddrMisaligned  = 0
+	ExcInstAccessFault     = 1
+	ExcIllegalInst         = 2
+	ExcBreakpoint          = 3
+	ExcLoadAddrMisaligned  = 4
+	ExcLoadAccessFault     = 5
+	ExcStoreAddrMisaligned = 6
+	ExcStoreAccessFault    = 7
+	ExcEcallU              = 8
+	ExcEcallM              = 11
+)
+
+// ExcName returns a human-readable name for an exception cause code.
+func ExcName(code uint32) string {
+	switch code {
+	case ExcInstAddrMisaligned:
+		return "instruction address misaligned"
+	case ExcInstAccessFault:
+		return "instruction access fault"
+	case ExcIllegalInst:
+		return "illegal instruction"
+	case ExcBreakpoint:
+		return "breakpoint"
+	case ExcLoadAddrMisaligned:
+		return "load address misaligned"
+	case ExcLoadAccessFault:
+		return "load access fault"
+	case ExcStoreAddrMisaligned:
+		return "store address misaligned"
+	case ExcStoreAccessFault:
+		return "store access fault"
+	case ExcEcallU:
+		return "environment call from U-mode"
+	case ExcEcallM:
+		return "environment call from M-mode"
+	default:
+		return fmt.Sprintf("exception %d", code)
+	}
+}
+
+// mstatus bit positions used by the M-mode trap machinery.
+const (
+	MstatusMIE  = 1 << 3  // machine interrupt enable
+	MstatusMPIE = 1 << 7  // previous MIE
+	MstatusMPP  = 3 << 11 // previous privilege mode
+)

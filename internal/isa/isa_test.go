@@ -1,0 +1,267 @@
+package isa
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestRegNamesRoundTrip(t *testing.T) {
+	for i := 0; i < NumRegs; i++ {
+		r := Reg(i)
+		got, err := ParseReg(r.String())
+		if err != nil {
+			t.Fatalf("ParseReg(%q): %v", r.String(), err)
+		}
+		if got != r {
+			t.Errorf("ParseReg(%q) = %v, want %v", r.String(), got, r)
+		}
+	}
+}
+
+func TestRegNumericAliases(t *testing.T) {
+	for i := 0; i < NumRegs; i++ {
+		got, err := ParseReg("x" + itoa(i))
+		if err != nil || got != Reg(i) {
+			t.Errorf("ParseReg(x%d) = %v, %v", i, got, err)
+		}
+	}
+	if r, err := ParseReg("fp"); err != nil || r != S0 {
+		t.Errorf("fp alias: got %v, %v", r, err)
+	}
+	if _, err := ParseReg("x32"); err == nil {
+		t.Error("ParseReg(x32) should fail")
+	}
+	if _, err := ParseReg("bogus"); err == nil {
+		t.Error("ParseReg(bogus) should fail")
+	}
+}
+
+func itoa(i int) string {
+	if i >= 10 {
+		return string(rune('0'+i/10)) + string(rune('0'+i%10))
+	}
+	return string(rune('0' + i))
+}
+
+func TestFRegRoundTrip(t *testing.T) {
+	for i := 0; i < NumRegs; i++ {
+		r := FReg(i)
+		got, err := ParseFReg(r.String())
+		if err != nil || got != r {
+			t.Errorf("ParseFReg(%q) = %v, %v", r.String(), got, err)
+		}
+	}
+	if _, err := ParseFReg("f32"); err == nil {
+		t.Error("ParseFReg(f32) should fail")
+	}
+}
+
+func TestCSRCatalog(t *testing.T) {
+	for _, c := range CSRs() {
+		if !c.Known() {
+			t.Errorf("CSR %v from catalog not Known", c)
+		}
+		got, err := ParseCSR(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseCSR(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+}
+
+func TestCSRParseNumeric(t *testing.T) {
+	if c, err := ParseCSR("0x300"); err != nil || c != CSRMstatus {
+		t.Errorf("ParseCSR(0x300) = %v, %v", c, err)
+	}
+	if c, err := ParseCSR("768"); err != nil || c != CSRMstatus {
+		t.Errorf("ParseCSR(768) = %v, %v", c, err)
+	}
+	if _, err := ParseCSR("0x1000"); err == nil {
+		t.Error("ParseCSR(0x1000) should fail (12-bit space)")
+	}
+}
+
+func TestCSRReadOnly(t *testing.T) {
+	roCases := []CSR{CSRMvendorid, CSRMhartid, CSRCycle, CSRInstret}
+	for _, c := range roCases {
+		if !c.ReadOnly() {
+			t.Errorf("%v should be read-only", c)
+		}
+	}
+	rwCases := []CSR{CSRMstatus, CSRMepc, CSRMcycle, CSRFcsr}
+	for _, c := range rwCases {
+		if c.ReadOnly() {
+			t.Errorf("%v should be read-write", c)
+		}
+	}
+}
+
+func TestOpMetadataComplete(t *testing.T) {
+	for _, o := range Ops() {
+		if o.String() == "" || o.String() == "invalid" {
+			t.Errorf("op %d has no mnemonic", o)
+		}
+		if o.Class() == ClassNone {
+			t.Errorf("%v has no class", o)
+		}
+		if ByName(o.String()) != o {
+			t.Errorf("ByName(%q) = %v, want %v", o.String(), ByName(o.String()), o)
+		}
+	}
+}
+
+func TestOpInvalid(t *testing.T) {
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid must not be Valid")
+	}
+	if ByName("nonexistent") != OpInvalid {
+		t.Error("ByName of unknown mnemonic must return OpInvalid")
+	}
+}
+
+func TestExtSets(t *testing.T) {
+	if !RV32IM.Has(ExtM) || RV32I.Has(ExtM) {
+		t.Error("RV32IM/RV32I M-extension membership wrong")
+	}
+	if !RV32Full.Has(ExtXbmi) || !RV32Full.Has(ExtC) || !RV32Full.Has(ExtF) {
+		t.Error("RV32Full should include F, Xbmi and C")
+	}
+	if !OpMUL.In(RV32IM) || OpMUL.In(RV32I) {
+		t.Error("mul availability wrong")
+	}
+	if !OpCPOP.In(RV32IMB) || OpCPOP.In(RV32IM) {
+		t.Error("cpop availability wrong")
+	}
+}
+
+func TestOpsInFiltersByExtension(t *testing.T) {
+	for _, o := range OpsIn(RV32I) {
+		switch o.Extension() {
+		case ExtI, ExtZicsr, ExtZifencei, ExtPriv:
+		default:
+			t.Errorf("OpsIn(RV32I) returned %v from ext %v", o, o.Extension())
+		}
+	}
+	if len(OpsIn(RV32Full)) != len(Ops()) {
+		t.Errorf("OpsIn(RV32Full) = %d ops, want all %d", len(OpsIn(RV32Full)), len(Ops()))
+	}
+}
+
+func TestControlFlowClassification(t *testing.T) {
+	cf := []Op{OpJAL, OpJALR, OpBEQ, OpBGEU, OpECALL, OpEBREAK, OpMRET,
+		OpCJ, OpCJR, OpCJAL, OpCJALR, OpCBEQZ, OpCBNEZ, OpCEBREAK}
+	for _, o := range cf {
+		if !o.IsControlFlow() {
+			t.Errorf("%v should be control flow", o)
+		}
+	}
+	nonCF := []Op{OpADD, OpLW, OpSW, OpCSRRW, OpMUL, OpFADDS, OpCPOP, OpCADDI, OpWFI}
+	for _, o := range nonCF {
+		if o.IsControlFlow() {
+			t.Errorf("%v should not be control flow", o)
+		}
+	}
+}
+
+// Patterns must be consistent: match bits inside mask, opcode space
+// disjoint (no two patterns can claim the same word).
+func TestPatternsWellFormed(t *testing.T) {
+	ps := Patterns()
+	for _, p := range ps {
+		if p.Match&^p.Mask != 0 {
+			t.Errorf("%v: match 0x%08x has bits outside mask 0x%08x", p.Op, p.Match, p.Mask)
+		}
+		if p.Mask&3 != 3 || p.Match&3 != 3 {
+			t.Errorf("%v: 32-bit encodings must have low bits 11", p.Op)
+		}
+	}
+	for i, a := range ps {
+		for _, b := range ps[i+1:] {
+			common := a.Mask & b.Mask
+			if a.Match&common == b.Match&common {
+				// A word matching both would be ambiguous unless one mask
+				// strictly refines the other; refinement is resolved by
+				// popcount ordering in the decoder, but then the broader
+				// pattern must differ somewhere the narrower one fixes.
+				if a.Mask == b.Mask {
+					t.Errorf("patterns %v and %v overlap ambiguously", a.Op, b.Op)
+				}
+			}
+		}
+	}
+}
+
+func TestPatternForAllNonCompressedOps(t *testing.T) {
+	for _, o := range Ops() {
+		_, ok := PatternFor(o)
+		if o.Extension() == ExtC {
+			if ok {
+				t.Errorf("compressed op %v should have no 32-bit pattern", o)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("op %v missing from pattern table", o)
+		}
+	}
+}
+
+func TestMaskSpecificityAssumption(t *testing.T) {
+	// The decoder resolves overlapping patterns by trying higher-popcount
+	// masks first. Verify that whenever two patterns can match the same
+	// word, their masks differ in popcount (so ordering disambiguates).
+	ps := Patterns()
+	for i, a := range ps {
+		for _, b := range ps[i+1:] {
+			common := a.Mask & b.Mask
+			if a.Match&common != b.Match&common {
+				continue // can never both match
+			}
+			if bits.OnesCount32(a.Mask) == bits.OnesCount32(b.Mask) {
+				t.Errorf("patterns %v and %v overlap with equal mask popcount", a.Op, b.Op)
+			}
+		}
+	}
+}
+
+func TestUsesFPRegs(t *testing.T) {
+	cases := []struct {
+		op           Op
+		rd, rs1, rs2 bool
+	}{
+		{OpFLW, true, false, false},
+		{OpFSW, false, false, true},
+		{OpFADDS, true, true, true},
+		{OpFCVTWS, false, true, false},
+		{OpFCVTSW, true, false, false},
+		{OpFEQS, false, true, true},
+		{OpADD, false, false, false},
+		{OpLW, false, false, false},
+	}
+	for _, c := range cases {
+		rd, rs1, rs2 := UsesFPRegs(c.op)
+		if rd != c.rd || rs1 != c.rs1 || rs2 != c.rs2 {
+			t.Errorf("UsesFPRegs(%v) = %v,%v,%v want %v,%v,%v",
+				c.op, rd, rs1, rs2, c.rd, c.rs1, c.rs2)
+		}
+	}
+}
+
+func TestExtSetString(t *testing.T) {
+	if got := RV32IM.String(); got != "RV32IM_Zicsr_Zifencei" {
+		t.Errorf("RV32IM.String() = %q", got)
+	}
+	if got := ExtSet(0).With(ExtI).String(); got != "RV32I" {
+		t.Errorf("RV32I-only String() = %q", got)
+	}
+}
+
+func TestExcNames(t *testing.T) {
+	for code := uint32(0); code < 12; code++ {
+		if ExcName(code) == "" {
+			t.Errorf("ExcName(%d) empty", code)
+		}
+	}
+	if ExcName(99) != "exception 99" {
+		t.Errorf("ExcName(99) = %q", ExcName(99))
+	}
+}

@@ -1,0 +1,225 @@
+package isa
+
+// Format identifies how an instruction's operands are packed into its
+// 32-bit encoding. The decoder uses it to extract operands, the encoder to
+// insert them, and the assembler to derive the operand syntax.
+type Format uint8
+
+const (
+	FmtNone   Format = iota // no variable operands (ecall, mret, fence, ...)
+	FmtR                    // rd, rs1, rs2
+	FmtR4                   // rd, rs1, rs2, rs3 (fused FP)
+	FmtI                    // rd, rs1, imm12 (also loads: rd, imm(rs1))
+	FmtIShift               // rd, rs1, shamt[4:0]
+	FmtS                    // rs2, imm(rs1) stores
+	FmtB                    // rs1, rs2, branch offset
+	FmtU                    // rd, imm[31:12]
+	FmtJ                    // rd, jump offset
+	FmtCSR                  // rd, csr, rs1
+	FmtCSRI                 // rd, csr, uimm[4:0]
+	FmtRUnary               // rd, rs1 (rs2/funct7 fixed: clz, fsqrt, fcvt, ...)
+)
+
+var formatNames = map[Format]string{
+	FmtNone: "none", FmtR: "R", FmtR4: "R4", FmtI: "I", FmtIShift: "Ishift",
+	FmtS: "S", FmtB: "B", FmtU: "U", FmtJ: "J", FmtCSR: "csr",
+	FmtCSRI: "csri", FmtRUnary: "Runary",
+}
+
+func (f Format) String() string { return formatNames[f] }
+
+// Pattern is the fixed-bit description of one 32-bit instruction encoding:
+// word & Mask == Match identifies the instruction, and Fmt says where its
+// operands live. This table is the Go analog of QEMU's DecodeTree input.
+type Pattern struct {
+	Op    Op
+	Mask  uint32
+	Match uint32
+	Fmt   Format
+}
+
+// Encoding field helpers.
+const (
+	maskOpcode    = 0x0000007f
+	maskOpF3      = 0x0000707f // opcode + funct3
+	maskOpF3F7    = 0xfe00707f // opcode + funct3 + funct7
+	maskOpF7      = 0xfe00007f // opcode + funct7 (FP: rm free)
+	maskOpF7Rs2   = 0xfff0007f // opcode + funct7 + rs2 (FP cvt: rm free)
+	maskOpF3F7Rs2 = 0xfff0707f // opcode + funct3 + funct7 + rs2
+	maskFull      = 0xffffffff
+	maskOpFmt2    = 0x0600007f // opcode + FP fmt field (fused multiply-add)
+)
+
+func f3(v uint32) uint32   { return v << 12 }
+func f7(v uint32) uint32   { return v << 25 }
+func rs2f(v uint32) uint32 { return v << 20 }
+
+// patterns is the full 32-bit encoding table. 16-bit (C extension)
+// encodings are handled by the dedicated compressed decoder/encoder.
+var patterns = []Pattern{
+	// RV32I
+	{OpLUI, maskOpcode, 0x37, FmtU},
+	{OpAUIPC, maskOpcode, 0x17, FmtU},
+	{OpJAL, maskOpcode, 0x6f, FmtJ},
+	{OpJALR, maskOpF3, 0x67 | f3(0), FmtI},
+	{OpBEQ, maskOpF3, 0x63 | f3(0), FmtB},
+	{OpBNE, maskOpF3, 0x63 | f3(1), FmtB},
+	{OpBLT, maskOpF3, 0x63 | f3(4), FmtB},
+	{OpBGE, maskOpF3, 0x63 | f3(5), FmtB},
+	{OpBLTU, maskOpF3, 0x63 | f3(6), FmtB},
+	{OpBGEU, maskOpF3, 0x63 | f3(7), FmtB},
+	{OpLB, maskOpF3, 0x03 | f3(0), FmtI},
+	{OpLH, maskOpF3, 0x03 | f3(1), FmtI},
+	{OpLW, maskOpF3, 0x03 | f3(2), FmtI},
+	{OpLBU, maskOpF3, 0x03 | f3(4), FmtI},
+	{OpLHU, maskOpF3, 0x03 | f3(5), FmtI},
+	{OpSB, maskOpF3, 0x23 | f3(0), FmtS},
+	{OpSH, maskOpF3, 0x23 | f3(1), FmtS},
+	{OpSW, maskOpF3, 0x23 | f3(2), FmtS},
+	{OpADDI, maskOpF3, 0x13 | f3(0), FmtI},
+	{OpSLTI, maskOpF3, 0x13 | f3(2), FmtI},
+	{OpSLTIU, maskOpF3, 0x13 | f3(3), FmtI},
+	{OpXORI, maskOpF3, 0x13 | f3(4), FmtI},
+	{OpORI, maskOpF3, 0x13 | f3(6), FmtI},
+	{OpANDI, maskOpF3, 0x13 | f3(7), FmtI},
+	{OpSLLI, maskOpF3F7, 0x13 | f3(1) | f7(0x00), FmtIShift},
+	{OpSRLI, maskOpF3F7, 0x13 | f3(5) | f7(0x00), FmtIShift},
+	{OpSRAI, maskOpF3F7, 0x13 | f3(5) | f7(0x20), FmtIShift},
+	{OpADD, maskOpF3F7, 0x33 | f3(0) | f7(0x00), FmtR},
+	{OpSUB, maskOpF3F7, 0x33 | f3(0) | f7(0x20), FmtR},
+	{OpSLL, maskOpF3F7, 0x33 | f3(1) | f7(0x00), FmtR},
+	{OpSLT, maskOpF3F7, 0x33 | f3(2) | f7(0x00), FmtR},
+	{OpSLTU, maskOpF3F7, 0x33 | f3(3) | f7(0x00), FmtR},
+	{OpXOR, maskOpF3F7, 0x33 | f3(4) | f7(0x00), FmtR},
+	{OpSRL, maskOpF3F7, 0x33 | f3(5) | f7(0x00), FmtR},
+	{OpSRA, maskOpF3F7, 0x33 | f3(5) | f7(0x20), FmtR},
+	{OpOR, maskOpF3F7, 0x33 | f3(6) | f7(0x00), FmtR},
+	{OpAND, maskOpF3F7, 0x33 | f3(7) | f7(0x00), FmtR},
+	{OpFENCE, maskOpF3, 0x0f | f3(0), FmtNone},
+	{OpFENCEI, maskOpF3, 0x0f | f3(1), FmtNone},
+	{OpECALL, maskFull, 0x00000073, FmtNone},
+	{OpEBREAK, maskFull, 0x00100073, FmtNone},
+	{OpMRET, maskFull, 0x30200073, FmtNone},
+	{OpWFI, maskFull, 0x10500073, FmtNone},
+
+	// Zicsr
+	{OpCSRRW, maskOpF3, 0x73 | f3(1), FmtCSR},
+	{OpCSRRS, maskOpF3, 0x73 | f3(2), FmtCSR},
+	{OpCSRRC, maskOpF3, 0x73 | f3(3), FmtCSR},
+	{OpCSRRWI, maskOpF3, 0x73 | f3(5), FmtCSRI},
+	{OpCSRRSI, maskOpF3, 0x73 | f3(6), FmtCSRI},
+	{OpCSRRCI, maskOpF3, 0x73 | f3(7), FmtCSRI},
+
+	// M
+	{OpMUL, maskOpF3F7, 0x33 | f3(0) | f7(0x01), FmtR},
+	{OpMULH, maskOpF3F7, 0x33 | f3(1) | f7(0x01), FmtR},
+	{OpMULHSU, maskOpF3F7, 0x33 | f3(2) | f7(0x01), FmtR},
+	{OpMULHU, maskOpF3F7, 0x33 | f3(3) | f7(0x01), FmtR},
+	{OpDIV, maskOpF3F7, 0x33 | f3(4) | f7(0x01), FmtR},
+	{OpDIVU, maskOpF3F7, 0x33 | f3(5) | f7(0x01), FmtR},
+	{OpREM, maskOpF3F7, 0x33 | f3(6) | f7(0x01), FmtR},
+	{OpREMU, maskOpF3F7, 0x33 | f3(7) | f7(0x01), FmtR},
+
+	// F (single precision)
+	{OpFLW, maskOpF3, 0x07 | f3(2), FmtI},
+	{OpFSW, maskOpF3, 0x27 | f3(2), FmtS},
+	{OpFMADDS, maskOpFmt2, 0x43, FmtR4},
+	{OpFMSUBS, maskOpFmt2, 0x47, FmtR4},
+	{OpFNMSUBS, maskOpFmt2, 0x4b, FmtR4},
+	{OpFNMADDS, maskOpFmt2, 0x4f, FmtR4},
+	{OpFADDS, maskOpF7, 0x53 | f7(0x00), FmtR},
+	{OpFSUBS, maskOpF7, 0x53 | f7(0x04), FmtR},
+	{OpFMULS, maskOpF7, 0x53 | f7(0x08), FmtR},
+	{OpFDIVS, maskOpF7, 0x53 | f7(0x0c), FmtR},
+	{OpFSQRTS, maskOpF7Rs2, 0x53 | f7(0x2c) | rs2f(0), FmtRUnary},
+	{OpFSGNJS, maskOpF3F7, 0x53 | f3(0) | f7(0x10), FmtR},
+	{OpFSGNJNS, maskOpF3F7, 0x53 | f3(1) | f7(0x10), FmtR},
+	{OpFSGNJXS, maskOpF3F7, 0x53 | f3(2) | f7(0x10), FmtR},
+	{OpFMINS, maskOpF3F7, 0x53 | f3(0) | f7(0x14), FmtR},
+	{OpFMAXS, maskOpF3F7, 0x53 | f3(1) | f7(0x14), FmtR},
+	{OpFCVTWS, maskOpF7Rs2, 0x53 | f7(0x60) | rs2f(0), FmtRUnary},
+	{OpFCVTWUS, maskOpF7Rs2, 0x53 | f7(0x60) | rs2f(1), FmtRUnary},
+	{OpFMVXW, maskOpF3F7Rs2, 0x53 | f3(0) | f7(0x70) | rs2f(0), FmtRUnary},
+	{OpFCLASSS, maskOpF3F7Rs2, 0x53 | f3(1) | f7(0x70) | rs2f(0), FmtRUnary},
+	{OpFEQS, maskOpF3F7, 0x53 | f3(2) | f7(0x50), FmtR},
+	{OpFLTS, maskOpF3F7, 0x53 | f3(1) | f7(0x50), FmtR},
+	{OpFLES, maskOpF3F7, 0x53 | f3(0) | f7(0x50), FmtR},
+	{OpFCVTSW, maskOpF7Rs2, 0x53 | f7(0x68) | rs2f(0), FmtRUnary},
+	{OpFCVTSWU, maskOpF7Rs2, 0x53 | f7(0x68) | rs2f(1), FmtRUnary},
+	{OpFMVWX, maskOpF3F7Rs2, 0x53 | f3(0) | f7(0x78) | rs2f(0), FmtRUnary},
+
+	// Xbmi (Zbb/Zbs-compatible encodings)
+	{OpANDN, maskOpF3F7, 0x33 | f3(7) | f7(0x20), FmtR},
+	{OpORN, maskOpF3F7, 0x33 | f3(6) | f7(0x20), FmtR},
+	{OpXNOR, maskOpF3F7, 0x33 | f3(4) | f7(0x20), FmtR},
+	{OpCLZ, maskOpF3F7Rs2, 0x13 | f3(1) | f7(0x30) | rs2f(0), FmtRUnary},
+	{OpCTZ, maskOpF3F7Rs2, 0x13 | f3(1) | f7(0x30) | rs2f(1), FmtRUnary},
+	{OpCPOP, maskOpF3F7Rs2, 0x13 | f3(1) | f7(0x30) | rs2f(2), FmtRUnary},
+	{OpSEXTB, maskOpF3F7Rs2, 0x13 | f3(1) | f7(0x30) | rs2f(4), FmtRUnary},
+	{OpSEXTH, maskOpF3F7Rs2, 0x13 | f3(1) | f7(0x30) | rs2f(5), FmtRUnary},
+	{OpZEXTH, maskOpF3F7Rs2, 0x33 | f3(4) | f7(0x04) | rs2f(0), FmtRUnary},
+	{OpMIN, maskOpF3F7, 0x33 | f3(4) | f7(0x05), FmtR},
+	{OpMINU, maskOpF3F7, 0x33 | f3(5) | f7(0x05), FmtR},
+	{OpMAX, maskOpF3F7, 0x33 | f3(6) | f7(0x05), FmtR},
+	{OpMAXU, maskOpF3F7, 0x33 | f3(7) | f7(0x05), FmtR},
+	{OpROL, maskOpF3F7, 0x33 | f3(1) | f7(0x30), FmtR},
+	{OpROR, maskOpF3F7, 0x33 | f3(5) | f7(0x30), FmtR},
+	{OpRORI, maskOpF3F7, 0x13 | f3(5) | f7(0x30), FmtIShift},
+	{OpREV8, maskOpF3F7Rs2, 0x13 | f3(5) | f7(0x34) | rs2f(0x18), FmtRUnary},
+	{OpORCB, maskOpF3F7Rs2, 0x13 | f3(5) | f7(0x14) | rs2f(0x07), FmtRUnary},
+	{OpBSET, maskOpF3F7, 0x33 | f3(1) | f7(0x14), FmtR},
+	{OpBCLR, maskOpF3F7, 0x33 | f3(1) | f7(0x24), FmtR},
+	{OpBINV, maskOpF3F7, 0x33 | f3(1) | f7(0x34), FmtR},
+	{OpBEXT, maskOpF3F7, 0x33 | f3(5) | f7(0x24), FmtR},
+	{OpBSETI, maskOpF3F7, 0x13 | f3(1) | f7(0x14), FmtIShift},
+	{OpBCLRI, maskOpF3F7, 0x13 | f3(1) | f7(0x24), FmtIShift},
+	{OpBINVI, maskOpF3F7, 0x13 | f3(1) | f7(0x34), FmtIShift},
+	{OpBEXTI, maskOpF3F7, 0x13 | f3(5) | f7(0x24), FmtIShift},
+}
+
+// Patterns returns the 32-bit encoding table. The slice is shared; callers
+// must not modify it.
+func Patterns() []Pattern { return patterns }
+
+var patternByOp = func() map[Op]Pattern {
+	m := make(map[Op]Pattern, len(patterns))
+	for _, p := range patterns {
+		if _, dup := m[p.Op]; dup {
+			panic("isa: duplicate pattern for " + p.Op.String())
+		}
+		m[p.Op] = p
+	}
+	return m
+}()
+
+// PatternFor returns the encoding pattern for op. ok is false for ops
+// without a 32-bit encoding (the compressed instructions).
+func PatternFor(op Op) (Pattern, bool) {
+	p, ok := patternByOp[op]
+	return p, ok
+}
+
+// UsesFPRegs reports which of the instruction's register operands index
+// the floating-point register file, in the order rd, rs1, rs2(, rs3).
+// Coverage and disassembly use this to attribute register accesses.
+func UsesFPRegs(op Op) (rd, rs1, rs2 bool) {
+	switch op {
+	case OpFLW:
+		return true, false, false
+	case OpFSW:
+		return false, false, true
+	case OpFMADDS, OpFMSUBS, OpFNMSUBS, OpFNMADDS,
+		OpFADDS, OpFSUBS, OpFMULS, OpFDIVS,
+		OpFSGNJS, OpFSGNJNS, OpFSGNJXS, OpFMINS, OpFMAXS:
+		return true, true, true
+	case OpFSQRTS:
+		return true, true, false
+	case OpFCVTWS, OpFCVTWUS, OpFMVXW, OpFCLASSS:
+		return false, true, false
+	case OpFEQS, OpFLTS, OpFLES:
+		return false, true, true
+	case OpFCVTSW, OpFCVTSWU, OpFMVWX:
+		return true, false, false
+	}
+	return false, false, false
+}

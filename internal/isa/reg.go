@@ -1,0 +1,134 @@
+// Package isa defines the RISC-V instruction-set metadata shared by the
+// whole ecosystem: register files, CSR catalog, instruction opcodes and
+// their classification, and extension sets.
+//
+// The package is deliberately free of behaviour: it is the single source of
+// truth consulted by the decoder, encoder, assembler, emulator, coverage
+// analyzer and fault injector, mirroring the role the formal instruction
+// list plays for QEMU's DecodeTree generator.
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Reg is an integer register index (x0..x31).
+type Reg uint8
+
+// ABI register aliases for the RV32 integer register file.
+const (
+	Zero Reg = iota // x0: hardwired zero
+	RA              // x1: return address
+	SP              // x2: stack pointer
+	GP              // x3: global pointer
+	TP              // x4: thread pointer
+	T0              // x5
+	T1              // x6
+	T2              // x7
+	S0              // x8 (fp)
+	S1              // x9
+	A0              // x10
+	A1              // x11
+	A2              // x12
+	A3              // x13
+	A4              // x14
+	A5              // x15
+	A6              // x16
+	A7              // x17
+	S2              // x18
+	S3              // x19
+	S4              // x20
+	S5              // x21
+	S6              // x22
+	S7              // x23
+	S8              // x24
+	S9              // x25
+	S10             // x26
+	S11             // x27
+	T3              // x28
+	T4              // x29
+	T5              // x30
+	T6              // x31
+)
+
+// NumRegs is the size of the integer and floating-point register files.
+const NumRegs = 32
+
+var regNames = [NumRegs]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// String returns the ABI name of the register (e.g. "a0").
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("x?%d", uint8(r))
+}
+
+// Valid reports whether r is a legal register index.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// regAliases maps every accepted spelling to its register index.
+var regAliases = func() map[string]Reg {
+	m := make(map[string]Reg, 3*NumRegs)
+	for i := 0; i < NumRegs; i++ {
+		m[regNames[i]] = Reg(i)
+		m["x"+strconv.Itoa(i)] = Reg(i)
+	}
+	m["fp"] = S0 // frame pointer alias
+	return m
+}()
+
+// ParseReg parses an integer register name in either ABI ("a0") or
+// numeric ("x10") form.
+func ParseReg(s string) (Reg, error) {
+	if r, ok := regAliases[strings.ToLower(s)]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("isa: unknown register %q", s)
+}
+
+// FReg is a floating-point register index (f0..f31).
+type FReg uint8
+
+var fregNames = [NumRegs]string{
+	"ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+	"fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+	"fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+	"fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+}
+
+// String returns the ABI name of the FP register (e.g. "fa0").
+func (r FReg) String() string {
+	if int(r) < len(fregNames) {
+		return fregNames[r]
+	}
+	return fmt.Sprintf("f?%d", uint8(r))
+}
+
+// Valid reports whether r is a legal FP register index.
+func (r FReg) Valid() bool { return r < NumRegs }
+
+var fregAliases = func() map[string]FReg {
+	m := make(map[string]FReg, 2*NumRegs)
+	for i := 0; i < NumRegs; i++ {
+		m[fregNames[i]] = FReg(i)
+		m["f"+strconv.Itoa(i)] = FReg(i)
+	}
+	return m
+}()
+
+// ParseFReg parses a floating-point register name in either ABI ("fa0")
+// or numeric ("f10") form.
+func ParseFReg(s string) (FReg, error) {
+	if r, ok := fregAliases[strings.ToLower(s)]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("isa: unknown fp register %q", s)
+}

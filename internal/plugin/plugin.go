@@ -1,0 +1,215 @@
+// Package plugin defines the instrumentation interface of the emulator —
+// the in-process Go replacement for QEMU's TCG plugin API (the cgo
+// shared-object mechanism the original QTA tool used). Plugins observe
+// block translation, block and instruction execution, memory accesses and
+// traps without perturbing architectural state; the QTA timing analyzer,
+// the coverage collector and the execution tracer are all plugins.
+package plugin
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/decode"
+)
+
+// BlockInfo describes one translated block: the decoded instructions and
+// their addresses. Plugins must treat the slices as read-only; they are
+// shared with the emulator's translation cache.
+type BlockInfo struct {
+	PC    uint32
+	Insts []decode.Inst
+	Addrs []uint32
+}
+
+// Size returns the block's size in bytes.
+func (b BlockInfo) Size() uint32 {
+	if len(b.Insts) == 0 {
+		return 0
+	}
+	last := len(b.Insts) - 1
+	return b.Addrs[last] + uint32(b.Insts[last].Size) - b.PC
+}
+
+// MemEvent describes one data memory access.
+type MemEvent struct {
+	PC    uint32 // address of the accessing instruction
+	Addr  uint32 // effective address
+	Value uint32 // value loaded or stored
+	Size  uint8  // 1, 2 or 4
+	Store bool
+}
+
+// Plugin is the base interface; concrete hook interfaces embed it.
+// A plugin implements any subset of the hook interfaces below.
+type Plugin interface {
+	Name() string
+}
+
+// Translator is notified when the emulator translates a new block
+// (analogous to qemu_plugin_register_vcpu_tb_trans_cb).
+type Translator interface {
+	Plugin
+	OnTranslate(b BlockInfo)
+}
+
+// BlockExecer is notified at the start of every block execution.
+type BlockExecer interface {
+	Plugin
+	OnBlockExec(b BlockInfo)
+}
+
+// InsnExecer is notified before every instruction executes.
+type InsnExecer interface {
+	Plugin
+	OnInsnExec(pc uint32, in decode.Inst)
+}
+
+// MemWatcher is notified on every data memory access.
+type MemWatcher interface {
+	Plugin
+	OnMemAccess(ev MemEvent)
+}
+
+// TrapWatcher is notified when the hart takes a trap (exception or
+// interrupt, distinguished by the top bit of cause).
+type TrapWatcher interface {
+	Plugin
+	OnTrap(cause, tval, pc uint32)
+}
+
+// Hooks is the plugin registry with pre-sorted dispatch lists so the
+// emulator pays only for the hook kinds actually registered.
+type Hooks struct {
+	plugins   []Plugin
+	translate []Translator
+	blockExec []BlockExecer
+	insnExec  []InsnExecer
+	memAccess []MemWatcher
+	trapWatch []TrapWatcher
+}
+
+// Register adds a plugin, wiring every hook interface it implements.
+// Registering two plugins with the same name is an error.
+func (h *Hooks) Register(p Plugin) error {
+	for _, q := range h.plugins {
+		if q.Name() == p.Name() {
+			return fmt.Errorf("plugin: %q already registered", p.Name())
+		}
+	}
+	tr, isTr := p.(Translator)
+	be, isBE := p.(BlockExecer)
+	ie, isIE := p.(InsnExecer)
+	mw, isMW := p.(MemWatcher)
+	tw, isTW := p.(TrapWatcher)
+	if !isTr && !isBE && !isIE && !isMW && !isTW {
+		return fmt.Errorf("plugin: %q implements no hook interface", p.Name())
+	}
+	h.plugins = append(h.plugins, p)
+	if isTr {
+		h.translate = append(h.translate, tr)
+	}
+	if isBE {
+		h.blockExec = append(h.blockExec, be)
+	}
+	if isIE {
+		h.insnExec = append(h.insnExec, ie)
+	}
+	if isMW {
+		h.memAccess = append(h.memAccess, mw)
+	}
+	if isTW {
+		h.trapWatch = append(h.trapWatch, tw)
+	}
+	return nil
+}
+
+// Plugins returns the registered plugins in registration order.
+func (h *Hooks) Plugins() []Plugin { return h.plugins }
+
+// HasInsnHooks reports whether any per-instruction hooks are registered;
+// the emulator uses it to skip dispatch entirely on the hot path.
+func (h *Hooks) HasInsnHooks() bool { return len(h.insnExec) > 0 }
+
+// HasMemHooks reports whether any memory hooks are registered.
+func (h *Hooks) HasMemHooks() bool { return len(h.memAccess) > 0 }
+
+// Translate dispatches a block-translated event.
+func (h *Hooks) Translate(b BlockInfo) {
+	for _, p := range h.translate {
+		p.OnTranslate(b)
+	}
+}
+
+// BlockExec dispatches a block-execution event.
+func (h *Hooks) BlockExec(b BlockInfo) {
+	for _, p := range h.blockExec {
+		p.OnBlockExec(b)
+	}
+}
+
+// InsnExec dispatches an instruction-execution event.
+func (h *Hooks) InsnExec(pc uint32, in decode.Inst) {
+	for _, p := range h.insnExec {
+		p.OnInsnExec(pc, in)
+	}
+}
+
+// MemAccess dispatches a memory-access event.
+func (h *Hooks) MemAccess(ev MemEvent) {
+	for _, p := range h.memAccess {
+		p.OnMemAccess(ev)
+	}
+}
+
+// Trap dispatches a trap event.
+func (h *Hooks) Trap(cause, tval, pc uint32) {
+	for _, p := range h.trapWatch {
+		p.OnTrap(cause, tval, pc)
+	}
+}
+
+// Tracer is a built-in diagnostic plugin that writes a one-line
+// disassembly trace of every executed instruction, the Go analog of
+// QEMU's execlog plugin.
+type Tracer struct {
+	W     io.Writer
+	Limit uint64 // stop tracing after this many instructions; 0 = unlimited
+	n     uint64
+}
+
+// Name implements Plugin.
+func (t *Tracer) Name() string { return "tracer" }
+
+// OnInsnExec implements InsnExecer.
+func (t *Tracer) OnInsnExec(pc uint32, in decode.Inst) {
+	if t.Limit != 0 && t.n >= t.Limit {
+		return
+	}
+	t.n++
+	fmt.Fprintf(t.W, "%08x: %s\n", pc, in)
+}
+
+// Count is a built-in plugin counting executed blocks and instructions,
+// the analog of QEMU's insn/bb count plugins.
+type Count struct {
+	Blocks, Insns, Loads, Stores uint64
+}
+
+// Name implements Plugin.
+func (c *Count) Name() string { return "count" }
+
+// OnBlockExec implements BlockExecer.
+func (c *Count) OnBlockExec(BlockInfo) { c.Blocks++ }
+
+// OnInsnExec implements InsnExecer.
+func (c *Count) OnInsnExec(uint32, decode.Inst) { c.Insns++ }
+
+// OnMemAccess implements MemWatcher.
+func (c *Count) OnMemAccess(ev MemEvent) {
+	if ev.Store {
+		c.Stores++
+	} else {
+		c.Loads++
+	}
+}

@@ -1,0 +1,145 @@
+package plugin
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/decode"
+	"repro/internal/isa"
+)
+
+// probe implements every hook and records call counts.
+type probe struct {
+	name                                   string
+	translates, blocks, insns, mems, traps int
+}
+
+func (p *probe) Name() string                   { return p.name }
+func (p *probe) OnTranslate(BlockInfo)          { p.translates++ }
+func (p *probe) OnBlockExec(BlockInfo)          { p.blocks++ }
+func (p *probe) OnInsnExec(uint32, decode.Inst) { p.insns++ }
+func (p *probe) OnMemAccess(MemEvent)           { p.mems++ }
+func (p *probe) OnTrap(cause, tval, pc uint32)  { p.traps++ }
+
+// memOnly implements only the memory hook.
+type memOnly struct{ mems int }
+
+func (m *memOnly) Name() string         { return "mem-only" }
+func (m *memOnly) OnMemAccess(MemEvent) { m.mems++ }
+
+// hookless implements no hook interfaces at all.
+type hookless struct{}
+
+func (hookless) Name() string { return "hookless" }
+
+func TestRegisterAndDispatch(t *testing.T) {
+	var h Hooks
+	p := &probe{name: "p"}
+	if err := h.Register(p); err != nil {
+		t.Fatal(err)
+	}
+	b := BlockInfo{PC: 0x100}
+	h.Translate(b)
+	h.BlockExec(b)
+	h.InsnExec(0x100, decode.Inst{Op: isa.OpADD})
+	h.MemAccess(MemEvent{})
+	h.Trap(2, 0, 0x100)
+	if p.translates != 1 || p.blocks != 1 || p.insns != 1 || p.mems != 1 || p.traps != 1 {
+		t.Errorf("dispatch counts: %+v", p)
+	}
+}
+
+func TestPartialInterfaceRegistration(t *testing.T) {
+	var h Hooks
+	m := &memOnly{}
+	if err := h.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	if h.HasInsnHooks() {
+		t.Error("mem-only plugin must not enable insn hooks")
+	}
+	if !h.HasMemHooks() {
+		t.Error("mem hook not registered")
+	}
+	h.MemAccess(MemEvent{Store: true})
+	if m.mems != 1 {
+		t.Error("mem hook not dispatched")
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndHookless(t *testing.T) {
+	var h Hooks
+	if err := h.Register(&probe{name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Register(&probe{name: "x"}); err == nil {
+		t.Error("duplicate name should be rejected")
+	}
+	if err := h.Register(hookless{}); err == nil {
+		t.Error("plugin without hooks should be rejected")
+	}
+	if len(h.Plugins()) != 1 {
+		t.Errorf("Plugins() = %d entries", len(h.Plugins()))
+	}
+}
+
+func TestMultiplePluginsAllDispatched(t *testing.T) {
+	var h Hooks
+	a, b := &probe{name: "a"}, &probe{name: "b"}
+	h.Register(a)
+	h.Register(b)
+	h.InsnExec(0, decode.Inst{})
+	if a.insns != 1 || b.insns != 1 {
+		t.Error("both plugins should see the event")
+	}
+}
+
+func TestBlockInfoSize(t *testing.T) {
+	b := BlockInfo{
+		PC: 0x100,
+		Insts: []decode.Inst{
+			{Op: isa.OpADDI, Size: 4},
+			{Op: isa.OpCADDI, Size: 2},
+			{Op: isa.OpJAL, Size: 4},
+		},
+		Addrs: []uint32{0x100, 0x104, 0x106},
+	}
+	if b.Size() != 10 {
+		t.Errorf("Size() = %d, want 10", b.Size())
+	}
+	if (BlockInfo{}).Size() != 0 {
+		t.Error("empty block size should be 0")
+	}
+}
+
+func TestTracerOutput(t *testing.T) {
+	var buf bytes.Buffer
+	tr := &Tracer{W: &buf, Limit: 2}
+	tr.OnInsnExec(0x100, decode.Inst{Op: isa.OpADD, Size: 4})
+	tr.OnInsnExec(0x104, decode.Inst{Op: isa.OpSUB, Size: 4})
+	tr.OnInsnExec(0x108, decode.Inst{Op: isa.OpXOR, Size: 4}) // beyond limit
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("trace lines = %d, want 2 (limit)", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "00000100: add") {
+		t.Errorf("trace line = %q", lines[0])
+	}
+}
+
+func TestCountPlugin(t *testing.T) {
+	c := &Count{}
+	var h Hooks
+	if err := h.Register(c); err != nil {
+		t.Fatal(err)
+	}
+	h.BlockExec(BlockInfo{})
+	h.InsnExec(0, decode.Inst{})
+	h.InsnExec(4, decode.Inst{})
+	h.MemAccess(MemEvent{Store: false})
+	h.MemAccess(MemEvent{Store: true})
+	if c.Blocks != 1 || c.Insns != 2 || c.Loads != 1 || c.Stores != 1 {
+		t.Errorf("counts: %+v", c)
+	}
+}

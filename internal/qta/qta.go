@@ -1,0 +1,197 @@
+// Package qta reproduces the QEMU Timing Analyzer: the co-simulation of
+// a binary with its WCET-annotated control-flow graph. The analyzer runs
+// as an emulator plugin (the role the original played as a TCG plugin
+// shared object): it watches instruction execution, recognizes entries
+// into annotated blocks, and accumulates the worst-case cycle cost of
+// every block-to-block transition from the annotation. The result is a
+// worst-case time for the *observed* execution path — by construction at
+// least the dynamic cycle count, and at most the static WCET bound.
+package qta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/decode"
+	"repro/internal/plugin"
+	"repro/internal/wcet"
+)
+
+// Analyzer is the QTA plugin. Register it on a machine's hook registry,
+// run the program, then call Finish.
+type Analyzer struct {
+	an *wcet.Annotated
+
+	blockAt map[uint32]int    // block start -> index
+	edges   map[uint64]uint64 // (from<<32|to) -> cost
+	maxPen  uint64            // worst transfer penalty, for unannotated transitions
+
+	cur         int // index of the block being executed, -1 before the first
+	finished    bool
+	accumulated uint64
+
+	// Visits counts executions per block start.
+	Visits map[uint32]uint64
+	// Missing counts transitions that had no annotated edge (trap
+	// entries, returns, indirect jumps): they are charged block cost
+	// plus the worst transfer penalty.
+	Missing uint64
+	// Traps counts trap events observed during the run.
+	Traps uint64
+}
+
+// New builds an analyzer over an annotated CFG.
+func New(an *wcet.Annotated) *Analyzer {
+	q := &Analyzer{
+		an:      an,
+		blockAt: make(map[uint32]int, len(an.Blocks)),
+		edges:   make(map[uint64]uint64, len(an.Edges)),
+		cur:     -1,
+		Visits:  make(map[uint32]uint64),
+	}
+	for i, b := range an.Blocks {
+		q.blockAt[b.Start] = i
+	}
+	for _, e := range an.Edges {
+		q.edges[uint64(e.From)<<32|uint64(e.To)] = e.Cost
+		if i, ok := q.blockAt[e.From]; ok {
+			if pen := e.Cost - an.Blocks[i].Cost; pen > q.maxPen {
+				q.maxPen = pen
+			}
+		}
+	}
+	return q
+}
+
+// Name implements plugin.Plugin.
+func (q *Analyzer) Name() string { return "qta" }
+
+// OnInsnExec implements plugin.InsnExecer: block entries drive the
+// accumulation.
+func (q *Analyzer) OnInsnExec(pc uint32, in decode.Inst) {
+	idx, ok := q.blockAt[pc]
+	if !ok {
+		return // mid-block instruction, or code outside the annotation
+	}
+	q.Visits[pc]++
+	if q.cur >= 0 {
+		from := q.an.Blocks[q.cur].Start
+		if cost, ok := q.edges[uint64(from)<<32|uint64(pc)]; ok {
+			q.accumulated += cost
+		} else {
+			q.accumulated += q.an.Blocks[q.cur].Cost + q.maxPen
+			q.Missing++
+		}
+	}
+	q.cur = idx
+}
+
+// OnTrap implements plugin.TrapWatcher.
+func (q *Analyzer) OnTrap(cause, tval, pc uint32) { q.Traps++ }
+
+// Finish closes the run by charging the final block and returns the
+// accumulated worst-case time. Further events are ignored.
+func (q *Analyzer) Finish() uint64 {
+	if !q.finished && q.cur >= 0 {
+		q.accumulated += q.an.Blocks[q.cur].Cost
+		q.finished = true
+	}
+	return q.accumulated
+}
+
+// Accumulated returns the worst-case time accumulated so far (without
+// the final block; call Finish at end of run).
+func (q *Analyzer) Accumulated() uint64 { return q.accumulated }
+
+// Result summarizes one QTA run against its static bound and the
+// dynamic (pipeline-model) cycle count of the same execution.
+type Result struct {
+	Program     string
+	Profile     string
+	StaticWCET  uint64 // bound from the annotated CFG
+	QTATime     uint64 // accumulated worst-case time of the observed path
+	Dynamic     uint64 // emulator cycle count
+	Insts       uint64 // retired instructions
+	BlocksSeen  int
+	BlocksTotal int
+	Missing     uint64
+	Traps       uint64 // traps observed; non-zero invalidates the QTA bound
+}
+
+// NewResult assembles a Result from a finished analyzer.
+func (q *Analyzer) NewResult(program string, dynamic, insts uint64) Result {
+	return Result{
+		Program:     program,
+		Profile:     q.an.Profile,
+		StaticWCET:  q.an.WCET,
+		QTATime:     q.Finish(),
+		Dynamic:     dynamic,
+		Insts:       insts,
+		BlocksSeen:  len(q.Visits),
+		BlocksTotal: len(q.an.Blocks),
+		Missing:     q.Missing,
+		Traps:       q.Traps,
+	}
+}
+
+// Sound reports whether the fundamental QTA ordering holds for this run:
+// static WCET >= QTA accumulated time >= dynamic cycles. A run that took
+// traps executed code outside the annotated CFG (handlers are not
+// reachable by static CFG discovery), so its bound cannot be trusted and
+// Sound reports false regardless of the numbers — the analyzer flags the
+// situation instead of silently under-reporting.
+func (r Result) Sound() bool {
+	if r.Traps > 0 {
+		return false
+	}
+	return r.StaticWCET >= r.QTATime && r.QTATime >= r.Dynamic
+}
+
+// String renders the one-line summary the tool prints per program.
+func (r Result) String() string {
+	ratio := func(a, b uint64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return float64(a) / float64(b)
+	}
+	return fmt.Sprintf("%-14s %-10s static=%-9d qta=%-9d dyn=%-9d static/dyn=%.2f qta/dyn=%.2f",
+		r.Program, r.Profile, r.StaticWCET, r.QTATime, r.Dynamic,
+		ratio(r.StaticWCET, r.Dynamic), ratio(r.QTATime, r.Dynamic))
+}
+
+// Profile renders the per-block visit profile, hottest first.
+func (q *Analyzer) Profile() string {
+	type row struct {
+		start uint32
+		count uint64
+		cost  uint64
+	}
+	rows := make([]row, 0, len(q.Visits))
+	for start, count := range q.Visits {
+		var cost uint64
+		if i, ok := q.blockAt[start]; ok {
+			cost = q.an.Blocks[i].Cost
+		}
+		rows = append(rows, row{start, count, cost})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].count*rows[i].cost != rows[j].count*rows[j].cost {
+			return rows[i].count*rows[i].cost > rows[j].count*rows[j].cost
+		}
+		return rows[i].start < rows[j].start
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-10s %-8s %s\n", "block", "visits", "cost", "total")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "0x%08x   %-10d %-8d %d\n", r.start, r.count, r.cost, r.count*r.cost)
+	}
+	return sb.String()
+}
+
+// interface conformance checks
+var (
+	_ plugin.InsnExecer  = (*Analyzer)(nil)
+	_ plugin.TrapWatcher = (*Analyzer)(nil)
+)

@@ -1,0 +1,409 @@
+package suites
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// The compliance suite: self-checking directed tests whose expected
+// values are hand-derived from the ISA specification — an oracle
+// independent of both the emulator implementation and the workloads' Go
+// reference models. Each program compares results in-target and reports
+// the 1-based index of the first failing check through the syscon exit
+// register (0 = all passed).
+
+// rrCase is one register-register check: op rd, A, B must equal Want.
+type rrCase struct {
+	op   string
+	a, b uint32
+	want uint32
+}
+
+// Hand-computed against the RISC-V unprivileged spec. Do not generate
+// these mechanically — their value is exactly that they were not.
+var rrCases = []rrCase{
+	{"add", 5, 7, 12},
+	{"add", 0xffffffff, 1, 0}, // wraparound
+	{"sub", 0, 1, 0xffffffff},
+	{"sub", 5, 7, 0xfffffffe},
+	{"sll", 1, 31, 0x80000000},
+	{"sll", 0xff, 4, 0xff0},
+	{"srl", 0x80000000, 31, 1},
+	{"sra", 0x80000000, 31, 0xffffffff}, // arithmetic fill
+	{"sra", 0x7fffffff, 31, 0},
+	{"slt", 0xffffffff, 0, 1}, // -1 < 0 signed
+	{"slt", 0, 0xffffffff, 0},
+	{"sltu", 0xffffffff, 0, 0}, // max unsigned not < 0
+	{"sltu", 0, 1, 1},
+	{"xor", 0xff00, 0x0ff0, 0xf0f0},
+	{"or", 0xff00, 0x0ff0, 0xfff0},
+	{"and", 0xff00, 0x0ff0, 0x0f00},
+
+	// M extension.
+	{"mul", 7, 6, 42},
+	{"mul", 0x10000, 0x10000, 0},          // low word of 2^32
+	{"mulh", 0x80000000, 2, 0xffffffff},   // (-2^31)*2 >> 32
+	{"mulhu", 0x80000000, 2, 1},           // (2^31)*2 >> 32
+	{"mulhsu", 0x80000000, 2, 0xffffffff}, // signed x unsigned
+	{"mulhsu", 2, 0x80000000, 1},
+	{"div", 7, 2, 3},
+	{"div", 0xfffffff9, 2, 0xfffffffd},          // -7/2 = -3 (truncating)
+	{"div", 0x80000000, 0xffffffff, 0x80000000}, // overflow
+	{"div", 7, 0, 0xffffffff},                   // /0 = -1
+	{"divu", 0xffffffff, 2, 0x7fffffff},
+	{"divu", 7, 0, 0xffffffff},
+	{"rem", 0xfffffff9, 2, 0xffffffff}, // -7%2 = -1
+	{"rem", 0x80000000, 0xffffffff, 0}, // overflow remainder
+	{"rem", 7, 0, 7},                   // %0 = dividend
+	{"remu", 7, 0, 7},
+	{"remu", 0xffffffff, 16, 15},
+}
+
+var bmiRRCases = []rrCase{
+	{"andn", 0xf0f0, 0xff00, 0x00f0},
+	{"orn", 0x000f, 0xfffffff0, 0x0000000f | ^uint32(0xfffffff0)},
+	{"xnor", 0xff00, 0x0ff0, ^uint32(0xf0f0)},
+	{"min", 0xffffffff, 1, 0xffffffff}, // -1 < 1 signed
+	{"max", 0xffffffff, 1, 1},
+	{"minu", 0xffffffff, 1, 1},
+	{"maxu", 0xffffffff, 1, 0xffffffff},
+	{"rol", 0x80000001, 1, 0x00000003},
+	{"ror", 1, 1, 0x80000000},
+	{"bset", 0, 31, 0x80000000},
+	{"bclr", 0xffffffff, 0, 0xfffffffe},
+	{"binv", 0, 5, 32},
+	{"bext", 0x100, 8, 1},
+	{"bext", 0x100, 9, 0},
+}
+
+// unaryCase is one rd, rs1 check.
+type unaryCase struct {
+	op   string
+	a    uint32
+	want uint32
+}
+
+var bmiUnaryCases = []unaryCase{
+	{"clz", 1, 31},
+	{"clz", 0, 32},
+	{"clz", 0x80000000, 0},
+	{"ctz", 0, 32},
+	{"ctz", 8, 3},
+	{"cpop", 0xffffffff, 32},
+	{"cpop", 0, 0},
+	{"cpop", 0x10010001, 3},
+	{"rev8", 0x12345678, 0x78563412},
+	{"orc.b", 0x00120000, 0x00ff0000},
+	{"sext.b", 0x80, 0xffffff80},
+	{"sext.b", 0x7f, 0x7f},
+	{"sext.h", 0x8000, 0xffff8000},
+	{"zext.h", 0x12345678, 0x5678},
+}
+
+// fpCase is one single-precision check on raw bit patterns.
+type fpCase struct {
+	op         string
+	a, b, want uint32
+}
+
+var fpCases = []fpCase{
+	{"fadd.s", 0x3fc00000, 0x40200000, 0x40800000}, // 1.5+2.5 = 4.0
+	{"fsub.s", 0x40800000, 0x3fc00000, 0x40200000}, // 4.0-1.5 = 2.5
+	{"fmul.s", 0x40400000, 0x3f000000, 0x3fc00000}, // 3.0*0.5 = 1.5
+	{"fdiv.s", 0x40a00000, 0x40000000, 0x40200000}, // 5.0/2.0 = 2.5
+	{"fmin.s", 0x80000000, 0x00000000, 0x80000000}, // min(-0,+0) = -0
+	{"fmax.s", 0xbf800000, 0x3f800000, 0x3f800000}, // max(-1,1) = 1
+	{"fsgnj.s", 0x3f800000, 0x80000000, 0xbf800000},
+	{"fsgnjn.s", 0x3f800000, 0x80000000, 0x3f800000},
+	{"fsgnjx.s", 0xbf800000, 0x80000000, 0x3f800000},
+}
+
+// Compliance builds the self-checking suite for the ISA configuration.
+func Compliance(set isa.ExtSet) Suite {
+	s := Suite{Name: "compliance"}
+	s.Programs = append(s.Programs, Program{
+		Name: "rr-i", Budget: 100_000, MustExitZero: true,
+		Source: rrProgram(filterRR(rrCases, set)),
+	})
+	if set.Has(isa.ExtXbmi) {
+		s.Programs = append(s.Programs,
+			Program{Name: "rr-bmi", Budget: 100_000, MustExitZero: true,
+				Source: rrProgram(bmiRRCases)},
+			Program{Name: "unary-bmi", Budget: 100_000, MustExitZero: true,
+				Source: unaryProgram(bmiUnaryCases)},
+		)
+	}
+	if set.Has(isa.ExtF) {
+		s.Programs = append(s.Programs, Program{
+			Name: "fp", Budget: 100_000, MustExitZero: true,
+			Source: fpProgram(fpCases),
+		})
+	}
+	s.Programs = append(s.Programs,
+		Program{Name: "mem", Budget: 100_000, MustExitZero: true, Source: memProgram},
+		Program{Name: "branch", Budget: 100_000, MustExitZero: true, Source: branchProgram},
+	)
+	if set.Has(isa.ExtC) {
+		s.Programs = append(s.Programs, Program{
+			Name: "compressed", Budget: 100_000, MustExitZero: true,
+			Source: compressedProgram,
+		})
+	}
+	return s
+}
+
+// compressedProgram checks that the 16-bit encodings compute the same
+// results as their 32-bit expansions would.
+const compressedProgram = `
+_start:
+	li s11, 1
+	c.li a0, 21
+	c.addi a0, 10             # 31
+	li a4, 31
+	bne a0, a4, fail
+	li s11, 2
+	c.mv a1, a0
+	c.add a1, a0              # 62
+	li a4, 62
+	bne a1, a4, fail
+	li s11, 3
+	c.sub a1, a0              # 31
+	li a4, 31
+	bne a1, a4, fail
+	li s11, 4
+	li a0, 0xf0f0
+	li a1, 0x0ff0
+	c.and a0, a1              # 0x00f0
+	li a4, 0x00f0
+	bne a0, a4, fail
+	li s11, 5
+	li a0, 0xf0f0
+	c.or a0, a1
+	li a4, 0xfff0
+	bne a0, a4, fail
+	li s11, 6
+	li a0, 0xf0f0
+	c.xor a0, a1
+	li a4, 0xff00
+	bne a0, a4, fail
+	li s11, 7
+	li a0, 1
+	c.slli a0, 31
+	li a4, 0x80000000
+	bne a0, a4, fail
+	li s11, 8
+	c.srli a0, 31
+	li a4, 1
+	bne a0, a4, fail
+	li s11, 9
+	li a0, 0x80000000
+	c.srai a0, 4
+	li a4, 0xF8000000
+	bne a0, a4, fail
+	li s11, 10
+	li a0, 0x7c
+	c.andi a0, -4
+	li a4, 0x7c
+	bne a0, a4, fail
+	li s11, 11
+	la a0, cbuf
+	li a1, 0x13572468
+	c.sw a1, 4(a0)
+	c.lw a2, 4(a0)
+	bne a2, a1, fail
+	li s11, 12
+	c.li a2, 0
+	c.beqz a2, 1f
+	j fail
+1:	li a0, 1
+	c.bnez a0, 1f
+	j fail
+1:
+` + checkEpilogue + `
+	.align 4
+cbuf:	.space 16
+`
+
+func filterRR(cases []rrCase, set isa.ExtSet) []rrCase {
+	var out []rrCase
+	for _, c := range cases {
+		if !set.Has(isa.ExtM) {
+			switch c.op {
+			case "mul", "mulh", "mulhu", "mulhsu", "div", "divu", "rem", "remu":
+				continue
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+const checkEpilogue = `
+	li a0, 0
+	li t6, SYSCON_EXIT
+	sw a0, 0(t6)
+1:	j 1b
+fail:
+	mv a0, s11
+	li t6, SYSCON_EXIT
+	sw a0, 0(t6)
+1:	j 1b
+`
+
+func rrProgram(cases []rrCase) string {
+	var b strings.Builder
+	b.WriteString("_start:\n")
+	for i, c := range cases {
+		fmt.Fprintf(&b, "\tli s11, %d\n", i+1)
+		fmt.Fprintf(&b, "\tli a1, %d\n", int32(c.a))
+		fmt.Fprintf(&b, "\tli a2, %d\n", int32(c.b))
+		fmt.Fprintf(&b, "\t%s a3, a1, a2\n", c.op)
+		fmt.Fprintf(&b, "\tli a4, %d\n", int32(c.want))
+		fmt.Fprintf(&b, "\tbne a3, a4, fail\n")
+	}
+	b.WriteString(checkEpilogue)
+	return b.String()
+}
+
+func unaryProgram(cases []unaryCase) string {
+	var b strings.Builder
+	b.WriteString("_start:\n")
+	for i, c := range cases {
+		fmt.Fprintf(&b, "\tli s11, %d\n", i+1)
+		fmt.Fprintf(&b, "\tli a1, %d\n", int32(c.a))
+		fmt.Fprintf(&b, "\t%s a3, a1\n", c.op)
+		fmt.Fprintf(&b, "\tli a4, %d\n", int32(c.want))
+		fmt.Fprintf(&b, "\tbne a3, a4, fail\n")
+	}
+	b.WriteString(checkEpilogue)
+	return b.String()
+}
+
+func fpProgram(cases []fpCase) string {
+	var b strings.Builder
+	b.WriteString("_start:\n")
+	for i, c := range cases {
+		fmt.Fprintf(&b, "\tli s11, %d\n", i+1)
+		fmt.Fprintf(&b, "\tli a1, %d\n", int32(c.a))
+		fmt.Fprintf(&b, "\tli a2, %d\n", int32(c.b))
+		b.WriteString("\tfmv.w.x fa1, a1\n\tfmv.w.x fa2, a2\n")
+		fmt.Fprintf(&b, "\t%s fa3, fa1, fa2\n", c.op)
+		b.WriteString("\tfmv.x.w a3, fa3\n")
+		fmt.Fprintf(&b, "\tli a4, %d\n", int32(c.want))
+		fmt.Fprintf(&b, "\tbne a3, a4, fail\n")
+	}
+	// Conversions and compares, hand-checked.
+	extra := `
+	li s11, 100
+	li a1, -1
+	fcvt.s.w fa1, a1          # -1.0 = 0xBF800000
+	fmv.x.w a3, fa1
+	li a4, 0xBF800000
+	bne a3, a4, fail
+	li s11, 101
+	li a1, 0xBFC00000         # -1.5
+	fmv.w.x fa1, a1
+	fcvt.w.s a3, fa1          # truncates toward zero: -1
+	li a4, -1
+	bne a3, a4, fail
+	li s11, 102
+	li a1, 0x40800000         # 4.0
+	fmv.w.x fa1, a1
+	fsqrt.s fa2, fa1          # 2.0 = 0x40000000
+	fmv.x.w a3, fa2
+	li a4, 0x40000000
+	bne a3, a4, fail
+	li s11, 103
+	fmv.w.x fa1, zero         # +0.0
+	fclass.s a3, fa1
+	li a4, 16                 # 1<<4
+	bne a3, a4, fail
+	li s11, 104
+	li a1, 0x3F800000         # 1.0
+	li a2, 0x40000000         # 2.0
+	fmv.w.x fa1, a1
+	fmv.w.x fa2, a2
+	flt.s a3, fa1, fa2
+	li a4, 1
+	bne a3, a4, fail
+	feq.s a3, fa1, fa2
+	bnez a3, fail
+`
+	b.WriteString(extra)
+	b.WriteString(checkEpilogue)
+	return b.String()
+}
+
+// memProgram checks load/store widths, sign extension and byte merging,
+// all hand-derived.
+const memProgram = `
+_start:
+	la s0, buf
+	li s11, 1
+	li a1, 0x81828384
+	sw a1, 0(s0)
+	lb a3, 0(s0)              # 0x84 sign-extends
+	li a4, 0xFFFFFF84
+	bne a3, a4, fail
+	li s11, 2
+	lbu a3, 0(s0)
+	li a4, 0x84
+	bne a3, a4, fail
+	li s11, 3
+	lh a3, 0(s0)              # 0x8384 sign-extends
+	li a4, 0xFFFF8384
+	bne a3, a4, fail
+	li s11, 4
+	lhu a3, 2(s0)
+	li a4, 0x8182
+	bne a3, a4, fail
+	li s11, 5
+	li a1, 0x55
+	sb a1, 1(s0)              # merge one byte
+	lw a3, 0(s0)
+	li a4, 0x81825584
+	bne a3, a4, fail
+	li s11, 6
+	li a1, 0x6677
+	sh a1, 2(s0)
+	lw a3, 0(s0)
+	li a4, 0x66775584
+	bne a3, a4, fail
+` + checkEpilogue + `
+	.align 4
+buf:	.space 16
+`
+
+// branchProgram checks taken/not-taken behaviour of every branch.
+const branchProgram = `
+_start:
+	li a1, 5
+	li a2, -5
+	li s11, 1
+	beq a1, a1, 1f            # must take
+	j fail
+1:	li s11, 2
+	bne a1, a2, 1f
+	j fail
+1:	li s11, 3
+	blt a2, a1, 1f            # -5 < 5 signed
+	j fail
+1:	li s11, 4
+	bltu a1, a2, 1f           # 5 < 0xFFFFFFFB unsigned
+	j fail
+1:	li s11, 5
+	bge a1, a2, 1f
+	j fail
+1:	li s11, 6
+	bgeu a2, a1, 1f           # 0xFFFFFFFB >= 5 unsigned
+	j fail
+1:	li s11, 7
+	beq a1, a2, fail          # must not take
+	bne a1, a1, fail
+	blt a1, a2, fail
+	bge a2, a1, fail
+	bltu a2, a1, fail
+	bgeu a1, a2, fail
+` + checkEpilogue

@@ -1,0 +1,152 @@
+package suites_test
+
+import (
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/isa"
+	"repro/internal/suites"
+)
+
+// TestCoverageStudyShape reproduces the shape of the coverage experiment
+// (E4): no single suite is complete; the architectural suite has high
+// instruction coverage but poor register coverage; torture has the
+// opposite profile; the union reaches 100% GPR coverage and nearly full
+// instruction coverage.
+func TestCoverageStudyShape(t *testing.T) {
+	set := isa.RV32IMF
+
+	arch, err := suites.Run(suites.Architectural(set), set)
+	if err != nil {
+		t.Fatalf("architectural: %v", err)
+	}
+	unit, err := suites.Run(suites.Unit(set), set)
+	if err != nil {
+		t.Fatalf("unit: %v", err)
+	}
+	tor, err := suites.Run(suites.Torture(set, 8, 1000), set)
+	if err != nil {
+		t.Fatalf("torture: %v", err)
+	}
+
+	ra, ru, rt := arch.Report(), unit.Report(), tor.Report()
+	t.Logf("arch:    %s", ra)
+	t.Logf("unit:    %s", ru)
+	t.Logf("torture: %s", rt)
+
+	// Architectural: near-complete instruction coverage.
+	if cover.Pct(ra.OpsCovered, ra.OpsTotal) < 95 {
+		t.Errorf("architectural op coverage too low: %s", ra)
+	}
+	// ...but a weak register profile (the well-known gap).
+	if ra.GPRCovered > 16 {
+		t.Errorf("architectural suite touches too many GPRs (%d) to show the gap", ra.GPRCovered)
+	}
+	// Torture: wide register coverage...
+	if rt.GPRCovered < 28 {
+		t.Errorf("torture GPR coverage too low: %d", rt.GPRCovered)
+	}
+	// ...but incomplete op coverage (no system/priv instructions).
+	if rt.OpsCovered >= rt.OpsTotal {
+		t.Error("torture should not reach full op coverage")
+	}
+	// Unit: incomplete on both axes.
+	if ru.OpsCovered >= ru.OpsTotal {
+		t.Error("unit suite should not reach full op coverage")
+	}
+
+	// Union.
+	union := cover.New(set)
+	for _, c := range []*cover.Coverage{arch, unit, tor} {
+		if err := union.Merge(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := union.Report()
+	t.Logf("union:   %s", r)
+	if r.GPRCovered != 32 {
+		t.Errorf("union GPR coverage %d/32, want full", r.GPRCovered)
+	}
+	if set.Has(isa.ExtF) && r.FPRCovered != 32 {
+		t.Errorf("union FPR coverage %d/32, want full", r.FPRCovered)
+	}
+	if pct := cover.Pct(r.OpsCovered, r.OpsTotal); pct < 97 {
+		t.Errorf("union instruction coverage %.1f%%, want >= 97%%", pct)
+	}
+}
+
+// The architectural generator must produce a valid program for every ISA
+// configuration, including the full one with compressed instructions.
+func TestArchitecturalAcrossConfigs(t *testing.T) {
+	for _, set := range []isa.ExtSet{isa.RV32I, isa.RV32IM, isa.RV32IMF, isa.RV32IMB, isa.RV32Full} {
+		c, err := suites.Run(suites.Architectural(set), set)
+		if err != nil {
+			t.Fatalf("%v: %v", set, err)
+		}
+		r := c.Report()
+		if pct := cover.Pct(r.OpsCovered, r.OpsTotal); pct < 90 {
+			t.Errorf("%v: op coverage %.1f%% too low (missing %v)", set, pct, r.MissingOps)
+		}
+	}
+}
+
+func TestUnitSuiteRuns(t *testing.T) {
+	for _, set := range []isa.ExtSet{isa.RV32I, isa.RV32IMF} {
+		if _, err := suites.Run(suites.Unit(set), set); err != nil {
+			t.Errorf("%v: %v", set, err)
+		}
+	}
+}
+
+func TestTortureSuiteSeeded(t *testing.T) {
+	a := suites.Torture(isa.RV32IM, 3, 7)
+	b := suites.Torture(isa.RV32IM, 3, 7)
+	if len(a.Programs) != 3 {
+		t.Fatalf("programs = %d", len(a.Programs))
+	}
+	for i := range a.Programs {
+		if a.Programs[i].Source != b.Programs[i].Source {
+			t.Error("torture suite not deterministic")
+		}
+	}
+}
+
+// TestComplianceSuitePasses runs the self-checking compliance programs —
+// expected values hand-derived from the ISA spec, so this is the
+// emulator's independent oracle.
+func TestComplianceSuitePasses(t *testing.T) {
+	for _, set := range []isa.ExtSet{isa.RV32IM, isa.RV32IMF, isa.RV32IMB, isa.RV32Full} {
+		if _, err := suites.Run(suites.Compliance(set), set); err != nil {
+			t.Errorf("%v: %v", set, err)
+		}
+	}
+}
+
+// A deliberately broken expectation must be caught by the self-check
+// machinery (guards against the suite silently passing everything).
+func TestComplianceDetectsFailure(t *testing.T) {
+	bad := suites.Suite{Name: "bad", Programs: []suites.Program{{
+		Name: "wrong", Budget: 1000, MustExitZero: true,
+		Source: `
+_start:
+	li s11, 1
+	li a1, 2
+	li a2, 2
+	add a3, a1, a2
+	li a4, 5                 # wrong on purpose
+	bne a3, a4, fail
+	li a0, 0
+	li t6, SYSCON_EXIT
+	sw a0, 0(t6)
+1:	j 1b
+fail:
+	mv a0, s11
+	li t6, SYSCON_EXIT
+	sw a0, 0(t6)
+1:	j 1b
+`,
+	}}}
+	if _, err := suites.Run(bad, isa.RV32IM); err == nil {
+		t.Error("broken expectation not detected")
+	}
+}

@@ -1,0 +1,87 @@
+package timing
+
+import (
+	"repro/internal/decode"
+	"repro/internal/isa"
+)
+
+// ReadsIntRegs reports which integer source registers the instruction
+// consumes, for load-use hazard detection. Register 0 means "none" (x0
+// never hazards). Both the emulator's dynamic pipeline model and the
+// static WCET block analysis use this, which is what keeps the
+// static-bounds-dynamic invariant aligned.
+func ReadsIntRegs(in decode.Inst) (r1, r2 isa.Reg) {
+	_, fp1, fp2 := isa.UsesFPRegs(in.Op)
+	switch in.Op.Class() {
+	case isa.ClassALU, isa.ClassShift, isa.ClassMul, isa.ClassDiv,
+		isa.ClassBMI, isa.ClassBranch:
+		r1, r2 = in.Rs1, in.Rs2
+	case isa.ClassLoad, isa.ClassFPLoad:
+		r1 = in.Rs1
+	case isa.ClassStore:
+		r1, r2 = in.Rs1, in.Rs2
+	case isa.ClassFPStore:
+		r1 = in.Rs1 // data operand is FP
+	case isa.ClassJump:
+		if in.Op == isa.OpJALR || in.Op == isa.OpCJR || in.Op == isa.OpCJALR {
+			r1 = in.Rs1
+		}
+	case isa.ClassCSR:
+		switch in.Op {
+		case isa.OpCSRRW, isa.OpCSRRS, isa.OpCSRRC:
+			r1 = in.Rs1
+		}
+	case isa.ClassFPALU, isa.ClassFPMul, isa.ClassFPDiv, isa.ClassFPCmp, isa.ClassFPCvt:
+		if !fp1 {
+			r1 = in.Rs1
+		}
+	}
+	if fp1 {
+		r1 = 0
+	}
+	if fp2 {
+		r2 = 0
+	}
+	return r1, r2
+}
+
+// BlockCost returns the context-insensitive worst-case cycle cost of a
+// straight-line instruction sequence: per-instruction static costs, the
+// intra-block load-use stalls, one pessimistic entry stall covering a
+// possible hazard against the previous block's trailing load, and — when
+// an I-cache is modelled — an all-miss assumption for every cache line
+// the block can span. Control transfer penalties are charged to CFG
+// edges, not blocks.
+func (p *Profile) BlockCost(insts []decode.Inst) uint64 {
+	if len(insts) == 0 {
+		return 0
+	}
+	total := uint64(p.LoadUseStall) // entry pessimism
+	var bytes uint64
+	var lastLoad isa.Reg
+	for _, in := range insts {
+		if lastLoad != 0 {
+			r1, r2 := ReadsIntRegs(in)
+			if r1 == lastLoad || r2 == lastLoad {
+				total += uint64(p.LoadUseStall)
+			}
+		}
+		total += uint64(p.StaticCost(in))
+		bytes += uint64(in.Size)
+		lastLoad = 0
+		if in.Op.Class() == isa.ClassLoad {
+			if rd, ok := in.WritesReg(); ok {
+				lastLoad = rd
+			}
+		}
+	}
+	if p.HasICache() {
+		// Worst-case distinct lines for any alignment of a span of
+		// `bytes` bytes; each assumed to miss. An execution of the block
+		// can miss at most this often (a contiguous block far smaller
+		// than the cache cannot self-evict), so the bound is sound.
+		lines := bytes/uint64(p.ICacheLineBytes) + 1
+		total += lines * uint64(p.ICacheMissPenalty)
+	}
+	return total
+}

@@ -1,0 +1,146 @@
+package timing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/decode"
+	"repro/internal/isa"
+)
+
+func inst(op isa.Op) decode.Inst { return decode.Inst{Op: op, Size: 4} }
+
+func TestDefaultsToOneCycle(t *testing.T) {
+	p := Unit()
+	for _, op := range []isa.Op{isa.OpADD, isa.OpMUL, isa.OpLW, isa.OpBEQ} {
+		if c := p.StaticCost(inst(op)); c != 1 {
+			t.Errorf("unit profile: %v costs %d", op, c)
+		}
+	}
+}
+
+func TestEdgeSmallClassCosts(t *testing.T) {
+	p := EdgeSmall()
+	if p.StaticCost(inst(isa.OpDIV)) != 33 {
+		t.Error("div should be 33 cycles on edge-small")
+	}
+	if p.StaticCost(inst(isa.OpMUL)) != 8 {
+		t.Error("mul should be 8 cycles on edge-small")
+	}
+	if p.StaticCost(inst(isa.OpADD)) != 1 {
+		t.Error("add should be 1 cycle")
+	}
+	if p.StaticCost(inst(isa.OpCPOP)) != 1 {
+		t.Error("bmi ops should be single cycle (the PATMOS claim)")
+	}
+}
+
+// The WCET soundness cornerstone: static cost bounds dynamic cost for
+// every instruction and any operand values.
+func TestStaticBoundsDynamic(t *testing.T) {
+	profiles := []*Profile{EdgeSmall(), EdgeFast(), Unit()}
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range profiles {
+		for _, op := range isa.Ops() {
+			in := inst(op)
+			st := p.StaticCost(in)
+			for trial := 0; trial < 100; trial++ {
+				dy := p.DynamicCost(in, rng.Uint32(), rng.Uint32())
+				if dy > st {
+					t.Fatalf("%s: %v dynamic %d > static %d", p.Name(), op, dy, st)
+				}
+				if dy == 0 {
+					t.Fatalf("%s: %v dynamic cost 0", p.Name(), op)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickStaticBoundsDynamic(t *testing.T) {
+	p := EdgeSmall()
+	f := func(a, b uint32) bool {
+		for _, op := range []isa.Op{isa.OpMUL, isa.OpMULH, isa.OpDIV, isa.OpREMU} {
+			in := inst(op)
+			if p.DynamicCost(in, a, b) > p.StaticCost(in) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEarlyOutMonotone(t *testing.T) {
+	p := EdgeSmall()
+	mul := inst(isa.OpMUL)
+	small := p.DynamicCost(mul, 0, 1)
+	large := p.DynamicCost(mul, 0, 0xffffffff)
+	if small >= large {
+		t.Errorf("early-out mul: small operand %d should be cheaper than wide %d", small, large)
+	}
+	div := inst(isa.OpDIV)
+	if p.DynamicCost(div, 1, 1) >= p.DynamicCost(div, 0xffffffff, 1) {
+		t.Error("early-out div: small dividend should be cheaper")
+	}
+}
+
+func TestEdgeFastNoEarlyOut(t *testing.T) {
+	p := EdgeFast()
+	mul := inst(isa.OpMUL)
+	if p.DynamicCost(mul, 0, 1) != p.DynamicCost(mul, 0, 0xffffffff) {
+		t.Error("edge-fast multiplier should be fixed latency")
+	}
+}
+
+func TestTransferPenalty(t *testing.T) {
+	p := EdgeSmall()
+	if p.TransferPenalty(isa.OpBEQ, true) != p.BranchTakenPenalty {
+		t.Error("taken branch penalty wrong")
+	}
+	if p.TransferPenalty(isa.OpBEQ, false) != 0 {
+		t.Error("not-taken branch must be free")
+	}
+	if p.TransferPenalty(isa.OpJAL, false) != p.JumpPenalty {
+		t.Error("jump penalty wrong")
+	}
+	if p.TransferPenalty(isa.OpADD, true) != 0 {
+		t.Error("ALU op must have no transfer penalty")
+	}
+}
+
+func TestProfilesRegistry(t *testing.T) {
+	ps := Profiles()
+	for _, name := range []string{"edge-small", "edge-fast", "edge-cache", "unit"} {
+		p, ok := ps[name]
+		if !ok || p.Name() != name {
+			t.Errorf("profile %q missing or misnamed", name)
+		}
+	}
+}
+
+func TestICacheConfiguration(t *testing.T) {
+	if EdgeSmall().HasICache() {
+		t.Error("edge-small must not model an I-cache")
+	}
+	c := EdgeCache()
+	if !c.HasICache() {
+		t.Fatal("edge-cache must model an I-cache")
+	}
+	// The all-miss block cost must exceed the cache-less one by exactly
+	// lines x penalty.
+	insts := []decode.Inst{
+		{Op: isa.OpADDI, Size: 4}, {Op: isa.OpADDI, Size: 4},
+		{Op: isa.OpADDI, Size: 4}, {Op: isa.OpADDI, Size: 4},
+		{Op: isa.OpADDI, Size: 4}, // 20 bytes -> worst case 2 lines of 16
+	}
+	base := EdgeSmall().BlockCost(insts)
+	cached := c.BlockCost(insts)
+	want := base + 2*uint64(c.ICacheMissPenalty)
+	if cached != want {
+		t.Errorf("cached block cost %d, want %d", cached, want)
+	}
+}

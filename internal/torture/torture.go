@@ -1,0 +1,387 @@
+// Package torture generates random but guaranteed-terminating RISC-V
+// test programs, the ecosystem's stand-in for the RISC-V Torture test
+// generator. Programs initialize the full register state from the seed,
+// execute a randomized instruction mix (ALU, memory, forward branches,
+// bounded loops, CSR probes, FP arithmetic), fold every register into a
+// checksum, and report it through the syscon device. Termination is
+// structural: branches only jump forward and loops count down a reserved
+// register, so every generated program halts and can even be bounded by
+// the WCET analyzer via the returned loop bounds.
+package torture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Config parametrizes generation.
+type Config struct {
+	Seed  int64
+	Insts int        // number of body instructions (default 200)
+	ISA   isa.ExtSet // default RV32IM
+}
+
+// Program is one generated test.
+type Program struct {
+	Seed       int64
+	Source     string
+	LoopBounds map[string]int // loop-head label -> iterations, for WCET
+	Budget     uint64         // instruction budget that safely covers execution
+}
+
+// Reserved registers: x0 (zero), x3 (gp = data base), x4 (tp = loop
+// counter), x31 (t6 = exit scratch).
+func targetRegs() []isa.Reg {
+	var out []isa.Reg
+	for r := isa.Reg(1); r < 32; r++ {
+		switch r {
+		case isa.GP, isa.TP, isa.T6:
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// safe CSRs for random probing: reads of counters/ids, read-write only on
+// mscratch.
+var csrReads = []isa.CSR{isa.CSRCycle, isa.CSRInstret, isa.CSRMhartid, isa.CSRMarchid, isa.CSRMscratch}
+
+type gen struct {
+	cfg    Config
+	rng    *rand.Rand
+	sb     strings.Builder
+	regs   []isa.Reg
+	labels int
+	// pending forward-branch labels: distance (in emitted body
+	// instructions) until the label must be placed.
+	pending  map[int][]string
+	emitted  int
+	inLoop   bool
+	loopLeft int
+	curLoop  string
+	bounds   map[string]int
+}
+
+// Generate produces one random program.
+func Generate(cfg Config) Program {
+	if cfg.Insts == 0 {
+		cfg.Insts = 200
+	}
+	if cfg.ISA == 0 {
+		cfg.ISA = isa.RV32IM
+	}
+	g := &gen{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		regs:    targetRegs(),
+		pending: make(map[int][]string),
+		bounds:  make(map[string]int),
+	}
+	g.prologue()
+	for g.emitted < cfg.Insts {
+		g.step()
+	}
+	g.closeLoop()
+	g.flushAllLabels()
+	g.epilogue()
+
+	// Budget: prologue+epilogue (~120) plus body with loop replication;
+	// generously padded.
+	budget := uint64(cfg.Insts)*16 + 4096
+	return Program{Seed: cfg.Seed, Source: g.sb.String(), LoopBounds: g.bounds, Budget: budget}
+}
+
+func (g *gen) emitf(format string, args ...any) {
+	fmt.Fprintf(&g.sb, format+"\n", args...)
+}
+
+func (g *gen) reg() isa.Reg { return g.regs[g.rng.Intn(len(g.regs))] }
+
+func (g *gen) prologue() {
+	g.emitf("_start:")
+	g.emitf("\tla gp, data")
+	g.emitf("\tli tp, 1") // loop counter register: defined even if a
+	// forward branch ever skips a loop prologue
+	for _, r := range g.regs {
+		g.emitf("\tli %s, %d", r, int32(g.rng.Uint32()))
+	}
+	if g.cfg.ISA.Has(isa.ExtF) {
+		for i := 0; i < 32; i++ {
+			g.emitf("\tfcvt.s.w %s, %s", isa.FReg(i), g.reg())
+		}
+	}
+}
+
+// step emits one random body instruction (or control structure).
+func (g *gen) step() {
+	// Place any labels scheduled for this position.
+	g.flushLabels()
+	if g.inLoop {
+		g.loopLeft--
+		if g.loopLeft <= 0 {
+			g.closeLoop()
+			return
+		}
+	}
+	switch k := g.rng.Intn(100); {
+	case k < 30:
+		g.aluR()
+	case k < 50:
+		g.aluI()
+	case k < 58:
+		g.load()
+	case k < 66:
+		g.store()
+	case k < 74:
+		g.forwardBranch()
+	case k < 79:
+		// Only open a loop when no forward-branch label is pending:
+		// a branch jumping over the loop's counter initialization
+		// would make the trip count unbounded.
+		if !g.inLoop && len(g.pending) == 0 {
+			g.openLoop()
+		} else {
+			g.aluR()
+		}
+	case k < 84:
+		g.upper()
+	case k < 90:
+		if g.cfg.ISA.Has(isa.ExtF) {
+			g.fp()
+		} else {
+			g.aluR()
+		}
+	case k < 95:
+		if g.cfg.ISA.Has(isa.ExtXbmi) {
+			g.bmi()
+		} else {
+			g.aluI()
+		}
+	case k < 98:
+		if g.cfg.ISA.Has(isa.ExtC) {
+			g.compressed()
+		} else {
+			g.aluR()
+		}
+	default:
+		g.csr()
+	}
+}
+
+// creg picks a register addressable by the compressed prime forms
+// (x8..x15; none of the reserved registers live in that range).
+func (g *gen) creg() isa.Reg { return isa.Reg(8 + g.rng.Intn(8)) }
+
+// compressed emits one 16-bit instruction.
+func (g *gen) compressed() {
+	switch g.rng.Intn(8) {
+	case 0:
+		imm := g.rng.Intn(63) - 31
+		if imm == 0 {
+			imm = 1
+		}
+		g.body("c.addi %s, %d", g.creg(), imm)
+	case 1:
+		g.body("c.li %s, %d", g.creg(), g.rng.Intn(64)-32)
+	case 2:
+		g.body("c.mv %s, %s", g.creg(), g.reg())
+	case 3:
+		g.body("c.add %s, %s", g.creg(), g.reg())
+	case 4:
+		ops := []string{"c.sub", "c.xor", "c.or", "c.and"}
+		g.body("%s %s, %s", ops[g.rng.Intn(4)], g.creg(), g.creg())
+	case 5:
+		ops := []string{"c.slli", "c.srli", "c.srai"}
+		g.body("%s %s, %d", ops[g.rng.Intn(3)], g.creg(), g.rng.Intn(31)+1)
+	case 6:
+		// c.lw/c.sw need the base in x8..x15: copy gp first.
+		base := g.creg()
+		g.body("c.mv %s, gp", base)
+		g.body("c.lw %s, %d(%s)", g.creg(), g.rng.Intn(32)*4, base)
+	default:
+		base := g.creg()
+		g.body("c.mv %s, gp", base)
+		g.body("c.sw %s, %d(%s)", g.creg(), g.rng.Intn(32)*4, base)
+	}
+}
+
+func (g *gen) body(line string, args ...any) {
+	g.emitf("\t"+line, args...)
+	g.emitted++
+}
+
+var aluROps = []string{"add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and"}
+var mulOps = []string{"mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu"}
+var aluIOps = []string{"addi", "slti", "sltiu", "xori", "ori", "andi"}
+var shiftIOps = []string{"slli", "srli", "srai"}
+var bmiROps = []string{"andn", "orn", "xnor", "min", "max", "minu", "maxu", "rol", "ror",
+	"bset", "bclr", "binv", "bext"}
+var bmiUnary = []string{"clz", "ctz", "cpop", "sext.b", "sext.h", "rev8", "orc.b", "zext.h"}
+var fpROps = []string{"fadd.s", "fsub.s", "fmul.s", "fmin.s", "fmax.s", "fsgnj.s", "fsgnjn.s", "fsgnjx.s"}
+
+func (g *gen) aluR() {
+	ops := aluROps
+	if g.cfg.ISA.Has(isa.ExtM) && g.rng.Intn(3) == 0 {
+		ops = mulOps
+	}
+	g.body("%s %s, %s, %s", ops[g.rng.Intn(len(ops))], g.reg(), g.reg(), g.reg())
+}
+
+func (g *gen) aluI() {
+	if g.rng.Intn(4) == 0 {
+		g.body("%s %s, %s, %d", shiftIOps[g.rng.Intn(3)], g.reg(), g.reg(), g.rng.Intn(32))
+		return
+	}
+	g.body("%s %s, %s, %d", aluIOps[g.rng.Intn(len(aluIOps))], g.reg(), g.reg(),
+		g.rng.Intn(4096)-2048)
+}
+
+func (g *gen) upper() {
+	if g.rng.Intn(2) == 0 {
+		g.body("lui %s, 0x%x", g.reg(), g.rng.Intn(1<<20))
+	} else {
+		g.body("auipc %s, 0x%x", g.reg(), g.rng.Intn(1<<20))
+	}
+}
+
+func (g *gen) load() {
+	type lf struct {
+		op    string
+		align int
+	}
+	forms := []lf{{"lw", 4}, {"lh", 2}, {"lhu", 2}, {"lb", 1}, {"lbu", 1}}
+	f := forms[g.rng.Intn(len(forms))]
+	off := g.rng.Intn(256/f.align) * f.align
+	g.body("%s %s, %d(gp)", f.op, g.reg(), off)
+}
+
+func (g *gen) store() {
+	type sf struct {
+		op    string
+		align int
+	}
+	forms := []sf{{"sw", 4}, {"sh", 2}, {"sb", 1}}
+	f := forms[g.rng.Intn(len(forms))]
+	off := g.rng.Intn(256/f.align) * f.align
+	g.body("%s %s, %d(gp)", f.op, g.reg(), off)
+}
+
+var branchOps = []string{"beq", "bne", "blt", "bge", "bltu", "bgeu"}
+
+func (g *gen) forwardBranch() {
+	dist := 1 + g.rng.Intn(5)
+	g.labels++
+	label := fmt.Sprintf("fwd%d", g.labels)
+	g.body("%s %s, %s, %s", branchOps[g.rng.Intn(len(branchOps))], g.reg(), g.reg(), label)
+	g.pending[g.emitted+dist] = append(g.pending[g.emitted+dist], label)
+}
+
+func (g *gen) flushLabels() {
+	g.flushUpTo(g.emitted)
+}
+
+// flushAllLabels places every still-pending forward label; called once
+// generation ends so no branch target is left dangling.
+func (g *gen) flushAllLabels() {
+	g.flushUpTo(1 << 30)
+}
+
+// flushUpTo emits pending labels scheduled at or before position limit,
+// in deterministic position order (map iteration order must not leak
+// into generated programs).
+func (g *gen) flushUpTo(limit int) {
+	var due []int
+	for at := range g.pending {
+		if at <= limit {
+			due = append(due, at)
+		}
+	}
+	sort.Ints(due)
+	for _, at := range due {
+		for _, l := range g.pending[at] {
+			g.emitf("%s:", l)
+		}
+		delete(g.pending, at)
+	}
+}
+
+func (g *gen) openLoop() {
+	iters := 2 + g.rng.Intn(7)
+	g.labels++
+	label := fmt.Sprintf("loop%d", g.labels)
+	g.body("li tp, %d", iters)
+	g.emitf("%s:", label)
+	g.bounds[label] = iters
+	g.inLoop = true
+	g.loopLeft = 2 + g.rng.Intn(6)
+	g.curLoop = label
+}
+
+func (g *gen) closeLoop() {
+	if !g.inLoop {
+		return
+	}
+	g.body("addi tp, tp, -1")
+	g.body("bnez tp, %s", g.curLoop)
+	g.inLoop = false
+}
+
+func (g *gen) bmi() {
+	if g.rng.Intn(3) == 0 {
+		g.body("%s %s, %s", bmiUnary[g.rng.Intn(len(bmiUnary))], g.reg(), g.reg())
+		return
+	}
+	g.body("%s %s, %s, %s", bmiROps[g.rng.Intn(len(bmiROps))], g.reg(), g.reg(), g.reg())
+}
+
+func (g *gen) fp() {
+	switch g.rng.Intn(5) {
+	case 0:
+		g.body("flw %s, %d(gp)", isa.FReg(g.rng.Intn(32)), g.rng.Intn(64)*4)
+	case 1:
+		g.body("fsw %s, %d(gp)", isa.FReg(g.rng.Intn(32)), g.rng.Intn(64)*4)
+	case 2:
+		g.body("fcvt.w.s %s, %s", g.reg(), isa.FReg(g.rng.Intn(32)))
+	case 3:
+		g.body("feq.s %s, %s, %s", g.reg(), isa.FReg(g.rng.Intn(32)), isa.FReg(g.rng.Intn(32)))
+	default:
+		g.body("%s %s, %s, %s", fpROps[g.rng.Intn(len(fpROps))],
+			isa.FReg(g.rng.Intn(32)), isa.FReg(g.rng.Intn(32)), isa.FReg(g.rng.Intn(32)))
+	}
+}
+
+func (g *gen) csr() {
+	if g.rng.Intn(2) == 0 {
+		g.body("csrr %s, %s", g.reg(), csrReads[g.rng.Intn(len(csrReads))])
+	} else {
+		g.body("csrw mscratch, %s", g.reg())
+	}
+}
+
+func (g *gen) epilogue() {
+	// Fold every general register into a0; fold a sample of FP regs.
+	for _, r := range g.regs {
+		if r == isa.A0 {
+			continue
+		}
+		g.emitf("\txor a0, a0, %s", r)
+	}
+	g.emitf("\txor a0, a0, gp")
+	g.emitf("\txor a0, a0, tp")
+	if g.cfg.ISA.Has(isa.ExtF) {
+		for i := 0; i < 32; i += 4 {
+			g.emitf("\tfmv.x.w t6, %s", isa.FReg(i))
+			g.emitf("\txor a0, a0, t6")
+		}
+	}
+	g.emitf("\tli t6, SYSCON_EXIT")
+	g.emitf("\tsw a0, 0(t6)")
+	g.emitf("halt:\tj halt")
+	g.emitf("\t.align 4")
+	g.emitf("data:\t.space 256")
+}

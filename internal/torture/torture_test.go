@@ -1,0 +1,117 @@
+package torture_test
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/flow"
+	"repro/internal/isa"
+	"repro/internal/timing"
+	"repro/internal/torture"
+	"repro/internal/vp"
+	"repro/internal/workloads"
+)
+
+// runProgram assembles and executes a generated program, returning the
+// stop info and the exit checksum.
+func runProgram(t *testing.T, p torture.Program, set isa.ExtSet) (emu.StopInfo, *vp.Platform) {
+	t.Helper()
+	pl, err := vp.New(vp.Config{ISA: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.LoadSource(vp.Prelude + p.Source); err != nil {
+		t.Fatalf("seed %d: assemble: %v", p.Seed, err)
+	}
+	return pl.Run(p.Budget), pl
+}
+
+// Every generated program must assemble and terminate via the syscon
+// exit within its budget, across many seeds and ISA configurations.
+func TestGeneratedProgramsTerminate(t *testing.T) {
+	configs := []isa.ExtSet{isa.RV32I, isa.RV32IM, isa.RV32IMF, isa.RV32IMB, isa.RV32Full}
+	for _, set := range configs {
+		for seed := int64(0); seed < 30; seed++ {
+			p := torture.Generate(torture.Config{Seed: seed, Insts: 250, ISA: set})
+			stop, _ := runProgram(t, p, set)
+			if stop.Reason != emu.StopExit {
+				t.Fatalf("set %v seed %d: stopped with %v", set, seed, stop)
+			}
+		}
+	}
+}
+
+// Same seed, same program, same checksum: generation and execution are
+// fully deterministic.
+func TestDeterministicGeneration(t *testing.T) {
+	a := torture.Generate(torture.Config{Seed: 42, Insts: 300, ISA: isa.RV32IMF})
+	b := torture.Generate(torture.Config{Seed: 42, Insts: 300, ISA: isa.RV32IMF})
+	if a.Source != b.Source {
+		t.Fatal("same seed produced different programs")
+	}
+	s1, _ := runProgram(t, a, isa.RV32IMF)
+	s2, _ := runProgram(t, b, isa.RV32IMF)
+	if s1.Code != s2.Code {
+		t.Errorf("checksums differ: 0x%x 0x%x", s1.Code, s2.Code)
+	}
+	c := torture.Generate(torture.Config{Seed: 43, Insts: 300, ISA: isa.RV32IMF})
+	if c.Source == a.Source {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+// Generated programs restrict themselves to the configured ISA: an
+// RV32I-only program must run on an RV32I-only machine.
+func TestISASubsetting(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p := torture.Generate(torture.Config{Seed: seed, Insts: 200, ISA: isa.RV32I})
+		stop, _ := runProgram(t, p, isa.RV32I)
+		if stop.Reason != emu.StopExit {
+			t.Fatalf("seed %d on RV32I machine: %v", seed, stop)
+		}
+	}
+}
+
+// The generator's loop bounds must make every generated program
+// analyzable: the full static WCET flow runs and its bound covers the
+// observed dynamic time (torture as WCET stress test).
+func TestWCETBoundsGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		p := torture.Generate(torture.Config{Seed: seed, Insts: 150, ISA: isa.RV32IM})
+		w := workloads.Workload{
+			Name:       "torture",
+			Source:     p.Source,
+			Budget:     p.Budget,
+			LoopBounds: p.LoopBounds,
+		}
+		a, err := flow.Analyze(w.Source, timing.EdgeSmall(), w.LoopBounds)
+		if err != nil {
+			t.Fatalf("seed %d: analyze: %v", seed, err)
+		}
+		pl, err := vp.New(vp.Config{Profile: timing.EdgeSmall()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pl.LoadProgram(a.Program); err != nil {
+			t.Fatal(err)
+		}
+		stop := pl.Run(w.Budget)
+		if stop.Reason != emu.StopExit {
+			t.Fatalf("seed %d: %v", seed, stop)
+		}
+		if a.Annotated.WCET < pl.Machine.Hart.Cycle {
+			t.Errorf("seed %d: WCET %d < dynamic %d", seed, a.Annotated.WCET, pl.Machine.Hart.Cycle)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := torture.Generate(torture.Config{Seed: 1})
+	if p.Budget == 0 || p.Source == "" {
+		t.Error("defaults not applied")
+	}
+	stop, _ := runProgram(t, p, isa.RV32IM)
+	if stop.Reason != emu.StopExit {
+		t.Errorf("default config: %v", stop)
+	}
+}

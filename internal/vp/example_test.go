@@ -1,0 +1,38 @@
+package vp_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/vp"
+)
+
+// Example shows the minimal use of the virtual platform: assemble a
+// program that prints over the UART and exits through the syscon device.
+func Example() {
+	p, err := vp.New(vp.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := p.LoadSource(vp.Prelude + `
+_start:
+	la   a0, msg
+	li   a1, UART_TX
+1:	lbu  a2, 0(a0)
+	beqz a2, 2f
+	sw   a2, 0(a1)
+	addi a0, a0, 1
+	j    1b
+2:	li   t6, SYSCON_EXIT
+	sw   zero, 0(t6)
+3:	j    3b
+msg:	.asciz "hi\n"
+`); err != nil {
+		log.Fatal(err)
+	}
+	stop := p.Run(10_000)
+	fmt.Printf("%s%v\n", p.Output(), stop.Reason)
+	// Output:
+	// hi
+	// exit
+}

@@ -1,0 +1,197 @@
+// Package vp assembles the virtual platform: one RV32 hart, RAM, and the
+// standard peripheral set (UART console, CLINT timer, syscon test
+// finisher, synthetic sensor) at a fixed memory map. It is the top-level
+// API the command-line tools, examples and experiments drive.
+package vp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/dev"
+	"repro/internal/elf"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/timing"
+)
+
+// The platform memory map. Programs reach peripherals at these addresses.
+const (
+	SysConBase = 0x0010_0000
+	CLINTBase  = 0x0200_0000
+	UARTBase   = 0x1000_0000
+	SensorBase = 0x1001_0000
+	RAMBase    = 0x8000_0000
+
+	// DefaultRAMSize is 4 MiB, plenty for the edge workloads.
+	DefaultRAMSize = 4 << 20
+)
+
+// Config parametrizes platform construction. The zero value is usable.
+type Config struct {
+	RAMSize    uint32          // defaults to DefaultRAMSize
+	Profile    *timing.Profile // defaults to timing.Unit()
+	ISA        isa.ExtSet      // defaults to isa.RV32Full
+	ConsoleOut io.Writer       // defaults to discarding (UART still records)
+	Sensor     []int16         // samples preloaded into the sensor device
+}
+
+// Platform is one assembled virtual platform instance.
+type Platform struct {
+	Machine *emu.Machine
+	RAM     *mem.RAM
+	UART    *dev.UART
+	Clint   *dev.CLINT
+	Sensor  *dev.Sensor
+}
+
+// New builds a platform.
+func New(cfg Config) (*Platform, error) {
+	if cfg.RAMSize == 0 {
+		cfg.RAMSize = DefaultRAMSize
+	}
+	if cfg.ISA == 0 {
+		cfg.ISA = isa.RV32Full
+	}
+
+	bus := &mem.Bus{}
+	p := &Platform{
+		RAM:    mem.NewRAM(cfg.RAMSize),
+		UART:   dev.NewUART(cfg.ConsoleOut),
+		Clint:  dev.NewCLINT(),
+		Sensor: dev.NewSensor(cfg.Sensor),
+	}
+	syscon := &dev.SysCon{}
+	type mapping struct {
+		base, size uint32
+		d          mem.Device
+		name       string
+	}
+	maps := []mapping{
+		{SysConBase, 0x1000, syscon, "syscon"},
+		{CLINTBase, dev.CLINTSize, p.Clint, "clint"},
+		{UARTBase, 0x1000, p.UART, "uart"},
+		{SensorBase, 0x1000, p.Sensor, "sensor"},
+		{RAMBase, cfg.RAMSize, p.RAM, "ram"},
+	}
+	for _, m := range maps {
+		if err := bus.Map(m.base, m.size, m.d, m.name); err != nil {
+			return nil, fmt.Errorf("vp: %w", err)
+		}
+	}
+
+	p.Machine = emu.New(bus)
+	p.Machine.Profile = cfg.Profile
+	p.Machine.Clint = p.Clint
+	p.Machine.ISA = cfg.ISA
+	syscon.OnExit = p.Machine.RequestStop
+	return p, nil
+}
+
+// LoadImage places a flat binary at addr and resets the hart to entry
+// with the stack pointer at the top of RAM.
+func (p *Platform) LoadImage(addr uint32, image []byte, entry uint32) error {
+	if err := p.Machine.Bus.WriteBytes(addr, image); err != nil {
+		return fmt.Errorf("vp: load image: %w", err)
+	}
+	p.Machine.Reset(entry)
+	p.Machine.Hart.SetReg(isa.SP, RAMBase+p.RAM.Size())
+	return nil
+}
+
+// LoadProgram loads an assembled program.
+func (p *Platform) LoadProgram(prog *asm.Program) error {
+	return p.LoadImage(prog.Org, prog.Bytes, prog.Entry)
+}
+
+// LoadELF loads an ELF32 executable.
+func (p *Platform) LoadELF(data []byte) (*elf.Image, error) {
+	img, err := elf.Read(data)
+	if err != nil {
+		return nil, err
+	}
+	for _, seg := range img.Segments {
+		if err := p.Machine.Bus.WriteBytes(seg.Addr, seg.Data); err != nil {
+			return nil, fmt.Errorf("vp: load ELF segment at 0x%08x: %w", seg.Addr, err)
+		}
+	}
+	p.Machine.Reset(img.Entry)
+	p.Machine.Hart.SetReg(isa.SP, RAMBase+p.RAM.Size())
+	return img, nil
+}
+
+// LoadSource assembles source at the RAM base and loads it.
+func (p *Platform) LoadSource(src string) (*asm.Program, error) {
+	prog, err := asm.AssembleAt(src, RAMBase)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.LoadProgram(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// Run executes until stop or budget exhaustion.
+func (p *Platform) Run(budget uint64) emu.StopInfo {
+	return p.Machine.Run(budget)
+}
+
+// Snapshot is a full platform checkpoint: hart, RAM and device state.
+// It enables the restore-instead-of-rebuild pattern the fault campaigns
+// use to recycle one platform across thousands of mutants.
+type Snapshot struct {
+	hart   cpu.Hart
+	ram    []byte
+	uart   dev.UARTState
+	clint  dev.CLINTState
+	sensor int
+}
+
+// Snapshot captures the current platform state.
+func (p *Platform) Snapshot() *Snapshot {
+	ram := make([]byte, len(p.RAM.Bytes()))
+	copy(ram, p.RAM.Bytes())
+	return &Snapshot{
+		hart:   p.Machine.Hart.Snapshot(),
+		ram:    ram,
+		uart:   p.UART.Snapshot(),
+		clint:  p.Clint.Snapshot(),
+		sensor: p.Sensor.Pos(),
+	}
+}
+
+// Restore rewinds the platform to a snapshot. The translation cache is
+// dropped because RAM contents may differ.
+func (p *Platform) Restore(s *Snapshot) {
+	p.Machine.Hart.Restore(s.hart)
+	copy(p.RAM.Bytes(), s.ram)
+	p.UART.Restore(s.uart)
+	p.Clint.Restore(s.clint)
+	p.Sensor.SetPos(s.sensor)
+	p.Machine.InvalidateTBs()
+	p.Machine.ClearStop()
+}
+
+// Output returns everything the program wrote to the UART.
+func (p *Platform) Output() string { return p.UART.Output() }
+
+// Prelude is assembly source defining the platform constants; workloads
+// include it to reach the devices symbolically.
+const Prelude = `
+	.equ UART_BASE,   0x10000000
+	.equ UART_TX,     0x10000000
+	.equ SYSCON_BASE, 0x00100000
+	.equ SYSCON_EXIT, 0x00100000
+	.equ CLINT_BASE,  0x02000000
+	.equ CLINT_MSIP,      0x02000000
+	.equ CLINT_MTIMECMP,  0x02004000
+	.equ CLINT_MTIMECMPH, 0x02004004
+	.equ CLINT_MTIME,     0x0200bff8
+	.equ SENSOR_BASE,   0x10010000
+	.equ SENSOR_SAMPLE, 0x10010000
+	.equ SENSOR_COUNT,  0x10010004
+`

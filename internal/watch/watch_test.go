@@ -1,0 +1,195 @@
+package watch_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/plugin"
+	"repro/internal/vp"
+	"repro/internal/watch"
+)
+
+// lockControl is the access-control scenario from the ecosystem's
+// security component: only the driver routine `unlock_door` may write
+// the UART that actuates the lock. The main program calls the driver
+// once (authorized) and, when a0 is poisoned, also writes the UART
+// directly from main (the attack path).
+const lockControl = `
+_start:
+	li   s0, 0              # attack flag, patched by the test
+	call unlock_door        # the authorized path
+	beqz s0, done
+	# unauthorized path: main writes the actuator directly
+	li   t0, UART_TX
+	li   t1, 'X'
+	sw   t1, 0(t0)
+done:
+	li   t6, SYSCON_EXIT
+	sw   zero, 0(t6)
+1:	j 1b
+
+unlock_door:
+	li   t0, UART_TX
+	li   t1, 'U'
+	sw   t1, 0(t0)
+	ret
+`
+
+// buildLock assembles the scenario with the attack flag forced on or off
+// and returns the platform, monitor and driver bounds.
+func buildLock(t *testing.T, attack bool) (*vp.Platform, *watch.Monitor) {
+	t.Helper()
+	src := lockControl
+	if attack {
+		src = strings.Replace(src, "li   s0, 0", "li   s0, 1", 1)
+	}
+	p, err := vp.New(vp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := p.LoadSource(vp.Prelude + src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver, ok := prog.Symbols["unlock_door"]
+	if !ok {
+		t.Fatal("driver symbol missing")
+	}
+	driverEnd := prog.Org + uint32(len(prog.Bytes))
+	m := watch.New(watch.Rule{
+		Target:   watch.Region{Name: "lock-uart", Lo: vp.UARTBase, Hi: vp.UARTBase + 4},
+		Restrict: watch.Stores,
+		AllowedCode: []watch.Region{
+			{Name: "driver", Lo: driver, Hi: driverEnd},
+		},
+	})
+	if err := p.Machine.Hooks.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	return p, m
+}
+
+func TestAuthorizedAccessIsClean(t *testing.T) {
+	p, m := buildLock(t, false)
+	if stop := p.Run(10_000); stop.Reason != emu.StopExit {
+		t.Fatalf("stop: %v", stop)
+	}
+	if !m.Clean() {
+		t.Errorf("authorized run flagged:\n%s", m.Report())
+	}
+	if m.Checked == 0 {
+		t.Error("monitor observed no accesses")
+	}
+	if !strings.Contains(m.Report(), "clean") {
+		t.Errorf("report: %q", m.Report())
+	}
+}
+
+func TestUnauthorizedAccessDetected(t *testing.T) {
+	p, m := buildLock(t, true)
+	if stop := p.Run(10_000); stop.Reason != emu.StopExit {
+		t.Fatalf("stop: %v", stop)
+	}
+	if m.Clean() {
+		t.Fatal("attack path not detected")
+	}
+	v := m.Violations[0]
+	if !v.Store || v.Rule != "lock-uart" || v.Addr != vp.UARTBase {
+		t.Errorf("violation: %+v", v)
+	}
+	if !strings.Contains(m.Report(), "unauthorized store") {
+		t.Errorf("report: %q", m.Report())
+	}
+}
+
+func TestOnViolationCallbackCanHalt(t *testing.T) {
+	p, m := buildLock(t, true)
+	m.OnViolation = func(v watch.Violation) {
+		p.Machine.RequestStop(0xdead)
+	}
+	stop := p.Run(10_000)
+	if stop.Reason != emu.StopExit || stop.Code != 0xdead {
+		t.Errorf("detection did not halt the machine: %v", stop)
+	}
+}
+
+func TestLoadRestriction(t *testing.T) {
+	p, err := vp.New(vp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := p.LoadSource(vp.Prelude + `
+_start:
+	la   a0, secret
+	lw   a1, 0(a0)          # unauthorized read of key material
+	ebreak
+secret:	.word 0x12345678
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := prog.Symbols["secret"]
+	m := watch.New(watch.Rule{
+		Target:   watch.Region{Name: "key-store", Lo: sec, Hi: sec + 4},
+		Restrict: watch.Loads,
+		// nobody is allowed
+	})
+	if err := p.Machine.Hooks.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	if stop := p.Run(1000); stop.Reason != emu.StopEbreak {
+		t.Fatalf("stop: %v", stop)
+	}
+	if m.Clean() || m.Violations[0].Store {
+		t.Errorf("load restriction: %+v", m.Violations)
+	}
+}
+
+// The monitor must compose with fault injection: a code bit flip that
+// redirects a store into the protected region is caught even though the
+// original program is policy-clean.
+func TestMonitorIsNonInvasive(t *testing.T) {
+	// Two identical runs, one with the monitor attached: architectural
+	// results must match exactly (the "non-invasive" property).
+	run := func(withMonitor bool) (uint32, uint64) {
+		p, err := vp.New(vp.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withMonitor {
+			m := watch.New(watch.Rule{
+				Target:   watch.Region{Name: "uart", Lo: vp.UARTBase, Hi: vp.UARTBase + 16},
+				Restrict: watch.All,
+			})
+			if err := p.Machine.Hooks.Register(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := p.LoadSource(vp.Prelude + `
+_start:
+	li a0, 1000
+	li a1, 0
+1:	add a1, a1, a0
+	addi a0, a0, -1
+	bnez a0, 1b
+	li t6, SYSCON_EXIT
+	sw a1, 0(t6)
+2:	j 2b
+`); err != nil {
+			t.Fatal(err)
+		}
+		stop := p.Run(100_000)
+		if stop.Reason != emu.StopExit {
+			t.Fatalf("stop: %v", stop)
+		}
+		return stop.Code, p.Machine.Hart.Cycle
+	}
+	c1, cy1 := run(false)
+	c2, cy2 := run(true)
+	if c1 != c2 || cy1 != cy2 {
+		t.Errorf("monitor perturbed execution: %d/%d vs %d/%d", c1, cy1, c2, cy2)
+	}
+}
+
+var _ plugin.MemWatcher = (*watch.Monitor)(nil)

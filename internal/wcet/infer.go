@@ -1,0 +1,128 @@
+package wcet
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/decode"
+	"repro/internal/isa"
+)
+
+// inferBound attempts to derive the iteration bound of a loop
+// automatically for the canonical down-counting idiom
+//
+//	li   ctr, K          # in the preheader (short li form)
+//	head: ...
+//	      addi ctr, ctr, -d   # in the head or the back-edge block
+//	      bnez ctr, head
+//
+// The inference is deliberately conservative: it requires a single back
+// edge ending in bnez, exactly one in-loop write to the counter (the
+// decrement, on every completed iteration's path), an initialization
+// that reaches the head from every preheader, and K divisible by d
+// (otherwise the loop would wrap instead of terminating). Anything else
+// falls back to user-supplied flow facts, the same division of labour
+// aiT has between its value analysis and manual annotations.
+func (a *analysis) inferBound(l *cfg.Loop) (int, bool) {
+	if len(l.Back) != 1 {
+		return 0, false
+	}
+	backBlock := a.g.Blocks[l.Back[0]]
+	if backBlock == nil || len(backBlock.Insts) == 0 {
+		return 0, false
+	}
+	term := backBlock.Insts[len(backBlock.Insts)-1]
+	// bnez ctr, head
+	if term.Op != isa.OpBNE && term.Op != isa.OpCBNEZ {
+		return 0, false
+	}
+	if term.Rs2 != isa.Zero {
+		return 0, false
+	}
+	ctr := term.Rs1
+	if ctr == isa.Zero {
+		return 0, false
+	}
+
+	// Exactly one in-loop write to ctr: an addi ctr, ctr, -d located in
+	// the head or the back-edge block (both on every completed
+	// iteration's path).
+	var dec *decode.Inst
+	for blockStart := range l.Blocks {
+		b := a.g.Blocks[blockStart]
+		if b == nil {
+			return 0, false
+		}
+		for i := range b.Insts {
+			in := b.Insts[i]
+			rd, writes := in.WritesReg()
+			if !writes || rd != ctr {
+				continue
+			}
+			isDec := (in.Op == isa.OpADDI || in.Op == isa.OpCADDI) &&
+				in.Rs1 == ctr && in.Imm < 0
+			onEveryPath := blockStart == l.Head || blockStart == backBlock.Start
+			if !isDec || !onEveryPath || dec != nil {
+				return 0, false
+			}
+			cp := in
+			dec = &cp
+		}
+	}
+	if dec == nil {
+		return 0, false
+	}
+	step := int(-dec.Imm)
+
+	// Every preheader (predecessor of the head outside the loop) must
+	// end up initializing ctr with the same positive constant via the
+	// short li form (addi ctr, zero, K) or c.li.
+	init := -1
+	prehCount := 0
+	for _, start := range a.g.Order {
+		b := a.g.Blocks[start]
+		if l.Blocks[start] {
+			continue
+		}
+		isPred := false
+		for _, s := range b.Succs {
+			if s.Addr == l.Head {
+				isPred = true
+			}
+		}
+		if !isPred {
+			continue
+		}
+		prehCount++
+		k, ok := lastConstWrite(b, ctr)
+		if !ok {
+			return 0, false
+		}
+		if init >= 0 && k != init {
+			return 0, false
+		}
+		init = k
+	}
+	if prehCount == 0 || init <= 0 || init%step != 0 {
+		return 0, false
+	}
+	return init / step, true
+}
+
+// lastConstWrite scans a block backwards for the final write to reg and
+// reports its value if it is a load-immediate of a non-negative constant.
+func lastConstWrite(b *cfg.Block, reg isa.Reg) (int, bool) {
+	for i := len(b.Insts) - 1; i >= 0; i-- {
+		in := b.Insts[i]
+		rd, writes := in.WritesReg()
+		if !writes || rd != reg {
+			continue
+		}
+		switch in.Op {
+		case isa.OpADDI, isa.OpCADDI, isa.OpCLI:
+			if in.Rs1 == isa.Zero && in.Imm >= 0 {
+				return int(in.Imm), true
+			}
+		}
+		return 0, false
+	}
+	return 0, false
+}

@@ -1,0 +1,183 @@
+package wcet_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/timing"
+	"repro/internal/wcet"
+	"repro/internal/workloads"
+)
+
+// inferAnalyze runs the analysis with inference on and no explicit
+// bounds except the given ones.
+func inferAnalyze(t *testing.T, src string, explicit map[string]int) (*wcet.Annotated, error) {
+	t.Helper()
+	prog, err := asm.AssembleAt(src, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(prog.Bytes, prog.Org, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wcet.Analyze(g, wcet.Config{
+		Profile:     timing.Unit(),
+		Bounds:      explicit,
+		Symbols:     prog.Symbols,
+		InferBounds: true,
+	})
+}
+
+func TestInferSimpleDownCount(t *testing.T) {
+	an, err := inferAnalyze(t, `
+		li a0, 10
+loop:	addi a0, a0, -1
+		bnez a0, loop
+		ebreak
+	`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same as the explicit-bound case: li(1) + 10*2 + ebreak(1) = 22.
+	if an.WCET != 22 {
+		t.Errorf("WCET = %d, want 22", an.WCET)
+	}
+	if len(an.Bounds) != 1 {
+		t.Fatalf("bounds: %v", an.Bounds)
+	}
+	for _, b := range an.Bounds {
+		if b != 10 {
+			t.Errorf("inferred bound %d, want 10", b)
+		}
+	}
+}
+
+func TestInferStride(t *testing.T) {
+	an, err := inferAnalyze(t, `
+		li a0, 12
+loop:	addi a0, a0, -3
+		bnez a0, loop
+		ebreak
+	`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range an.Bounds {
+		if b != 4 {
+			t.Errorf("inferred bound %d, want 4 (12/3)", b)
+		}
+	}
+}
+
+func TestInferRejectsNonDividingStride(t *testing.T) {
+	// 10 steps of -3 never hits zero exactly: the loop would wrap, so
+	// inference must refuse and demand an annotation.
+	_, err := inferAnalyze(t, `
+		li a0, 10
+loop:	addi a0, a0, -3
+		bnez a0, loop
+		ebreak
+	`, nil)
+	if err == nil {
+		t.Error("non-dividing stride must not be inferred")
+	}
+}
+
+func TestInferRejectsCounterClobber(t *testing.T) {
+	_, err := inferAnalyze(t, `
+		li a0, 10
+loop:	addi a0, a0, -1
+		add a0, a0, a1      # second write to the counter
+		bnez a0, loop
+		ebreak
+	`, nil)
+	if err == nil {
+		t.Error("clobbered counter must not be inferred")
+	}
+}
+
+func TestInferRejectsConditionalDecrement(t *testing.T) {
+	// The decrement is inside a conditionally executed block, so an
+	// iteration may skip it: unbounded under this idiom.
+	_, err := inferAnalyze(t, `
+		li a0, 10
+loop:	beqz a1, skip
+		addi a0, a0, -1
+skip:	add a2, a2, a1
+		beq a2, a2, back    # unconditional-ish filler
+back:	bnez a0, loop
+		ebreak
+	`, nil)
+	if err == nil {
+		t.Error("conditional decrement must not be inferred")
+	}
+}
+
+func TestInferRejectsDynamicInit(t *testing.T) {
+	_, err := inferAnalyze(t, `
+		add a0, a1, a2      # data-dependent trip count
+loop:	addi a0, a0, -1
+		bnez a0, loop
+		ebreak
+	`, nil)
+	if err == nil {
+		t.Error("dynamic init must not be inferred")
+	}
+}
+
+func TestExplicitBoundWinsOverInference(t *testing.T) {
+	// The user says 20; inference would say 10; explicit wins (it may
+	// encode knowledge about a re-entered loop).
+	an, err := inferAnalyze(t, `
+		li a0, 10
+loop:	addi a0, a0, -1
+		bnez a0, loop
+		ebreak
+	`, map[string]int{"loop": 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range an.Bounds {
+		if b != 20 {
+			t.Errorf("bound %d, want explicit 20", b)
+		}
+	}
+}
+
+// The flagship use: most workload loops follow the idiom, so inference
+// alone must bound them with exactly the same result as the hand-written
+// flow facts wherever both apply.
+func TestInferenceMatchesAnnotationsOnWorkloads(t *testing.T) {
+	prelude := "\t.equ SYSCON_EXIT, 0x00100000\n\t.equ SENSOR_SAMPLE, 0x10010000\n\t.equ SENSOR_COUNT, 0x10010004\n\t.equ UART_TX, 0x10000000\n"
+	for _, name := range []string{"xtea", "popcount_bmi", "parity_base", "byteswap_base", "clamp_base"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		prog, err := asm.AssembleAt(prelude+w.Source, 0x8000_0000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := cfg.Build(prog.Bytes, prog.Org, prog.Entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withAnnots, err := wcet.Analyze(g, wcet.Config{
+			Profile: timing.EdgeSmall(), Bounds: w.LoopBounds, Symbols: prog.Symbols,
+		})
+		if err != nil {
+			t.Fatalf("%s annotated: %v", name, err)
+		}
+		inferred, err := wcet.Analyze(g, wcet.Config{
+			Profile: timing.EdgeSmall(), Symbols: prog.Symbols, InferBounds: true,
+		})
+		if err != nil {
+			t.Fatalf("%s inferred: %v", name, err)
+		}
+		if withAnnots.WCET != inferred.WCET {
+			t.Errorf("%s: annotated WCET %d != inferred %d", name, withAnnots.WCET, inferred.WCET)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package wcet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report renders the human-readable analysis report: the WCET bound, the
+// bounded loops, and the per-block cost table — the textual counterpart
+// of the annotated-CFG artifact, analogous to an aiT report summary.
+// symbols (address -> label) is optional.
+func (a *Annotated) Report(symbols map[uint32]string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "WCET analysis (profile %s)\n", a.Profile)
+	fmt.Fprintf(&sb, "entry:  0x%08x\n", a.Entry)
+	fmt.Fprintf(&sb, "bound:  %d cycles\n", a.WCET)
+
+	if len(a.Bounds) > 0 {
+		fmt.Fprintf(&sb, "loops:\n")
+		heads := make([]uint32, 0, len(a.Bounds))
+		for h := range a.Bounds {
+			heads = append(heads, h)
+		}
+		sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+		for _, h := range heads {
+			fmt.Fprintf(&sb, "  0x%08x%s: <= %d iterations\n", h, label(symbols, h), a.Bounds[h])
+		}
+	}
+
+	fmt.Fprintf(&sb, "blocks:\n")
+	fmt.Fprintf(&sb, "  %-24s %8s %6s\n", "range", "cost", "edges")
+	edgesFrom := map[uint32]int{}
+	for _, e := range a.Edges {
+		edgesFrom[e.From]++
+	}
+	for _, b := range a.Blocks {
+		fmt.Fprintf(&sb, "  0x%08x-0x%08x%s %6d %6d\n",
+			b.Start, b.End, label(symbols, b.Start), b.Cost, edgesFrom[b.Start])
+	}
+	return sb.String()
+}
+
+func label(symbols map[uint32]string, addr uint32) string {
+	if name, ok := symbols[addr]; ok {
+		return " <" + name + ">"
+	}
+	return ""
+}

@@ -1,0 +1,50 @@
+package wcet_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/timing"
+	"repro/internal/wcet"
+	"repro/internal/workloads"
+)
+
+func BenchmarkAnalyzeMatmul(b *testing.B) {
+	w, ok := workloads.ByName("matmul")
+	if !ok {
+		b.Fatal("matmul missing")
+	}
+	prelude := "\t.equ SYSCON_EXIT, 0x00100000\n"
+	prog, err := asm.AssembleAt(prelude+w.Source, 0x8000_0000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := cfg.Build(prog.Bytes, prog.Org, prog.Entry)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conf := wcet.Config{Profile: timing.EdgeSmall(), Bounds: w.LoopBounds, Symbols: prog.Symbols}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wcet.Analyze(g, conf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCFGBuild(b *testing.B) {
+	w, _ := workloads.ByName("conv3x3")
+	prelude := "\t.equ SYSCON_EXIT, 0x00100000\n"
+	prog, err := asm.AssembleAt(prelude+w.Source, 0x8000_0000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Build(prog.Bytes, prog.Org, prog.Entry); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

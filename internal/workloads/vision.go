@@ -1,0 +1,177 @@
+package workloads
+
+// The vision-flavoured demonstrators: a 3x3 convolution over a small
+// image tile (the classic edge-inference pre-processing stage) and a
+// 16-bin histogram (data-dependent addressing, the access pattern memory
+// fault campaigns like to hit).
+
+func refConv3x3() uint32 {
+	const w, h = 16, 12
+	kernel := [9]int32{1, 2, 1, 2, 4, 2, 1, 2, 1} // Gaussian-ish
+	data := lcg(0xcafe, w*h)
+	img := make([]int32, w*h)
+	for i, v := range data {
+		img[i] = int32(v & 0xff)
+	}
+	var acc uint32
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			var s int32
+			k := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					s += kernel[k] * img[(y+dy)*w+(x+dx)]
+					k++
+				}
+			}
+			acc += uint32(s >> 4)
+		}
+	}
+	return acc
+}
+
+func conv3x3() Workload {
+	return Workload{
+		Name:   "conv3x3",
+		Desc:   "3x3 Gaussian convolution over a 16x12 tile (vision kernel)",
+		Budget: 1_000_000,
+		Expect: refConv3x3(),
+		LoopBounds: map[string]int{
+			"fill": 192, "mask": 192, "yloop": 10, "xloop": 14, "kyloop": 3, "kxloop": 3,
+		},
+		Source: `
+_start:
+` + lcgFill(192, 0xcafe) + `
+	# mask pixels to 8 bit
+	la   t0, buf
+	li   t1, 192
+mask:
+	lw   t2, 0(t0)
+	andi t2, t2, 0xff
+	sw   t2, 0(t0)
+	addi t0, t0, 4
+	addi t1, t1, -1
+	bnez t1, mask
+	li   a0, 0               # acc
+	li   s0, 1               # y
+yloop:
+	li   s1, 1               # x
+xloop:
+	li   s2, 0               # s
+	li   s3, -1              # dy
+	la   s4, kern            # kernel cursor
+kyloop:
+	li   s5, -1              # dx
+kxloop:
+	add  t0, s0, s3          # y+dy
+	slli t0, t0, 4           # *16
+	add  t1, s1, s5          # x+dx
+	add  t0, t0, t1
+	slli t0, t0, 2
+	la   t2, buf
+	add  t2, t2, t0
+	lw   t3, 0(t2)           # pixel
+	lw   t4, 0(s4)           # kernel coefficient
+	mul  t3, t3, t4
+	add  s2, s2, t3
+	addi s4, s4, 4
+	addi s5, s5, 1
+	li   t5, 2
+	blt  s5, t5, kxloop
+	addi s3, s3, 1
+	blt  s3, t5, kyloop
+	srai s2, s2, 4
+	add  a0, a0, s2
+	addi s1, s1, 1
+	li   t5, 15
+	blt  s1, t5, xloop
+	addi s0, s0, 1
+	li   t5, 11
+	blt  s0, t5, yloop
+` + exit + `
+	.align 2
+kern:	.word 1, 2, 1, 2, 4, 2, 1, 2, 1
+buf:	.space 768
+`,
+	}
+}
+
+func refHistogram() uint32 {
+	data := lcg(0x4b1d, 128)
+	var bins [16]uint32
+	for _, v := range data {
+		bins[v&15]++
+	}
+	var acc uint32
+	for i, n := range bins {
+		acc ^= n << (uint(i) & 7)
+		acc += n * uint32(i+3)
+	}
+	return acc
+}
+
+func histogram() Workload {
+	return Workload{
+		Name:       "histogram",
+		Desc:       "16-bin histogram of 128 samples (data-dependent stores)",
+		Budget:     500_000,
+		Expect:     refHistogram(),
+		LoopBounds: map[string]int{"fill": 128, "count": 128, "fold": 16},
+		Source: `
+_start:
+` + lcgFill(128, 0x4b1d) + `
+	# clear bins
+	la   t0, bins
+	sw   zero, 0(t0)
+	sw   zero, 4(t0)
+	sw   zero, 8(t0)
+	sw   zero, 12(t0)
+	sw   zero, 16(t0)
+	sw   zero, 20(t0)
+	sw   zero, 24(t0)
+	sw   zero, 28(t0)
+	sw   zero, 32(t0)
+	sw   zero, 36(t0)
+	sw   zero, 40(t0)
+	sw   zero, 44(t0)
+	sw   zero, 48(t0)
+	sw   zero, 52(t0)
+	sw   zero, 56(t0)
+	sw   zero, 60(t0)
+	la   s0, buf
+	li   s1, 128
+count:
+	lw   t1, 0(s0)
+	andi t1, t1, 15
+	slli t1, t1, 2
+	la   t2, bins
+	add  t2, t2, t1
+	lw   t3, 0(t2)
+	addi t3, t3, 1
+	sw   t3, 0(t2)
+	addi s0, s0, 4
+	addi s1, s1, -1
+	bnez s1, count
+	# fold bins into the checksum
+	la   s0, bins
+	li   s1, 0               # i
+	li   a0, 0
+fold:
+	lw   t0, 0(s0)
+	andi t1, s1, 7
+	sll  t2, t0, t1
+	xor  a0, a0, t2
+	addi t3, s1, 3
+	mul  t4, t0, t3
+	add  a0, a0, t4
+	addi s0, s0, 4
+	addi s1, s1, 1
+	slti t5, s1, 16
+	bnez t5, fold
+` + exit + `
+	.align 2
+bins:	.space 64
+buf:	.space 512
+`,
+	}
+}

@@ -1,0 +1,915 @@
+// Package workloads provides the edge application kernels the ecosystem's
+// demonstrators, experiments and benchmarks run: crypto (XTEA, CRC32),
+// DSP (FIR, matrix multiply, floating-point dot product), control (PID
+// over the sensor device), sorting, and the bit-manipulation kernel pairs
+// (base-ISA vs Xbmi) behind the BMI speedup experiment.
+//
+// Every workload carries a Go reference implementation of the same
+// algorithm over the same deterministically generated data; the expected
+// checksum cross-validates the emulator against native execution.
+package workloads
+
+import "fmt"
+
+// Workload is one runnable kernel.
+type Workload struct {
+	Name   string
+	Desc   string
+	Source string // assembly body; the platform prelude is prepended by runners
+	Budget uint64 // instruction budget that safely covers the run
+	Expect uint32 // checksum the program writes to the syscon exit register
+
+	// LoopBounds gives the maximum iteration count of each loop,
+	// keyed by the label of the loop head. The static WCET analyzer
+	// consumes these as flow facts (the role user annotations play
+	// for aiT).
+	LoopBounds map[string]int
+
+	// UsesBMI marks kernels that require the Xbmi extension.
+	UsesBMI bool
+
+	// Sensor holds samples to preload into the sensor device.
+	Sensor []int16
+}
+
+// lcg is the shared data generator: both the assembly kernels and the Go
+// references fill their buffers with it.
+func lcg(seed uint32, n int) []uint32 {
+	out := make([]uint32, n)
+	x := seed
+	for i := range out {
+		x = x*1664525 + 1013904223
+		out[i] = x
+	}
+	return out
+}
+
+// lcgFill is the assembly counterpart of lcg: fills n words at label buf.
+// Clobbers t0-t4.
+func lcgFill(n int, seed uint32) string {
+	return fmt.Sprintf(`
+	la t0, buf
+	li t1, %d
+	li t2, %d
+	li t3, 1664525
+	li t4, 1013904223
+fill:
+	mul t2, t2, t3
+	add t2, t2, t4
+	sw t2, 0(t0)
+	addi t0, t0, 4
+	addi t1, t1, -1
+	bnez t1, fill
+`, n, seed)
+}
+
+// exit is the standard epilogue: report a0 through the syscon device.
+const exit = `
+	li t6, SYSCON_EXIT
+	sw a0, 0(t6)
+1:	j 1b
+`
+
+// All returns every workload. The slice is freshly built; callers may
+// reorder it.
+func All() []Workload {
+	return []Workload{
+		xtea(), crc32w(), fir(), matmul(), sortW(), fpDot(), pid(),
+		conv3x3(), histogram(),
+		popcountBase(), popcountBMI(),
+		parityBase(), parityBMI(),
+		byteswapBase(), byteswapBMI(),
+		clampBase(), clampBMI(),
+	}
+}
+
+// ByName finds a workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// Pairs returns the base-vs-BMI kernel pairs for the BMI experiment.
+func Pairs() [][2]Workload {
+	return [][2]Workload{
+		{popcountBase(), popcountBMI()},
+		{parityBase(), parityBMI()},
+		{byteswapBase(), byteswapBMI()},
+		{clampBase(), clampBMI()},
+	}
+}
+
+// ---------------------------------------------------------------- xtea
+
+func refXTEA() uint32 {
+	key := [4]uint32{0x0f1e2d3c, 0x4b5a6978, 0x8796a5b4, 0xc3d2e1f0}
+	v0, v1 := uint32(0x01234567), uint32(0x89abcdef)
+	var sum uint32
+	const delta = 0x9e3779b9
+	for i := 0; i < 32; i++ {
+		v0 += ((v1<<4 ^ v1>>5) + v1) ^ (sum + key[sum&3])
+		sum += delta
+		v1 += ((v0<<4 ^ v0>>5) + v0) ^ (sum + key[sum>>11&3])
+	}
+	return v0 ^ v1
+}
+
+func xtea() Workload {
+	return Workload{
+		Name:       "xtea",
+		Desc:       "XTEA block encryption, 32 rounds (crypto kernel)",
+		Budget:     100_000,
+		Expect:     refXTEA(),
+		LoopBounds: map[string]int{"round": 32},
+		Source: `
+_start:
+	la   s4, key
+	li   s0, 0x01234567      # v0
+	li   s1, 0x89abcdef      # v1
+	li   s2, 0               # sum
+	li   s3, 0x9e3779b9      # delta
+	li   s5, 32              # rounds
+round:
+	# v0 += ((v1<<4 ^ v1>>5) + v1) ^ (sum + key[sum&3])
+	slli t0, s1, 4
+	srli t1, s1, 5
+	xor  t0, t0, t1
+	add  t0, t0, s1
+	andi t1, s2, 3
+	slli t1, t1, 2
+	add  t1, t1, s4
+	lw   t1, 0(t1)
+	add  t1, t1, s2
+	xor  t0, t0, t1
+	add  s0, s0, t0
+	# sum += delta
+	add  s2, s2, s3
+	# v1 += ((v0<<4 ^ v0>>5) + v0) ^ (sum + key[(sum>>11)&3])
+	slli t0, s0, 4
+	srli t1, s0, 5
+	xor  t0, t0, t1
+	add  t0, t0, s0
+	srli t1, s2, 11
+	andi t1, t1, 3
+	slli t1, t1, 2
+	add  t1, t1, s4
+	lw   t1, 0(t1)
+	add  t1, t1, s2
+	xor  t0, t0, t1
+	add  s1, s1, t0
+	addi s5, s5, -1
+	bnez s5, round
+	xor  a0, s0, s1
+` + exit + `
+	.align 2
+key:
+	.word 0x0f1e2d3c, 0x4b5a6978, 0x8796a5b4, 0xc3d2e1f0
+`,
+	}
+}
+
+// --------------------------------------------------------------- crc32
+
+func refCRC32() uint32 {
+	data := lcg(0xc0c0, 16)
+	crc := uint32(0xffffffff)
+	for _, w := range data {
+		for b := 0; b < 4; b++ {
+			crc ^= w >> (8 * b) & 0xff
+			for k := 0; k < 8; k++ {
+				if crc&1 != 0 {
+					crc = crc>>1 ^ 0xedb88320
+				} else {
+					crc >>= 1
+				}
+			}
+		}
+	}
+	return ^crc
+}
+
+func crc32w() Workload {
+	return Workload{
+		Name:       "crc32",
+		Desc:       "bitwise CRC-32 over 64 bytes (integrity kernel)",
+		Budget:     200_000,
+		Expect:     refCRC32(),
+		LoopBounds: map[string]int{"fill": 16, "wloop": 16, "bloop": 4, "kloop": 8},
+		Source: `
+_start:
+` + lcgFill(16, 0xc0c0) + `
+	la   s0, buf
+	li   s1, 16              # words
+	li   a0, -1              # crc
+	li   s3, 0xedb88320
+wloop:
+	lw   s2, 0(s0)
+	li   s4, 4               # bytes per word
+bloop:
+	andi t0, s2, 0xff
+	xor  a0, a0, t0
+	li   s5, 8
+kloop:
+	andi t1, a0, 1
+	srli a0, a0, 1
+	beqz t1, knext
+	xor  a0, a0, s3
+knext:
+	addi s5, s5, -1
+	bnez s5, kloop
+	srli s2, s2, 8
+	addi s4, s4, -1
+	bnez s4, bloop
+	addi s0, s0, 4
+	addi s1, s1, -1
+	bnez s1, wloop
+	not  a0, a0
+` + exit + `
+	.align 2
+buf:	.space 64
+`,
+	}
+}
+
+// ----------------------------------------------------------------- fir
+
+func refFIR() uint32 {
+	coef := [8]int32{3, -1, 4, 1, -5, 9, 2, -6}
+	data := lcg(0xf1f1, 64)
+	x := make([]int32, 64)
+	for i, v := range data {
+		x[i] = int32(v<<16) >> 16 // int16 range
+	}
+	var acc uint32
+	for i := 7; i < 64; i++ {
+		var y int32
+		for k := 0; k < 8; k++ {
+			y += coef[k] * x[i-k]
+		}
+		acc += uint32(y)
+	}
+	return acc
+}
+
+func fir() Workload {
+	return Workload{
+		Name:       "fir",
+		Desc:       "8-tap integer FIR filter over 64 samples (DSP kernel)",
+		Budget:     300_000,
+		Expect:     refFIR(),
+		LoopBounds: map[string]int{"fill": 64, "sext": 64, "oloop": 57, "tap": 8},
+		Source: `
+_start:
+` + lcgFill(64, 0xf1f1) + `
+	# sign-extend samples to int16 in place
+	la   t0, buf
+	li   t1, 64
+sext:
+	lw   t2, 0(t0)
+	slli t2, t2, 16
+	srai t2, t2, 16
+	sw   t2, 0(t0)
+	addi t0, t0, 4
+	addi t1, t1, -1
+	bnez t1, sext
+	# y[i] = sum coef[k]*x[i-k], acc += y
+	li   a0, 0
+	li   s0, 7               # i
+	li   s1, 64
+oloop:
+	li   s2, 0               # k
+	li   s3, 0               # y
+tap:
+	la   t0, coef
+	slli t1, s2, 2
+	add  t0, t0, t1
+	lw   t2, 0(t0)           # coef[k]
+	sub  t3, s0, s2          # i-k
+	la   t4, buf
+	slli t5, t3, 2
+	add  t4, t4, t5
+	lw   t5, 0(t4)           # x[i-k]
+	mul  t2, t2, t5
+	add  s3, s3, t2
+	addi s2, s2, 1
+	slti t6, s2, 8
+	bnez t6, tap
+	add  a0, a0, s3
+	addi s0, s0, 1
+	blt  s0, s1, oloop
+` + exit + `
+	.align 2
+coef:	.word 3, -1, 4, 1, -5, 9, 2, -6
+buf:	.space 256
+`,
+	}
+}
+
+// -------------------------------------------------------------- matmul
+
+func refMatmul() uint32 {
+	const n = 8
+	data := lcg(0xaaaa, 2*n*n)
+	a := make([]int32, n*n)
+	b := make([]int32, n*n)
+	for i := 0; i < n*n; i++ {
+		a[i] = int32(data[i]<<24) >> 24
+		b[i] = int32(data[n*n+i]<<24) >> 24
+	}
+	var acc uint32
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var c int32
+			for k := 0; k < n; k++ {
+				c += a[i*n+k] * b[k*n+j]
+			}
+			acc ^= uint32(c) + uint32(i*n+j)
+		}
+	}
+	return acc
+}
+
+func matmul() Workload {
+	return Workload{
+		Name:       "matmul",
+		Desc:       "8x8 int8 matrix multiply (ML-ish edge kernel)",
+		Budget:     500_000,
+		Expect:     refMatmul(),
+		LoopBounds: map[string]int{"fill": 128, "sext": 128, "iloop": 8, "jloop": 8, "kloop": 8},
+		Source: `
+_start:
+` + lcgFill(128, 0xaaaa) + `
+	# sign-extend all 128 words to int8
+	la   t0, buf
+	li   t1, 128
+sext:
+	lw   t2, 0(t0)
+	slli t2, t2, 24
+	srai t2, t2, 24
+	sw   t2, 0(t0)
+	addi t0, t0, 4
+	addi t1, t1, -1
+	bnez t1, sext
+	la   s0, buf             # A
+	addi s1, s0, 256         # B
+	li   a0, 0               # acc
+	li   s2, 0               # i
+iloop:
+	li   s3, 0               # j
+jloop:
+	li   s4, 0               # k
+	li   s5, 0               # c
+kloop:
+	slli t0, s2, 3
+	add  t0, t0, s4          # i*8+k
+	slli t0, t0, 2
+	add  t0, t0, s0
+	lw   t1, 0(t0)           # a[i][k]
+	slli t2, s4, 3
+	add  t2, t2, s3          # k*8+j
+	slli t2, t2, 2
+	add  t2, t2, s1
+	lw   t3, 0(t2)           # b[k][j]
+	mul  t1, t1, t3
+	add  s5, s5, t1
+	addi s4, s4, 1
+	slti t4, s4, 8
+	bnez t4, kloop
+	slli t5, s2, 3
+	add  t5, t5, s3
+	add  t5, t5, s5
+	xor  a0, a0, t5
+	addi s3, s3, 1
+	slti t4, s3, 8
+	bnez t4, jloop
+	addi s2, s2, 1
+	slti t4, s2, 8
+	bnez t4, iloop
+` + exit + `
+	.align 2
+buf:	.space 1024
+`,
+	}
+}
+
+// ---------------------------------------------------------------- sort
+
+func refSort() uint32 {
+	data := lcg(0x5051, 32)
+	v := make([]uint32, 32)
+	copy(v, data)
+	for i := 0; i < len(v); i++ {
+		for j := 0; j+1 < len(v)-i; j++ {
+			if v[j] > v[j+1] {
+				v[j], v[j+1] = v[j+1], v[j]
+			}
+		}
+	}
+	var acc uint32
+	for i, x := range v {
+		acc += x * uint32(i+1)
+	}
+	return acc
+}
+
+func sortW() Workload {
+	return Workload{
+		Name:       "sort",
+		Desc:       "bubble sort of 32 words plus weighted checksum",
+		Budget:     500_000,
+		Expect:     refSort(),
+		LoopBounds: map[string]int{"fill": 32, "outer": 32, "inner": 31, "chk": 32},
+		Source: `
+_start:
+` + lcgFill(32, 0x5051) + `
+	li   s0, 0               # i
+outer:
+	li   s1, 0               # j
+	li   s2, 31
+	sub  s2, s2, s0          # limit = 31-i
+	beqz s2, onext
+	la   t0, buf
+inner:
+	lw   t1, 0(t0)
+	lw   t2, 4(t0)
+	bgeu t2, t1, noswap
+	sw   t2, 0(t0)
+	sw   t1, 4(t0)
+noswap:
+	addi t0, t0, 4
+	addi s1, s1, 1
+	blt  s1, s2, inner
+onext:
+	addi s0, s0, 1
+	slti t3, s0, 32
+	bnez t3, outer
+	# weighted checksum
+	la   t0, buf
+	li   s0, 0
+	li   a0, 0
+chk:
+	lw   t1, 0(t0)
+	addi s0, s0, 1
+	mul  t1, t1, s0
+	add  a0, a0, t1
+	addi t0, t0, 4
+	slti t3, s0, 32
+	bnez t3, chk
+` + exit + `
+	.align 2
+buf:	.space 128
+`,
+	}
+}
+
+// --------------------------------------------------------------- fpdot
+
+func refFPDot() uint32 {
+	data := lcg(0xdddd, 32)
+	var sum float32
+	for i := 0; i < 16; i++ {
+		a := float32(int32(data[i]<<20) >> 20)
+		b := float32(int32(data[16+i]<<20) >> 20)
+		sum += a * b
+	}
+	return uint32(int32(sum))
+}
+
+func fpDot() Workload {
+	return Workload{
+		Name:       "fpdot",
+		Desc:       "single-precision dot product of 16-element vectors",
+		Budget:     200_000,
+		Expect:     refFPDot(),
+		LoopBounds: map[string]int{"fill": 32, "cvt": 32, "dot": 16},
+		Source: `
+_start:
+` + lcgFill(32, 0xdddd) + `
+	# convert the 32 words to small signed floats in place
+	la   t0, buf
+	li   t1, 32
+cvt:
+	lw   t2, 0(t0)
+	slli t2, t2, 20
+	srai t2, t2, 20
+	fcvt.s.w ft0, t2
+	fsw  ft0, 0(t0)
+	addi t0, t0, 4
+	addi t1, t1, -1
+	bnez t1, cvt
+	# dot product
+	la   s0, buf
+	addi s1, s0, 64
+	li   s2, 16
+	fmv.w.x fa0, zero
+dot:
+	flw  ft0, 0(s0)
+	flw  ft1, 0(s1)
+	fmadd.s fa0, ft0, ft1, fa0
+	addi s0, s0, 4
+	addi s1, s1, 4
+	addi s2, s2, -1
+	bnez s2, dot
+	fcvt.w.s a0, fa0
+` + exit + `
+	.align 2
+buf:	.space 128
+`,
+	}
+}
+
+// ----------------------------------------------------------------- pid
+
+// pidSamples is the sensor trace for the PID demonstrator.
+func pidSamples() []int16 {
+	out := make([]int16, 40)
+	x := uint32(0x1234)
+	for i := range out {
+		x = x*1664525 + 1013904223
+		out[i] = int16(x>>20) % 200
+	}
+	return out
+}
+
+func refPID() uint32 {
+	const setpoint, kp, ki, kd = 100, 3, 1, 2
+	var integ, prev, acc int32
+	for _, s := range pidSamples() {
+		err := int32(setpoint) - int32(s)
+		integ += err
+		deriv := err - prev
+		out := kp*err + ki*integ/8 + kd*deriv
+		prev = err
+		acc += out
+	}
+	return uint32(acc)
+}
+
+func pid() Workload {
+	return Workload{
+		Name:       "pid",
+		Desc:       "PID control loop over 40 sensor samples (control kernel)",
+		Budget:     100_000,
+		Expect:     refPID(),
+		Sensor:     pidSamples(),
+		LoopBounds: map[string]int{"step": 40},
+		Source: `
+	.equ SETPOINT, 100
+_start:
+	li   s0, 0               # integral
+	li   s1, 0               # prev error
+	li   a0, 0               # acc
+	li   s3, SENSOR_COUNT
+	lw   s2, 0(s3)           # samples available
+	beqz s2, done
+	li   s3, SENSOR_SAMPLE
+step:
+	lw   t0, 0(s3)           # sample
+	li   t1, SETPOINT
+	sub  t1, t1, t0          # err
+	add  s0, s0, t1          # integral += err
+	sub  t2, t1, s1          # deriv
+	mv   s1, t1
+	li   t3, 3
+	mul  t4, t1, t3          # kp*err
+	li   t3, 8
+	div  t5, s0, t3          # ki*integral/8 (ki=1)
+	add  t4, t4, t5
+	slli t5, t2, 1           # kd*deriv (kd=2)
+	add  t4, t4, t5
+	add  a0, a0, t4
+	addi s2, s2, -1
+	bnez s2, step
+done:
+` + exit,
+	}
+}
+
+// ------------------------------------------------- BMI pairs: popcount
+
+func refPopcount() uint32 {
+	var acc uint32
+	for _, w := range lcg(0xb1b1, 64) {
+		for w != 0 {
+			w &= w - 1
+			acc++
+		}
+	}
+	return acc
+}
+
+func popcountBase() Workload {
+	return Workload{
+		Name:       "popcount_base",
+		Desc:       "population count over 64 words, Kernighan loop (base ISA)",
+		Budget:     500_000,
+		Expect:     refPopcount(),
+		LoopBounds: map[string]int{"fill": 64, "wloop": 64, "bit": 32},
+		Source: `
+_start:
+` + lcgFill(64, 0xb1b1) + `
+	la   s0, buf
+	li   s1, 64
+	li   a0, 0
+wloop:
+	lw   t0, 0(s0)
+bit:
+	beqz t0, next
+	addi t1, t0, -1
+	and  t0, t0, t1
+	addi a0, a0, 1
+	j    bit
+next:
+	addi s0, s0, 4
+	addi s1, s1, -1
+	bnez s1, wloop
+` + exit + `
+	.align 2
+buf:	.space 256
+`,
+	}
+}
+
+func popcountBMI() Workload {
+	return Workload{
+		Name:       "popcount_bmi",
+		Desc:       "population count over 64 words with cpop (Xbmi)",
+		Budget:     500_000,
+		Expect:     refPopcount(),
+		UsesBMI:    true,
+		LoopBounds: map[string]int{"fill": 64, "wloop": 64},
+		Source: `
+_start:
+` + lcgFill(64, 0xb1b1) + `
+	la   s0, buf
+	li   s1, 64
+	li   a0, 0
+wloop:
+	lw   t0, 0(s0)
+	cpop t0, t0
+	add  a0, a0, t0
+	addi s0, s0, 4
+	addi s1, s1, -1
+	bnez s1, wloop
+` + exit + `
+	.align 2
+buf:	.space 256
+`,
+	}
+}
+
+// --------------------------------------------------- BMI pairs: parity
+
+func refParity() uint32 {
+	var acc uint32
+	for i, w := range lcg(0x9a9a, 64) {
+		p := w
+		p ^= p >> 16
+		p ^= p >> 8
+		p ^= p >> 4
+		p ^= p >> 2
+		p ^= p >> 1
+		if p&1 != 0 {
+			acc += uint32(i) + 1
+		}
+	}
+	return acc
+}
+
+func parityBase() Workload {
+	return Workload{
+		Name:       "parity_base",
+		Desc:       "per-word parity via xor folding (base ISA)",
+		Budget:     500_000,
+		Expect:     refParity(),
+		LoopBounds: map[string]int{"fill": 64, "wloop": 64},
+		Source: `
+_start:
+` + lcgFill(64, 0x9a9a) + `
+	la   s0, buf
+	li   s1, 64
+	li   s2, 0               # index
+	li   a0, 0
+wloop:
+	lw   t0, 0(s0)
+	srli t1, t0, 16
+	xor  t0, t0, t1
+	srli t1, t0, 8
+	xor  t0, t0, t1
+	srli t1, t0, 4
+	xor  t0, t0, t1
+	srli t1, t0, 2
+	xor  t0, t0, t1
+	srli t1, t0, 1
+	xor  t0, t0, t1
+	andi t0, t0, 1
+	addi s2, s2, 1
+	beqz t0, skip
+	add  a0, a0, s2
+skip:
+	addi s0, s0, 4
+	addi s1, s1, -1
+	bnez s1, wloop
+` + exit + `
+	.align 2
+buf:	.space 256
+`,
+	}
+}
+
+func parityBMI() Workload {
+	return Workload{
+		Name:       "parity_bmi",
+		Desc:       "per-word parity via cpop (Xbmi)",
+		Budget:     500_000,
+		Expect:     refParity(),
+		UsesBMI:    true,
+		LoopBounds: map[string]int{"fill": 64, "wloop": 64},
+		Source: `
+_start:
+` + lcgFill(64, 0x9a9a) + `
+	la   s0, buf
+	li   s1, 64
+	li   s2, 0
+	li   a0, 0
+wloop:
+	lw   t0, 0(s0)
+	cpop t0, t0
+	andi t0, t0, 1
+	addi s2, s2, 1
+	beqz t0, skip
+	add  a0, a0, s2
+skip:
+	addi s0, s0, 4
+	addi s1, s1, -1
+	bnez s1, wloop
+` + exit + `
+	.align 2
+buf:	.space 256
+`,
+	}
+}
+
+// ------------------------------------------------- BMI pairs: byteswap
+
+func refByteswap() uint32 {
+	var acc uint32
+	for _, w := range lcg(0x7c7c, 64) {
+		acc += w>>24 | w>>8&0xff00 | w<<8&0xff0000 | w<<24
+	}
+	return acc
+}
+
+func byteswapBase() Workload {
+	return Workload{
+		Name:       "byteswap_base",
+		Desc:       "endianness swap via shifts and masks (base ISA)",
+		Budget:     500_000,
+		Expect:     refByteswap(),
+		LoopBounds: map[string]int{"fill": 64, "wloop": 64},
+		Source: `
+_start:
+` + lcgFill(64, 0x7c7c) + `
+	la   s0, buf
+	li   s1, 64
+	li   a0, 0
+	li   s2, 0xff00
+	li   s3, 0xff0000
+wloop:
+	lw   t0, 0(s0)
+	srli t1, t0, 24
+	srli t2, t0, 8
+	and  t2, t2, s2
+	or   t1, t1, t2
+	slli t2, t0, 8
+	and  t2, t2, s3
+	or   t1, t1, t2
+	slli t2, t0, 24
+	or   t1, t1, t2
+	add  a0, a0, t1
+	addi s0, s0, 4
+	addi s1, s1, -1
+	bnez s1, wloop
+` + exit + `
+	.align 2
+buf:	.space 256
+`,
+	}
+}
+
+func byteswapBMI() Workload {
+	return Workload{
+		Name:       "byteswap_bmi",
+		Desc:       "endianness swap via rev8 (Xbmi)",
+		Budget:     500_000,
+		Expect:     refByteswap(),
+		UsesBMI:    true,
+		LoopBounds: map[string]int{"fill": 64, "wloop": 64},
+		Source: `
+_start:
+` + lcgFill(64, 0x7c7c) + `
+	la   s0, buf
+	li   s1, 64
+	li   a0, 0
+wloop:
+	lw   t0, 0(s0)
+	rev8 t0, t0
+	add  a0, a0, t0
+	addi s0, s0, 4
+	addi s1, s1, -1
+	bnez s1, wloop
+` + exit + `
+	.align 2
+buf:	.space 256
+`,
+	}
+}
+
+// ---------------------------------------------------- BMI pairs: clamp
+
+func refClamp() uint32 {
+	const lo, hi = -100, 100
+	var acc uint32
+	for _, w := range lcg(0x3e3e, 64) {
+		v := int32(w<<16) >> 16
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		acc += uint32(v)
+	}
+	return acc
+}
+
+func clampBase() Workload {
+	return Workload{
+		Name:       "clamp_base",
+		Desc:       "saturate samples to [-100,100] with branches (base ISA)",
+		Budget:     500_000,
+		Expect:     refClamp(),
+		LoopBounds: map[string]int{"fill": 64, "wloop": 64},
+		Source: `
+_start:
+` + lcgFill(64, 0x3e3e) + `
+	la   s0, buf
+	li   s1, 64
+	li   a0, 0
+	li   s2, -100
+	li   s3, 100
+wloop:
+	lw   t0, 0(s0)
+	slli t0, t0, 16
+	srai t0, t0, 16
+	bge  t0, s2, 1f
+	mv   t0, s2
+1:	ble  t0, s3, 2f
+	mv   t0, s3
+2:	add  a0, a0, t0
+	addi s0, s0, 4
+	addi s1, s1, -1
+	bnez s1, wloop
+` + exit + `
+	.align 2
+buf:	.space 256
+`,
+	}
+}
+
+func clampBMI() Workload {
+	return Workload{
+		Name:       "clamp_bmi",
+		Desc:       "saturate samples to [-100,100] with min/max (Xbmi)",
+		Budget:     500_000,
+		Expect:     refClamp(),
+		UsesBMI:    true,
+		LoopBounds: map[string]int{"fill": 64, "wloop": 64},
+		Source: `
+_start:
+` + lcgFill(64, 0x3e3e) + `
+	la   s0, buf
+	li   s1, 64
+	li   a0, 0
+	li   s2, -100
+	li   s3, 100
+wloop:
+	lw   t0, 0(s0)
+	slli t0, t0, 16
+	srai t0, t0, 16
+	max  t0, t0, s2
+	min  t0, t0, s3
+	add  a0, a0, t0
+	addi s0, s0, 4
+	addi s1, s1, -1
+	bnez s1, wloop
+` + exit + `
+	.align 2
+buf:	.space 256
+`,
+	}
+}

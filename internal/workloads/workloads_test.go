@@ -1,0 +1,118 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/timing"
+	"repro/internal/vp"
+	"repro/internal/workloads"
+)
+
+// TestAllWorkloadsMatchGoReference is the ecosystem's strongest
+// end-to-end check: every kernel runs on the emulated platform and must
+// produce the checksum computed by an independent Go implementation of
+// the same algorithm over the same data.
+func TestAllWorkloadsMatchGoReference(t *testing.T) {
+	for _, w := range workloads.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := vp.New(vp.Config{Sensor: w.Sensor})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.LoadSource(vp.Prelude + w.Source); err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			stop := p.Run(w.Budget)
+			if stop.Reason != emu.StopExit {
+				t.Fatalf("stopped with %v, want syscon exit", stop)
+			}
+			if stop.Code != w.Expect {
+				t.Errorf("checksum 0x%08x, want 0x%08x", stop.Code, w.Expect)
+			}
+		})
+	}
+}
+
+// The BMI variants must compute identical results to their base pairs
+// (that is what makes the speedup comparison meaningful) and run in
+// fewer cycles on the edge-small profile.
+func TestBMIPairsAgreeAndWin(t *testing.T) {
+	for _, pair := range workloads.Pairs() {
+		base, bmi := pair[0], pair[1]
+		t.Run(base.Name, func(t *testing.T) {
+			if base.Expect != bmi.Expect {
+				t.Fatalf("pair checksum mismatch: %08x vs %08x", base.Expect, bmi.Expect)
+			}
+			cycles := func(w workloads.Workload) uint64 {
+				cfg := vp.Config{Profile: timing.EdgeSmall()}
+				p, err := vp.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := p.LoadSource(vp.Prelude + w.Source); err != nil {
+					t.Fatal(err)
+				}
+				stop := p.Run(w.Budget)
+				if stop.Reason != emu.StopExit || stop.Code != w.Expect {
+					t.Fatalf("%s: %v (want exit %08x)", w.Name, stop, w.Expect)
+				}
+				return p.Machine.Hart.Cycle
+			}
+			cb, cx := cycles(base), cycles(bmi)
+			if cx >= cb {
+				t.Errorf("BMI variant not faster: base %d <= bmi %d cycles", cb, cx)
+			}
+		})
+	}
+}
+
+// Base-ISA kernels must run on a machine without the Xbmi extension;
+// BMI kernels must trap there.
+func TestBMIExtensionGating(t *testing.T) {
+	pair := workloads.Pairs()[0]
+	runOn := func(w workloads.Workload, set isa.ExtSet) emu.StopInfo {
+		p, err := vp.New(vp.Config{ISA: set})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.LoadSource(vp.Prelude + w.Source); err != nil {
+			t.Fatal(err)
+		}
+		return p.Run(w.Budget)
+	}
+	if stop := runOn(pair[0], isa.RV32IM); stop.Reason != emu.StopExit {
+		t.Errorf("base kernel on RV32IM: %v", stop)
+	}
+	if stop := runOn(pair[1], isa.RV32IM); stop.Reason != emu.StopTrap || stop.Cause != isa.ExcIllegalInst {
+		t.Errorf("bmi kernel on RV32IM should trap: %v", stop)
+	}
+	if stop := runOn(pair[1], isa.RV32IMB); stop.Reason != emu.StopExit {
+		t.Errorf("bmi kernel on RV32IMB: %v", stop)
+	}
+}
+
+func TestByNameAndMetadata(t *testing.T) {
+	all := workloads.All()
+	if len(all) < 12 {
+		t.Fatalf("only %d workloads", len(all))
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Desc == "" || w.Budget == 0 {
+			t.Errorf("%s: missing metadata", w.Name)
+		}
+		got, ok := workloads.ByName(w.Name)
+		if !ok || got.Name != w.Name {
+			t.Errorf("ByName(%q) failed", w.Name)
+		}
+	}
+	if _, ok := workloads.ByName("no-such"); ok {
+		t.Error("ByName should miss")
+	}
+}

@@ -1,0 +1,177 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles every command once into a shared temp dir.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	tools := []string{
+		"s4e-asm", "s4e-dis", "s4e-run", "s4e-cfg", "s4e-wcet", "s4e-qta",
+		"s4e-cov", "s4e-fault", "s4e-torture", "s4e-experiments",
+	}
+	for _, tool := range tools {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	return dir
+}
+
+func runTool(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out), code
+}
+
+const taskSource = `
+_start:
+	li a0, 0
+	li a1, 16
+loop:	add a0, a0, a1
+	addi a1, a1, -1
+	bnez a1, loop
+	li t6, SYSCON_EXIT
+	sw a0, 0(t6)
+1:	j 1b
+`
+
+// TestToolchainEndToEnd drives the binaries the way the README shows:
+// assemble, run, analyze, co-simulate, generate, qualify.
+func TestToolchainEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	src := filepath.Join(work, "task.s")
+	if err := os.WriteFile(src, []byte(taskSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("asm+run-elf", func(t *testing.T) {
+		out, code := runTool(t, filepath.Join(bin, "s4e-asm"), "-o", filepath.Join(work, "task.elf"), src)
+		if code != 0 {
+			t.Fatalf("s4e-asm: %s", out)
+		}
+		// sum(1..16) = 136; s4e-run forwards the exit code (mod 128).
+		out, code = runTool(t, filepath.Join(bin, "s4e-run"), filepath.Join(work, "task.elf"))
+		if code != 136&0x7f {
+			t.Fatalf("s4e-run exit %d:\n%s", code, out)
+		}
+		if !strings.Contains(out, "insts:") {
+			t.Errorf("stats missing:\n%s", out)
+		}
+	})
+
+	t.Run("disassemble", func(t *testing.T) {
+		out, code := runTool(t, filepath.Join(bin, "s4e-dis"), filepath.Join(work, "task.elf"))
+		if code != 0 {
+			t.Fatalf("s4e-dis (%d):\n%s", code, out)
+		}
+		for _, frag := range []string{"_start:", "loop:", "bne a1, zero", "<loop>"} {
+			if !strings.Contains(out, frag) {
+				t.Errorf("disassembly missing %q:\n%s", frag, out)
+			}
+		}
+	})
+
+	t.Run("run-source-with-trace", func(t *testing.T) {
+		out, code := runTool(t, filepath.Join(bin, "s4e-run"), "-trace", "-profile", "edge-small", src)
+		if code != 136&0x7f {
+			t.Fatalf("exit %d:\n%s", code, out)
+		}
+		if !strings.Contains(out, "add a0, a0, a1") {
+			t.Errorf("trace missing:\n%s", out)
+		}
+	})
+
+	t.Run("wcet+qta", func(t *testing.T) {
+		out, code := runTool(t, filepath.Join(bin, "s4e-wcet"),
+			"-bounds", "loop=16", "-profile", "edge-small", src)
+		if code != 0 || !strings.Contains(out, "WCET bound:") {
+			t.Fatalf("s4e-wcet (%d):\n%s", code, out)
+		}
+		out, code = runTool(t, filepath.Join(bin, "s4e-qta"), "-profile", "edge-small",
+			"-blockprofile", src)
+		if code != 0 {
+			t.Fatalf("s4e-qta (%d):\n%s", code, out)
+		}
+		if !strings.Contains(out, "sound: true") {
+			t.Errorf("qta not sound:\n%s", out)
+		}
+		if !strings.Contains(out, "visits") {
+			t.Errorf("block profile missing:\n%s", out)
+		}
+	})
+
+	t.Run("cfg-dot", func(t *testing.T) {
+		out, code := runTool(t, filepath.Join(bin, "s4e-cfg"), src)
+		if code != 0 || !strings.Contains(out, "digraph cfg") {
+			t.Fatalf("s4e-cfg (%d):\n%s", code, out)
+		}
+	})
+
+	t.Run("torture-roundtrip", func(t *testing.T) {
+		dir := filepath.Join(work, "torture")
+		out, code := runTool(t, filepath.Join(bin, "s4e-torture"), "-n", "2", "-dir", dir)
+		if code != 0 {
+			t.Fatalf("s4e-torture (%d):\n%s", code, out)
+		}
+		prog := filepath.Join(dir, "torture-0000.s")
+		out, code = runTool(t, filepath.Join(bin, "s4e-run"), prog)
+		if strings.Contains(out, "unhandled trap") {
+			t.Errorf("torture program trapped:\n%s", out)
+		}
+	})
+
+	t.Run("coverage-of-file", func(t *testing.T) {
+		out, code := runTool(t, filepath.Join(bin, "s4e-cov"), "-isa", "rv32im", "-missing", src)
+		if code != 0 || !strings.Contains(out, "insn types") {
+			t.Fatalf("s4e-cov (%d):\n%s", code, out)
+		}
+	})
+
+	t.Run("fault-campaign", func(t *testing.T) {
+		out, code := runTool(t, filepath.Join(bin, "s4e-fault"),
+			"-gpr", "20", "-mem", "5", "-code", "5", src)
+		if code != 0 {
+			t.Fatalf("s4e-fault (%d):\n%s", code, out)
+		}
+		if !strings.Contains(out, "masked") || !strings.Contains(out, "mutants/sec") {
+			t.Errorf("campaign output:\n%s", out)
+		}
+	})
+
+	t.Run("experiments-e1", func(t *testing.T) {
+		out, code := runTool(t, filepath.Join(bin, "s4e-experiments"), "-exp", "e1")
+		if code != 0 || !strings.Contains(out, "component inventory") {
+			t.Fatalf("s4e-experiments (%d):\n%s", code, out)
+		}
+	})
+
+	t.Run("error-paths", func(t *testing.T) {
+		if _, code := runTool(t, filepath.Join(bin, "s4e-asm"), filepath.Join(work, "missing.s")); code == 0 {
+			t.Error("missing input should fail")
+		}
+		bad := filepath.Join(work, "bad.s")
+		os.WriteFile(bad, []byte("bogus a0\n"), 0o644)
+		if out, code := runTool(t, filepath.Join(bin, "s4e-asm"), bad); code == 0 {
+			t.Errorf("bad assembly should fail:\n%s", out)
+		}
+	})
+}
