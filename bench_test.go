@@ -224,27 +224,45 @@ func BenchmarkE7_BMI(b *testing.B) {
 	}
 }
 
-// BenchmarkE8_MIPS measures raw emulation speed with and without the
-// translation-block cache.
+// BenchmarkE8_MIPS measures raw emulation speed across the engine axis:
+// the threaded-code engine, the interpreter-switch engine, and the
+// switch engine with the translation-block cache disabled (the
+// retranslate-everything baseline). One platform is built per
+// sub-benchmark and rewound between iterations with the watermark-based
+// RestoreReuse, so the timed loop holds emulation only — not assembly
+// or RAM allocation.
 func BenchmarkE8_MIPS(b *testing.B) {
 	for _, mode := range []struct {
 		name    string
+		engine  emu.Engine
 		disable bool
-	}{{"tb-cache", false}, {"no-tb-cache", true}} {
+	}{
+		{"threaded", emu.EngineThreaded, false},
+		{"switch", emu.EngineSwitch, false},
+		{"no-tb-cache", emu.EngineSwitch, true},
+	} {
 		b.Run(mode.name, func(b *testing.B) {
 			for _, name := range benchWorkloads {
 				w := getWorkload(b, name)
 				b.Run(name, func(b *testing.B) {
+					prog, err := asm.AssembleAt(vp.Prelude+w.Source, vp.RAMBase)
+					if err != nil {
+						b.Fatal(err)
+					}
+					p, err := vp.New(vp.Config{Sensor: w.Sensor})
+					if err != nil {
+						b.Fatal(err)
+					}
+					p.Machine.Engine = mode.engine
+					p.Machine.DisableTBCache = mode.disable
+					if err := p.LoadProgram(prog); err != nil {
+						b.Fatal(err)
+					}
+					base := p.Snapshot()
 					var insts uint64
+					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
-						p, err := vp.New(vp.Config{Sensor: w.Sensor})
-						if err != nil {
-							b.Fatal(err)
-						}
-						p.Machine.DisableTBCache = mode.disable
-						if _, err := p.LoadSource(vp.Prelude + w.Source); err != nil {
-							b.Fatal(err)
-						}
+						p.RestoreReuse(base, prog)
 						stop := p.Run(w.Budget)
 						if stop.Reason != emu.StopExit {
 							b.Fatalf("%v", stop)

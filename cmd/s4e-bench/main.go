@@ -1,0 +1,154 @@
+// Command s4e-bench measures emulation speed (host MIPS) per workload
+// per execution engine and writes the results as JSON, so successive
+// revisions can track the performance trajectory.
+//
+// Usage:
+//
+//	s4e-bench [-o BENCH_emu.json] [-reps 3] [-workloads xtea,crc32]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/vp"
+	"repro/internal/workloads"
+)
+
+// engineMode is one point on the engine axis.
+type engineMode struct {
+	name    string
+	engine  emu.Engine
+	disable bool
+}
+
+var modes = []engineMode{
+	{"threaded", emu.EngineThreaded, false},
+	{"switch", emu.EngineSwitch, false},
+	{"no-tb-cache", emu.EngineSwitch, true},
+}
+
+// Result is the written JSON document.
+type Result struct {
+	GoVersion string               `json:"go_version"`
+	NumCPU    int                  `json:"num_cpu"`
+	Reps      int                  `json:"reps"`
+	Workloads []string             `json:"workloads"`
+	MIPS      map[string][]float64 `json:"mips"` // engine -> per-workload MIPS
+}
+
+// measure times reps steady-state runs of one workload under an engine
+// mode (platform built once, rewound between runs) and returns the best
+// observed MIPS.
+func measure(w workloads.Workload, m engineMode, reps int) (float64, error) {
+	prog, err := asm.AssembleAt(vp.Prelude+w.Source, vp.RAMBase)
+	if err != nil {
+		return 0, err
+	}
+	p, err := vp.New(vp.Config{Sensor: w.Sensor})
+	if err != nil {
+		return 0, err
+	}
+	p.Machine.Engine = m.engine
+	p.Machine.DisableTBCache = m.disable
+	if err := p.LoadProgram(prog); err != nil {
+		return 0, err
+	}
+	base := p.Snapshot()
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		p.RestoreReuse(base, prog)
+		start := time.Now()
+		stop := p.Run(w.Budget)
+		d := time.Since(start).Seconds()
+		if stop.Reason != emu.StopExit {
+			return 0, fmt.Errorf("%s stopped with %v", w.Name, stop)
+		}
+		if mips := float64(p.Machine.Hart.Instret) / d / 1e6; mips > best {
+			best = mips
+		}
+	}
+	return best, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_emu.json", "output JSON file")
+	reps := flag.Int("reps", 3, "repetitions per measurement (best is kept)")
+	names := flag.String("workloads", "xtea,crc32,fir,matmul,sort,pid",
+		"comma-separated workload subset")
+	flag.Parse()
+
+	var selected []workloads.Workload
+	for _, name := range strings.Split(*names, ",") {
+		w, ok := workloads.ByName(strings.TrimSpace(name))
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", name))
+		}
+		selected = append(selected, w)
+	}
+
+	res := Result{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Reps:      *reps,
+		MIPS:      map[string][]float64{},
+	}
+	for _, w := range selected {
+		res.Workloads = append(res.Workloads, w.Name)
+	}
+
+	fmt.Printf("%-14s", "program")
+	for _, m := range modes {
+		fmt.Printf(" %12s", m.name)
+	}
+	fmt.Println()
+	for i, w := range selected {
+		fmt.Printf("%-14s", w.Name)
+		for _, m := range modes {
+			best, err := measure(w, m, *reps)
+			if err != nil {
+				fatal(err)
+			}
+			res.MIPS[m.name] = append(res.MIPS[m.name], best)
+			fmt.Printf(" %12.1f", best)
+		}
+		// Geometric means need every workload; print the row ratio now.
+		fmt.Printf("   %.2fx\n", res.MIPS["threaded"][i]/res.MIPS["switch"][i])
+	}
+	fmt.Printf("geomean threaded/switch: %.2fx\n",
+		geomeanRatio(res.MIPS["threaded"], res.MIPS["switch"]))
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// geomeanRatio is the geometric mean of a[i]/b[i].
+func geomeanRatio(a, b []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for i := range a {
+		prod *= a[i] / b[i]
+	}
+	return math.Pow(prod, 1/float64(len(a)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s4e-bench:", err)
+	os.Exit(1)
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	s4e-run [-profile edge-small] [-isa rv32imfc] [-trace] [-budget N] prog.{s,elf}
+//	s4e-run [-profile edge-small] [-isa rv32imfc] [-engine threaded] [-trace] [-budget N] prog.{s,elf}
 package main
 
 import (
@@ -43,6 +43,7 @@ func parseISA(s string) (isa.ExtSet, error) {
 func main() {
 	profName := flag.String("profile", "unit", "timing profile: unit, edge-small, edge-fast")
 	isaName := flag.String("isa", "full", "ISA configuration: rv32i(m)(f)(b)(c), full")
+	engName := flag.String("engine", "threaded", "execution engine: threaded, switch")
 	trace := flag.Bool("trace", false, "print an instruction trace")
 	budget := flag.Uint64("budget", 100_000_000, "instruction budget")
 	stats := flag.Bool("stats", true, "print run statistics")
@@ -65,6 +66,14 @@ func main() {
 	p, err := vp.New(vp.Config{Profile: prof, ISA: set, ConsoleOut: os.Stdout})
 	if err != nil {
 		fatal(err)
+	}
+	switch strings.ToLower(*engName) {
+	case "threaded":
+		p.Machine.Engine = emu.EngineThreaded
+	case "switch":
+		p.Machine.Engine = emu.EngineSwitch
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engName))
 	}
 	if *trace {
 		if err := p.Machine.Hooks.Register(&plugin.Tracer{W: os.Stderr}); err != nil {
@@ -90,8 +99,8 @@ func main() {
 	stop := p.Run(*budget)
 	if *stats {
 		h := &p.Machine.Hart
-		fmt.Fprintf(os.Stderr, "stop:    %v\ninsts:   %d\ncycles:  %d (%s)\nblocks:  %d cached\n",
-			stop, h.Instret, h.Cycle, prof.Name(), p.Machine.CachedBlocks())
+		fmt.Fprintf(os.Stderr, "stop:    %v\ninsts:   %d\ncycles:  %d (%s)\nengine:  %s\nblocks:  %d cached\n",
+			stop, h.Instret, h.Cycle, prof.Name(), p.Machine.Engine, p.Machine.CachedBlocks())
 	}
 	if stop.Reason == emu.StopExit {
 		os.Exit(int(stop.Code & 0x7f))

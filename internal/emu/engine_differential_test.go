@@ -1,0 +1,231 @@
+package emu_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/timing"
+	"repro/internal/torture"
+	"repro/internal/vp"
+	"repro/internal/workloads"
+)
+
+// This file is the safety net for the threaded-code engine: every
+// workload and a batch of seeded torture programs run under Step(), the
+// switch engine and the threaded engine, and the full architectural
+// state — stop info, Instret, Cycle, both register files, trap CSRs and
+// a RAM digest — must be bit-identical across the three paths.
+//
+// Step() is compared under the unit profile only: single-stepping
+// legitimately differs in Cycle under profiles with a load-use interlock
+// (the engines reset hazard state at block boundaries, Step never sees
+// one) — that is a documented property, not a bug.
+
+// archState is the full observable machine state at end of run.
+type archState struct {
+	stop    emu.StopInfo
+	instret uint64
+	cycle   uint64
+	pc      uint32
+	x       [32]uint32
+	f       [32]uint32
+	mstatus uint32
+	mepc    uint32
+	mcause  uint32
+	mtval   uint32
+	fflags  uint32
+	ram     uint64 // FNV-1a digest of all RAM bytes
+	out     string // UART output
+}
+
+func captureState(p *vp.Platform, stop emu.StopInfo) archState {
+	h := &p.Machine.Hart
+	st := archState{
+		stop:    stop,
+		instret: h.Instret,
+		cycle:   h.Cycle,
+		pc:      h.PC,
+		x:       h.X,
+		f:       h.F,
+		mstatus: h.Mstatus,
+		mepc:    h.Mepc,
+		mcause:  h.Mcause,
+		mtval:   h.Mtval,
+		fflags:  h.Fflags,
+		out:     p.Output(),
+	}
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	d := uint64(fnvOffset)
+	for _, b := range p.RAM.Bytes() {
+		d = (d ^ uint64(b)) * fnvPrime
+	}
+	st.ram = d
+	return st
+}
+
+// diffCase is one program to run under every execution path.
+type diffCase struct {
+	name   string
+	src    string // assembly body, prelude prepended
+	budget uint64
+	sensor []int16
+}
+
+func diffCases(t *testing.T) []diffCase {
+	t.Helper()
+	var cases []diffCase
+	for _, w := range workloads.All() {
+		cases = append(cases, diffCase{
+			name:   "workload/" + w.Name,
+			src:    w.Source,
+			budget: w.Budget,
+			sensor: w.Sensor,
+		})
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		prog := torture.Generate(torture.Config{Seed: seed, Insts: 160})
+		cases = append(cases, diffCase{
+			name:   fmt.Sprintf("torture/seed%d", seed),
+			src:    prog.Source,
+			budget: prog.Budget,
+		})
+	}
+	return cases
+}
+
+func newDiffPlatform(t *testing.T, c diffCase, prof *timing.Profile) *vp.Platform {
+	t.Helper()
+	p, err := vp.New(vp.Config{Profile: prof, Sensor: c.sensor})
+	if err != nil {
+		t.Fatalf("vp.New: %v", err)
+	}
+	if _, err := p.LoadSource(vp.Prelude + c.src); err != nil {
+		t.Fatalf("load %s: %v", c.name, err)
+	}
+	return p
+}
+
+func runEngine(t *testing.T, c diffCase, prof *timing.Profile, engine emu.Engine) archState {
+	t.Helper()
+	p := newDiffPlatform(t, c, prof)
+	p.Machine.Engine = engine
+	return captureState(p, p.Run(c.budget))
+}
+
+// runStep drives the same program one instruction at a time, then
+// synthesizes the budget-stop Run would have reported so the states are
+// comparable even when the budget expires.
+func runStep(t *testing.T, c diffCase, prof *timing.Profile) archState {
+	t.Helper()
+	p := newDiffPlatform(t, c, prof)
+	var stop *emu.StopInfo
+	for n := uint64(0); n < c.budget; n++ {
+		if stop = p.Machine.Step(); stop != nil {
+			break
+		}
+	}
+	if stop == nil {
+		stop = &emu.StopInfo{Reason: emu.StopBudget, PC: p.Machine.Hart.PC}
+	}
+	return captureState(p, *stop)
+}
+
+func diffStates(t *testing.T, what string, want, got archState) {
+	t.Helper()
+	if want == got {
+		return
+	}
+	if want.stop != got.stop {
+		t.Errorf("%s: stop = %v, want %v", what, got.stop, want.stop)
+	}
+	if want.instret != got.instret {
+		t.Errorf("%s: instret = %d, want %d", what, got.instret, want.instret)
+	}
+	if want.cycle != got.cycle {
+		t.Errorf("%s: cycle = %d, want %d", what, got.cycle, want.cycle)
+	}
+	if want.pc != got.pc {
+		t.Errorf("%s: pc = %#x, want %#x", what, got.pc, want.pc)
+	}
+	for i := range want.x {
+		if want.x[i] != got.x[i] {
+			t.Errorf("%s: x%d = %#x, want %#x", what, i, got.x[i], want.x[i])
+		}
+	}
+	for i := range want.f {
+		if want.f[i] != got.f[i] {
+			t.Errorf("%s: f%d = %#x, want %#x", what, i, got.f[i], want.f[i])
+		}
+	}
+	if want.ram != got.ram {
+		t.Errorf("%s: RAM digest = %#x, want %#x", what, got.ram, want.ram)
+	}
+	if want.out != got.out {
+		t.Errorf("%s: output = %q, want %q", what, got.out, want.out)
+	}
+	if want.mstatus != got.mstatus || want.mepc != got.mepc ||
+		want.mcause != got.mcause || want.mtval != got.mtval || want.fflags != got.fflags {
+		t.Errorf("%s: CSRs = %x/%x/%x/%x/%x, want %x/%x/%x/%x/%x", what,
+			got.mstatus, got.mepc, got.mcause, got.mtval, got.fflags,
+			want.mstatus, want.mepc, want.mcause, want.mtval, want.fflags)
+	}
+}
+
+// TestEngineDifferential proves bit-identical architectural state across
+// the three execution paths for every workload and torture seed.
+func TestEngineDifferential(t *testing.T) {
+	profiles := []struct {
+		name string
+		p    *timing.Profile
+	}{
+		{"unit", nil},
+		{"edge-small", timing.EdgeSmall()},
+		{"edge-cache", timing.EdgeCache()},
+	}
+	for _, c := range diffCases(t) {
+		for _, prof := range profiles {
+			t.Run(c.name+"/"+prof.name, func(t *testing.T) {
+				ref := runEngine(t, c, prof.p, emu.EngineSwitch)
+				threaded := runEngine(t, c, prof.p, emu.EngineThreaded)
+				diffStates(t, "threaded vs switch", ref, threaded)
+				if prof.p == nil {
+					step := runStep(t, c, prof.p)
+					diffStates(t, "step vs switch", ref, step)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineDifferentialTightBudget exercises the budget-stop and resume
+// paths of both engines: run each program in small budget slices and
+// require the same final state as one uninterrupted run.
+func TestEngineDifferentialTightBudget(t *testing.T) {
+	for _, c := range diffCases(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			ref := runEngine(t, c, nil, emu.EngineSwitch)
+			for _, engine := range []emu.Engine{emu.EngineSwitch, emu.EngineThreaded} {
+				p := newDiffPlatform(t, c, nil)
+				p.Machine.Engine = engine
+				var stop emu.StopInfo
+				var used uint64
+				const slice = 173 // deliberately not block-aligned
+				for used < c.budget {
+					n := min(slice, c.budget-used)
+					stop = p.Run(n)
+					used += n
+					if stop.Reason != emu.StopBudget {
+						break
+					}
+				}
+				got := captureState(p, stop)
+				diffStates(t, fmt.Sprintf("%v sliced", engine), ref, got)
+			}
+		})
+	}
+}

@@ -25,7 +25,11 @@ func (m *Machine) memLoad(pc, addr uint32, size uint8) (uint32, bool) {
 
 // memStore performs a data store with plugin dispatch and code-cache
 // invalidation; ok=false means a trap was taken. invalidated reports
-// whether the store hit translated code.
+// whether the store invalidated the currently executing block, so the
+// execution loops abandon its remaining (now stale) instructions.
+// Invalidation is range-based: only blocks overlapping the written
+// bytes are dropped, and the modelled I-cache is kept (only fence.i
+// flushes it), so stores near code no longer flush the whole cache.
 func (m *Machine) memStore(pc, addr uint32, size uint8, val uint32) (ok, invalidated bool) {
 	if f := m.Bus.Store(addr, size, val); f != nil {
 		m.trap(f.Cause, f.Addr, pc)
@@ -34,9 +38,11 @@ func (m *Machine) memStore(pc, addr uint32, size uint8, val uint32) (ok, invalid
 	if m.Hooks.HasMemHooks() {
 		m.Hooks.MemAccess(plugin.MemEvent{PC: pc, Addr: addr, Value: val, Size: size, Store: true})
 	}
+	if uint64(addr-m.ramBase) < uint64(len(m.ram)) {
+		m.noteRAMStore(addr, size)
+	}
 	if addr < m.codeHi && addr+uint32(size) > m.codeLo {
-		m.InvalidateTBs()
-		return true, true
+		return true, m.invalidateRange(addr, addr+uint32(size))
 	}
 	return true, false
 }

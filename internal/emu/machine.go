@@ -21,6 +21,32 @@ import (
 // maxTBInsts bounds translated-block length, like QEMU's TB size limit.
 const maxTBInsts = 64
 
+// jmpCacheSize is the direct-mapped TB jump cache size (power of two),
+// the analog of QEMU's tb_jmp_cache sitting in front of the block map.
+const jmpCacheSize = 1024
+
+// Engine selects how Run executes translated blocks.
+type Engine uint8
+
+const (
+	// EngineThreaded (the default) compiles each translated block into a
+	// chain of specialized executor closures with pre-bound operands and
+	// precomputed static cycle costs, and follows block-chaining links
+	// between hot blocks.
+	EngineThreaded Engine = iota
+	// EngineSwitch re-dispatches the decoded instructions through the
+	// interpreter switch on every execution — the pre-threading baseline,
+	// kept for the ablation and as a differential-testing oracle.
+	EngineSwitch
+)
+
+func (e Engine) String() string {
+	if e == EngineSwitch {
+		return "switch"
+	}
+	return "threaded"
+}
+
 // StopReason says why Run returned.
 type StopReason uint8
 
@@ -73,6 +99,21 @@ func (s StopInfo) String() string {
 type tb struct {
 	info plugin.BlockInfo
 	end  uint32 // exclusive upper address
+
+	// prof and ext record the timing profile and ISA configuration the
+	// block (and its compiled executors) were specialized against; a
+	// cached block is stale when either differs from the machine's.
+	prof *timing.Profile
+	ext  isa.ExtSet
+
+	// ops is the threaded-code form: one specialized executor per
+	// instruction, compiled lazily on first threaded execution.
+	ops []opFn
+
+	// succ caches up to two successor blocks (fallthrough/taken of the
+	// terminator), so hot loops chain block-to-block without touching
+	// the lookup path. Severed on any invalidation.
+	succ [2]*tb
 }
 
 // Machine is one emulated hart plus its bus, timing model and plugins.
@@ -102,11 +143,40 @@ type Machine struct {
 	// interpreter-style baseline for the translation-cache ablation).
 	DisableTBCache bool
 
+	// Engine selects the execution strategy; the zero value is the
+	// threaded-code engine.
+	Engine Engine
+
 	stop     *StopInfo
 	tbs      map[uint32]*tb
 	codeLo   uint32
 	codeHi   uint32
 	lastLoad isa.Reg // destination of the immediately preceding load, 0 if none
+
+	// jmp is the direct-mapped jump cache in front of the tbs map.
+	jmp [jmpCacheSize]*tb
+
+	// curTB is the block currently executing, so stores can tell whether
+	// they invalidated the code under the program counter.
+	curTB *tb
+
+	// codeWrites counts stores that hit translated code; the fault
+	// campaign uses it to detect runs that dirtied the code region.
+	codeWrites uint64
+
+	// ram/ramBase cache the bus's largest RAM region for the threaded
+	// engine's inline load/store fast path; resolved lazily.
+	ram     []byte
+	ramBase uint32
+	ramInit bool
+
+	// storeLo/storeHi is the RAM store watermark: the address range of
+	// all data stores into RAM since the last ResetStoreWatermark. The
+	// fault campaign intersects it with the translated code range to
+	// decide whether cached translations could have been built from
+	// run-written bytes.
+	storeLo uint32
+	storeHi uint32
 
 	// icache holds the direct-mapped I-cache tags (line address + 1;
 	// zero = invalid) when the profile models one.
@@ -121,10 +191,50 @@ func New(bus *mem.Bus) *Machine {
 		ISA:          isa.RV32Full,
 		HaltOnEbreak: true,
 		tbs:          make(map[uint32]*tb),
+		storeLo:      ^uint32(0),
 	}
 	m.Hart.Reset(0)
 	return m
 }
+
+// ensureRAM resolves the direct-RAM fast-path pointers once per machine.
+func (m *Machine) ensureRAM() {
+	if !m.ramInit {
+		m.ramBase, m.ram = m.Bus.DirectRAM()
+		m.ramInit = true
+	}
+}
+
+// noteRAMStore folds a RAM data store into the store watermark.
+func (m *Machine) noteRAMStore(addr uint32, size uint8) {
+	if addr < m.storeLo {
+		m.storeLo = addr
+	}
+	if addr+uint32(size) > m.storeHi {
+		m.storeHi = addr + uint32(size)
+	}
+}
+
+// StoreWatermark returns the address range of RAM data stores since the
+// last ResetStoreWatermark; lo > hi means no stores happened.
+func (m *Machine) StoreWatermark() (lo, hi uint32) { return m.storeLo, m.storeHi }
+
+// NoteRAMWrite folds an externally performed RAM write (e.g. an injected
+// bit flip) into the store watermark so watermark-based state rewinds
+// know to restore those bytes.
+func (m *Machine) NoteRAMWrite(addr uint32, size uint8) { m.noteRAMStore(addr, size) }
+
+// ResetStoreWatermark clears the RAM store watermark.
+func (m *Machine) ResetStoreWatermark() { m.storeLo, m.storeHi = ^uint32(0), 0 }
+
+// CodeRange returns the address range currently covered by translated
+// blocks; lo > hi means the cache is empty.
+func (m *Machine) CodeRange() (lo, hi uint32) { return m.codeLo, m.codeHi }
+
+// FlushICache empties the modelled instruction cache without touching
+// the translation cache (state rewinds use it so cycle counts never
+// depend on what ran before).
+func (m *Machine) FlushICache() { m.icache = nil }
 
 // Reset clears architectural state and the translation cache, and boots
 // at pc.
@@ -174,17 +284,62 @@ func (m *Machine) Stopped() *StopInfo { return m.stop }
 func (m *Machine) ClearStop() { m.stop = nil }
 
 // InvalidateTBs drops the translation cache and the modelled I-cache
-// (fence.i, code stores, and the fault injector's instruction mutations
-// call this).
+// (fence.i and the fault injector's instruction mutations call this).
 func (m *Machine) InvalidateTBs() {
+	// Sever chains first: a dropped block must never be reachable through
+	// a surviving (or still-executing) block's successor links.
+	for _, t := range m.tbs {
+		t.succ[0], t.succ[1] = nil, nil
+	}
 	m.tbs = make(map[uint32]*tb)
 	m.codeLo, m.codeHi = ^uint32(0), 0
 	m.icache = nil
+	m.jmp = [jmpCacheSize]*tb{}
 }
+
+// InvalidateRange drops only the translated blocks overlapping [lo, hi)
+// — the store-to-code path, where a full flush would retranslate the
+// whole working set. All chains are severed (a surviving block may link
+// to a dropped one) and the jump cache is cleared, but the modelled
+// I-cache is preserved: a data store does not flush a hardware
+// instruction cache, only fence.i does.
+func (m *Machine) InvalidateRange(lo, hi uint32) {
+	m.invalidateRange(lo, hi)
+}
+
+// invalidateRange implements InvalidateRange and additionally reports
+// whether the currently executing block was dropped, so the execution
+// loops know their compiled code is stale.
+func (m *Machine) invalidateRange(lo, hi uint32) (hitCurrent bool) {
+	m.codeWrites++
+	newLo, newHi := ^uint32(0), uint32(0)
+	for pc, t := range m.tbs {
+		if lo < t.end && t.info.PC < hi {
+			t.succ[0], t.succ[1] = nil, nil
+			delete(m.tbs, pc)
+			continue
+		}
+		t.succ[0], t.succ[1] = nil, nil
+		if t.info.PC < newLo {
+			newLo = t.info.PC
+		}
+		if t.end > newHi {
+			newHi = t.end
+		}
+	}
+	m.codeLo, m.codeHi = newLo, newHi
+	m.jmp = [jmpCacheSize]*tb{}
+	return m.curTB != nil && lo < m.curTB.end && m.curTB.info.PC < hi
+}
+
+// CodeWrites returns the number of stores that hit translated code since
+// machine construction. The fault campaign compares it across a mutant
+// run to decide whether the translation cache survives a state restore.
+func (m *Machine) CodeWrites() uint64 { return m.codeWrites }
 
 // translate builds (or fetches) the translated block starting at pc.
 func (m *Machine) translate(pc uint32) (*tb, *mem.Fault) {
-	if t, ok := m.tbs[pc]; ok && !m.DisableTBCache {
+	if t, ok := m.tbs[pc]; ok && !m.DisableTBCache && t.prof == m.Profile && t.ext == m.ISA {
 		return t, nil
 	}
 	var insts []decode.Inst
@@ -223,8 +378,15 @@ func (m *Machine) translate(pc uint32) (*tb, *mem.Fault) {
 	}
 	t := &tb{
 		info: plugin.BlockInfo{PC: pc, Insts: insts, Addrs: addrs},
+		prof: m.Profile,
+		ext:  m.ISA,
 	}
 	t.end = pc + t.info.Size()
+	if old := m.tbs[pc]; old != nil {
+		// A stale block (profile/ISA change, DisableTBCache retranslate)
+		// is replaced; make sure nothing chains to it any more.
+		old.succ[0], old.succ[1] = nil, nil
+	}
 	m.tbs[pc] = t
 	if pc < m.codeLo {
 		m.codeLo = pc
@@ -234,6 +396,31 @@ func (m *Machine) translate(pc uint32) (*tb, *mem.Fault) {
 	}
 	m.Hooks.Translate(t.info)
 	return t, nil
+}
+
+// lookupTB returns the block at pc, consulting the jump cache before the
+// block map and translating on miss. A fetch fault is turned into a trap
+// and nil is returned.
+func (m *Machine) lookupTB(pc uint32) *tb {
+	if !m.DisableTBCache {
+		slot := pc >> 1 & (jmpCacheSize - 1)
+		if t := m.jmp[slot]; t != nil && t.info.PC == pc && t.prof == m.Profile && t.ext == m.ISA {
+			return t
+		}
+		t, f := m.translate(pc)
+		if f != nil {
+			m.trap(f.Cause, f.Addr, pc)
+			return nil
+		}
+		m.jmp[slot] = t
+		return t
+	}
+	t, f := m.translate(pc)
+	if f != nil {
+		m.trap(f.Cause, f.Addr, pc)
+		return nil
+	}
+	return t
 }
 
 // pollInterrupts syncs interrupt sources into mip and takes a pending
@@ -277,8 +464,20 @@ func (m *Machine) trap(cause, tval, pc uint32) {
 
 // Run executes until the machine stops or the instruction budget is
 // exhausted. budget 0 means unlimited (dangerous with diverging code).
+// The two engines are architecturally equivalent: same Instret, Cycle,
+// registers, memory and traps for any program.
 func (m *Machine) Run(budget uint64) StopInfo {
+	if m.Engine == EngineSwitch {
+		return m.runSwitch(budget)
+	}
+	return m.runThreaded(budget)
+}
+
+// runSwitch is the interpreter-switch engine: every block execution
+// re-dispatches each decoded instruction through execOne's switch.
+func (m *Machine) runSwitch(budget uint64) StopInfo {
 	h := &m.Hart
+	m.ensureRAM()
 	left := budget
 	for m.stop == nil {
 		m.pollInterrupts()
@@ -290,8 +489,11 @@ func (m *Machine) Run(budget uint64) StopInfo {
 			m.trap(f.Cause, f.Addr, h.PC)
 			continue
 		}
-		m.Hooks.BlockExec(t.info)
+		if m.Hooks.HasBlockHooks() {
+			m.Hooks.BlockExec(t.info)
+		}
 		m.lastLoad = 0 // hazard state does not cross block boundaries
+		m.curTB = t
 		diverted := false
 		for i, in := range t.info.Insts {
 			if budget != 0 && left == 0 {
@@ -309,6 +511,7 @@ func (m *Machine) Run(budget uint64) StopInfo {
 				break
 			}
 		}
+		m.curTB = nil
 		if m.stop == nil && !diverted && budget != 0 && left == 0 {
 			m.stop = &StopInfo{Reason: StopBudget, PC: h.PC}
 		}
@@ -327,6 +530,7 @@ func (m *Machine) Step() *StopInfo {
 	if m.stop != nil {
 		return m.stop
 	}
+	m.ensureRAM()
 	m.pollInterrupts()
 	if m.stop != nil {
 		return m.stop

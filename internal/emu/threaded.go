@@ -1,0 +1,808 @@
+package emu
+
+import (
+	"math/bits"
+
+	"repro/internal/decode"
+	"repro/internal/isa"
+	"repro/internal/timing"
+)
+
+// This file implements the threaded-code execution engine: each
+// translated block is compiled (lazily, on first threaded execution)
+// into a slice of specialized executor closures, one per instruction,
+// with operands, sign-extended immediates, the next PC and the static
+// cycle cost pre-bound at compile time. The hot loop is then an
+// indirect-call chain instead of decode-field reloads through execOne's
+// switch, and hot block-to-block transitions follow cached successor
+// links (block chaining) or hit the direct-mapped jump cache instead of
+// the block map.
+//
+// Equivalence contract: for every program, the threaded engine produces
+// exactly the same architectural state trajectory as the switch engine —
+// same registers, memory, Instret, Cycle, traps and stop info. Anything
+// the compiler cannot specialize while keeping that guarantee (CSR ops,
+// FP ops, system ops, operand-dependent early-out mul/div costs, and
+// all instructions under an I-cache profile, whose fetch cost is
+// inherently dynamic) falls back to execOne per instruction.
+
+// opFn executes one compiled instruction. It returns true when control
+// flow diverted from straight-line execution (branch taken, jump, trap,
+// serialization, or a stop request), mirroring execOne's contract.
+type opFn func(m *Machine) bool
+
+// retire finishes a non-diverting instruction: counters, cycle charge,
+// PC advance, and hazard-state clear (loads bypass this and set their
+// own lastLoad).
+func (m *Machine) retire(cost, next uint32) bool {
+	m.lastLoad = 0
+	h := &m.Hart
+	h.Instret++
+	h.Cycle += uint64(cost)
+	h.PC = next
+	return false
+}
+
+// retireTo finishes a diverting instruction (taken branch, jump).
+func (m *Machine) retireTo(cost, target uint32) bool {
+	m.lastLoad = 0
+	h := &m.Hart
+	h.Instret++
+	h.Cycle += uint64(cost)
+	h.PC = target
+	return true
+}
+
+// runThreaded is the threaded-code engine loop.
+func (m *Machine) runThreaded(budget uint64) StopInfo {
+	h := &m.Hart
+	m.ensureRAM()
+	left := budget
+	var cur, prev *tb
+	for m.stop == nil {
+		// Interrupts are polled once per block, exactly like the switch
+		// engine; chaining must not skip this or a wfi-less wait loop
+		// would never observe its timer interrupt.
+		m.pollInterrupts()
+		if m.stop != nil {
+			break
+		}
+		pc := h.PC
+		if cur == nil || cur.info.PC != pc {
+			// No chain link, or an interrupt redirected the PC.
+			cur = m.lookupTB(pc)
+			if cur == nil {
+				prev = nil
+				continue // fetch fault became a trap or a stop
+			}
+			if prev != nil && !m.DisableTBCache {
+				prev.succ[1], prev.succ[0] = prev.succ[0], cur
+			}
+		}
+		if cur.ops == nil {
+			compileTB(cur)
+		}
+		if m.Hooks.HasBlockHooks() {
+			m.Hooks.BlockExec(cur.info)
+		}
+		m.lastLoad = 0 // hazard state does not cross block boundaries
+		m.curTB = cur
+		if budget == 0 && !m.Hooks.HasInsnHooks() {
+			// Fast path: no budget accounting, no per-insn hooks.
+			// Executors return true on any stop, so this loop is safe.
+			for _, fn := range cur.ops {
+				if fn(m) {
+					break
+				}
+			}
+		} else {
+			diverted := false
+			for i, fn := range cur.ops {
+				if budget != 0 && left == 0 {
+					m.stop = &StopInfo{Reason: StopBudget, PC: h.PC}
+					break
+				}
+				if m.Hooks.HasInsnHooks() {
+					m.Hooks.InsnExec(cur.info.Addrs[i], cur.info.Insts[i])
+				}
+				diverted = fn(m)
+				if budget != 0 {
+					left--
+				}
+				if diverted || m.stop != nil {
+					break
+				}
+			}
+			if m.stop == nil && !diverted && budget != 0 && left == 0 {
+				m.stop = &StopInfo{Reason: StopBudget, PC: h.PC}
+			}
+		}
+		m.curTB = nil
+		if m.stop != nil {
+			break
+		}
+		prev = cur
+		npc := h.PC
+		switch {
+		case m.chainOK(cur.succ[0], npc):
+			cur = cur.succ[0]
+		case m.chainOK(cur.succ[1], npc):
+			cur = cur.succ[1]
+		default:
+			cur = nil
+		}
+	}
+	s := *m.stop
+	if s.Reason == StopBudget {
+		// A budget stop is resumable: clear it so Run can be called again.
+		m.stop = nil
+	}
+	return s
+}
+
+// chainOK validates a successor link before following it: the block must
+// start at the new PC and match the machine's current specialization.
+func (m *Machine) chainOK(t *tb, pc uint32) bool {
+	return t != nil && t.info.PC == pc && t.prof == m.Profile && t.ext == m.ISA
+}
+
+// compileTB builds the threaded-code form of a block: the per-instruction
+// executor slice plus the precomputed static cycle plan.
+func compileTB(t *tb) {
+	insts := t.info.Insts
+	t.ops = make([]opFn, len(insts))
+	var costs []uint32
+	var dyn []bool
+	icache := false
+	if t.prof != nil {
+		costs, dyn = t.prof.StaticPlan(insts)
+		icache = t.prof.HasICache()
+	}
+	for i, in := range insts {
+		if icache || (dyn != nil && dyn[i]) {
+			// Operand-dependent (early-out mul/div) or fetch-dependent
+			// (I-cache) cycle cost: keep the fully dynamic interpretation.
+			t.ops[i] = fallbackOp(in)
+			continue
+		}
+		cost := uint32(1)
+		if costs != nil {
+			cost = costs[i]
+		}
+		t.ops[i] = compileOp(in, t.info.Addrs[i], cost, t.prof, t.ext)
+	}
+}
+
+// fallbackOp interprets one instruction through execOne, for everything
+// the compiler does not specialize. The stop check keeps the engine's
+// fast block loop (which only tests the return value) correct.
+func fallbackOp(in decode.Inst) opFn {
+	return func(m *Machine) bool {
+		return m.execOne(in) || m.stop != nil
+	}
+}
+
+// nopOp retires an instruction with no architectural effect (fence, wfi,
+// and any specialized op whose destination is x0).
+func nopOp(cost, next uint32) opFn {
+	return func(m *Machine) bool { return m.retire(cost, next) }
+}
+
+func jumpPen(p *timing.Profile) uint32 {
+	if p == nil {
+		return 0
+	}
+	return p.JumpPenalty
+}
+
+func branchPen(p *timing.Profile) uint32 {
+	if p == nil {
+		return 0
+	}
+	return p.BranchTakenPenalty
+}
+
+// binOps is the long tail of register-register operations, executed via
+// one generic executor shape. The hottest ops get dedicated closures in
+// compileOp instead. Unary ops ignore their second operand.
+var binOps = map[isa.Op]func(a, b uint32) uint32{
+	isa.OpMULH: func(a, b uint32) uint32 {
+		return uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32)
+	},
+	isa.OpMULHSU: func(a, b uint32) uint32 {
+		return uint32(uint64(int64(int32(a))*int64(b)) >> 32)
+	},
+	isa.OpMULHU: func(a, b uint32) uint32 {
+		return uint32(uint64(a) * uint64(b) >> 32)
+	},
+	isa.OpDIV: func(a, b uint32) uint32 {
+		switch {
+		case b == 0:
+			return 0xffffffff
+		case a == 0x80000000 && b == 0xffffffff:
+			return 0x80000000 // overflow
+		default:
+			return uint32(int32(a) / int32(b))
+		}
+	},
+	isa.OpDIVU: func(a, b uint32) uint32 {
+		if b == 0 {
+			return 0xffffffff
+		}
+		return a / b
+	},
+	isa.OpREM: func(a, b uint32) uint32 {
+		switch {
+		case b == 0:
+			return a
+		case a == 0x80000000 && b == 0xffffffff:
+			return 0
+		default:
+			return uint32(int32(a) % int32(b))
+		}
+	},
+	isa.OpREMU: func(a, b uint32) uint32 {
+		if b == 0 {
+			return a
+		}
+		return a % b
+	},
+	isa.OpANDN: func(a, b uint32) uint32 { return a &^ b },
+	isa.OpORN:  func(a, b uint32) uint32 { return a | ^b },
+	isa.OpXNOR: func(a, b uint32) uint32 { return ^(a ^ b) },
+	isa.OpCLZ:  func(a, _ uint32) uint32 { return uint32(bits.LeadingZeros32(a)) },
+	isa.OpCTZ:  func(a, _ uint32) uint32 { return uint32(bits.TrailingZeros32(a)) },
+	isa.OpCPOP: func(a, _ uint32) uint32 { return uint32(bits.OnesCount32(a)) },
+	isa.OpSEXTB: func(a, _ uint32) uint32 {
+		return uint32(int32(a) << 24 >> 24)
+	},
+	isa.OpSEXTH: func(a, _ uint32) uint32 {
+		return uint32(int32(a) << 16 >> 16)
+	},
+	isa.OpZEXTH: func(a, _ uint32) uint32 { return a & 0xffff },
+	isa.OpMIN:   minS,
+	isa.OpMAX:   maxS,
+	isa.OpMINU:  func(a, b uint32) uint32 { return min(a, b) },
+	isa.OpMAXU:  func(a, b uint32) uint32 { return max(a, b) },
+	isa.OpROL: func(a, b uint32) uint32 {
+		return bits.RotateLeft32(a, int(b&31))
+	},
+	isa.OpROR: func(a, b uint32) uint32 {
+		return bits.RotateLeft32(a, -int(b&31))
+	},
+	isa.OpREV8: func(a, _ uint32) uint32 { return bits.ReverseBytes32(a) },
+	isa.OpORCB: func(a, _ uint32) uint32 { return orcb(a) },
+	isa.OpBSET: func(a, b uint32) uint32 { return a | 1<<(b&31) },
+	isa.OpBCLR: func(a, b uint32) uint32 { return a &^ (1 << (b & 31)) },
+	isa.OpBINV: func(a, b uint32) uint32 { return a ^ 1<<(b&31) },
+	isa.OpBEXT: func(a, b uint32) uint32 { return a >> (b & 31) & 1 },
+}
+
+// compileOp builds the specialized executor for one instruction. cost is
+// the precomputed static cycle cost (base + intra-block load-use stall);
+// control-transfer penalties are folded in here.
+func compileOp(in decode.Inst, pc, cost uint32, prof *timing.Profile, ext isa.ExtSet) opFn {
+	if !in.Valid() || !in.Op.In(ext) {
+		return fallbackOp(in) // traps as illegal, exactly like execOne
+	}
+	rd, rs1, rs2 := in.Rd, in.Rs1, in.Rs2
+	immU := uint32(in.Imm)
+	next := pc + uint32(in.Size)
+
+	switch in.Op {
+	case isa.OpLUI, isa.OpCLUI:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		v := immU
+		return func(m *Machine) bool {
+			m.Hart.X[rd] = v
+			return m.retire(cost, next)
+		}
+	case isa.OpAUIPC:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		v := pc + immU
+		return func(m *Machine) bool {
+			m.Hart.X[rd] = v
+			return m.retire(cost, next)
+		}
+
+	case isa.OpJAL, isa.OpCJAL, isa.OpCJ:
+		target := pc + immU
+		if target&1 != 0 {
+			return fallbackOp(in) // misaligned target: trap via execOne
+		}
+		jcost := cost + jumpPen(prof)
+		if rd == 0 {
+			return func(m *Machine) bool {
+				return m.retireTo(jcost, target)
+			}
+		}
+		return func(m *Machine) bool {
+			m.Hart.X[rd] = next
+			return m.retireTo(jcost, target)
+		}
+	case isa.OpJALR, isa.OpCJR, isa.OpCJALR:
+		jcost := cost + jumpPen(prof)
+		if rd == 0 {
+			return func(m *Machine) bool {
+				target := (m.Hart.Reg(rs1) + immU) &^ 1
+				return m.retireTo(jcost, target)
+			}
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			// Read rs1 before the link write: rd may alias rs1.
+			target := (h.Reg(rs1) + immU) &^ 1
+			h.X[rd] = next
+			return m.retireTo(jcost, target)
+		}
+
+	case isa.OpBEQ, isa.OpCBEQZ, isa.OpBNE, isa.OpCBNEZ,
+		isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		target := pc + immU
+		if target&1 != 0 {
+			return fallbackOp(in) // misaligned taken-target: trap via execOne
+		}
+		tcost := cost + branchPen(prof)
+		switch in.Op {
+		case isa.OpBEQ, isa.OpCBEQZ:
+			return func(m *Machine) bool {
+				h := &m.Hart
+				if h.Reg(rs1) == h.Reg(rs2) {
+					return m.retireTo(tcost, target)
+				}
+				return m.retire(cost, next)
+			}
+		case isa.OpBNE, isa.OpCBNEZ:
+			return func(m *Machine) bool {
+				h := &m.Hart
+				if h.Reg(rs1) != h.Reg(rs2) {
+					return m.retireTo(tcost, target)
+				}
+				return m.retire(cost, next)
+			}
+		case isa.OpBLT:
+			return func(m *Machine) bool {
+				h := &m.Hart
+				if int32(h.Reg(rs1)) < int32(h.Reg(rs2)) {
+					return m.retireTo(tcost, target)
+				}
+				return m.retire(cost, next)
+			}
+		case isa.OpBGE:
+			return func(m *Machine) bool {
+				h := &m.Hart
+				if int32(h.Reg(rs1)) >= int32(h.Reg(rs2)) {
+					return m.retireTo(tcost, target)
+				}
+				return m.retire(cost, next)
+			}
+		case isa.OpBLTU:
+			return func(m *Machine) bool {
+				h := &m.Hart
+				if h.Reg(rs1) < h.Reg(rs2) {
+					return m.retireTo(tcost, target)
+				}
+				return m.retire(cost, next)
+			}
+		default: // OpBGEU
+			return func(m *Machine) bool {
+				h := &m.Hart
+				if h.Reg(rs1) >= h.Reg(rs2) {
+					return m.retireTo(tcost, target)
+				}
+				return m.retire(cost, next)
+			}
+		}
+
+	case isa.OpLW, isa.OpCLW, isa.OpCLWSP:
+		return func(m *Machine) bool {
+			h := &m.Hart
+			addr := h.Reg(rs1) + immU
+			off := uint64(addr - m.ramBase)
+			var v uint32
+			if addr&3 == 0 && off+4 <= uint64(len(m.ram)) && !m.Hooks.HasMemHooks() {
+				r := m.ram[off : off+4 : off+4]
+				v = uint32(r[0]) | uint32(r[1])<<8 | uint32(r[2])<<16 | uint32(r[3])<<24
+			} else {
+				var ok bool
+				if v, ok = m.memLoad(pc, addr, 4); !ok {
+					return true
+				}
+			}
+			h.SetReg(rd, v)
+			m.lastLoad = rd
+			h.Instret++
+			h.Cycle += uint64(cost)
+			h.PC = next
+			return false
+		}
+	case isa.OpLH, isa.OpLHU:
+		signed := in.Op == isa.OpLH
+		return func(m *Machine) bool {
+			h := &m.Hart
+			addr := h.Reg(rs1) + immU
+			off := uint64(addr - m.ramBase)
+			var v uint32
+			if addr&1 == 0 && off+2 <= uint64(len(m.ram)) && !m.Hooks.HasMemHooks() {
+				v = uint32(m.ram[off]) | uint32(m.ram[off+1])<<8
+			} else {
+				var ok bool
+				if v, ok = m.memLoad(pc, addr, 2); !ok {
+					return true
+				}
+			}
+			if signed {
+				v = uint32(int32(v) << 16 >> 16)
+			}
+			h.SetReg(rd, v)
+			m.lastLoad = rd
+			h.Instret++
+			h.Cycle += uint64(cost)
+			h.PC = next
+			return false
+		}
+	case isa.OpLB, isa.OpLBU:
+		signed := in.Op == isa.OpLB
+		return func(m *Machine) bool {
+			h := &m.Hart
+			addr := h.Reg(rs1) + immU
+			off := uint64(addr - m.ramBase)
+			var v uint32
+			if off < uint64(len(m.ram)) && !m.Hooks.HasMemHooks() {
+				v = uint32(m.ram[off])
+			} else {
+				var ok bool
+				if v, ok = m.memLoad(pc, addr, 1); !ok {
+					return true
+				}
+			}
+			if signed {
+				v = uint32(int32(v) << 24 >> 24)
+			}
+			h.SetReg(rd, v)
+			m.lastLoad = rd
+			h.Instret++
+			h.Cycle += uint64(cost)
+			h.PC = next
+			return false
+		}
+
+	case isa.OpSW, isa.OpCSW, isa.OpCSWSP:
+		return func(m *Machine) bool {
+			h := &m.Hart
+			addr := h.Reg(rs1) + immU
+			v := h.Reg(rs2)
+			off := uint64(addr - m.ramBase)
+			if addr&3 == 0 && off+4 <= uint64(len(m.ram)) && !m.Hooks.HasMemHooks() &&
+				!(addr < m.codeHi && addr+4 > m.codeLo) {
+				r := m.ram[off : off+4 : off+4]
+				r[0] = byte(v)
+				r[1] = byte(v >> 8)
+				r[2] = byte(v >> 16)
+				r[3] = byte(v >> 24)
+				m.noteRAMStore(addr, 4)
+				return m.retire(cost, next)
+			}
+			ok, inval := m.memStore(pc, addr, 4, v)
+			if !ok {
+				return true
+			}
+			m.retire(cost, next)
+			return inval || m.stop != nil
+		}
+	case isa.OpSH:
+		return func(m *Machine) bool {
+			h := &m.Hart
+			addr := h.Reg(rs1) + immU
+			v := h.Reg(rs2)
+			off := uint64(addr - m.ramBase)
+			if addr&1 == 0 && off+2 <= uint64(len(m.ram)) && !m.Hooks.HasMemHooks() &&
+				!(addr < m.codeHi && addr+2 > m.codeLo) {
+				m.ram[off] = byte(v)
+				m.ram[off+1] = byte(v >> 8)
+				m.noteRAMStore(addr, 2)
+				return m.retire(cost, next)
+			}
+			ok, inval := m.memStore(pc, addr, 2, v)
+			if !ok {
+				return true
+			}
+			m.retire(cost, next)
+			return inval || m.stop != nil
+		}
+	case isa.OpSB:
+		return func(m *Machine) bool {
+			h := &m.Hart
+			addr := h.Reg(rs1) + immU
+			v := h.Reg(rs2)
+			off := uint64(addr - m.ramBase)
+			if off < uint64(len(m.ram)) && !m.Hooks.HasMemHooks() &&
+				!(addr < m.codeHi && addr+1 > m.codeLo) {
+				m.ram[off] = byte(v)
+				m.noteRAMStore(addr, 1)
+				return m.retire(cost, next)
+			}
+			ok, inval := m.memStore(pc, addr, 1, v)
+			if !ok {
+				return true
+			}
+			m.retire(cost, next)
+			return inval || m.stop != nil
+		}
+
+	case isa.OpADDI, isa.OpCADDI, isa.OpCADDI16SP, isa.OpCADDI4SPN, isa.OpCLI, isa.OpCNOP:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		if rs1 == 0 { // li: constant materialization
+			v := immU
+			return func(m *Machine) bool {
+				m.Hart.X[rd] = v
+				return m.retire(cost, next)
+			}
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) + immU
+			return m.retire(cost, next)
+		}
+	case isa.OpSLTI:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		imm := in.Imm
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = b2u(int32(h.Reg(rs1)) < imm)
+			return m.retire(cost, next)
+		}
+	case isa.OpSLTIU:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = b2u(h.Reg(rs1) < immU)
+			return m.retire(cost, next)
+		}
+	case isa.OpXORI:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) ^ immU
+			return m.retire(cost, next)
+		}
+	case isa.OpORI:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) | immU
+			return m.retire(cost, next)
+		}
+	case isa.OpANDI, isa.OpCANDI:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) & immU
+			return m.retire(cost, next)
+		}
+	case isa.OpSLLI, isa.OpCSLLI:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) << immU
+			return m.retire(cost, next)
+		}
+	case isa.OpSRLI, isa.OpCSRLI:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) >> immU
+			return m.retire(cost, next)
+		}
+	case isa.OpSRAI, isa.OpCSRAI:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = uint32(int32(h.Reg(rs1)) >> immU)
+			return m.retire(cost, next)
+		}
+	case isa.OpRORI:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		sh := -int(in.Imm)
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = bits.RotateLeft32(h.Reg(rs1), sh)
+			return m.retire(cost, next)
+		}
+	case isa.OpBSETI:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		bit := uint32(1) << immU
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) | bit
+			return m.retire(cost, next)
+		}
+	case isa.OpBCLRI:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		mask := ^(uint32(1) << immU)
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) & mask
+			return m.retire(cost, next)
+		}
+	case isa.OpBINVI:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		bit := uint32(1) << immU
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) ^ bit
+			return m.retire(cost, next)
+		}
+	case isa.OpBEXTI:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) >> immU & 1
+			return m.retire(cost, next)
+		}
+
+	case isa.OpADD, isa.OpCADD:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) + h.Reg(rs2)
+			return m.retire(cost, next)
+		}
+	case isa.OpCMV:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs2)
+			return m.retire(cost, next)
+		}
+	case isa.OpSUB, isa.OpCSUB:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) - h.Reg(rs2)
+			return m.retire(cost, next)
+		}
+	case isa.OpSLL:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) << (h.Reg(rs2) & 31)
+			return m.retire(cost, next)
+		}
+	case isa.OpSRL:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) >> (h.Reg(rs2) & 31)
+			return m.retire(cost, next)
+		}
+	case isa.OpSRA:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = uint32(int32(h.Reg(rs1)) >> (h.Reg(rs2) & 31))
+			return m.retire(cost, next)
+		}
+	case isa.OpSLT:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = b2u(int32(h.Reg(rs1)) < int32(h.Reg(rs2)))
+			return m.retire(cost, next)
+		}
+	case isa.OpSLTU:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = b2u(h.Reg(rs1) < h.Reg(rs2))
+			return m.retire(cost, next)
+		}
+	case isa.OpXOR, isa.OpCXOR:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) ^ h.Reg(rs2)
+			return m.retire(cost, next)
+		}
+	case isa.OpOR, isa.OpCOR:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) | h.Reg(rs2)
+			return m.retire(cost, next)
+		}
+	case isa.OpAND, isa.OpCAND:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) & h.Reg(rs2)
+			return m.retire(cost, next)
+		}
+	case isa.OpMUL:
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = h.Reg(rs1) * h.Reg(rs2)
+			return m.retire(cost, next)
+		}
+
+	case isa.OpFENCE, isa.OpWFI:
+		// Memory is sequentially consistent here; wfi is a legal no-op hint.
+		return nopOp(cost, next)
+	case isa.OpFENCEI:
+		return func(m *Machine) bool {
+			m.InvalidateTBs()
+			return m.retireTo(cost, next)
+		}
+	}
+
+	if fn := binOps[in.Op]; fn != nil {
+		if rd == 0 {
+			return nopOp(cost, next)
+		}
+		return func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = fn(h.Reg(rs1), h.Reg(rs2))
+			return m.retire(cost, next)
+		}
+	}
+
+	// CSR, FP, ecall/ebreak/mret and anything else: fully dynamic.
+	return fallbackOp(in)
+}

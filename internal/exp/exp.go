@@ -347,48 +347,64 @@ func cyclesOf(w workloads.Workload, prof *timing.Profile) (uint64, error) {
 	return p.Machine.Hart.Cycle, nil
 }
 
-// MIPSRow is one emulation-speed measurement.
+// MIPSRow is one emulation-speed measurement across the engine axis.
 type MIPSRow struct {
-	Program  string
-	MIPS     float64
-	MIPSNoTB float64
+	Program      string
+	MIPSThreaded float64
+	MIPSSwitch   float64
+	MIPSNoTB     float64
 }
 
 // E8MIPS measures emulator speed (million instructions per host second)
-// per workload, with and without the translation-block cache.
+// per workload under the threaded-code engine, the switch engine, and
+// the switch engine with the translation-block cache disabled.
 func E8MIPS() ([]MIPSRow, string, error) {
 	var rows []MIPSRow
 	var sb strings.Builder
 	sb.WriteString("E8: emulation speed (host MIPS)\n")
-	fmt.Fprintf(&sb, "  %-14s %10s %12s %8s\n", "program", "tb-cache", "no-tb-cache", "ratio")
+	fmt.Fprintf(&sb, "  %-14s %10s %10s %12s %8s\n", "program", "threaded", "switch", "no-tb-cache", "thr/sw")
 	for _, w := range workloads.All() {
-		m1, err := mips(w, false)
+		mt, err := mips(w, emu.EngineThreaded, false)
 		if err != nil {
 			return nil, "", err
 		}
-		m2, err := mips(w, true)
+		ms, err := mips(w, emu.EngineSwitch, false)
 		if err != nil {
 			return nil, "", err
 		}
-		r := MIPSRow{Program: w.Name, MIPS: m1, MIPSNoTB: m2}
+		mn, err := mips(w, emu.EngineSwitch, true)
+		if err != nil {
+			return nil, "", err
+		}
+		r := MIPSRow{Program: w.Name, MIPSThreaded: mt, MIPSSwitch: ms, MIPSNoTB: mn}
 		rows = append(rows, r)
-		fmt.Fprintf(&sb, "  %-14s %10.1f %12.1f %8.1fx\n", r.Program, r.MIPS, r.MIPSNoTB, r.MIPS/r.MIPSNoTB)
+		fmt.Fprintf(&sb, "  %-14s %10.1f %10.1f %12.1f %8.2fx\n",
+			r.Program, r.MIPSThreaded, r.MIPSSwitch, r.MIPSNoTB, r.MIPSThreaded/r.MIPSSwitch)
 	}
 	return rows, sb.String(), nil
 }
 
-func mips(w workloads.Workload, disableTB bool) (float64, error) {
+// mips times steady-state runs (one platform, rewound between reps) and
+// returns the best observed MIPS.
+func mips(w workloads.Workload, engine emu.Engine, disableTB bool) (float64, error) {
 	const reps = 3
+	prog, err := asm.AssembleAt(vp.Prelude+w.Source, vp.RAMBase)
+	if err != nil {
+		return 0, err
+	}
+	p, err := vp.New(vp.Config{Sensor: w.Sensor})
+	if err != nil {
+		return 0, err
+	}
+	p.Machine.Engine = engine
+	p.Machine.DisableTBCache = disableTB
+	if err := p.LoadProgram(prog); err != nil {
+		return 0, err
+	}
+	base := p.Snapshot()
 	best := 0.0
 	for i := 0; i < reps; i++ {
-		p, err := vp.New(vp.Config{Sensor: w.Sensor})
-		if err != nil {
-			return 0, err
-		}
-		p.Machine.DisableTBCache = disableTB
-		if _, err := p.LoadSource(vp.Prelude + w.Source); err != nil {
-			return 0, err
-		}
+		p.RestoreReuse(base, prog)
 		start := time.Now()
 		stop := p.Run(w.Budget)
 		d := time.Since(start).Seconds()

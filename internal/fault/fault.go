@@ -152,13 +152,22 @@ func (t *Target) newPlatform() (*vp.Platform, error) {
 }
 
 // injector owns one reusable platform plus its post-load snapshot; each
-// campaign worker holds one, restoring between mutants instead of
+// campaign worker holds one, rewinding between mutants instead of
 // rebuilding the platform (the throughput mechanism of the campaign
-// runner).
+// runner). The rewind is RestoreReuse — zero RAM and re-copy the program
+// image rather than a full snapshot-RAM copy — and it keeps the
+// machine's translation cache across mutants whenever the previous run
+// left the code bytes untouched, so the block working set is translated
+// once per worker, not once per mutant.
 type injector struct {
 	t    *Target
 	p    *vp.Platform
 	base *vp.Snapshot
+
+	// dirtyCode marks that the previous mutant corrupted bytes that may
+	// back cached translations (a fault flip, or a store into translated
+	// code), forcing a cache flush on the next rewind.
+	dirtyCode bool
 }
 
 func newInjector(t *Target) (*injector, error) {
@@ -167,6 +176,15 @@ func newInjector(t *Target) (*injector, error) {
 		return nil, err
 	}
 	return &injector{t: t, p: p, base: p.Snapshot()}, nil
+}
+
+// reset rewinds the injector's platform for the next mutant.
+func (inj *injector) reset() {
+	inj.p.RestoreReuse(inj.base, inj.t.Program)
+	if inj.dirtyCode {
+		inj.p.Machine.InvalidateTBs()
+		inj.dirtyCode = false
+	}
 }
 
 // RunGolden executes the fault-free program and records its behaviour.
@@ -195,7 +213,19 @@ func Inject(t *Target, g *Golden, f Fault) (Outcome, error) {
 func (inj *injector) run(g *Golden, f Fault) (Outcome, error) {
 	t := inj.t
 	p := inj.p
-	inj.p.Restore(inj.base)
+	inj.reset()
+	cw := p.Machine.CodeWrites()
+	defer func() {
+		// Translations made after a write into translated code (the flip
+		// below, or a wild store), or overlapping any bytes the run wrote
+		// to RAM (a wild jump into freshly written data), do not match
+		// the pristine image the next reset restores; flush them then.
+		slo, shi := p.Machine.StoreWatermark()
+		clo, chi := p.Machine.CodeRange()
+		if p.Machine.CodeWrites() != cw || (slo < chi && clo < shi) {
+			inj.dirtyCode = true
+		}
+	}()
 	switch f.Model {
 	case MemPermanent, CodeBitflip:
 		ram := p.RAM.Bytes()
@@ -203,8 +233,15 @@ func (inj *injector) run(g *Golden, f Fault) (Outcome, error) {
 		if int(off) >= len(ram) {
 			return 0, fmt.Errorf("fault: address 0x%08x outside RAM", f.Addr)
 		}
+		byteAddr := f.Addr + uint32(f.Bit/8)
 		ram[off+uint32(f.Bit/8)] ^= 1 << (f.Bit % 8)
-		p.Machine.InvalidateTBs()
+		// The flip bypasses the store path, so fold it into the
+		// watermark by hand for the next watermark-based restore.
+		p.Machine.NoteRAMWrite(byteAddr, 1)
+		// Drop only the translations overlapping the flipped byte; this
+		// also bumps CodeWrites, so the next reset flushes any blocks
+		// translated from the corrupted image.
+		p.Machine.InvalidateRange(byteAddr, byteAddr+1)
 	}
 
 	if f.Model == GPRPermanent {

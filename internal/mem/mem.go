@@ -201,6 +201,19 @@ func (b *Bus) ReadBytes(addr uint32, n int) ([]byte, error) {
 	return out, nil
 }
 
+// DirectRAM returns the base address and backing bytes of the largest
+// mapped RAM region, or (0, nil) when none is mapped. The emulator's
+// threaded engine uses it as an inline fast path for aligned data
+// accesses that stay inside RAM, bypassing the region search.
+func (b *Bus) DirectRAM() (base uint32, bytes []byte) {
+	for _, r := range b.regions {
+		if r.ram != nil && len(r.ram.bytes) > len(bytes) {
+			base, bytes = r.base, r.ram.bytes
+		}
+	}
+	return base, bytes
+}
+
 // Regions describes the bus layout, for diagnostics.
 func (b *Bus) Regions() []string {
 	out := make([]string, len(b.regions))

@@ -134,6 +134,13 @@ func (h *Hooks) HasInsnHooks() bool { return len(h.insnExec) > 0 }
 // HasMemHooks reports whether any memory hooks are registered.
 func (h *Hooks) HasMemHooks() bool { return len(h.memAccess) > 0 }
 
+// HasBlockHooks reports whether any block-execution hooks are registered;
+// both engines use it to skip the BlockInfo dispatch on the hot path.
+func (h *Hooks) HasBlockHooks() bool { return len(h.blockExec) > 0 }
+
+// HasTranslateHooks reports whether any translation hooks are registered.
+func (h *Hooks) HasTranslateHooks() bool { return len(h.translate) > 0 }
+
 // Translate dispatches a block-translated event.
 func (h *Hooks) Translate(b BlockInfo) {
 	for _, p := range h.translate {

@@ -45,6 +45,48 @@ func ReadsIntRegs(in decode.Inst) (r1, r2 isa.Reg) {
 	return r1, r2
 }
 
+// StaticPlan precomputes per-instruction cycle costs for a straight-line
+// block entered hazard-free (the emulator resets load-use state at block
+// boundaries). For instruction i, costs[i] is the operand-independent
+// dynamic cost: the class base cost plus the intra-block load-use stall,
+// replicating exactly the tracking the interpreter performs at run time.
+// dynamic[i] is true when the instruction's base cost is operand-dependent
+// (early-out mul/div) and must still be costed at execution time; callers
+// treat those as unplannable and fall back to full dynamic costing.
+// Control-transfer penalties and the I-cache model (inherently dynamic)
+// are not included.
+func (p *Profile) StaticPlan(insts []decode.Inst) (costs []uint32, dynamic []bool) {
+	costs = make([]uint32, len(insts))
+	dynamic = make([]bool, len(insts))
+	var lastLoad isa.Reg
+	for i, in := range insts {
+		c := p.base(in.Op.Class())
+		if lastLoad != 0 {
+			r1, r2 := ReadsIntRegs(in)
+			if r1 == lastLoad || r2 == lastLoad {
+				c += p.LoadUseStall
+			}
+		}
+		// Mirror the emulator's hazard tracking: only integer loads arm
+		// the interlock, and x0 destinations never hazard.
+		if in.Op.Class() == isa.ClassLoad {
+			lastLoad = in.Rd
+		} else {
+			lastLoad = 0
+		}
+		costs[i] = c
+		if p.EarlyOutMulDiv {
+			switch in.Op.Class() {
+			case isa.ClassMul:
+				dynamic[i] = p.base(isa.ClassMul) >= 2
+			case isa.ClassDiv:
+				dynamic[i] = p.base(isa.ClassDiv) >= 3
+			}
+		}
+	}
+	return costs, dynamic
+}
+
 // BlockCost returns the context-insensitive worst-case cycle cost of a
 // straight-line instruction sequence: per-instruction static costs, the
 // intra-block load-use stalls, one pessimistic entry stall covering a

@@ -176,6 +176,40 @@ func (p *Platform) Restore(s *Snapshot) {
 	p.Machine.ClearStop()
 }
 
+// RestoreReuse rewinds the platform to a post-load snapshot of prog
+// without copying the snapshot's full RAM image: only the bytes inside
+// the machine's store watermark are re-zeroed, the program bytes are
+// re-copied, and hart/device state is restored. s must have been taken
+// immediately after loading prog (the fault campaign's base snapshot),
+// when RAM held exactly zeros plus the program image, and every RAM
+// write since must be visible to the watermark (guest stores are; direct
+// host-side writes need Machine.NoteRAMWrite). Because the code bytes
+// come back bit-identical, the machine's translation cache is kept —
+// callers that dirtied translated code during the run must call
+// InvalidateTBs themselves (see Machine.CodeWrites).
+func (p *Platform) RestoreReuse(s *Snapshot, prog *asm.Program) {
+	p.Machine.Hart.Restore(s.hart)
+	ram := p.RAM.Bytes()
+	if lo, hi := p.Machine.StoreWatermark(); lo < hi {
+		if lo < RAMBase {
+			lo = RAMBase
+		}
+		if top := RAMBase + uint32(len(ram)); hi > top {
+			hi = top
+		}
+		if lo < hi {
+			clear(ram[lo-RAMBase : hi-RAMBase])
+		}
+	}
+	copy(ram[prog.Org-RAMBase:], prog.Bytes)
+	p.Machine.ResetStoreWatermark()
+	p.UART.Restore(s.uart)
+	p.Clint.Restore(s.clint)
+	p.Sensor.SetPos(s.sensor)
+	p.Machine.FlushICache()
+	p.Machine.ClearStop()
+}
+
 // Output returns everything the program wrote to the UART.
 func (p *Platform) Output() string { return p.UART.Output() }
 

@@ -14,7 +14,7 @@ func buildTools(t *testing.T) string {
 	dir := t.TempDir()
 	tools := []string{
 		"s4e-asm", "s4e-dis", "s4e-run", "s4e-cfg", "s4e-wcet", "s4e-qta",
-		"s4e-cov", "s4e-fault", "s4e-torture", "s4e-experiments",
+		"s4e-cov", "s4e-fault", "s4e-torture", "s4e-experiments", "s4e-bench",
 	}
 	for _, tool := range tools {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
@@ -154,6 +154,24 @@ func TestToolchainEndToEnd(t *testing.T) {
 		}
 		if !strings.Contains(out, "masked") || !strings.Contains(out, "mutants/sec") {
 			t.Errorf("campaign output:\n%s", out)
+		}
+	})
+
+	t.Run("bench-json", func(t *testing.T) {
+		dst := filepath.Join(work, "bench.json")
+		out, code := runTool(t, filepath.Join(bin, "s4e-bench"),
+			"-o", dst, "-reps", "1", "-workloads", "xtea")
+		if code != 0 {
+			t.Fatalf("s4e-bench (%d):\n%s", code, out)
+		}
+		data, err := os.ReadFile(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, frag := range []string{`"threaded"`, `"switch"`, `"no-tb-cache"`, `"xtea"`} {
+			if !strings.Contains(string(data), frag) {
+				t.Errorf("bench JSON missing %q:\n%s", frag, data)
+			}
 		}
 	})
 
