@@ -1,28 +1,58 @@
 // Command s4e-cfg reconstructs the control-flow graph of an assembly
-// program and writes it in Graphviz DOT format.
+// program and writes it in Graphviz DOT format. With -annotate, each
+// block label additionally carries the static-analysis facts: loop
+// heads with their depth and (user or inferred) bound, and lint
+// findings.
 //
 // Usage:
 //
-//	s4e-cfg [-o prog.dot] prog.s
+//	s4e-cfg [-annotate] [-bounds loop=32] [-o prog.dot] prog.s
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/asm"
 	"repro/internal/cfg"
+	"repro/internal/flow"
 	"repro/internal/vp"
 )
 
+func parseBounds(s string) (map[string]int, error) {
+	out := map[string]int{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad bound %q (want label=N)", part)
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad bound count %q", kv[1])
+		}
+		out[strings.TrimSpace(kv[0])] = n
+	}
+	return out, nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default: stdout)")
+	annotate := flag.Bool("annotate", false, "add loop, bound and lint notes to each block")
+	boundsFlag := flag.String("bounds", "", "loop bounds for -annotate: label=N,label=N,...")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: s4e-cfg [-o out.dot] prog.s")
+		fmt.Fprintln(os.Stderr, "usage: s4e-cfg [-annotate] [-o out.dot] prog.s")
 		os.Exit(2)
+	}
+	bounds, err := parseBounds(*boundsFlag)
+	if err != nil {
+		fatal(err)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -36,11 +66,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	symByAddr := map[uint32]string{}
-	for name, addr := range prog.Symbols {
-		symByAddr[addr] = name
+	var dot string
+	if *annotate {
+		dot = flow.AnnotatedDOT(prog, g, bounds)
+	} else {
+		symByAddr := map[uint32]string{}
+		for name, addr := range prog.Symbols {
+			symByAddr[addr] = name
+		}
+		dot = g.DOT(symByAddr)
 	}
-	dot := g.DOT(symByAddr)
 	if *out == "" {
 		fmt.Print(dot)
 		return

@@ -1,0 +1,120 @@
+// Command s4e-lint runs the guest-binary linter over an assembly
+// program: dataflow-backed checks for uninitialized register reads,
+// unreachable code, dead stores, out-of-map and misaligned accesses,
+// self-modifying stores without fence.i, and unbounded loops.
+//
+// Usage:
+//
+//	s4e-lint [-bounds loop=32] [-min possible] [-fail definite] prog.s
+//
+// The exit code is 1 when a finding at or above the -fail severity is
+// present, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/flow"
+	"repro/internal/lint"
+	"repro/internal/vp"
+)
+
+func parseBounds(s string) (map[string]int, error) {
+	out := map[string]int{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad bound %q (want label=N)", part)
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad bound count %q", kv[1])
+		}
+		out[strings.TrimSpace(kv[0])] = n
+	}
+	return out, nil
+}
+
+func parseSeverity(s string) (lint.Severity, error) {
+	switch s {
+	case "info":
+		return lint.Info, nil
+	case "possible":
+		return lint.Possible, nil
+	case "definite":
+		return lint.Definite, nil
+	}
+	return 0, fmt.Errorf("unknown severity %q (want info, possible or definite)", s)
+}
+
+func main() {
+	boundsFlag := flag.String("bounds", "", "loop bounds: label=N,label=N,...")
+	minFlag := flag.String("min", "info", "lowest severity to report")
+	failFlag := flag.String("fail", "definite", "lowest severity that fails the run")
+	compress := flag.Bool("rvc", false, "lint the RVC-compressed build")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: s4e-lint [flags] prog.s")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	minSev, err := parseSeverity(*minFlag)
+	if err != nil {
+		fatal(err)
+	}
+	failSev, err := parseSeverity(*failFlag)
+	if err != nil {
+		fatal(err)
+	}
+	bounds, err := parseBounds(*boundsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.AssembleAtOpt(vp.Prelude+string(src), vp.RAMBase,
+		asm.Options{Compress: *compress})
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := flow.LintProgram(prog, bounds)
+	if err != nil {
+		fatal(err)
+	}
+	// Report line numbers relative to the user's file, not the
+	// prepended platform prelude.
+	preludeOff := strings.Count(vp.Prelude, "\n")
+	reported, failing := 0, 0
+	for _, f := range findings {
+		if f.Line > preludeOff {
+			f.Line -= preludeOff
+		}
+		if f.Severity >= failSev {
+			failing++
+		}
+		if f.Severity >= minSev {
+			reported++
+			fmt.Printf("%s: %s\n", flag.Arg(0), f)
+		}
+	}
+	fmt.Printf("%s: %d findings (%d reported, %d at fail level)\n",
+		flag.Arg(0), len(findings), reported, failing)
+	if failing > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s4e-lint:", err)
+	os.Exit(1)
+}

@@ -15,6 +15,8 @@ import (
 	"strings"
 
 	"repro/internal/emu"
+	"repro/internal/flow"
+	"repro/internal/lint"
 	"repro/internal/qta"
 	"repro/internal/timing"
 	"repro/internal/vp"
@@ -63,8 +65,16 @@ func main() {
 	if err := p.Machine.Hooks.Register(q); err != nil {
 		fatal(err)
 	}
-	if _, err := p.LoadSource(vp.Prelude + string(src)); err != nil {
+	prog, err := p.LoadSource(vp.Prelude + string(src))
+	if err != nil {
 		fatal(err)
+	}
+	if findings, err := flow.LintProgram(prog, nil); err == nil {
+		for _, f := range findings {
+			if f.Severity >= lint.Possible {
+				fmt.Fprintf(os.Stderr, "s4e-qta: lint: %s\n", f)
+			}
+		}
 	}
 	stop := p.Run(*budget)
 	if stop.Reason != emu.StopExit && stop.Reason != emu.StopEbreak {

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/flow"
+	"repro/internal/lint"
 	"repro/internal/timing"
 )
 
@@ -64,6 +65,11 @@ func main() {
 	a, err := flow.AnalyzeOpt(string(src), prof, bounds, *infer)
 	if err != nil {
 		fatal(err)
+	}
+	for _, f := range a.Lint {
+		if f.Severity >= lint.Possible {
+			fmt.Fprintf(os.Stderr, "s4e-wcet: lint: %s\n", f)
+		}
 	}
 	name := *out
 	if name == "" {

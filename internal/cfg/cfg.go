@@ -336,6 +336,13 @@ func (g *Graph) Callees(entry uint32) []uint32 {
 
 // DOT renders the graph in Graphviz format, with optional symbol names.
 func (g *Graph) DOT(symbols map[uint32]string) string {
+	return g.DOTAnnotated(symbols, nil)
+}
+
+// DOTAnnotated renders the graph in Graphviz format with extra
+// annotation lines appended to each block's label (keyed by block start
+// address): loop facts, inferred bounds, lint findings.
+func (g *Graph) DOTAnnotated(symbols map[uint32]string, notes map[uint32][]string) string {
 	var sb strings.Builder
 	sb.WriteString("digraph cfg {\n  node [shape=box fontname=monospace];\n")
 	for _, start := range g.Order {
@@ -346,6 +353,9 @@ func (g *Graph) DOT(symbols map[uint32]string) string {
 		}
 		for i, in := range b.Insts {
 			lines = append(lines, fmt.Sprintf("%08x: %s", b.Addrs[i], in))
+		}
+		for _, n := range notes[start] {
+			lines = append(lines, "# "+n)
 		}
 		fmt.Fprintf(&sb, "  b%x [label=\"%s\"];\n", start, strings.Join(lines, "\\l")+"\\l")
 		for _, s := range b.Succs {

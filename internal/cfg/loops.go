@@ -86,6 +86,12 @@ func (g *Graph) Dominators(entry uint32) map[uint32]uint32 {
 	return idom
 }
 
+// Dominates reports whether block a dominates block b under the idom map
+// returned by Dominators.
+func Dominates(idom map[uint32]uint32, a, b uint32) bool {
+	return dominates(idom, a, b)
+}
+
 // dominates reports whether a dominates b under idom.
 func dominates(idom map[uint32]uint32, a, b uint32) bool {
 	for {

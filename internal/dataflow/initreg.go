@@ -1,0 +1,71 @@
+package dataflow
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/isa"
+)
+
+// InitState tracks which integer registers have been written since
+// function entry, as bitmasks indexed by register number. May is the
+// union over paths (a register outside May is definitely uninitialized),
+// Must the intersection (a register outside Must might be).
+type InitState struct {
+	May, Must uint32
+}
+
+// AllInit is the state with every register initialized.
+func AllInit() InitState { return InitState{May: ^uint32(0), Must: ^uint32(0)} }
+
+// MayInit reports whether r may have been written.
+func (s InitState) MayInit(r isa.Reg) bool { return s.May&(1<<uint(r)) != 0 }
+
+// MustInit reports whether r has been written on every path.
+func (s InitState) MustInit(r isa.Reg) bool { return s.Must&(1<<uint(r)) != 0 }
+
+// InitDomain is the initialized-register domain. entry gives the
+// registers already defined on function entry (x0 is always included).
+type InitDomain struct {
+	entry InitState
+}
+
+// NewInitDomain returns a domain with the given entry state.
+func NewInitDomain(entry InitState) *InitDomain {
+	entry.May |= 1
+	entry.Must |= 1
+	return &InitDomain{entry: entry}
+}
+
+func (d *InitDomain) Entry() InitState { return d.entry }
+
+func (d *InitDomain) Top() InitState { return AllInit() }
+
+func (d *InitDomain) Join(a, b InitState) InitState {
+	return InitState{May: a.May | b.May, Must: a.Must & b.Must}
+}
+
+func (d *InitDomain) Widen(prev, next InitState) InitState {
+	return d.Join(prev, next) // finite lattice: join terminates
+}
+
+func (d *InitDomain) Equal(a, b InitState) bool { return a == b }
+
+func (d *InitDomain) TransferBlock(b *cfg.Block, in InitState) InitState {
+	s := in
+	for _, inst := range b.Insts {
+		if rd, ok := inst.WritesReg(); ok {
+			s.May |= 1 << uint(rd)
+			s.Must |= 1 << uint(rd)
+		}
+	}
+	if b.Term == cfg.TermCall {
+		// The callee may write any register; what it guarantees to write
+		// is unknown, so Must does not grow (beyond ra, written by the
+		// call instruction itself, handled above).
+		s.May = ^uint32(0)
+	}
+	return s
+}
+
+func (d *InitDomain) TransferEdge(b *cfg.Block, s cfg.Succ, out InitState) (InitState, bool) {
+	return out, true
+}

@@ -1,0 +1,220 @@
+package dataflow
+
+import "fmt"
+
+// wrap is 2^32: the modulus of the RV32 register domain.
+const wrap = int64(1) << 32
+
+// magLimit bounds interval endpoints so arithmetic on int64 can never
+// overflow; anything that would escape it collapses to Top.
+const magLimit = int64(1) << 48
+
+// Interval approximates a 32-bit register value as a range of
+// mathematical integers: the register holds v mod 2^32 for some
+// v in [Lo, Hi]. Working in unbounded integers keeps addition and
+// subtraction exact across the signed/unsigned boundary (an address like
+// 0x80000000 and the signed constant -2^31 are the same residue), and a
+// width of 2^32 or more means every residue is possible: Top.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Top is the unconstrained interval (every 32-bit value).
+func Top() Interval { return Interval{0, wrap - 1} }
+
+// Const returns the exact interval for one value.
+func Const(v int64) Interval { return Interval{v, v}.norm() }
+
+// IsTop reports whether every 32-bit value is possible.
+func (iv Interval) IsTop() bool { return iv.Hi-iv.Lo >= wrap-1 }
+
+// Width returns Hi-Lo (0 for a singleton).
+func (iv Interval) Width() int64 { return iv.Hi - iv.Lo }
+
+// Singleton returns the single 32-bit value of an exact interval.
+func (iv Interval) Singleton() (uint32, bool) {
+	if iv.Lo != iv.Hi {
+		return 0, false
+	}
+	return uint32(uint64(iv.Lo)), true
+}
+
+// norm collapses oversized or magnitude-escaped intervals to Top.
+func (iv Interval) norm() Interval {
+	if iv.Lo > iv.Hi || iv.Hi-iv.Lo >= wrap-1 ||
+		iv.Lo < -magLimit || iv.Hi > magLimit {
+		return Top()
+	}
+	return iv
+}
+
+// Join returns the smallest interval containing both operands.
+func (iv Interval) Join(o Interval) Interval {
+	if iv.IsTop() || o.IsTop() {
+		return Top()
+	}
+	return Interval{min(iv.Lo, o.Lo), max(iv.Hi, o.Hi)}.norm()
+}
+
+// Widen extrapolates the moving bounds of next relative to prev straight
+// to the modulus, so loop-carried intervals stabilize in one step.
+func (iv Interval) Widen(next Interval) Interval {
+	out := iv.Join(next)
+	if out.Lo < iv.Lo {
+		out.Lo = min(out.Lo, iv.Lo-wrap)
+	}
+	if out.Hi > iv.Hi {
+		out.Hi = max(out.Hi, iv.Hi+wrap)
+	}
+	return out.norm()
+}
+
+// Add returns the sum interval.
+func (iv Interval) Add(o Interval) Interval {
+	if iv.IsTop() || o.IsTop() {
+		return Top()
+	}
+	return Interval{iv.Lo + o.Lo, iv.Hi + o.Hi}.norm()
+}
+
+// AddConst returns the interval shifted by a constant.
+func (iv Interval) AddConst(c int64) Interval {
+	if iv.IsTop() {
+		return Top()
+	}
+	return Interval{iv.Lo + c, iv.Hi + c}.norm()
+}
+
+// Sub returns the difference interval.
+func (iv Interval) Sub(o Interval) Interval {
+	if iv.IsTop() || o.IsTop() {
+		return Top()
+	}
+	return Interval{iv.Lo - o.Hi, iv.Hi - o.Lo}.norm()
+}
+
+// ShiftLeft multiplies by 2^k.
+func (iv Interval) ShiftLeft(k uint) Interval {
+	if iv.IsTop() || k > 31 {
+		return Top()
+	}
+	return Interval{iv.Lo << k, iv.Hi << k}.norm()
+}
+
+// U32 returns the interval as a single unsigned 32-bit range. ok is
+// false for Top and for intervals that wrap around 2^32 (those cover two
+// disjoint unsigned ranges).
+func (iv Interval) U32() (lo, hi uint32, ok bool) {
+	if iv.IsTop() {
+		return 0, 0, false
+	}
+	l := ((iv.Lo % wrap) + wrap) % wrap
+	h := l + iv.Width()
+	if h >= wrap {
+		return 0, 0, false
+	}
+	return uint32(l), uint32(h), true
+}
+
+// U32Ranges returns the concrete unsigned value set as one or two
+// ascending ranges (two when the interval wraps around 2^32), and
+// ok=false for Top.
+func (iv Interval) U32Ranges() (r [][2]uint32, ok bool) {
+	if iv.IsTop() {
+		return nil, false
+	}
+	l := ((iv.Lo % wrap) + wrap) % wrap
+	h := l + iv.Width()
+	if h < wrap {
+		return [][2]uint32{{uint32(l), uint32(h)}}, true
+	}
+	return [][2]uint32{{uint32(l), uint32(wrap - 1)}, {0, uint32(h - wrap)}}, true
+}
+
+// S32 returns the interval as a single signed 32-bit range. ok is false
+// for Top and for intervals that wrap around the signed boundary.
+func (iv Interval) S32() (lo, hi int64, ok bool) {
+	if iv.IsTop() {
+		return 0, 0, false
+	}
+	const half = wrap / 2
+	l := ((iv.Lo+half)%wrap+wrap)%wrap - half
+	h := l + iv.Width()
+	if h >= half {
+		return 0, 0, false
+	}
+	return l, h, true
+}
+
+// ClampLowerS tightens the signed lower bound to at least v; ok is false
+// when the constraint cannot be applied exactly (wrapped interval) or
+// empties the interval (the edge is then infeasible).
+func (iv Interval) ClampLowerS(v int64) (Interval, bool) {
+	lo, hi, ok := iv.S32()
+	if !ok {
+		// Unconstrained: the refined set is [v, maxInt32].
+		if iv.IsTop() {
+			return Interval{v, wrap/2 - 1}.norm(), true
+		}
+		return iv, true // wrapped but bounded: keep as-is (sound)
+	}
+	if hi < v {
+		return Interval{}, false
+	}
+	return Interval{max(lo, v), hi}, true
+}
+
+// ClampUpperS tightens the signed upper bound to at most v.
+func (iv Interval) ClampUpperS(v int64) (Interval, bool) {
+	lo, hi, ok := iv.S32()
+	if !ok {
+		if iv.IsTop() {
+			return Interval{-wrap / 2, v}.norm(), true
+		}
+		return iv, true
+	}
+	if lo > v {
+		return Interval{}, false
+	}
+	return Interval{lo, min(hi, v)}, true
+}
+
+// ClampLowerU tightens the unsigned lower bound to at least v.
+func (iv Interval) ClampLowerU(v uint32) (Interval, bool) {
+	lo, hi, ok := iv.U32()
+	if !ok {
+		if iv.IsTop() {
+			return Interval{int64(v), wrap - 1}.norm(), true
+		}
+		return iv, true
+	}
+	if uint64(hi) < uint64(v) {
+		return Interval{}, false
+	}
+	return Interval{max(int64(lo), int64(v)), int64(hi)}, true
+}
+
+// ClampUpperU tightens the unsigned upper bound to at most v.
+func (iv Interval) ClampUpperU(v uint32) (Interval, bool) {
+	lo, hi, ok := iv.U32()
+	if !ok {
+		if iv.IsTop() {
+			return Interval{0, int64(v)}.norm(), true
+		}
+		return iv, true
+	}
+	if uint64(lo) > uint64(v) {
+		return Interval{}, false
+	}
+	return Interval{int64(lo), min(int64(hi), int64(v))}, true
+}
+
+func (iv Interval) String() string {
+	if iv.IsTop() {
+		return "[T]"
+	}
+	if iv.Lo == iv.Hi {
+		return fmt.Sprintf("[%d]", iv.Lo)
+	}
+	return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi)
+}

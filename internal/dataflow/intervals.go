@@ -1,0 +1,506 @@
+package dataflow
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/decode"
+	"repro/internal/isa"
+)
+
+// IntervalState holds one value interval per integer register. x0 is
+// pinned to the exact zero interval by every operation.
+type IntervalState [32]Interval
+
+// Get returns the interval of r.
+func (s IntervalState) Get(r isa.Reg) Interval {
+	if r == isa.Zero {
+		return Const(0)
+	}
+	return s[r]
+}
+
+func (s *IntervalState) set(r isa.Reg, iv Interval) {
+	if r != isa.Zero {
+		s[r] = iv
+	}
+}
+
+// IntervalDomain is the per-register value-range domain. The zero value
+// analyzes a function whose entry register state is unknown; use
+// NewIntervalDomain to supply a known entry state (e.g. after a reset
+// where registers are cleared).
+type IntervalDomain struct {
+	entry IntervalState
+}
+
+// NewIntervalDomain returns a domain whose Entry state is entry.
+func NewIntervalDomain(entry IntervalState) *IntervalDomain {
+	return &IntervalDomain{entry: entry}
+}
+
+// UnknownEntry is the all-Top register state (x0 aside).
+func UnknownEntry() IntervalState {
+	var s IntervalState
+	for r := 1; r < 32; r++ {
+		s[r] = Top()
+	}
+	s[0] = Const(0)
+	return s
+}
+
+func (d *IntervalDomain) Entry() IntervalState {
+	if (d.entry == IntervalState{}) {
+		return UnknownEntry()
+	}
+	return d.entry
+}
+
+func (d *IntervalDomain) Top() IntervalState { return UnknownEntry() }
+
+func (d *IntervalDomain) Join(a, b IntervalState) IntervalState {
+	var out IntervalState
+	for r := 1; r < 32; r++ {
+		out[r] = a[r].Join(b[r])
+	}
+	out[0] = Const(0)
+	return out
+}
+
+func (d *IntervalDomain) Widen(prev, next IntervalState) IntervalState {
+	var out IntervalState
+	for r := 1; r < 32; r++ {
+		out[r] = prev[r].Widen(next[r])
+	}
+	out[0] = Const(0)
+	return out
+}
+
+func (d *IntervalDomain) Equal(a, b IntervalState) bool { return a == b }
+
+func (d *IntervalDomain) TransferBlock(b *cfg.Block, in IntervalState) IntervalState {
+	s := in
+	for i, inst := range b.Insts {
+		ApplyInst(&s, b.Addrs[i], inst)
+	}
+	if b.Term == cfg.TermCall {
+		// Call havoc: the callee may clobber any register.
+		s = UnknownEntry()
+	}
+	return s
+}
+
+// ApplyInst updates the register intervals for one executed instruction
+// at pc. It is shared between the block transfer and the linter's
+// instruction-by-instruction walk.
+func ApplyInst(s *IntervalState, pc uint32, in decode.Inst) {
+	rd, writes := in.WritesReg()
+	if !writes {
+		return
+	}
+	v1 := s.Get(in.Rs1)
+	v2 := s.Get(in.Rs2)
+	var out Interval
+	switch in.Op {
+	case isa.OpLUI, isa.OpCLUI:
+		out = Const(int64(in.Imm))
+	case isa.OpAUIPC:
+		out = Const(int64(pc) + int64(in.Imm))
+	case isa.OpADDI, isa.OpCADDI, isa.OpCLI, isa.OpCADDI16SP, isa.OpCADDI4SPN:
+		// The decoder populates Rs1 for the SP-implicit compressed forms,
+		// and c.li carries Rs1 = x0.
+		out = v1.AddConst(int64(in.Imm))
+	case isa.OpADD, isa.OpCADD:
+		out = v1.Add(v2)
+	case isa.OpSUB, isa.OpCSUB:
+		out = v1.Sub(v2)
+	case isa.OpCMV:
+		out = v2
+	case isa.OpSLLI, isa.OpCSLLI:
+		out = v1.ShiftLeft(uint(in.Imm) & 31)
+	case isa.OpSRLI, isa.OpCSRLI:
+		out = shiftRightU(v1, uint(in.Imm)&31)
+	case isa.OpSRAI, isa.OpCSRAI:
+		out = shiftRightS(v1, uint(in.Imm)&31)
+	case isa.OpSLL:
+		if k, ok := v2.Singleton(); ok {
+			out = v1.ShiftLeft(uint(k) & 31)
+		} else {
+			out = Top()
+		}
+	case isa.OpSRL:
+		if k, ok := v2.Singleton(); ok {
+			out = shiftRightU(v1, uint(k)&31)
+		} else {
+			out = Top()
+		}
+	case isa.OpSRA:
+		if k, ok := v2.Singleton(); ok {
+			out = shiftRightS(v1, uint(k)&31)
+		} else {
+			out = Top()
+		}
+	case isa.OpANDI, isa.OpCANDI:
+		out = andConst(v1, int64(in.Imm))
+	case isa.OpAND:
+		if c, ok := v2.Singleton(); ok {
+			out = andConst(v1, int64(int32(c)))
+		} else if c, ok := v1.Singleton(); ok {
+			out = andConst(v2, int64(int32(c)))
+		} else {
+			out = Top()
+		}
+	case isa.OpORI, isa.OpXORI:
+		if c, ok := v1.Singleton(); ok {
+			if in.Op == isa.OpORI {
+				out = Const(int64(int32(c) | in.Imm))
+			} else {
+				out = Const(int64(int32(c) ^ in.Imm))
+			}
+		} else {
+			out = Top()
+		}
+	case isa.OpOR, isa.OpXOR, isa.OpCOR, isa.OpCXOR:
+		c1, ok1 := v1.Singleton()
+		c2, ok2 := v2.Singleton()
+		if ok1 && ok2 {
+			if in.Op == isa.OpOR || in.Op == isa.OpCOR {
+				out = Const(int64(c1 | c2))
+			} else {
+				out = Const(int64(c1 ^ c2))
+			}
+		} else {
+			out = Top()
+		}
+	case isa.OpSLTI:
+		out = compareResult(cmpLessS(v1, Const(int64(in.Imm))))
+	case isa.OpSLTIU:
+		out = compareResult(cmpLessU(v1, Const(int64(uint32(in.Imm)))))
+	case isa.OpSLT:
+		out = compareResult(cmpLessS(v1, v2))
+	case isa.OpSLTU:
+		out = compareResult(cmpLessU(v1, v2))
+	case isa.OpMUL:
+		out = mulInterval(v1, v2)
+	case isa.OpREMU:
+		if c, ok := v2.Singleton(); ok && c > 0 {
+			out = Interval{0, int64(c) - 1}
+		} else {
+			out = Top()
+		}
+	case isa.OpJAL, isa.OpJALR, isa.OpCJAL, isa.OpCJALR:
+		out = Const(int64(pc) + int64(in.Size))
+	default:
+		out = Top()
+	}
+	s.set(rd, out)
+}
+
+// shiftRightU is the logical right shift of an interval.
+func shiftRightU(iv Interval, k uint) Interval {
+	lo, hi, ok := iv.U32()
+	if !ok {
+		return Interval{0, int64(^uint32(0) >> k)}
+	}
+	return Interval{int64(lo >> k), int64(hi >> k)}
+}
+
+// shiftRightS is the arithmetic right shift of an interval.
+func shiftRightS(iv Interval, k uint) Interval {
+	lo, hi, ok := iv.S32()
+	if !ok {
+		return Top()
+	}
+	return Interval{lo >> k, hi >> k}
+}
+
+// andConst bounds v & m. For a non-negative mask the result is in
+// [0, m]; singletons are exact.
+func andConst(iv Interval, m int64) Interval {
+	if c, ok := iv.Singleton(); ok {
+		return Const(int64(int32(c) & int64ToI32(m)))
+	}
+	if m >= 0 {
+		return Interval{0, m}
+	}
+	return Top()
+}
+
+func int64ToI32(v int64) int32 { return int32(uint32(uint64(v))) }
+
+// cmpLessS decides a < b over signed 32-bit views: +1 always true,
+// 0 always false, -1 unknown.
+func cmpLessS(a, b Interval) int {
+	alo, ahi, aok := a.S32()
+	blo, bhi, bok := b.S32()
+	if !aok || !bok {
+		return -1
+	}
+	if ahi < blo {
+		return 1
+	}
+	if alo >= bhi {
+		return 0
+	}
+	return -1
+}
+
+// cmpLessU decides a < b over unsigned 32-bit views.
+func cmpLessU(a, b Interval) int {
+	alo, ahi, aok := a.U32()
+	blo, bhi, bok := b.U32()
+	if !aok || !bok {
+		return -1
+	}
+	if uint64(ahi) < uint64(blo) {
+		return 1
+	}
+	if uint64(alo) >= uint64(bhi) {
+		return 0
+	}
+	return -1
+}
+
+func compareResult(v int) Interval {
+	switch v {
+	case 1:
+		return Const(1)
+	case 0:
+		return Const(0)
+	}
+	return Interval{0, 1}
+}
+
+func mulInterval(a, b Interval) Interval {
+	alo, ahi, aok := a.S32()
+	blo, bhi, bok := b.S32()
+	if !aok || !bok || alo < 0 || blo < 0 {
+		return Top()
+	}
+	return Interval{alo * blo, ahi * bhi}.norm()
+}
+
+// TransferEdge refines the out-state along a conditional-branch edge by
+// clamping the compared registers with the branch condition (or its
+// negation on the fallthrough edge). ok=false marks an edge whose
+// condition is statically unsatisfiable.
+func (d *IntervalDomain) TransferEdge(b *cfg.Block, sc cfg.Succ, out IntervalState) (IntervalState, bool) {
+	if b.Term != cfg.TermBranch || len(b.Insts) == 0 {
+		return out, true
+	}
+	br := b.Insts[len(b.Insts)-1]
+	cond, ok := BranchCond(br)
+	if !ok {
+		return out, true
+	}
+	if sc.Kind != cfg.EdgeTaken {
+		cond = cond.Negate()
+	}
+	return refineCond(out, cond)
+}
+
+// CondOp is a normalized comparison operator.
+type CondOp uint8
+
+const (
+	CondEQ CondOp = iota
+	CondNE
+	CondLTS // signed <
+	CondGES // signed >=
+	CondLTU // unsigned <
+	CondGEU // unsigned >=
+)
+
+// Cond is a normalized branch condition A op B over two registers.
+type Cond struct {
+	Op   CondOp
+	A, B isa.Reg
+}
+
+// Negate returns the complementary condition.
+func (c Cond) Negate() Cond {
+	switch c.Op {
+	case CondEQ:
+		c.Op = CondNE
+	case CondNE:
+		c.Op = CondEQ
+	case CondLTS:
+		c.Op = CondGES
+	case CondGES:
+		c.Op = CondLTS
+	case CondLTU:
+		c.Op = CondGEU
+	case CondGEU:
+		c.Op = CondLTU
+	}
+	return c
+}
+
+// BranchCond extracts the taken-edge condition of a conditional branch.
+func BranchCond(in decode.Inst) (Cond, bool) {
+	switch in.Op {
+	case isa.OpBEQ:
+		return Cond{CondEQ, in.Rs1, in.Rs2}, true
+	case isa.OpBNE:
+		return Cond{CondNE, in.Rs1, in.Rs2}, true
+	case isa.OpBLT:
+		return Cond{CondLTS, in.Rs1, in.Rs2}, true
+	case isa.OpBGE:
+		return Cond{CondGES, in.Rs1, in.Rs2}, true
+	case isa.OpBLTU:
+		return Cond{CondLTU, in.Rs1, in.Rs2}, true
+	case isa.OpBGEU:
+		return Cond{CondGEU, in.Rs1, in.Rs2}, true
+	case isa.OpCBEQZ:
+		return Cond{CondEQ, in.Rs1, isa.Zero}, true
+	case isa.OpCBNEZ:
+		return Cond{CondNE, in.Rs1, isa.Zero}, true
+	}
+	return Cond{}, false
+}
+
+// refineCond clamps the state with cond; ok=false if unsatisfiable.
+func refineCond(s IntervalState, c Cond) (IntervalState, bool) {
+	a, b := s.Get(c.A), s.Get(c.B)
+	setA := func(iv Interval, ok bool) bool {
+		if !ok {
+			return false
+		}
+		s.set(c.A, iv)
+		return true
+	}
+	setB := func(iv Interval, ok bool) bool {
+		if !ok {
+			return false
+		}
+		s.set(c.B, iv)
+		return true
+	}
+	switch c.Op {
+	case CondEQ:
+		// Both sides take the (conservative) intersection via clamps.
+		if blo, bhi, ok := b.S32(); ok {
+			na, nok := a.ClampLowerS(blo)
+			if !nok {
+				return s, false
+			}
+			na, nok = na.ClampUpperS(bhi)
+			if !setA(na, nok) {
+				return s, false
+			}
+		}
+		if alo, ahi, ok := a.S32(); ok {
+			nb, nok := b.ClampLowerS(alo)
+			if !nok {
+				return s, false
+			}
+			nb, nok = nb.ClampUpperS(ahi)
+			if !setB(nb, nok) {
+				return s, false
+			}
+		}
+	case CondNE:
+		if ca, aok := a.Singleton(); aok {
+			if cb, bok := b.Singleton(); bok && ca == cb {
+				return s, false
+			}
+		}
+		// Trim a boundary point when one side is a singleton.
+		if cb, ok := b.Singleton(); ok {
+			s.set(c.A, trimPoint(a, cb))
+		}
+		if ca, ok := a.Singleton(); ok {
+			s.set(c.B, trimPoint(b, ca))
+		}
+	case CondLTS:
+		if _, bhi, ok := b.S32(); ok {
+			if !setA(a.ClampUpperS(bhi - 1)) {
+				return s, false
+			}
+		}
+		if alo, _, ok := a.S32(); ok {
+			if !setB(b.ClampLowerS(alo + 1)) {
+				return s, false
+			}
+		}
+	case CondGES:
+		if blo, _, ok := b.S32(); ok {
+			if !setA(a.ClampLowerS(blo)) {
+				return s, false
+			}
+		}
+		if _, ahi, ok := a.S32(); ok {
+			if !setB(b.ClampUpperS(ahi)) {
+				return s, false
+			}
+		}
+	case CondLTU:
+		if _, bhi, ok := b.U32(); ok {
+			if bhi == 0 {
+				return s, false // nothing is unsigned-< 0
+			}
+			if !setA(a.ClampUpperU(bhi - 1)) {
+				return s, false
+			}
+		}
+		if alo, _, ok := a.U32(); ok {
+			if !setB(b.ClampLowerU(alo + 1)) {
+				return s, false
+			}
+		}
+	case CondGEU:
+		if blo, _, ok := b.U32(); ok {
+			if !setA(a.ClampLowerU(blo)) {
+				return s, false
+			}
+		}
+		if _, ahi, ok := a.U32(); ok {
+			if !setB(b.ClampUpperU(ahi)) {
+				return s, false
+			}
+		}
+	}
+	return s, true
+}
+
+// trimPoint removes v from an interval when it sits on a 32-bit
+// boundary of it (the only case an interval can express).
+func trimPoint(iv Interval, v uint32) Interval {
+	if lo, hi, ok := iv.U32(); ok {
+		if lo == hi && lo == v {
+			return iv // caller handles the infeasible case
+		}
+		if lo == v {
+			return iv.addLo(1)
+		}
+		if hi == v {
+			return iv.addHi(-1)
+		}
+		return iv
+	}
+	if lo, hi, ok := iv.S32(); ok {
+		sv := int64(int32(v))
+		if lo == hi && lo == sv {
+			return iv
+		}
+		if lo == sv {
+			return iv.addLo(1)
+		}
+		if hi == sv {
+			return iv.addHi(-1)
+		}
+	}
+	return iv
+}
+
+func (iv Interval) addLo(d int64) Interval {
+	if iv.IsTop() {
+		return iv
+	}
+	return Interval{iv.Lo + d, iv.Hi}.norm()
+}
+
+func (iv Interval) addHi(d int64) Interval {
+	if iv.IsTop() {
+		return iv
+	}
+	return Interval{iv.Lo, iv.Hi + d}.norm()
+}

@@ -1,0 +1,497 @@
+package dataflow
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/isa"
+)
+
+// InferLoopBounds derives iteration bounds (maximum loop-head execution
+// counts, the convention of wcet's contraction) for the loops of the
+// function at entry, using the interval analysis to recognize counted
+// loops: a register stepped by one addi per iteration and compared
+// against a loop-invariant limit by the exit test. Loops it cannot prove
+// bounded are simply absent from the result; every returned bound is
+// sound for the abstraction (callers still apply user flow facts first).
+func InferLoopBounds(g *cfg.Graph, entry uint32, loops []*cfg.Loop) map[uint32]int {
+	ivs := Solve(g, entry, NewIntervalDomain(UnknownEntry()))
+	idom := g.Dominators(entry)
+	out := map[uint32]int{}
+	for _, l := range loops {
+		if b, ok := loopBound(g, l, loops, idom, ivs); ok {
+			out[l.Head] = b
+		}
+	}
+	return out
+}
+
+// operand is one side of a normalized loop test: a register or an
+// immediate constant.
+type operand struct {
+	reg   isa.Reg
+	imm   int64
+	isImm bool
+}
+
+// interval returns the operand's value interval in state s.
+func (o operand) interval(s IntervalState) Interval {
+	if o.isImm {
+		return Const(o.imm)
+	}
+	return s.Get(o.reg)
+}
+
+// testInfo is the taken-edge condition of an exiting branch, looked
+// through a same-block slt/slti definition; idx is the instruction index
+// of the test point (where the compared value is read).
+type testInfo struct {
+	op       CondOp
+	lhs, rhs operand
+	idx      int
+}
+
+func (t testInfo) negate() testInfo {
+	t.op = Cond{Op: t.op}.Negate().Op
+	return t
+}
+
+// rel is a continue-condition with the counter on the left.
+type rel uint8
+
+const (
+	rLTS rel = iota
+	rLES
+	rGTS
+	rGES
+	rLTU
+	rLEU
+	rGTU
+	rGEU
+	rNE
+)
+
+// counterWrite is the unique in-loop increment of a counter register.
+type counterWrite struct {
+	block uint32
+	idx   int
+	d     int64
+}
+
+func loopBound(g *cfg.Graph, l *cfg.Loop, loops []*cfg.Loop, idom map[uint32]uint32, ivs *Result[IntervalState]) (int, bool) {
+	// A call inside the loop can clobber any register, including the
+	// counter or limit.
+	for bs := range l.Blocks {
+		b := g.Blocks[bs]
+		if b == nil {
+			return 0, false
+		}
+		if b.Term == cfg.TermCall {
+			return 0, false
+		}
+	}
+	counters := findCounters(g, l, loops, idom)
+	if len(counters) == 0 {
+		return 0, false
+	}
+
+	best := 0
+	for ts := range l.Blocks {
+		tb := g.Blocks[ts]
+		if tb.Term != cfg.TermBranch || len(tb.Insts) == 0 {
+			continue
+		}
+		if inInnerLoop(loops, l, ts) {
+			continue
+		}
+		// The test must be passed on every iteration.
+		if !dominatesAll(idom, ts, l.Back) {
+			continue
+		}
+		// Exactly one edge continues in the loop, one exits.
+		var cont *cfg.Succ
+		nOut := 0
+		for i := range tb.Succs {
+			if l.Blocks[tb.Succs[i].Addr] {
+				cont = &tb.Succs[i]
+			} else {
+				nOut++
+			}
+		}
+		if cont == nil || nOut != 1 {
+			continue
+		}
+		info, ok := extractTest(tb)
+		if !ok {
+			continue
+		}
+		if cont.Kind != cfg.EdgeTaken {
+			info = info.negate()
+		}
+		for swap := 0; swap < 2; swap++ {
+			ctrOp, limOp := info.lhs, info.rhs
+			if swap == 1 {
+				ctrOp, limOp = info.rhs, info.lhs
+			}
+			if ctrOp.isImm || ctrOp.reg == isa.Zero {
+				continue
+			}
+			cw, isCtr := counters[ctrOp.reg]
+			if !isCtr {
+				continue
+			}
+			// The limit must be loop-invariant: immediates and x0 are;
+			// a register must have no in-loop write (calls are excluded
+			// above, and WritesReg never reports x0).
+			if !limOp.isImm && limOp.reg != isa.Zero && writtenInLoop(g, l, limOp.reg) {
+				continue
+			}
+			r, ok := relFor(info.op, swap == 0)
+			if !ok {
+				continue
+			}
+			h, ok := tripCount(g, l, ivs, r, cw, limOp, ts, info.idx, idom)
+			if !ok {
+				continue
+			}
+			if best == 0 || h < best {
+				best = h
+			}
+		}
+	}
+	return best, best > 0
+}
+
+// findCounters returns the registers with exactly one in-loop write that
+// is a self-increment executed once per iteration (its block outside any
+// inner loop and dominating every back edge).
+func findCounters(g *cfg.Graph, l *cfg.Loop, loops []*cfg.Loop, idom map[uint32]uint32) map[isa.Reg]counterWrite {
+	type w struct {
+		block uint32
+		idx   int
+	}
+	writes := map[isa.Reg][]w{}
+	for bs := range l.Blocks {
+		b := g.Blocks[bs]
+		for i := range b.Insts {
+			if rd, ok := b.Insts[i].WritesReg(); ok {
+				writes[rd] = append(writes[rd], w{bs, i})
+			}
+		}
+	}
+	out := map[isa.Reg]counterWrite{}
+	for r, ws := range writes {
+		if len(ws) != 1 {
+			continue
+		}
+		in := g.Blocks[ws[0].block].Insts[ws[0].idx]
+		if (in.Op != isa.OpADDI && in.Op != isa.OpCADDI) || in.Rs1 != r || in.Imm == 0 {
+			continue
+		}
+		if inInnerLoop(loops, l, ws[0].block) {
+			continue
+		}
+		if !dominatesAll(idom, ws[0].block, l.Back) {
+			continue
+		}
+		out[r] = counterWrite{ws[0].block, ws[0].idx, int64(in.Imm)}
+	}
+	return out
+}
+
+// inInnerLoop reports whether block bs belongs to a loop strictly nested
+// inside l.
+func inInnerLoop(loops []*cfg.Loop, l *cfg.Loop, bs uint32) bool {
+	for _, m := range loops {
+		if m.Head != l.Head && l.Blocks[m.Head] && m.Blocks[bs] {
+			return true
+		}
+	}
+	return false
+}
+
+func dominatesAll(idom map[uint32]uint32, a uint32, bs []uint32) bool {
+	for _, b := range bs {
+		if !cfg.Dominates(idom, a, b) {
+			return false
+		}
+	}
+	return true
+}
+
+func writtenInLoop(g *cfg.Graph, l *cfg.Loop, r isa.Reg) bool {
+	for bs := range l.Blocks {
+		for _, in := range g.Blocks[bs].Insts {
+			if rd, ok := in.WritesReg(); ok && rd == r {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// extractTest normalizes block b's terminating branch into its
+// taken-edge condition, substituting a same-block slti/sltiu/slt/sltu
+// definition of the tested register (the `slt; bnez` idiom).
+func extractTest(b *cfg.Block) (testInfo, bool) {
+	last := len(b.Insts) - 1
+	c, ok := BranchCond(b.Insts[last])
+	if !ok {
+		return testInfo{}, false
+	}
+	info := testInfo{
+		op:  c.Op,
+		lhs: operand{reg: c.A},
+		rhs: operand{reg: c.B},
+		idx: last,
+	}
+	if (c.Op != CondEQ && c.Op != CondNE) || c.B != isa.Zero || c.A == isa.Zero {
+		return info, true
+	}
+	// bnez/beqz on a flag: find its definition in this block.
+	for i := last - 1; i >= 0; i-- {
+		rd, writes := b.Insts[i].WritesReg()
+		if !writes || rd != c.A {
+			continue
+		}
+		def := b.Insts[i]
+		var lt testInfo
+		switch def.Op {
+		case isa.OpSLTI:
+			lt = testInfo{op: CondLTS, lhs: operand{reg: def.Rs1}, rhs: operand{imm: int64(def.Imm), isImm: true}, idx: i}
+		case isa.OpSLTIU:
+			lt = testInfo{op: CondLTU, lhs: operand{reg: def.Rs1}, rhs: operand{imm: int64(uint32(def.Imm)), isImm: true}, idx: i}
+		case isa.OpSLT:
+			lt = testInfo{op: CondLTS, lhs: operand{reg: def.Rs1}, rhs: operand{reg: def.Rs2}, idx: i}
+		case isa.OpSLTU:
+			lt = testInfo{op: CondLTU, lhs: operand{reg: def.Rs1}, rhs: operand{reg: def.Rs2}, idx: i}
+		default:
+			return info, true // flag defined some other way
+		}
+		if c.Op == CondEQ { // beqz flag: the slt condition is false
+			lt = lt.negate()
+		}
+		return lt, true
+	}
+	return info, true
+}
+
+// relFor maps a condition to its counter-on-the-left form.
+func relFor(op CondOp, ctrIsLHS bool) (rel, bool) {
+	if ctrIsLHS {
+		switch op {
+		case CondLTS:
+			return rLTS, true
+		case CondGES:
+			return rGES, true
+		case CondLTU:
+			return rLTU, true
+		case CondGEU:
+			return rGEU, true
+		case CondNE:
+			return rNE, true
+		}
+		return 0, false
+	}
+	switch op {
+	case CondLTS: // lim < ctr
+		return rGTS, true
+	case CondGES: // lim >= ctr
+		return rLES, true
+	case CondLTU:
+		return rGTU, true
+	case CondGEU:
+		return rLEU, true
+	case CondNE:
+		return rNE, true
+	}
+	return 0, false
+}
+
+// tripCount evaluates the head-execution bound of a loop that continues
+// while `ctr rel lim`, with ctr stepped by cw.d once per iteration.
+func tripCount(g *cfg.Graph, l *cfg.Loop, ivs *Result[IntervalState], r rel, cw counterWrite, lim operand, testBlock uint32, testIdx int, idom map[uint32]uint32) (int, bool) {
+	// Initial counter interval: join of the preheader edge states.
+	var initIv Interval
+	haveInit := false
+	for _, p := range dedup(ivs.Preds[l.Head]) {
+		if l.Blocks[p] {
+			continue
+		}
+		es, ok := ivs.EdgeState(p, l.Head)
+		if !ok {
+			continue
+		}
+		cur := es.Get(ctrReg(cw, g))
+		if !haveInit {
+			initIv, haveInit = cur, true
+		} else {
+			initIv = initIv.Join(cur)
+		}
+	}
+	if !haveInit || initIv.IsTop() {
+		return 0, false
+	}
+	headIn, ok := ivs.In[l.Head]
+	if !ok {
+		return 0, false
+	}
+	limIv := lim.interval(headIn)
+
+	// e=1 when the increment executes before the test point within an
+	// iteration: same block and earlier, or in a strictly dominating
+	// block (which, being inside the loop, runs after the head).
+	e := int64(0)
+	if cw.block == testBlock {
+		if cw.idx < testIdx {
+			e = 1
+		}
+	} else if cfg.Dominates(idom, cw.block, testBlock) {
+		e = 1
+	}
+
+	d := cw.d
+	const (
+		sMax = int64(1) << 31 // one past the signed max
+		uMax = int64(1) << 32 // one past the unsigned max
+	)
+	var h int64
+	switch r {
+	case rLTS, rLES:
+		if d <= 0 {
+			return 0, false
+		}
+		ilo, ihi, iok := initIv.S32()
+		_, lhi, lok := limIv.S32()
+		if !iok || !lok {
+			return 0, false
+		}
+		if r == rLES {
+			lhi++
+		}
+		// No tested value may overflow: the exit value stays below
+		// lhi+d, and with e=1 the first test already sees I+d.
+		if lhi+d > sMax || (e == 1 && ihi+d > sMax-1) {
+			return 0, false
+		}
+		h = ceilDiv(lhi-ilo, d) + 1 - e
+	case rGTS, rGES:
+		if d >= 0 {
+			return 0, false
+		}
+		ilo, ihi, iok := initIv.S32()
+		llo, _, lok := limIv.S32()
+		if !iok || !lok {
+			return 0, false
+		}
+		if r == rGES {
+			llo--
+		}
+		if llo+d < -sMax || (e == 1 && ilo+d < -sMax) {
+			return 0, false
+		}
+		h = ceilDiv(ihi-llo, -d) + 1 - e
+	case rLTU, rLEU:
+		if d <= 0 {
+			return 0, false
+		}
+		il, ih, iok := initIv.U32()
+		_, lh, lok := limIv.U32()
+		if !iok || !lok {
+			return 0, false
+		}
+		lhi := int64(lh)
+		if r == rLEU {
+			lhi++
+		}
+		if lhi+d > uMax || (e == 1 && int64(ih)+d > uMax-1) {
+			return 0, false
+		}
+		h = ceilDiv(lhi-int64(il), d) + 1 - e
+	case rGTU, rGEU:
+		if d >= 0 {
+			return 0, false
+		}
+		il, ih, iok := initIv.U32()
+		ll, _, lok := limIv.U32()
+		if !iok || !lok {
+			return 0, false
+		}
+		llo := int64(ll)
+		if r == rGEU {
+			llo--
+		}
+		if llo+d < 0 || (e == 1 && int64(il)+d < 0) {
+			return 0, false
+		}
+		h = ceilDiv(int64(ih)-llo, -d) + 1 - e
+	case rNE:
+		iv, iok := initIv.Singleton()
+		var lv uint32
+		if lim.isImm {
+			lv = uint32(uint64(lim.imm))
+		} else {
+			s, ok := limIv.Singleton()
+			if !ok {
+				return 0, false
+			}
+			lv = s
+		}
+		if !iok {
+			return 0, false
+		}
+		// v_k = I + k*d (mod 2^32) first hits L at k = diff/|d| when
+		// the step divides the (direction-appropriate) distance.
+		var diff int64
+		if d > 0 {
+			diff = int64(lv - iv) // uint32 subtraction wraps like the hardware
+		} else {
+			diff = int64(iv - lv)
+		}
+		ad := d
+		if ad < 0 {
+			ad = -ad
+		}
+		if diff%ad != 0 {
+			return 0, false
+		}
+		if diff == 0 && e == 1 {
+			// I == L but the first test already sees I+d: the loop only
+			// exits when the counter wraps all the way around.
+			return 0, false
+		}
+		h = diff/ad + 1 - e
+	default:
+		return 0, false
+	}
+	if h < 1 {
+		h = 1
+	}
+	if h >= sMax {
+		return 0, false
+	}
+	return int(h), true
+}
+
+// ctrReg recovers the counter register from its write instruction.
+func ctrReg(cw counterWrite, g *cfg.Graph) isa.Reg {
+	return g.Blocks[cw.block].Insts[cw.idx].Rs1
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+func dedup(xs []uint32) []uint32 {
+	seen := map[uint32]bool{}
+	out := xs[:0:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -63,6 +63,61 @@ func (i Inst) WritesReg() (isa.Reg, bool) {
 	return i.Rd, true
 }
 
+// ReadsRegs appends the integer registers the instruction reads to dst
+// and returns the extended slice. x0 is never appended (reading it has
+// no data dependence), and FP-register operands are excluded: only
+// integer register file reads are reported, which is what the dataflow
+// and lint layers consume.
+func (i Inst) ReadsRegs(dst []isa.Reg) []isa.Reg {
+	add := func(r isa.Reg) {
+		if r != isa.Zero {
+			dst = append(dst, r)
+		}
+	}
+	if !i.Valid() {
+		return dst
+	}
+	if i.Size == 2 {
+		switch i.Op {
+		case isa.OpCADDI4SPN, isa.OpCLW, isa.OpCLWSP, isa.OpCADDI,
+			isa.OpCADDI16SP, isa.OpCSRLI, isa.OpCSRAI, isa.OpCANDI,
+			isa.OpCSLLI, isa.OpCJR, isa.OpCJALR, isa.OpCBEQZ, isa.OpCBNEZ:
+			add(i.Rs1)
+		case isa.OpCSW, isa.OpCSWSP, isa.OpCSUB, isa.OpCXOR, isa.OpCOR,
+			isa.OpCAND, isa.OpCADD:
+			add(i.Rs1)
+			add(i.Rs2)
+		case isa.OpCMV:
+			add(i.Rs2)
+		}
+		return dst
+	}
+	p, ok := isa.PatternFor(i.Op)
+	if !ok {
+		return dst
+	}
+	_, f1, f2 := isa.UsesFPRegs(i.Op)
+	switch p.Fmt {
+	case isa.FmtR, isa.FmtS, isa.FmtB:
+		if !f1 {
+			add(i.Rs1)
+		}
+		if !f2 {
+			add(i.Rs2)
+		}
+	case isa.FmtI, isa.FmtIShift, isa.FmtRUnary:
+		if !f1 {
+			add(i.Rs1)
+		}
+	case isa.FmtR4:
+		// fused FP: all operands are FP registers
+	case isa.FmtCSR:
+		// csrrw/csrrs/csrrc read rs1; the immediate forms are FmtCSRI
+		add(i.Rs1)
+	}
+	return dst
+}
+
 // String disassembles the instruction using standard assembler syntax.
 func (i Inst) String() string {
 	if !i.Valid() {

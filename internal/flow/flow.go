@@ -10,7 +10,11 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/cfg"
+	"repro/internal/dataflow"
+	"repro/internal/dev"
 	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/lint"
 	"repro/internal/plugin"
 	"repro/internal/qta"
 	"repro/internal/timing"
@@ -24,6 +28,103 @@ type Analysis struct {
 	Program   *asm.Program
 	Graph     *cfg.Graph
 	Annotated *wcet.Annotated
+	Lint      []lint.Finding
+}
+
+// PlatformRegions is the virtual platform's data-access map, as lint
+// regions.
+func PlatformRegions() []lint.Region {
+	return []lint.Region{
+		{Base: vp.SysConBase, Size: 0x1000, Name: "syscon"},
+		{Base: vp.CLINTBase, Size: dev.CLINTSize, Name: "clint"},
+		{Base: vp.UARTBase, Size: 0x1000, Name: "uart"},
+		{Base: vp.SensorBase, Size: 0x1000, Name: "sensor"},
+		{Base: vp.RAMBase, Size: vp.DefaultRAMSize, Name: "ram"},
+	}
+}
+
+// LintConfig builds the platform lint configuration for an assembled
+// program: the VP memory map, the program's own image as the code range,
+// and the loader contract (sp points at the top of RAM on entry).
+func LintConfig(prog *asm.Program, bounds map[string]int) lint.Config {
+	return lint.Config{
+		Regions:   PlatformRegions(),
+		CodeStart: prog.Org,
+		CodeEnd:   prog.Org + uint32(len(prog.Bytes)),
+		Bounds:    bounds,
+		Symbols:   prog.Symbols,
+		EntryRegs: map[isa.Reg]dataflow.Interval{
+			isa.SP: dataflow.Const(int64(vp.RAMBase) + vp.DefaultRAMSize),
+		},
+		EntryInit: []isa.Reg{isa.SP},
+	}
+}
+
+// LintProgram runs the linter over an assembled program under the
+// platform configuration.
+func LintProgram(prog *asm.Program, bounds map[string]int) ([]lint.Finding, error) {
+	return lint.Program(prog, LintConfig(prog, bounds))
+}
+
+// AnnotatedDOT renders a program's CFG in Graphviz format with static-
+// analysis notes per block: loop heads with their depth and bound
+// (user-supplied or inferred by the interval analysis), and the lint
+// findings that land in the block. It needs no timing profile and does
+// not fail on unbounded loops, so it works on programs the WCET
+// analysis would reject.
+func AnnotatedDOT(prog *asm.Program, g *cfg.Graph, bounds map[string]int) string {
+	notes := map[uint32][]string{}
+
+	boundByAddr := map[uint32]int{}
+	for label, b := range bounds {
+		if addr, ok := prog.Symbols[label]; ok {
+			boundByAddr[addr] = b
+		}
+	}
+	// Walk the entry function and every statically known callee.
+	funcs := []uint32{g.Entry}
+	seen := map[uint32]bool{g.Entry: true}
+	for i := 0; i < len(funcs); i++ {
+		for _, c := range g.Callees(funcs[i]) {
+			if !seen[c] {
+				seen[c] = true
+				funcs = append(funcs, c)
+			}
+		}
+	}
+	for _, entry := range funcs {
+		loops, err := g.NaturalLoops(entry)
+		if err != nil {
+			continue
+		}
+		inferred := dataflow.InferLoopBounds(g, entry, loops)
+		for _, l := range loops {
+			note := fmt.Sprintf("loop head (depth %d): ", l.Depth)
+			switch {
+			case boundByAddr[l.Head] > 0:
+				note += fmt.Sprintf("bound %d (user)", boundByAddr[l.Head])
+			case inferred[l.Head] > 0:
+				note += fmt.Sprintf("bound %d (inferred)", inferred[l.Head])
+			default:
+				note += "no bound"
+			}
+			notes[l.Head] = append(notes[l.Head], note)
+		}
+	}
+	for _, f := range lint.Graph(g, prog.Lines, LintConfig(prog, bounds)) {
+		blk, ok := g.BlockAt(f.Addr)
+		if !ok {
+			continue // unreachable code has no block to hang the note on
+		}
+		notes[blk.Start] = append(notes[blk.Start],
+			fmt.Sprintf("lint %s %s: %s", f.Severity, f.Check, f.Msg))
+	}
+
+	symByAddr := map[uint32]string{}
+	for n, addr := range prog.Symbols {
+		symByAddr[addr] = n
+	}
+	return g.DOTAnnotated(symByAddr, notes)
 }
 
 // Analyze assembles source (with the platform prelude) and runs CFG
@@ -58,7 +159,8 @@ func AnalyzeFull(src string, prof *timing.Profile, bounds map[string]int, infer 
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{Program: prog, Graph: g, Annotated: an}, nil
+	findings := lint.Graph(g, prog.Lines, LintConfig(prog, bounds))
+	return &Analysis{Program: prog, Graph: g, Annotated: an, Lint: findings}, nil
 }
 
 // RunQTACompressed is RunQTA over the RVC-compressed build of the

@@ -1,0 +1,277 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/flow"
+	"repro/internal/lint"
+	"repro/internal/vp"
+	"repro/internal/workloads"
+)
+
+// lintSrc assembles an assembly body under the platform prelude and runs
+// the linter with the platform configuration — exactly what s4e-lint
+// does.
+func lintSrc(t *testing.T, src string, bounds map[string]int) []lint.Finding {
+	t.Helper()
+	prog, err := asm.AssembleAt(vp.Prelude+src, vp.RAMBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := flow.LintProgram(prog, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// want asserts at least one finding with the given check and severity
+// whose message contains frag, and returns it.
+func want(t *testing.T, fs []lint.Finding, check string, sev lint.Severity, frag string) lint.Finding {
+	t.Helper()
+	for _, f := range fs {
+		if f.Check == check && f.Severity == sev && strings.Contains(f.Msg, frag) {
+			return f
+		}
+	}
+	t.Fatalf("no %s/%s finding containing %q in:\n%s", check, sev, frag, dump(fs))
+	return lint.Finding{}
+}
+
+func wantNone(t *testing.T, fs []lint.Finding, check string) {
+	t.Helper()
+	for _, f := range fs {
+		if f.Check == check {
+			t.Errorf("unexpected %s finding: %s", check, f)
+		}
+	}
+}
+
+func dump(fs []lint.Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	if b.Len() == 0 {
+		return "  (no findings)\n"
+	}
+	return b.String()
+}
+
+func TestUninitReadDefinite(t *testing.T) {
+	fs := lintSrc(t, `
+	add  a0, a1, a2
+	ebreak
+`, nil)
+	want(t, fs, "uninit-read", lint.Definite, "a1")
+	want(t, fs, "uninit-read", lint.Definite, "a2")
+}
+
+// A register written on only one branch of a join is a possible, not a
+// definite, uninitialized read.
+func TestUninitReadPossibleAtJoin(t *testing.T) {
+	fs := lintSrc(t, `
+	lw   t0, -4(sp)
+	beqz t0, skip
+	li   a1, 5
+skip:	addi a0, a1, 0
+	ebreak
+`, nil)
+	want(t, fs, "uninit-read", lint.Possible, "a1")
+	// The read must not be promoted to definite: one path defines a1.
+	for _, f := range fs {
+		if f.Check == "uninit-read" && f.Severity == lint.Definite {
+			t.Errorf("join read misclassified as definite: %s", f)
+		}
+	}
+}
+
+// sp is defined by the loader contract, so stack accesses are clean.
+func TestLoaderContractSP(t *testing.T) {
+	fs := lintSrc(t, `
+	addi sp, sp, -16
+	sw   zero, 0(sp)
+	lw   a0, 0(sp)
+	ebreak
+`, nil)
+	wantNone(t, fs, "uninit-read")
+	wantNone(t, fs, "oob-access")
+	wantNone(t, fs, "misaligned")
+}
+
+func TestUnreachableDefinite(t *testing.T) {
+	fs := lintSrc(t, `
+	li   a0, 1
+	ebreak
+	li   a1, 2
+	li   a2, 3
+`, nil)
+	want(t, fs, "unreachable", lint.Definite, "not reachable")
+}
+
+// An indirect jump means the CFG may be incomplete: unreachable findings
+// must be demoted to possible.
+func TestUnreachableDemotedByIndirectJump(t *testing.T) {
+	fs := lintSrc(t, `
+	la   t0, fin
+	jr   t0
+	li   a1, 2
+fin:	ebreak
+`, nil)
+	for _, f := range fs {
+		if f.Check == "unreachable" && f.Severity == lint.Definite {
+			t.Errorf("indirect flow must demote unreachable: %s", f)
+		}
+	}
+}
+
+func TestDeadStore(t *testing.T) {
+	fs := lintSrc(t, `
+	li   a0, 5
+	li   a0, 6
+	sw   a0, -8(sp)
+	ebreak
+`, nil)
+	f := want(t, fs, "dead-store", lint.Info, "a0")
+	// Only the first write is dead; the second flows into a1.
+	if got := len(findAll(fs, "dead-store")); got != 1 {
+		t.Errorf("dead-store count = %d, want 1:\n%s", got, dump(fs))
+	}
+	_ = f
+}
+
+func TestX0Write(t *testing.T) {
+	fs := lintSrc(t, `
+	add  zero, sp, sp
+	ebreak
+`, nil)
+	want(t, fs, "x0-write", lint.Info, "discards")
+}
+
+// The canonical nop must not be flagged as an x0 write.
+func TestNopNotFlagged(t *testing.T) {
+	fs := lintSrc(t, `
+	nop
+	ebreak
+`, nil)
+	wantNone(t, fs, "x0-write")
+}
+
+func TestOutOfMapAccessDefinite(t *testing.T) {
+	fs := lintSrc(t, `
+	li   t0, 0x40000000
+	lw   t1, 0(t0)
+	ebreak
+`, nil)
+	want(t, fs, "oob-access", lint.Definite, "outside every mapped region")
+}
+
+// sp points one past the end of RAM, so a store at 0(sp) lands fully
+// outside the map — the off-by-one the loader contract makes easy.
+func TestOutOfMapAccessPastRAMEnd(t *testing.T) {
+	fs := lintSrc(t, `
+	sw   zero, 0(sp)
+	ebreak
+`, nil)
+	want(t, fs, "oob-access", lint.Definite, "outside")
+}
+
+func TestMisalignedDefinite(t *testing.T) {
+	fs := lintSrc(t, `
+	li   t0, 0x80000002
+	lw   t1, 0(t0)
+	ebreak
+`, nil)
+	want(t, fs, "misaligned", lint.Definite, "not 4-byte aligned")
+}
+
+// Byte accesses have no alignment requirement.
+func TestByteAccessNeverMisaligned(t *testing.T) {
+	fs := lintSrc(t, `
+	li   t0, 0x80000003
+	lb   t1, 0(t0)
+	ebreak
+`, nil)
+	wantNone(t, fs, "misaligned")
+}
+
+func TestSelfModStoreWithoutFence(t *testing.T) {
+	fs := lintSrc(t, `
+	la   t0, patch
+	li   t1, 0x13
+	sw   t1, 0(t0)
+	ebreak
+patch:	nop
+	ebreak
+`, nil)
+	want(t, fs, "selfmod-store", lint.Possible, "code image")
+}
+
+func TestSelfModStoreWithFenceClean(t *testing.T) {
+	fs := lintSrc(t, `
+	la   t0, patch
+	li   t1, 0x13
+	sw   t1, 0(t0)
+	fence.i
+	ebreak
+patch:	nop
+	ebreak
+`, nil)
+	wantNone(t, fs, "selfmod-store")
+}
+
+func TestUnboundedLoopFlagged(t *testing.T) {
+	src := `
+	li   a0, 0
+	lw   a1, -4(sp)
+loop:	addi a0, a0, 1
+	blt  a0, a1, loop
+	ebreak
+`
+	fs := lintSrc(t, src, nil)
+	want(t, fs, "unbounded-loop", lint.Possible, "no user-supplied bound")
+
+	// A user-supplied bound silences the finding.
+	fs = lintSrc(t, src, map[string]int{"loop": 8})
+	wantNone(t, fs, "unbounded-loop")
+}
+
+// A canonical counted loop is bounded by inference, so no finding.
+func TestInferredBoundSilencesLoopFinding(t *testing.T) {
+	fs := lintSrc(t, `
+	li   a0, 0
+loop:	addi a0, a0, 1
+	slti t0, a0, 8
+	bnez t0, loop
+	ebreak
+`, nil)
+	wantNone(t, fs, "unbounded-loop")
+}
+
+func findAll(fs []lint.Finding, check string) []lint.Finding {
+	var out []lint.Finding
+	for _, f := range fs {
+		if f.Check == check {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Acceptance criterion: the linter reports zero definite findings on
+// every shipped workload — a definite finding on working code is a
+// soundness bug.
+func TestWorkloadsHaveNoDefiniteFindings(t *testing.T) {
+	for _, w := range workloads.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			fs := lintSrc(t, w.Source, w.LoopBounds)
+			for _, f := range fs {
+				if f.Severity == lint.Definite {
+					t.Errorf("definite finding on shipped workload: %s", f)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/isa"
+)
+
+// checkDeadStores flags register writes whose value is provably never
+// read: overwritten or dropped on every path. The backward liveness is
+// deliberately conservative about interprocedural flow — at calls and
+// returns every register is live (the callee or caller may read it), and
+// only pure computation classes are flagged, so a finding really is a
+// useless instruction.
+func (l *linter) checkDeadStores(entry uint32) {
+	blocks := l.g.FunctionBlocks(entry)
+	inFunc := map[uint32]bool{}
+	for _, u := range blocks {
+		inFunc[u] = true
+	}
+
+	const allLive = ^uint32(0)
+
+	// liveIn[u]: registers live on entry to block u.
+	liveIn := map[uint32]uint32{}
+	transfer := func(u uint32, out uint32) uint32 {
+		b := l.g.Blocks[u]
+		live := out
+		for i := len(b.Insts) - 1; i >= 0; i-- {
+			in := b.Insts[i]
+			if rd, ok := in.WritesReg(); ok {
+				live &^= 1 << uint(rd)
+			}
+			for _, r := range in.ReadsRegs(nil) {
+				live |= 1 << uint(r)
+			}
+		}
+		return live
+	}
+	liveOut := func(u uint32) uint32 {
+		b := l.g.Blocks[u]
+		switch b.Term {
+		case cfg.TermCall, cfg.TermRet:
+			// The callee/caller may read anything.
+			return allLive
+		case cfg.TermHalt:
+			return 0
+		}
+		var out uint32
+		for _, s := range b.Succs {
+			if inFunc[s.Addr] {
+				out |= liveIn[s.Addr]
+			}
+		}
+		return out
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i := len(blocks) - 1; i >= 0; i-- {
+			u := blocks[i]
+			ni := transfer(u, liveOut(u))
+			if ni != liveIn[u] {
+				liveIn[u] = ni
+				changed = true
+			}
+		}
+	}
+
+	for _, u := range blocks {
+		b := l.g.Blocks[u]
+		live := liveOut(u)
+		// Walk backwards recording per-instruction liveness.
+		type slot struct {
+			idx  int
+			live uint32
+		}
+		slots := make([]slot, 0, len(b.Insts))
+		for i := len(b.Insts) - 1; i >= 0; i-- {
+			slots = append(slots, slot{i, live})
+			in := b.Insts[i]
+			if rd, ok := in.WritesReg(); ok {
+				live &^= 1 << uint(rd)
+			}
+			for _, r := range in.ReadsRegs(nil) {
+				live |= 1 << uint(r)
+			}
+		}
+		for _, s := range slots {
+			in := b.Insts[s.idx]
+			rd, ok := in.WritesReg()
+			if !ok || rd == isa.Zero || s.live&(1<<uint(rd)) != 0 {
+				continue // x0 writes are the x0-write check's business
+			}
+			switch in.Op.Class() {
+			case isa.ClassALU, isa.ClassShift, isa.ClassMul, isa.ClassDiv, isa.ClassBMI:
+			default:
+				continue // loads, CSR reads, jumps have effects beyond rd
+			}
+			l.add("dead-store", Info, b.Addrs[s.idx],
+				"value written to %s by %s is never read", rd, in.Op)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cfg"
 	"repro/internal/timing"
+	"repro/internal/vp"
 	"repro/internal/wcet"
 	"repro/internal/workloads"
 )
@@ -146,6 +147,64 @@ loop:	addi a0, a0, -1
 	}
 }
 
+func TestInferUpCountSltiLatch(t *testing.T) {
+	an, err := inferAnalyze(t, `
+		li a0, 0
+loop:	addi a0, a0, 1
+		slti t0, a0, 8
+		bnez t0, loop
+		ebreak
+	`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range an.Bounds {
+		if b != 8 {
+			t.Errorf("inferred bound %d, want 8", b)
+		}
+	}
+	if len(an.Bounds) != 1 {
+		t.Fatalf("bounds: %v", an.Bounds)
+	}
+}
+
+func TestInferUpCountStride(t *testing.T) {
+	an, err := inferAnalyze(t, `
+		li a0, 0
+loop:	addi a0, a0, 3
+		slti t0, a0, 10
+		bnez t0, loop
+		ebreak
+	`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counter values at the test: 3, 6, 9, 12 — four head executions.
+	for _, b := range an.Bounds {
+		if b != 4 {
+			t.Errorf("inferred bound %d, want 4", b)
+		}
+	}
+}
+
+func TestInferBltLatch(t *testing.T) {
+	an, err := inferAnalyze(t, `
+		li a0, 5
+		li a1, 20
+loop:	addi a0, a0, 1
+		blt a0, a1, loop
+		ebreak
+	`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range an.Bounds {
+		if b != 15 {
+			t.Errorf("inferred bound %d, want 15", b)
+		}
+	}
+}
+
 // The flagship use: most workload loops follow the idiom, so inference
 // alone must bound them with exactly the same result as the hand-written
 // flow facts wherever both apply.
@@ -179,5 +238,120 @@ func TestInferenceMatchesAnnotationsOnWorkloads(t *testing.T) {
 		if withAnnots.WCET != inferred.WCET {
 			t.Errorf("%s: annotated WCET %d != inferred %d", name, withAnnots.WCET, inferred.WCET)
 		}
+	}
+}
+
+// analyzeWorkload assembles a workload under the platform prelude and
+// runs the analysis with the given bounds.
+func analyzeWorkload(t *testing.T, w workloads.Workload, bounds map[string]int, infer bool) (*wcet.Annotated, error) {
+	t.Helper()
+	prog, err := asm.AssembleAt(vp.Prelude+w.Source, vp.RAMBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(prog.Bytes, prog.Org, prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wcet.Analyze(g, wcet.Config{
+		Profile:     timing.EdgeSmall(),
+		Bounds:      bounds,
+		Symbols:     prog.Symbols,
+		InferBounds: infer,
+	})
+}
+
+// Inference must never loosen a bound: for every workload where the
+// inference-only analysis succeeds at all, each inferred loop bound must
+// not exceed the hand-written annotation, and neither may the WCET.
+func TestInferenceNeverLoosensWorkloadBounds(t *testing.T) {
+	succeeded := 0
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			ann, err := analyzeWorkload(t, w, w.LoopBounds, false)
+			if err != nil {
+				t.Fatalf("annotated analysis failed: %v", err)
+			}
+			inf, err := analyzeWorkload(t, w, nil, true)
+			if err != nil {
+				// Data-dependent loops (sort, pid, ...) legitimately
+				// defeat inference; the never-loosen claim is about the
+				// ones it does bound.
+				t.Skipf("inference-only: %v", err)
+			}
+			succeeded++
+			if inf.WCET > ann.WCET {
+				t.Errorf("inferred WCET %d looser than annotated %d", inf.WCET, ann.WCET)
+			}
+			prog, err := asm.AssembleAt(vp.Prelude+w.Source, vp.RAMBase)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for label, annB := range w.LoopBounds {
+				if b, ok := inf.Bounds[prog.Symbols[label]]; ok && b > annB {
+					t.Errorf("loop %s: inferred bound %d > annotation %d", label, b, annB)
+				}
+			}
+		})
+	}
+	if succeeded < 10 {
+		t.Errorf("inference-only analysis succeeded on %d workloads, want >= 10", succeeded)
+	}
+}
+
+// Acceptance check for the interval inferencer: loops that previously
+// required explicit Bounds entries (up-counting or blt-terminated, which
+// the legacy down-count matcher cannot handle) are now bounded
+// automatically, with the program WCET unchanged.
+func TestIntervalInferenceReplacesAnnotations(t *testing.T) {
+	cases := []struct {
+		workload string
+		dropped  []string // annotations removed and expected to be re-derived
+	}{
+		{"fir", []string{"oloop"}},             // blt-latch up-count, bound 57
+		{"matmul", []string{"iloop", "jloop"}}, // slti-latch up-counts, bound 8
+	}
+	for _, c := range cases {
+		t.Run(c.workload, func(t *testing.T) {
+			w, ok := workloads.ByName(c.workload)
+			if !ok {
+				t.Fatalf("%s missing", c.workload)
+			}
+			ann, err := analyzeWorkload(t, w, w.LoopBounds, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			partial := map[string]int{}
+			for label, b := range w.LoopBounds {
+				partial[label] = b
+			}
+			for _, label := range c.dropped {
+				if _, ok := partial[label]; !ok {
+					t.Fatalf("workload has no %q annotation to drop", label)
+				}
+				delete(partial, label)
+			}
+			// Without inference the stripped analysis must fail...
+			if _, err := analyzeWorkload(t, w, partial, false); err == nil {
+				t.Fatalf("analysis without %v should require the annotations", c.dropped)
+			}
+			// ...and with the interval inferencer it must reproduce the
+			// annotated result exactly.
+			inf, err := analyzeWorkload(t, w, partial, true)
+			if err != nil {
+				t.Fatalf("inference did not recover %v: %v", c.dropped, err)
+			}
+			if inf.WCET != ann.WCET {
+				t.Errorf("WCET with inferred bounds %d, want annotated %d", inf.WCET, ann.WCET)
+			}
+			prog, _ := asm.AssembleAt(vp.Prelude+w.Source, vp.RAMBase)
+			for _, label := range c.dropped {
+				head := prog.Symbols[label]
+				if got := inf.Bounds[head]; got != w.LoopBounds[label] {
+					t.Errorf("loop %s: inferred bound %d, want %d", label, got, w.LoopBounds[label])
+				}
+			}
+		})
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/cfg"
+	"repro/internal/dataflow"
 	"repro/internal/timing"
 )
 
@@ -27,9 +28,11 @@ type Config struct {
 	// inference must appear here.
 	Bounds map[string]int
 
-	// InferBounds enables automatic bound derivation for canonical
-	// down-counting loops (see inferBound); explicit Bounds entries
-	// always win.
+	// InferBounds enables automatic bound derivation: first the
+	// canonical down-counting matcher (see inferBound), then the
+	// interval-analysis trip counts (dataflow.InferLoopBounds) for
+	// up-counting, strided, and compare-terminated loops. Explicit
+	// Bounds entries always win.
 	InferBounds bool
 
 	// Symbols maps labels to addresses, used to resolve Bounds (and to
@@ -183,11 +186,18 @@ func (a *analysis) functionWCET(entry uint32) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Automatic bounds from the interval analysis (counted loops the
+	// legacy down-count matcher cannot see: up-counters, non-unit
+	// strides, blt/bge/bltu/bgeu exits).
+	var auto map[uint32]int
+	if a.conf.InferBounds && len(loops) > 0 {
+		auto = dataflow.InferLoopBounds(a.g, entry, loops)
+	}
 	// Innermost first.
 	sort.Slice(loops, func(i, j int) bool { return loops[i].Depth > loops[j].Depth })
 
 	for _, l := range loops {
-		bound, err := a.boundFor(l)
+		bound, err := a.boundFor(l, auto)
 		if err != nil {
 			return 0, err
 		}
@@ -237,8 +247,10 @@ func (a *analysis) functionWCET(entry uint32) (uint64, error) {
 }
 
 // boundFor resolves the iteration bound of a loop: explicit flow facts
-// first, then (if enabled) automatic inference for counted loops.
-func (a *analysis) boundFor(l *cfg.Loop) (int, error) {
+// first, then (if enabled) automatic inference — the legacy down-count
+// matcher before the interval-based bounds in auto, so its results can
+// never loosen.
+func (a *analysis) boundFor(l *cfg.Loop, auto map[uint32]int) (int, error) {
 	head := l.Head
 	for label, bound := range a.conf.Bounds {
 		if addr, ok := a.conf.Symbols[label]; ok && addr == head {
@@ -250,6 +262,9 @@ func (a *analysis) boundFor(l *cfg.Loop) (int, error) {
 	}
 	if a.conf.InferBounds {
 		if bound, ok := a.inferBound(l); ok {
+			return bound, nil
+		}
+		if bound, ok := auto[head]; ok {
 			return bound, nil
 		}
 	}

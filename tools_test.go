@@ -15,6 +15,7 @@ func buildTools(t *testing.T) string {
 	tools := []string{
 		"s4e-asm", "s4e-dis", "s4e-run", "s4e-cfg", "s4e-wcet", "s4e-qta",
 		"s4e-cov", "s4e-fault", "s4e-torture", "s4e-experiments", "s4e-bench",
+		"s4e-lint",
 	}
 	for _, tool := range tools {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
@@ -123,6 +124,35 @@ func TestToolchainEndToEnd(t *testing.T) {
 		out, code := runTool(t, filepath.Join(bin, "s4e-cfg"), src)
 		if code != 0 || !strings.Contains(out, "digraph cfg") {
 			t.Fatalf("s4e-cfg (%d):\n%s", code, out)
+		}
+		out, code = runTool(t, filepath.Join(bin, "s4e-cfg"),
+			"-annotate", "-bounds", "loop=16", src)
+		if code != 0 || !strings.Contains(out, "loop head (depth 1): bound 16 (user)") {
+			t.Fatalf("s4e-cfg -annotate (%d):\n%s", code, out)
+		}
+	})
+
+	t.Run("lint", func(t *testing.T) {
+		// The task program is clean at the definite level; its trailing
+		// spin loop is reported as a possible finding only.
+		out, code := runTool(t, filepath.Join(bin, "s4e-lint"), "-bounds", "loop=16", src)
+		if code != 0 {
+			t.Fatalf("s4e-lint on clean program (%d):\n%s", code, out)
+		}
+		if !strings.Contains(out, "findings") {
+			t.Errorf("summary missing:\n%s", out)
+		}
+
+		buggy := filepath.Join(work, "buggy.s")
+		if err := os.WriteFile(buggy, []byte("\tadd a0, a1, a2\n\tebreak\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, code = runTool(t, filepath.Join(bin, "s4e-lint"), buggy)
+		if code != 1 {
+			t.Fatalf("s4e-lint on buggy program: exit %d, want 1:\n%s", code, out)
+		}
+		if !strings.Contains(out, "uninit-read") {
+			t.Errorf("uninit-read finding missing:\n%s", out)
 		}
 	})
 
