@@ -5,6 +5,8 @@
 // Usage:
 //
 //	s4e-bench [-o BENCH_emu.json] [-reps 3] [-workloads xtea,crc32]
+//
+// Exit status: 0 on success, 1 on runtime failure, 2 on usage error.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/emu"
+	"repro/internal/obs"
 	"repro/internal/vp"
 	"repro/internal/workloads"
 )
@@ -36,6 +39,19 @@ var modes = []engineMode{
 	{"no-tb-cache", emu.EngineSwitch, true},
 }
 
+// engineStats is the per-measurement engine counter snapshot recorded
+// into the JSON document (cumulative over the reps of one measurement).
+type engineStats struct {
+	TBsCompiled      uint64  `json:"tbs_compiled"`
+	TBsInvalidated   uint64  `json:"tbs_invalidated"`
+	JumpCacheHits    uint64  `json:"jump_cache_hits"`
+	JumpCacheMisses  uint64  `json:"jump_cache_misses"`
+	JumpCacheHitRate float64 `json:"jump_cache_hit_rate"`
+	ChainFollows     uint64  `json:"chain_follows"`
+	ChainsSevered    uint64  `json:"chains_severed"`
+	InstsRetired     uint64  `json:"insts_retired"`
+}
+
 // Result is the written JSON document.
 type Result struct {
 	GoVersion string               `json:"go_version"`
@@ -43,24 +59,26 @@ type Result struct {
 	Reps      int                  `json:"reps"`
 	Workloads []string             `json:"workloads"`
 	MIPS      map[string][]float64 `json:"mips"` // engine -> per-workload MIPS
+	// EngineStats mirrors MIPS: engine mode -> per-workload counters.
+	EngineStats map[string][]engineStats `json:"engine_stats"`
 }
 
 // measure times reps steady-state runs of one workload under an engine
 // mode (platform built once, rewound between runs) and returns the best
-// observed MIPS.
-func measure(w workloads.Workload, m engineMode, reps int) (float64, error) {
+// observed MIPS plus the platform for stats inspection.
+func measure(w workloads.Workload, m engineMode, reps int) (float64, *vp.Platform, error) {
 	prog, err := asm.AssembleAt(vp.Prelude+w.Source, vp.RAMBase)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	p, err := vp.New(vp.Config{Sensor: w.Sensor})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	p.Machine.Engine = m.engine
 	p.Machine.DisableTBCache = m.disable
 	if err := p.LoadProgram(prog); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	base := p.Snapshot()
 	best := 0.0
@@ -70,13 +88,13 @@ func measure(w workloads.Workload, m engineMode, reps int) (float64, error) {
 		stop := p.Run(w.Budget)
 		d := time.Since(start).Seconds()
 		if stop.Reason != emu.StopExit {
-			return 0, fmt.Errorf("%s stopped with %v", w.Name, stop)
+			return 0, nil, fmt.Errorf("%s stopped with %v", w.Name, stop)
 		}
 		if mips := float64(p.Machine.Hart.Instret) / d / 1e6; mips > best {
 			best = mips
 		}
 	}
-	return best, nil
+	return best, p, nil
 }
 
 func main() {
@@ -84,22 +102,46 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per measurement (best is kept)")
 	names := flag.String("workloads", "xtea,crc32,fir,matmul,sort,pid",
 		"comma-separated workload subset")
+	metricsPath := flag.String("metrics", "", "write accumulated engine/bus metrics to `file` (.json for JSON, - for stdout, else Prometheus text)")
+	tracePath := flag.String("trace", "", "write per-measurement trace events (JSONL) to `file`")
+	progress := flag.Bool("progress", false, "print a progress line per measurement to stderr")
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: s4e-bench [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
 
 	var selected []workloads.Workload
 	for _, name := range strings.Split(*names, ",") {
 		w, ok := workloads.ByName(strings.TrimSpace(name))
 		if !ok {
-			fatal(fmt.Errorf("unknown workload %q", name))
+			fmt.Fprintf(os.Stderr, "s4e-bench: unknown workload %q\n", name)
+			os.Exit(2)
 		}
 		selected = append(selected, w)
 	}
 
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
+	var tr *obs.Trace
+	var closeTrace func() error
+	if *tracePath != "" {
+		var err error
+		tr, closeTrace, err = obs.NewFileTrace(*tracePath, obs.DefaultRing)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	res := Result{
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Reps:      *reps,
-		MIPS:      map[string][]float64{},
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Reps:        *reps,
+		MIPS:        map[string][]float64{},
+		EngineStats: map[string][]engineStats{},
 	}
 	for _, w := range selected {
 		res.Workloads = append(res.Workloads, w.Name)
@@ -113,11 +155,28 @@ func main() {
 	for i, w := range selected {
 		fmt.Printf("%-14s", w.Name)
 		for _, m := range modes {
-			best, err := measure(w, m, *reps)
+			if *progress {
+				fmt.Fprintf(os.Stderr, "s4e-bench: measuring %s/%s (%d reps)\n", w.Name, m.name, *reps)
+			}
+			best, p, err := measure(w, m, *reps)
 			if err != nil {
 				fatal(err)
 			}
+			es := p.Machine.Stats()
 			res.MIPS[m.name] = append(res.MIPS[m.name], best)
+			res.EngineStats[m.name] = append(res.EngineStats[m.name], engineStats{
+				TBsCompiled:      es.TBsCompiled,
+				TBsInvalidated:   es.TBsInvalidated,
+				JumpCacheHits:    es.JumpCacheHits,
+				JumpCacheMisses:  es.JumpCacheMisses,
+				JumpCacheHitRate: es.JumpCacheHitRate(),
+				ChainFollows:     es.ChainFollows,
+				ChainsSevered:    es.ChainsSevered,
+				InstsRetired:     p.Machine.Hart.Instret,
+			})
+			p.RecordStats(reg)
+			tr.Emit("measurement", "workload", w.Name, "mode", m.name, "mips", best,
+				"jump_cache_hit_rate", es.JumpCacheHitRate())
 			fmt.Printf(" %12.1f", best)
 		}
 		// Geometric means need every workload; print the row ratio now.
@@ -134,6 +193,17 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println("wrote", *out)
+
+	if reg != nil {
+		if err := reg.WriteFile(*metricsPath); err != nil {
+			fatal(err)
+		}
+	}
+	if closeTrace != nil {
+		if err := closeTrace(); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 // geomeanRatio is the geometric mean of a[i]/b[i].

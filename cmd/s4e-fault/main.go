@@ -4,6 +4,10 @@
 // Usage:
 //
 //	s4e-fault [-gpr 200] [-mem 100] [-code 100] [-workers N] [-seed S] prog.s
+//
+// Exit status: 0 on a clean campaign, 1 on runtime failure, 2 on usage
+// error. Mutants the harness cannot run are reported as "errored" in
+// the table; the campaign still completes and exits 1.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/vp"
 )
 
@@ -28,6 +33,9 @@ func main() {
 	budget := flag.Uint64("budget", 10_000_000, "instruction budget per mutant")
 	guided := flag.Bool("guided", false,
 		"derive the plan from a coverage-instrumented golden run (targets only used registers and executed code)")
+	metricsPath := flag.String("metrics", "", "write campaign and engine metrics to `file` after the run (.json for JSON, - for stdout, else Prometheus text)")
+	tracePath := flag.String("trace", "", "write per-mutant trace events (JSONL) to `file`")
+	progress := flag.Bool("progress", false, "print a live campaign progress line to stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: s4e-fault [flags] prog.s")
@@ -76,15 +84,45 @@ func main() {
 		})
 	}
 	fmt.Printf("golden: %v, %d instructions\n", g.Stop, g.Insts)
-	start := time.Now()
-	res, err := fault.Campaign(tg, plan, *workers)
-	if err != nil {
+
+	opts := fault.Options{Workers: *workers}
+	if *metricsPath != "" {
+		opts.Metrics = obs.NewRegistry()
+	}
+	var closeTrace func() error
+	if *tracePath != "" {
+		opts.Trace, closeTrace, err = obs.NewFileTrace(*tracePath, obs.DefaultRing)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+
+	res, err := fault.CampaignOpt(tg, plan, opts)
+	if res == nil {
 		fatal(err)
 	}
-	d := time.Since(start)
 	fmt.Print(res)
 	fmt.Printf("%d mutants in %v (%.0f mutants/sec, %d workers)\n",
-		res.Total, d.Round(time.Millisecond), float64(res.Total)/d.Seconds(), *workers)
+		res.Total, res.Duration.Round(time.Millisecond),
+		float64(res.Total)/res.Duration.Seconds(), *workers)
+
+	if opts.Metrics != nil {
+		if werr := opts.Metrics.WriteFile(*metricsPath); werr != nil {
+			fatal(werr)
+		}
+	}
+	if closeTrace != nil {
+		if werr := closeTrace(); werr != nil {
+			fatal(werr)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "s4e-fault: %d mutants errored:\n%v\n", res.Errored(), err)
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

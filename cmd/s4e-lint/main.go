@@ -68,15 +68,15 @@ func main() {
 	}
 	minSev, err := parseSeverity(*minFlag)
 	if err != nil {
-		fatal(err)
+		usage(err)
 	}
 	failSev, err := parseSeverity(*failFlag)
 	if err != nil {
-		fatal(err)
+		usage(err)
 	}
 	bounds, err := parseBounds(*boundsFlag)
 	if err != nil {
-		fatal(err)
+		usage(err)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -112,6 +112,11 @@ func main() {
 	if failing > 0 {
 		os.Exit(1)
 	}
+}
+
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "s4e-lint:", err)
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	s4e-qta [-profile edge-small] [-annot prog.qta.json] [-blockprofile] prog.s
+//
+// Exit status: 0 on success, 1 on runtime failure, 2 on usage error.
 package main
 
 import (
@@ -13,10 +15,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/emu"
 	"repro/internal/flow"
 	"repro/internal/lint"
+	"repro/internal/obs"
 	"repro/internal/qta"
 	"repro/internal/timing"
 	"repro/internal/vp"
@@ -28,6 +32,9 @@ func main() {
 	annot := flag.String("annot", "", "annotated CFG (default: input + .qta.json)")
 	budget := flag.Uint64("budget", 100_000_000, "instruction budget")
 	blockProfile := flag.Bool("blockprofile", false, "print the per-block visit profile")
+	metricsPath := flag.String("metrics", "", "write analysis timing and engine metrics to `file` (.json for JSON, - for stdout, else Prometheus text)")
+	tracePath := flag.String("trace", "", "write structured trace events (JSONL) to `file`")
+	progress := flag.Bool("progress", false, "print a periodic progress line to stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: s4e-qta [flags] prog.s")
@@ -36,12 +43,25 @@ func main() {
 	}
 	prof, ok := timing.Profiles()[*profName]
 	if !ok {
-		fatal(fmt.Errorf("unknown profile %q", *profName))
+		fmt.Fprintf(os.Stderr, "s4e-qta: unknown profile %q\n", *profName)
+		os.Exit(2)
 	}
+
+	var tr *obs.Trace
+	var closeTrace func() error
+	if *tracePath != "" {
+		var err error
+		tr, closeTrace, err = obs.NewFileTrace(*tracePath, obs.DefaultRing)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	name := *annot
 	if name == "" {
 		name = strings.TrimSuffix(flag.Arg(0), ".s") + ".qta.json"
 	}
+	decodeStart := time.Now()
 	annotData, err := os.ReadFile(name)
 	if err != nil {
 		fatal(err)
@@ -50,6 +70,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	decodeSecs := time.Since(decodeStart).Seconds()
 	if an.Profile != prof.Name() {
 		fmt.Fprintf(os.Stderr, "s4e-qta: warning: annotation was computed for profile %s\n", an.Profile)
 	}
@@ -76,16 +97,73 @@ func main() {
 			}
 		}
 	}
-	stop := p.Run(*budget)
+	tr.Emit("qta-start", "prog", flag.Arg(0), "annot", name, "blocks", len(an.Blocks))
+	runStart := time.Now()
+	stop := run(p, *budget, *progress)
+	runSecs := time.Since(runStart).Seconds()
 	if stop.Reason != emu.StopExit && stop.Reason != emu.StopEbreak {
 		fatal(fmt.Errorf("program ended with %v", stop))
 	}
 	res := q.NewResult(flag.Arg(0), p.Machine.Hart.Cycle, p.Machine.Hart.Instret)
+	tr.Emit("qta-end", "static_wcet", res.StaticWCET, "qta_time", res.QTATime,
+		"dynamic", res.Dynamic, "sound", res.Sound(), "run_seconds", runSecs)
 	fmt.Println(res)
 	fmt.Printf("blocks executed: %d/%d, unannotated transitions: %d, sound: %v\n",
 		res.BlocksSeen, res.BlocksTotal, res.Missing, res.Sound())
 	if *blockProfile {
 		fmt.Print(q.Profile())
+	}
+
+	if *metricsPath != "" {
+		reg := obs.NewRegistry()
+		reg.Gauge("s4e_qta_decode_seconds", "annotation decode time").Set(decodeSecs)
+		reg.Gauge("s4e_qta_run_seconds", "co-simulation run time").Set(runSecs)
+		reg.Gauge("s4e_qta_static_wcet_cycles", "static WCET bound").Set(float64(res.StaticWCET))
+		reg.Gauge("s4e_qta_observed_cycles", "QTA-observed worst-case time").Set(float64(res.QTATime))
+		reg.Gauge("s4e_qta_dynamic_cycles", "emulator dynamic cycle count").Set(float64(res.Dynamic))
+		reg.Counter("s4e_qta_missing_transitions_total", "transitions without an annotated edge").Add(res.Missing)
+		p.RecordStats(reg)
+		if err := reg.WriteFile(*metricsPath); err != nil {
+			fatal(err)
+		}
+	}
+	if closeTrace != nil {
+		if err := closeTrace(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// run executes the program, optionally in budget chunks with a live
+// progress line between them.
+func run(p *vp.Platform, budget uint64, progress bool) emu.StopInfo {
+	if !progress {
+		return p.Run(budget)
+	}
+	const chunk = 50_000_000
+	start := time.Now()
+	for {
+		step := uint64(chunk)
+		if budget > 0 {
+			rem := budget - p.Machine.Hart.Instret
+			if rem == 0 {
+				return emu.StopInfo{Reason: emu.StopBudget, PC: p.Machine.Hart.PC}
+			}
+			if rem < step {
+				step = rem
+			}
+		}
+		stop := p.Run(step)
+		done := p.Machine.Hart.Instret
+		if stop.Reason != emu.StopBudget || (budget > 0 && done >= budget) {
+			return stop
+		}
+		secs := time.Since(start).Seconds()
+		mips := 0.0
+		if secs > 0 {
+			mips = float64(done) / 1e6 / secs
+		}
+		fmt.Fprintf(os.Stderr, "s4e-qta: %d insts (%.0f MIPS)\n", done, mips)
 	}
 }
 

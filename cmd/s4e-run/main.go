@@ -3,7 +3,10 @@
 //
 // Usage:
 //
-//	s4e-run [-profile edge-small] [-isa rv32imfc] [-engine threaded] [-trace] [-budget N] prog.{s,elf}
+//	s4e-run [-profile edge-small] [-isa rv32imfc] [-engine threaded] [-itrace] [-budget N] prog.{s,elf}
+//
+// Exit status: the guest's exit code (nonzero codes are clamped to stay
+// nonzero after the 7-bit mask), 1 on runtime failure, 2 on usage error.
 package main
 
 import (
@@ -11,9 +14,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/plugin"
 	"repro/internal/timing"
 	"repro/internal/vp"
@@ -44,9 +49,12 @@ func main() {
 	profName := flag.String("profile", "unit", "timing profile: unit, edge-small, edge-fast")
 	isaName := flag.String("isa", "full", "ISA configuration: rv32i(m)(f)(b)(c), full")
 	engName := flag.String("engine", "threaded", "execution engine: threaded, switch")
-	trace := flag.Bool("trace", false, "print an instruction trace")
+	itrace := flag.Bool("itrace", false, "print an instruction trace to stderr")
 	budget := flag.Uint64("budget", 100_000_000, "instruction budget")
 	stats := flag.Bool("stats", true, "print run statistics")
+	metricsPath := flag.String("metrics", "", "write engine/bus metrics to `file` after the run (.json for JSON, - for stdout, else Prometheus text)")
+	tracePath := flag.String("trace", "", "write structured trace events (JSONL) to `file`")
+	progress := flag.Bool("progress", false, "print a periodic progress line to stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: s4e-run [flags] prog.{s,elf}")
@@ -56,11 +64,11 @@ func main() {
 
 	prof, ok := timing.Profiles()[*profName]
 	if !ok {
-		fatal(fmt.Errorf("unknown profile %q", *profName))
+		usage(fmt.Errorf("unknown profile %q", *profName))
 	}
 	set, err := parseISA(*isaName)
 	if err != nil {
-		fatal(err)
+		usage(err)
 	}
 
 	p, err := vp.New(vp.Config{Profile: prof, ISA: set, ConsoleOut: os.Stdout})
@@ -73,10 +81,19 @@ func main() {
 	case "switch":
 		p.Machine.Engine = emu.EngineSwitch
 	default:
-		fatal(fmt.Errorf("unknown engine %q", *engName))
+		usage(fmt.Errorf("unknown engine %q", *engName))
 	}
-	if *trace {
+	if *itrace {
 		if err := p.Machine.Hooks.Register(&plugin.Tracer{W: os.Stderr}); err != nil {
+			fatal(err)
+		}
+	}
+
+	var tr *obs.Trace
+	var closeTrace func() error
+	if *tracePath != "" {
+		tr, closeTrace, err = obs.NewFileTrace(*tracePath, obs.DefaultRing)
+		if err != nil {
 			fatal(err)
 		}
 	}
@@ -96,15 +113,77 @@ func main() {
 		}
 	}
 
-	stop := p.Run(*budget)
+	tr.Emit("run-start", "prog", in, "budget", *budget, "engine", *engName, "profile", *profName)
+	stop := run(p, *budget, *progress)
+	h := &p.Machine.Hart
+	tr.Emit("run-end", "reason", stop.Reason.String(), "code", stop.Code,
+		"insts", h.Instret, "cycles", h.Cycle)
+
 	if *stats {
-		h := &p.Machine.Hart
 		fmt.Fprintf(os.Stderr, "stop:    %v\ninsts:   %d\ncycles:  %d (%s)\nengine:  %s\nblocks:  %d cached\n",
 			stop, h.Instret, h.Cycle, prof.Name(), p.Machine.Engine, p.Machine.CachedBlocks())
 	}
-	if stop.Reason == emu.StopExit {
-		os.Exit(int(stop.Code & 0x7f))
+	if *metricsPath != "" {
+		reg := obs.NewRegistry()
+		p.RecordStats(reg)
+		if err := reg.WriteFile(*metricsPath); err != nil {
+			fatal(err)
+		}
 	}
+	if closeTrace != nil {
+		if err := closeTrace(); err != nil {
+			fatal(err)
+		}
+	}
+	if stop.Reason == emu.StopExit {
+		// The shell convention keeps 7 bits of exit status; a nonzero
+		// guest code must never collapse to "success" under the mask.
+		code := int(stop.Code & 0x7f)
+		if code == 0 && stop.Code != 0 {
+			code = 1
+		}
+		os.Exit(code)
+	}
+}
+
+// run executes the program, optionally in chunks with a live progress
+// line between them (budget stops are resumable, so chunking does not
+// change the architectural result).
+func run(p *vp.Platform, budget uint64, progress bool) emu.StopInfo {
+	if !progress {
+		return p.Run(budget)
+	}
+	const chunk = 50_000_000
+	start := time.Now()
+	for {
+		step := uint64(chunk)
+		if budget > 0 {
+			rem := budget - p.Machine.Hart.Instret
+			if rem == 0 {
+				return emu.StopInfo{Reason: emu.StopBudget, PC: p.Machine.Hart.PC}
+			}
+			if rem < step {
+				step = rem
+			}
+		}
+		stop := p.Run(step)
+		done := p.Machine.Hart.Instret
+		if stop.Reason != emu.StopBudget || (budget > 0 && done >= budget) {
+			return stop
+		}
+		secs := time.Since(start).Seconds()
+		mips := 0.0
+		if secs > 0 {
+			mips = float64(done) / 1e6 / secs
+		}
+		fmt.Fprintf(os.Stderr, "s4e-run: %d insts (%.0f MIPS)\n", done, mips)
+	}
+}
+
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "s4e-run:", err)
+	fmt.Fprintln(os.Stderr, "usage: s4e-run [flags] prog.{s,elf}")
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -22,6 +22,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed")
 	dir := flag.String("dir", "", "output directory (default: stdout, first program only)")
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: s4e-torture [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
 
 	var set isa.ExtSet
 	switch *isaName {
@@ -36,7 +41,8 @@ func main() {
 	case "full":
 		set = isa.RV32Full
 	default:
-		fatal(fmt.Errorf("unknown ISA %q", *isaName))
+		fmt.Fprintf(os.Stderr, "s4e-torture: unknown ISA %q\n", *isaName)
+		os.Exit(2)
 	}
 
 	if *dir == "" {

@@ -52,11 +52,11 @@ func main() {
 	}
 	prof, ok := timing.Profiles()[*profName]
 	if !ok {
-		fatal(fmt.Errorf("unknown profile %q", *profName))
+		usage(fmt.Errorf("unknown profile %q", *profName))
 	}
 	bounds, err := parseBounds(*boundsFlag)
 	if err != nil {
-		fatal(err)
+		usage(err)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -101,6 +101,11 @@ func main() {
 		}
 		fmt.Print(a.Annotated.Report(symByAddr))
 	}
+}
+
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "s4e-wcet:", err)
+	os.Exit(2)
 }
 
 func fatal(err error) {

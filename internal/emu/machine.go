@@ -178,6 +178,12 @@ type Machine struct {
 	storeLo uint32
 	storeHi uint32
 
+	// stats holds the engine's lifetime performance counters. They are
+	// plain (non-atomic) fields because a Machine is single-threaded;
+	// the increments sit off the per-instruction path (translation,
+	// invalidation, block lookup), so they stay on unconditionally.
+	stats EngineStats
+
 	// icache holds the direct-mapped I-cache tags (line address + 1;
 	// zero = invalid) when the profile models one.
 	icache []uint32
@@ -289,8 +295,9 @@ func (m *Machine) InvalidateTBs() {
 	// Sever chains first: a dropped block must never be reachable through
 	// a surviving (or still-executing) block's successor links.
 	for _, t := range m.tbs {
-		t.succ[0], t.succ[1] = nil, nil
+		m.severChain(t)
 	}
+	m.stats.TBsInvalidated += uint64(len(m.tbs))
 	m.tbs = make(map[uint32]*tb)
 	m.codeLo, m.codeHi = ^uint32(0), 0
 	m.icache = nil
@@ -315,11 +322,12 @@ func (m *Machine) invalidateRange(lo, hi uint32) (hitCurrent bool) {
 	newLo, newHi := ^uint32(0), uint32(0)
 	for pc, t := range m.tbs {
 		if lo < t.end && t.info.PC < hi {
-			t.succ[0], t.succ[1] = nil, nil
+			m.severChain(t)
+			m.stats.TBsInvalidated++
 			delete(m.tbs, pc)
 			continue
 		}
-		t.succ[0], t.succ[1] = nil, nil
+		m.severChain(t)
 		if t.info.PC < newLo {
 			newLo = t.info.PC
 		}
@@ -336,6 +344,64 @@ func (m *Machine) invalidateRange(lo, hi uint32) (hitCurrent bool) {
 // machine construction. The fault campaign compares it across a mutant
 // run to decide whether the translation cache survives a state restore.
 func (m *Machine) CodeWrites() uint64 { return m.codeWrites }
+
+// EngineStats are the engine's lifetime performance counters, the
+// regression surface for the translation-cache and chaining machinery:
+// perf PRs compare these (jump-cache hit rate in particular), not just
+// wall time.
+type EngineStats struct {
+	// TBsCompiled counts blocks translated, including retranslations
+	// after invalidation or a profile/ISA change.
+	TBsCompiled uint64
+	// TBsInvalidated counts cached blocks dropped by fence.i, code
+	// stores, resets and full flushes.
+	TBsInvalidated uint64
+	// JumpCacheHits/Misses count direct-mapped jump-cache lookups; a
+	// miss falls through to the block map (and possibly a translation).
+	JumpCacheHits   uint64
+	JumpCacheMisses uint64
+	// ChainFollows counts block transitions resolved through successor
+	// links, bypassing jump cache and map entirely.
+	ChainFollows uint64
+	// ChainsSevered counts successor links cut by invalidations.
+	ChainsSevered uint64
+}
+
+// JumpCacheHitRate returns hits/(hits+misses), or 0 with no lookups.
+func (s EngineStats) JumpCacheHitRate() float64 {
+	total := s.JumpCacheHits + s.JumpCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.JumpCacheHits) / float64(total)
+}
+
+// Add accumulates other into s (campaign-style aggregation across
+// worker machines).
+func (s *EngineStats) Add(other EngineStats) {
+	s.TBsCompiled += other.TBsCompiled
+	s.TBsInvalidated += other.TBsInvalidated
+	s.JumpCacheHits += other.JumpCacheHits
+	s.JumpCacheMisses += other.JumpCacheMisses
+	s.ChainFollows += other.ChainFollows
+	s.ChainsSevered += other.ChainsSevered
+}
+
+// Stats returns a snapshot of the engine counters.
+func (m *Machine) Stats() EngineStats { return m.stats }
+
+// severChain cuts a block's successor links, keeping the severed-link
+// counter honest across every invalidation path.
+func (m *Machine) severChain(t *tb) {
+	if t.succ[0] != nil {
+		t.succ[0] = nil
+		m.stats.ChainsSevered++
+	}
+	if t.succ[1] != nil {
+		t.succ[1] = nil
+		m.stats.ChainsSevered++
+	}
+}
 
 // translate builds (or fetches) the translated block starting at pc.
 func (m *Machine) translate(pc uint32) (*tb, *mem.Fault) {
@@ -382,10 +448,12 @@ func (m *Machine) translate(pc uint32) (*tb, *mem.Fault) {
 		ext:  m.ISA,
 	}
 	t.end = pc + t.info.Size()
+	m.stats.TBsCompiled++
 	if old := m.tbs[pc]; old != nil {
 		// A stale block (profile/ISA change, DisableTBCache retranslate)
 		// is replaced; make sure nothing chains to it any more.
-		old.succ[0], old.succ[1] = nil, nil
+		m.severChain(old)
+		m.stats.TBsInvalidated++
 	}
 	m.tbs[pc] = t
 	if pc < m.codeLo {
@@ -405,8 +473,10 @@ func (m *Machine) lookupTB(pc uint32) *tb {
 	if !m.DisableTBCache {
 		slot := pc >> 1 & (jmpCacheSize - 1)
 		if t := m.jmp[slot]; t != nil && t.info.PC == pc && t.prof == m.Profile && t.ext == m.ISA {
+			m.stats.JumpCacheHits++
 			return t
 		}
+		m.stats.JumpCacheMisses++
 		t, f := m.translate(pc)
 		if f != nil {
 			m.trap(f.Cause, f.Addr, pc)

@@ -126,8 +126,10 @@ func (m *Machine) runThreaded(budget uint64) StopInfo {
 		switch {
 		case m.chainOK(cur.succ[0], npc):
 			cur = cur.succ[0]
+			m.stats.ChainFollows++
 		case m.chainOK(cur.succ[1], npc):
 			cur = cur.succ[1]
+			m.stats.ChainFollows++
 		default:
 			cur = nil
 		}

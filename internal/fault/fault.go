@@ -7,15 +7,20 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/timing"
 	"repro/internal/vp"
 )
@@ -91,7 +96,15 @@ const (
 	Trapped
 	// Hung: the instruction budget expired (livelock/runaway).
 	Hung
+	// Errored: the harness could not run the mutant (injection address
+	// outside RAM, platform construction failure). Not a guest
+	// classification — an errored slot says nothing about the fault's
+	// architectural effect.
+	Errored
 )
+
+// numOutcomes sizes per-outcome arrays; keep in step with the constants.
+const numOutcomes = 5
 
 func (o Outcome) String() string {
 	switch o {
@@ -103,6 +116,8 @@ func (o Outcome) String() string {
 		return "trapped"
 	case Hung:
 		return "hung"
+	case Errored:
+		return "errored"
 	}
 	return "outcome?"
 }
@@ -410,6 +425,32 @@ type Results struct {
 	ByModel   map[Model]map[Outcome]int
 	// Details pairs each fault with its outcome, in plan order.
 	Details []Outcome
+	// Duration is the wall-clock time of the mutant runs (golden run
+	// excluded).
+	Duration time.Duration
+}
+
+// Errored reports how many mutants the harness failed to run.
+func (r *Results) Errored() int { return r.ByOutcome[Errored] }
+
+// Options configures a campaign run beyond the plan itself. The zero
+// value means one worker and no observability.
+type Options struct {
+	// Workers is the number of parallel mutant runners (<=0 means 1).
+	Workers int
+	// Metrics, when non-nil, receives campaign counters
+	// (s4e_fault_mutants_total{outcome=...}, s4e_fault_done_total,
+	// throughput gauges) plus the accumulated engine/bus stats of every
+	// worker platform.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives campaign-start/mutant/campaign-end
+	// events. Per-mutant events serialize on the trace mutex, so only
+	// enable it when per-mutant attribution is worth the contention.
+	Trace *obs.Trace
+	// Progress, when non-nil, receives a live one-line status every
+	// ProgressEvery (default 1s) plus a final line at completion.
+	Progress      io.Writer
+	ProgressEvery time.Duration
 }
 
 // Campaign runs every fault in the plan against the target, using the
@@ -417,10 +458,20 @@ type Results struct {
 // mutant. Each worker owns a private platform, so the campaign scales
 // with cores — the property the fault paper demonstrates on QEMU.
 func Campaign(t *Target, plan Plan, workers int) (*Results, error) {
+	return CampaignOpt(t, plan, Options{Workers: workers})
+}
+
+// CampaignOpt is Campaign with observability options. Mutants the
+// harness cannot run are classified Errored and the run continues; the
+// returned Results always covers the full plan, with the joined errors
+// (errors.Join) alongside. Callers that care only about guest behaviour
+// can therefore keep partial results even when err != nil.
+func CampaignOpt(t *Target, plan Plan, o Options) (*Results, error) {
 	golden, err := RunGolden(t)
 	if err != nil {
 		return nil, err
 	}
+	workers := o.Workers
 	if workers <= 0 {
 		workers = 1
 	}
@@ -430,11 +481,56 @@ func Campaign(t *Target, plan Plan, workers int) (*Results, error) {
 		ByModel:   make(map[Model]map[Outcome]int),
 		Details:   make([]Outcome, len(plan.Faults)),
 	}
+	// Pre-fill with Errored: Masked is the zero value, so a slot no
+	// worker ever reaches (all injector constructions failing, say) must
+	// not silently read as a benign outcome.
+	for i := range res.Details {
+		res.Details[i] = Errored
+	}
+
 	var (
 		wg   sync.WaitGroup
-		mu   sync.Mutex
+		mu   sync.Mutex // guards errs; Details slots are each owned by one worker
 		errs []error
+
+		done   atomic.Uint64
+		counts [numOutcomes]atomic.Uint64
 	)
+	mDone := o.Metrics.Counter("s4e_fault_done_total", "mutants attempted")
+	var mOutcome [numOutcomes]*obs.Counter
+	for oc := Outcome(0); oc < numOutcomes; oc++ {
+		mOutcome[oc] = o.Metrics.Counter(
+			fmt.Sprintf("s4e_fault_mutants_total{outcome=%q}", oc.String()),
+			"campaign mutants by classified outcome")
+	}
+	o.Metrics.Gauge("s4e_fault_workers", "parallel campaign workers").Set(float64(workers))
+
+	start := time.Now()
+	o.Trace.Emit("campaign-start", "mutants", len(plan.Faults), "workers", workers)
+
+	stopProgress := make(chan struct{})
+	var progressWG sync.WaitGroup
+	if o.Progress != nil {
+		every := o.ProgressEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		progressWG.Add(1)
+		go func() {
+			defer progressWG.Done()
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopProgress:
+					return
+				case <-tick.C:
+					writeProgress(o.Progress, done.Load(), uint64(res.Total), &counts, time.Since(start))
+				}
+			}
+		}()
+	}
+
 	// Buffered and pre-filled so a worker failing early can never block
 	// the producer.
 	idx := make(chan int, len(plan.Faults))
@@ -455,20 +551,38 @@ func Campaign(t *Target, plan Plan, workers int) (*Results, error) {
 			}
 			for i := range idx {
 				out, err := inj.run(golden, plan.Faults[i])
-				mu.Lock()
 				if err != nil {
-					errs = append(errs, err)
-				} else {
-					res.Details[i] = out
+					out = Errored
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("mutant %d (%v): %w", i, plan.Faults[i], err))
+					mu.Unlock()
 				}
-				mu.Unlock()
+				res.Details[i] = out
+				counts[out].Add(1)
+				done.Add(1)
+				mDone.Inc()
+				mOutcome[out].Inc()
+				o.Trace.Emit("mutant", "i", i, "fault", plan.Faults[i].String(), "outcome", out.String())
 			}
+			inj.p.RecordStats(o.Metrics)
 		}()
 	}
 	wg.Wait()
-	if len(errs) > 0 {
-		return nil, errs[0]
+	close(stopProgress)
+	progressWG.Wait()
+	res.Duration = time.Since(start)
+
+	if secs := res.Duration.Seconds(); secs > 0 {
+		o.Metrics.Gauge("s4e_fault_mutants_per_sec", "campaign throughput").
+			Set(float64(done.Load()) / secs)
+		o.Metrics.Gauge("s4e_fault_campaign_seconds", "campaign wall-clock duration").Set(secs)
 	}
+	if o.Progress != nil {
+		writeProgress(o.Progress, done.Load(), uint64(res.Total), &counts, res.Duration)
+	}
+	o.Trace.Emit("campaign-end", "done", done.Load(), "errored", counts[Errored].Load(),
+		"seconds", res.Duration.Seconds())
+
 	for i, out := range res.Details {
 		res.ByOutcome[out]++
 		m := plan.Faults[i].Model
@@ -477,14 +591,31 @@ func Campaign(t *Target, plan Plan, workers int) (*Results, error) {
 		}
 		res.ByModel[m][out]++
 	}
-	return res, nil
+	return res, errors.Join(errs...)
+}
+
+// writeProgress emits one live status line (counts read atomically, so
+// the line is approximate while workers run).
+func writeProgress(w io.Writer, done, total uint64, counts *[numOutcomes]atomic.Uint64, elapsed time.Duration) {
+	pct := 100.0
+	if total > 0 {
+		pct = 100 * float64(done) / float64(total)
+	}
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(done) / s
+	}
+	fmt.Fprintf(w, "fault: %d/%d mutants (%.1f%%) %.0f/sec masked=%d sdc=%d trapped=%d hung=%d errored=%d\n",
+		done, total, pct, rate,
+		counts[Masked].Load(), counts[SDC].Load(), counts[Trapped].Load(),
+		counts[Hung].Load(), counts[Errored].Load())
 }
 
 // String renders the campaign classification table.
 func (r *Results) String() string {
 	var sb strings.Builder
-	outcomes := []Outcome{Masked, SDC, Trapped, Hung}
-	fmt.Fprintf(&sb, "%-16s %8s %8s %8s %8s %8s\n", "model", "total", "masked", "sdc", "trapped", "hung")
+	outcomes := []Outcome{Masked, SDC, Trapped, Hung, Errored}
+	fmt.Fprintf(&sb, "%-16s %8s %8s %8s %8s %8s %8s\n", "model", "total", "masked", "sdc", "trapped", "hung", "errored")
 	models := make([]Model, 0, len(r.ByModel))
 	for m := range r.ByModel {
 		models = append(models, m)

@@ -1,0 +1,207 @@
+package fault_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/fault"
+	"repro/internal/isa"
+	"repro/internal/obs"
+	"repro/internal/vp"
+)
+
+// stressProg is a small down-counting loop: long enough that an early
+// transient has somewhere to land, short enough that hung mutants burn
+// only the small budget below.
+const stressProg = `
+_start:
+	li a1, 400
+loop:	addi a1, a1, -1
+	bnez a1, loop
+	li a0, 42
+	li t6, SYSCON_EXIT
+	sw a0, 0(t6)
+1:	j 1b
+`
+
+func stressTarget(t *testing.T) *fault.Target {
+	t.Helper()
+	prog, err := asm.AssembleAt(vp.Prelude+stressProg, vp.RAMBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fault.Target{Program: prog, Budget: 5000}
+}
+
+// stressPlan mixes deterministic outcomes: erroring mutants (memory
+// faults aimed outside RAM), hanging mutants (bit 30 flipped into the
+// loop counter turns a 400-count loop into a 2^30 one), and masked
+// mutants (flips into the hardwired x0).
+func stressPlan(nErr, nHang, nMask int) (fault.Plan, int) {
+	var p fault.Plan
+	for i := 0; i < nErr; i++ {
+		// Addr 0 is far below RAMBase; the offset wraps outside RAM.
+		p.Faults = append(p.Faults, fault.Fault{Model: fault.MemPermanent, Addr: uint32(4 * i), Bit: 0})
+	}
+	for i := 0; i < nHang; i++ {
+		p.Faults = append(p.Faults, fault.Fault{
+			Model: fault.GPRTransient, Reg: isa.A1, Bit: 30, Trigger: uint64(40 + i),
+		})
+	}
+	for i := 0; i < nMask; i++ {
+		p.Faults = append(p.Faults, fault.Fault{
+			Model: fault.GPRTransient, Reg: 0, Bit: uint8(i % 32), Trigger: uint64(10 + i),
+		})
+	}
+	return p, nErr + nHang + nMask
+}
+
+// TestCampaignPartialResults is the regression test for the campaign
+// discarding every completed classification when any mutant errors: the
+// erroring mutants must come back as Errored alongside the joined
+// error, with every other mutant still classified.
+func TestCampaignPartialResults(t *testing.T) {
+	tg := stressTarget(t)
+	plan, total := stressPlan(3, 2, 4)
+
+	var baseline []fault.Outcome
+	for workers := 1; workers <= 8; workers++ {
+		res, err := fault.Campaign(tg, plan, workers)
+		if res == nil {
+			t.Fatalf("workers=%d: partial results discarded (res == nil)", workers)
+		}
+		if err == nil || !strings.Contains(err.Error(), "outside RAM") {
+			t.Fatalf("workers=%d: want joined outside-RAM error, got %v", workers, err)
+		}
+		if res.Total != total || len(res.Details) != total {
+			t.Fatalf("workers=%d: total %d details %d, want %d", workers, res.Total, len(res.Details), total)
+		}
+		sum := 0
+		for _, n := range res.ByOutcome {
+			sum += n
+		}
+		if sum != total {
+			t.Errorf("workers=%d: outcome sum %d != total %d (%v)", workers, sum, total, res.ByOutcome)
+		}
+		if got := res.ByOutcome[fault.Errored]; got != 3 {
+			t.Errorf("workers=%d: errored %d, want 3", workers, got)
+		}
+		if got := res.ByOutcome[fault.Hung]; got != 2 {
+			t.Errorf("workers=%d: hung %d, want 2 (%v)", workers, got, res.ByOutcome)
+		}
+		if got := res.ByOutcome[fault.Masked]; got != 4 {
+			t.Errorf("workers=%d: masked %d, want 4 (%v)", workers, got, res.ByOutcome)
+		}
+		if res.Errored() != res.ByOutcome[fault.Errored] {
+			t.Errorf("workers=%d: Errored() disagrees with ByOutcome", workers)
+		}
+		if baseline == nil {
+			baseline = res.Details
+		} else {
+			for i := range baseline {
+				if res.Details[i] != baseline[i] {
+					t.Fatalf("workers=%d: mutant %d classified %v, 1 worker said %v",
+						workers, i, res.Details[i], baseline[i])
+				}
+			}
+		}
+		// The multi-error case must join every failure, not just the first.
+		if n := strings.Count(err.Error(), "outside RAM"); n != 3 {
+			t.Errorf("workers=%d: joined error mentions %d failures, want 3:\n%v", workers, n, err)
+		}
+	}
+}
+
+// TestCampaignObservability drives the full Options surface: live
+// progress lines, campaign metrics, trace events, and worker engine
+// stats folded into the registry.
+func TestCampaignObservability(t *testing.T) {
+	tg := stressTarget(t)
+	plan, total := stressPlan(1, 1, 6)
+
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace(64, nil)
+	var progress bytes.Buffer
+	res, err := fault.CampaignOpt(tg, plan, fault.Options{
+		Workers:       4,
+		Metrics:       reg,
+		Trace:         tr,
+		Progress:      &progress,
+		ProgressEvery: time.Millisecond,
+	})
+	if res == nil {
+		t.Fatalf("no results: %v", err)
+	}
+	if err == nil {
+		t.Fatal("want the erroring mutant surfaced")
+	}
+	if res.Duration <= 0 {
+		t.Error("campaign duration not recorded")
+	}
+
+	if got := reg.Counter("s4e_fault_done_total", "").Value(); got != uint64(total) {
+		t.Errorf("done counter %d, want %d", got, total)
+	}
+	if got := reg.Counter(`s4e_fault_mutants_total{outcome="errored"}`, "").Value(); got != 1 {
+		t.Errorf("errored counter %d, want 1", got)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`s4e_fault_mutants_total{outcome="masked"}`,
+		"s4e_fault_workers 4",
+		"s4e_fault_mutants_per_sec",
+		vp.MetricTBsCompiled, // worker engine stats recorded
+		vp.MetricJumpCacheHitRate,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics report missing %q:\n%s", want, out)
+		}
+	}
+
+	// The final progress line reflects the completed campaign.
+	lines := strings.Split(strings.TrimSpace(progress.String()), "\n")
+	last := lines[len(lines)-1]
+	for _, want := range []string{"8/8 mutants", "(100.0%)", "errored=1", "hung=1", "masked=6"} {
+		if !strings.Contains(last, want) {
+			t.Errorf("final progress line missing %q: %q", want, last)
+		}
+	}
+
+	events := tr.Events()
+	var names []string
+	for _, e := range events {
+		names = append(names, e.Name)
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "campaign-start") || !strings.Contains(joined, "campaign-end") {
+		t.Errorf("trace missing campaign framing: %v", names)
+	}
+	if n := strings.Count(joined, "mutant"); n != total {
+		t.Errorf("trace has %d mutant events, want %d", n, total)
+	}
+}
+
+// TestCampaignGoldenFailure pins the one case where no partial results
+// exist: if the fault-free golden run itself cannot execute, there is
+// nothing to classify against and the campaign returns nil with the
+// error.
+func TestCampaignGoldenFailure(t *testing.T) {
+	tg := stressTarget(t)
+	bad := *tg
+	bad.RAMSize = 16 // cannot hold the image
+	plan, _ := stressPlan(0, 0, 3)
+	res, err := fault.Campaign(&bad, plan, 2)
+	if err == nil {
+		t.Fatal("want a golden-run failure")
+	}
+	if res != nil {
+		t.Fatalf("no golden reference, so no classifications: got %+v", res)
+	}
+}

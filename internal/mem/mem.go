@@ -84,7 +84,25 @@ type region struct {
 // overlap. The zero Bus is empty and ready to use.
 type Bus struct {
 	regions []region
+
+	// stats counts dispatched accesses. Plain fields: the bus serves one
+	// hart, and the increments are noise next to the region search. Note
+	// the emulator's direct-RAM fast path bypasses the bus, so these are
+	// bus dispatches (MMIO, fetches, unaligned/slow-path data), not total
+	// guest accesses.
+	stats BusStats
 }
+
+// BusStats counts the accesses the bus dispatched since construction.
+type BusStats struct {
+	Fetches uint64 // instruction fetches (16-bit parcels)
+	Loads   uint64 // data loads
+	Stores  uint64 // data stores
+	Faults  uint64 // accesses that raised a memory fault
+}
+
+// Stats returns a snapshot of the bus access counters.
+func (b *Bus) Stats() BusStats { return b.stats }
 
 // Map adds a device at [base, base+size). It returns an error if the new
 // region overlaps an existing one or wraps the address space.
@@ -126,11 +144,18 @@ func (b *Bus) find(addr uint32, size uint8) *region {
 
 // LoadKind performs a load or fetch of the given size.
 func (b *Bus) LoadKind(kind Access, addr uint32, size uint8) (uint32, *Fault) {
+	if kind == Fetch {
+		b.stats.Fetches++
+	} else {
+		b.stats.Loads++
+	}
 	if addr&uint32(size-1) != 0 {
+		b.stats.Faults++
 		return 0, misaligned(kind, addr)
 	}
 	r := b.find(addr, size)
 	if r == nil {
+		b.stats.Faults++
 		return 0, accessFault(kind, addr)
 	}
 	if r.ram != nil {
@@ -138,6 +163,7 @@ func (b *Bus) LoadKind(kind Access, addr uint32, size uint8) (uint32, *Fault) {
 	}
 	v, err := r.dev.Load(addr-r.base, size)
 	if err != nil {
+		b.stats.Faults++
 		return 0, accessFault(kind, addr)
 	}
 	return v, nil
@@ -156,11 +182,14 @@ func (b *Bus) Fetch16(addr uint32) (uint16, *Fault) {
 
 // Store performs a data store of the given size (1, 2 or 4 bytes).
 func (b *Bus) Store(addr uint32, size uint8, val uint32) *Fault {
+	b.stats.Stores++
 	if addr&uint32(size-1) != 0 {
+		b.stats.Faults++
 		return misaligned(Store, addr)
 	}
 	r := b.find(addr, size)
 	if r == nil {
+		b.stats.Faults++
 		return accessFault(Store, addr)
 	}
 	if r.ram != nil {
@@ -168,6 +197,7 @@ func (b *Bus) Store(addr uint32, size uint8, val uint32) *Fault {
 		return nil
 	}
 	if err := r.dev.Store(addr-r.base, size, val); err != nil {
+		b.stats.Faults++
 		return accessFault(Store, addr)
 	}
 	return nil

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record. Nanos is monotonic time since
+// the trace was created, so event streams from different runs are
+// directly comparable and carry no wall-clock noise.
+type Event struct {
+	Seq    uint64         `json:"seq"`
+	Nanos  int64          `json:"ns"`
+	Name   string         `json:"name"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Trace is a ring-buffered structured event sink with an optional
+// streaming JSONL writer. Emit is safe for concurrent use and is a
+// nil-safe no-op, so instrumented code keeps a possibly-nil *Trace and
+// pays one nil check when tracing is off.
+type Trace struct {
+	mu    sync.Mutex
+	start time.Time
+	ring  []Event
+	next  int
+	full  bool
+	seq   uint64
+	enc   *json.Encoder
+	w     io.Writer
+}
+
+// DefaultRing is the ring capacity used when NewTrace is given n <= 0.
+const DefaultRing = 4096
+
+// NewTrace creates a trace sink holding the last n events (DefaultRing
+// when n <= 0). When w is non-nil every event is additionally streamed
+// to it as one JSON line.
+func NewTrace(n int, w io.Writer) *Trace {
+	if n <= 0 {
+		n = DefaultRing
+	}
+	t := &Trace{start: time.Now(), ring: make([]Event, n), w: w}
+	if w != nil {
+		t.enc = json.NewEncoder(w)
+	}
+	return t
+}
+
+// NewFileTrace opens path (creating/truncating it) and returns a trace
+// streaming JSONL to it plus a close function that flushes the file.
+func NewFileTrace(path string, n int) (*Trace, func() error, error) {
+	fd, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw := bufio.NewWriter(fd)
+	t := NewTrace(n, bw)
+	closer := func() error {
+		err := bw.Flush()
+		if cerr := fd.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return t, closer, nil
+}
+
+// Emit records one event. kv is alternating key, value pairs; a
+// dangling key is recorded under "arg". Nil-safe no-op.
+func (t *Trace) Emit(name string, kv ...any) {
+	if t == nil {
+		return
+	}
+	var fields map[string]any
+	if len(kv) > 0 {
+		fields = make(map[string]any, (len(kv)+1)/2)
+		for i := 0; i < len(kv); i += 2 {
+			if i+1 < len(kv) {
+				if k, ok := kv[i].(string); ok {
+					fields[k] = kv[i+1]
+					continue
+				}
+			}
+			fields["arg"] = kv[i]
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	ev := Event{Seq: t.seq, Nanos: time.Since(t.start).Nanoseconds(), Name: name, Fields: fields}
+	t.ring[t.next] = ev
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	if t.enc != nil {
+		// Encoding errors are deliberately swallowed: tracing must never
+		// fail the traced run. The ring copy is still intact.
+		_ = t.enc.Encode(ev)
+	}
+}
+
+// Events returns the buffered events, oldest first.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		out := make([]Event, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Len returns the number of buffered events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.ring)
+	}
+	return t.next
+}

@@ -1,0 +1,55 @@
+package vp
+
+import "repro/internal/obs"
+
+// Engine and bus metric names recorded by RecordStats. Exported so the
+// tools and tests reference one spelling.
+const (
+	MetricTBsCompiled      = "s4e_emu_tbs_compiled_total"
+	MetricTBsInvalidated   = "s4e_emu_tbs_invalidated_total"
+	MetricJumpCacheHits    = "s4e_emu_jump_cache_hits_total"
+	MetricJumpCacheMisses  = "s4e_emu_jump_cache_misses_total"
+	MetricJumpCacheHitRate = "s4e_emu_jump_cache_hit_rate"
+	MetricChainFollows     = "s4e_emu_chain_follows_total"
+	MetricChainsSevered    = "s4e_emu_chains_severed_total"
+	MetricInsts            = "s4e_emu_instructions_retired_total"
+	MetricCycles           = "s4e_emu_cycles_total"
+	MetricBusFetches       = "s4e_bus_fetches_total"
+	MetricBusLoads         = "s4e_bus_loads_total"
+	MetricBusStores        = "s4e_bus_stores_total"
+	MetricBusFaults        = "s4e_bus_faults_total"
+)
+
+// RecordStats folds the platform's engine and memory-bus counters into
+// the registry. Counters are additive, so recording several platforms
+// (fault-campaign workers) accumulates fleet totals; the jump-cache
+// hit-rate gauge is recomputed from the accumulated counters on every
+// call, so the last call leaves the overall rate. Call it once per
+// platform, after the run. A nil registry is a no-op.
+func (p *Platform) RecordStats(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	es := p.Machine.Stats()
+	r.Counter(MetricTBsCompiled, "translated blocks compiled").Add(es.TBsCompiled)
+	r.Counter(MetricTBsInvalidated, "translated blocks invalidated").Add(es.TBsInvalidated)
+	r.Counter(MetricJumpCacheHits, "jump cache hits").Add(es.JumpCacheHits)
+	r.Counter(MetricJumpCacheMisses, "jump cache misses").Add(es.JumpCacheMisses)
+	r.Counter(MetricChainFollows, "block transitions via chain links").Add(es.ChainFollows)
+	r.Counter(MetricChainsSevered, "chain links severed by invalidation").Add(es.ChainsSevered)
+	r.Counter(MetricInsts, "instructions retired").Add(p.Machine.Hart.Instret)
+	r.Counter(MetricCycles, "modelled cycles").Add(p.Machine.Hart.Cycle)
+
+	bs := p.Machine.Bus.Stats()
+	r.Counter(MetricBusFetches, "bus instruction fetches (16-bit parcels)").Add(bs.Fetches)
+	r.Counter(MetricBusLoads, "bus data loads (direct-RAM fast path excluded)").Add(bs.Loads)
+	r.Counter(MetricBusStores, "bus data stores (direct-RAM fast path excluded)").Add(bs.Stores)
+	r.Counter(MetricBusFaults, "bus accesses that faulted").Add(bs.Faults)
+
+	hits := r.Counter(MetricJumpCacheHits, "").Value()
+	misses := r.Counter(MetricJumpCacheMisses, "").Value()
+	if total := hits + misses; total > 0 {
+		r.Gauge(MetricJumpCacheHitRate, "jump cache hits / lookups").
+			Set(float64(hits) / float64(total))
+	}
+}

@@ -1,0 +1,103 @@
+package vp_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/obs"
+	"repro/internal/vp"
+)
+
+const loopProg = `
+_start:
+	li a0, 0
+	li a1, 200
+loop:	add a0, a0, a1
+	addi a1, a1, -1
+	bnez a1, loop
+	li t6, SYSCON_EXIT
+	sw a0, 0(t6)
+1:	j 1b
+`
+
+func TestEngineStatsAndRecord(t *testing.T) {
+	p, err := vp.New(vp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LoadSource(vp.Prelude + loopProg); err != nil {
+		t.Fatal(err)
+	}
+	stop := p.Run(1_000_000)
+	if stop.Reason != emu.StopExit {
+		t.Fatalf("stopped with %v", stop)
+	}
+	es := p.Machine.Stats()
+	if es.TBsCompiled == 0 {
+		t.Error("no blocks compiled")
+	}
+	// The 200-iteration loop re-enters its block either through the
+	// chain or the jump cache; both cannot be idle.
+	if es.ChainFollows == 0 && es.JumpCacheHits == 0 {
+		t.Errorf("hot loop used neither chaining nor jump cache: %+v", es)
+	}
+	if hr := es.JumpCacheHitRate(); hr < 0 || hr > 1 {
+		t.Errorf("hit rate %v out of range", hr)
+	}
+	bs := p.Machine.Bus.Stats()
+	if bs.Fetches == 0 {
+		t.Errorf("no bus fetches recorded: %+v", bs)
+	}
+	if bs.Stores == 0 {
+		t.Errorf("the syscon exit store must dispatch through the bus: %+v", bs)
+	}
+
+	r := obs.NewRegistry()
+	p.RecordStats(r)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		vp.MetricTBsCompiled, vp.MetricInsts, vp.MetricCycles,
+		vp.MetricBusFetches, vp.MetricBusStores,
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("metrics output missing %s:\n%s", name, out)
+		}
+	}
+	if c := r.Counter(vp.MetricInsts, ""); c.Value() != p.Machine.Hart.Instret {
+		t.Errorf("recorded insts %d, hart %d", c.Value(), p.Machine.Hart.Instret)
+	}
+	// Recording a second platform accumulates.
+	p.RecordStats(r)
+	if c := r.Counter(vp.MetricInsts, ""); c.Value() != 2*p.Machine.Hart.Instret {
+		t.Errorf("counters must accumulate across recordings: %d", c.Value())
+	}
+	// Nil registry is a no-op.
+	p.RecordStats(nil)
+}
+
+func TestEngineStatsInvalidation(t *testing.T) {
+	p, err := vp.New(vp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LoadSource(vp.Prelude + loopProg); err != nil {
+		t.Fatal(err)
+	}
+	if stop := p.Run(1_000_000); stop.Reason != emu.StopExit {
+		t.Fatalf("stopped with %v", stop)
+	}
+	before := p.Machine.Stats()
+	p.Machine.InvalidateTBs()
+	after := p.Machine.Stats()
+	if after.TBsInvalidated <= before.TBsInvalidated {
+		t.Errorf("flush did not count invalidations: %+v -> %+v", before, after)
+	}
+	if after.ChainsSevered <= before.ChainsSevered {
+		t.Errorf("flush did not count severed chains: %+v -> %+v", before, after)
+	}
+}

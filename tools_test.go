@@ -92,12 +92,74 @@ func TestToolchainEndToEnd(t *testing.T) {
 	})
 
 	t.Run("run-source-with-trace", func(t *testing.T) {
-		out, code := runTool(t, filepath.Join(bin, "s4e-run"), "-trace", "-profile", "edge-small", src)
+		out, code := runTool(t, filepath.Join(bin, "s4e-run"), "-itrace", "-profile", "edge-small", src)
 		if code != 136&0x7f {
 			t.Fatalf("exit %d:\n%s", code, out)
 		}
 		if !strings.Contains(out, "add a0, a0, a1") {
 			t.Errorf("trace missing:\n%s", out)
+		}
+	})
+
+	t.Run("run-metrics-and-events", func(t *testing.T) {
+		metrics := filepath.Join(work, "run-metrics.txt")
+		events := filepath.Join(work, "run-events.jsonl")
+		out, code := runTool(t, filepath.Join(bin, "s4e-run"),
+			"-metrics", metrics, "-trace", events, src)
+		if code != 136&0x7f {
+			t.Fatalf("exit %d:\n%s", code, out)
+		}
+		data, err := os.ReadFile(metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, frag := range []string{"s4e_emu_tbs_compiled_total", "s4e_emu_jump_cache_hit_rate", "s4e_bus_fetches_total"} {
+			if !strings.Contains(string(data), frag) {
+				t.Errorf("metrics file missing %q:\n%s", frag, data)
+			}
+		}
+		ev, err := os.ReadFile(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(ev), `"run-start"`) || !strings.Contains(string(ev), `"run-end"`) {
+			t.Errorf("event trace missing run framing:\n%s", ev)
+		}
+	})
+
+	t.Run("exit-codes", func(t *testing.T) {
+		// A guest exit code that is a nonzero multiple of 128 must not
+		// collapse to success under the 7-bit mask.
+		wrap := filepath.Join(work, "wrap.s")
+		prog := "_start:\n\tli a0, 128\n\tli t6, SYSCON_EXIT\n\tsw a0, 0(t6)\n1:\tj 1b\n"
+		if err := os.WriteFile(wrap, []byte(prog), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, code := runTool(t, filepath.Join(bin, "s4e-run"), wrap)
+		if code != 1 {
+			t.Errorf("guest exit 128: host exit %d, want 1:\n%s", code, out)
+		}
+		// Usage errors (bad flag values) exit 2, runtime failures exit 1.
+		if _, code := runTool(t, filepath.Join(bin, "s4e-run"), "-profile", "nope", src); code != 2 {
+			t.Errorf("bad -profile: exit %d, want 2", code)
+		}
+		if _, code := runTool(t, filepath.Join(bin, "s4e-run"), "-engine", "nope", src); code != 2 {
+			t.Errorf("bad -engine: exit %d, want 2", code)
+		}
+		if _, code := runTool(t, filepath.Join(bin, "s4e-qta"), "-profile", "nope", src); code != 2 {
+			t.Errorf("s4e-qta bad -profile: exit %d, want 2", code)
+		}
+		if _, code := runTool(t, filepath.Join(bin, "s4e-wcet"), "-bounds", "garbage", src); code != 2 {
+			t.Errorf("s4e-wcet bad -bounds: exit %d, want 2", code)
+		}
+		if _, code := runTool(t, filepath.Join(bin, "s4e-lint"), "-min", "nope", src); code != 2 {
+			t.Errorf("s4e-lint bad -min: exit %d, want 2", code)
+		}
+		if _, code := runTool(t, filepath.Join(bin, "s4e-torture"), "-isa", "nope"); code != 2 {
+			t.Errorf("s4e-torture bad -isa: exit %d, want 2", code)
+		}
+		if _, code := runTool(t, filepath.Join(bin, "s4e-run"), filepath.Join(work, "missing.s")); code != 1 {
+			t.Errorf("missing input: exit %d, want 1", code)
 		}
 	})
 
@@ -184,6 +246,30 @@ func TestToolchainEndToEnd(t *testing.T) {
 		}
 		if !strings.Contains(out, "masked") || !strings.Contains(out, "mutants/sec") {
 			t.Errorf("campaign output:\n%s", out)
+		}
+
+		metrics := filepath.Join(work, "fault-metrics.txt")
+		out, code = runTool(t, filepath.Join(bin, "s4e-fault"),
+			"-gpr", "10", "-mem", "2", "-code", "2", "-workers", "2",
+			"-metrics", metrics, "-progress", src)
+		if code != 0 {
+			t.Fatalf("s4e-fault -metrics (%d):\n%s", code, out)
+		}
+		if !strings.Contains(out, "fault: ") || !strings.Contains(out, "(100.0%)") {
+			t.Errorf("live progress line missing:\n%s", out)
+		}
+		data, err := os.ReadFile(metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, frag := range []string{
+			`s4e_fault_mutants_total{outcome="masked"}`,
+			"s4e_fault_mutants_per_sec",
+			"s4e_emu_jump_cache_hit_rate",
+		} {
+			if !strings.Contains(string(data), frag) {
+				t.Errorf("fault metrics missing %q:\n%s", frag, data)
+			}
 		}
 	})
 
