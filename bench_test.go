@@ -1,5 +1,5 @@
 // Package repro's root benchmarks regenerate every evaluation table and
-// figure (EXPERIMENTS.md E2..E8) under `go test -bench`. Each benchmark
+// figure (EXPERIMENTS.md E2..E10) under `go test -bench`. Each benchmark
 // reports the domain metric (guest cycles, MIPS, mutants/sec, coverage
 // percent) alongside the usual ns/op so the tables can be read straight
 // off the benchmark output.
@@ -16,6 +16,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/flow"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/plugin"
 	"repro/internal/qta"
 	"repro/internal/suites"
@@ -273,5 +274,53 @@ func BenchmarkE8_MIPS(b *testing.B) {
 				})
 			}
 		})
+	}
+}
+
+// BenchmarkE10_PoolCampaign measures campaign throughput with and
+// without the shared translation pool at several worker counts, and
+// reports the compiled-block count per campaign — the work the pool
+// eliminates. One op is one full campaign over a mixed plan.
+func BenchmarkE10_PoolCampaign(b *testing.B) {
+	tg, g := faultTarget(b, "crc32")
+	end := vp.RAMBase + uint32(len(tg.Program.Bytes))
+	plan := fault.NewPlan(fault.PlanConfig{
+		Seed:         10,
+		GPRTransient: 100,
+		MemPermanent: 50,
+		CodeBitflip:  100,
+		GoldenInsts:  g.Insts,
+		CodeStart:    vp.RAMBase,
+		CodeEnd:      end,
+		DataStart:    vp.RAMBase,
+		DataEnd:      end,
+	})
+	for _, mode := range []struct {
+		name   string
+		noPool bool
+	}{
+		{"shared-pool", false},
+		{"private-caches", true},
+	} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers-%d", mode.name, workers), func(b *testing.B) {
+				var tbs uint64
+				for i := 0; i < b.N; i++ {
+					reg := obs.NewRegistry()
+					res, err := fault.CampaignOpt(tg, plan, fault.Options{
+						Workers: workers, NoSharedPool: mode.noPool, Metrics: reg,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Total != len(plan.Faults) {
+						b.Fatalf("short campaign: %d/%d", res.Total, len(plan.Faults))
+					}
+					tbs = reg.Counter(vp.MetricTBsCompiled, "").Value()
+				}
+				b.ReportMetric(float64(len(plan.Faults))*float64(b.N)/b.Elapsed().Seconds(), "mutants/sec")
+				b.ReportMetric(float64(tbs), "tbs-compiled")
+			})
+		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/emu"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/vp"
 	"repro/internal/workloads"
@@ -52,6 +53,22 @@ type engineStats struct {
 	InstsRetired     uint64  `json:"insts_retired"`
 }
 
+// campaignStats is one point on the campaign pool axis: a full fault
+// campaign at fixed worker count with the shared translation pool on or
+// off, plus the accumulated worker engine counters that explain the
+// difference (tbs_compiled drops ~workers× with the pool on).
+type campaignStats struct {
+	Workload        string  `json:"workload"`
+	Engine          string  `json:"engine"`
+	Workers         int     `json:"workers"`
+	Mutants         int     `json:"mutants"`
+	MutantsPerSec   float64 `json:"mutants_per_sec"`
+	TBsCompiled     uint64  `json:"tbs_compiled"`
+	PoolBlocks      uint64  `json:"pool_blocks"`
+	PoolHits        uint64  `json:"pool_hits"`
+	OverlayCompiles uint64  `json:"overlay_compiles"`
+}
+
 // Result is the written JSON document.
 type Result struct {
 	GoVersion string               `json:"go_version"`
@@ -61,6 +78,8 @@ type Result struct {
 	MIPS      map[string][]float64 `json:"mips"` // engine -> per-workload MIPS
 	// EngineStats mirrors MIPS: engine mode -> per-workload counters.
 	EngineStats map[string][]engineStats `json:"engine_stats"`
+	// Campaign is the fault-campaign pool axis ("pool-on"/"pool-off").
+	Campaign map[string]campaignStats `json:"campaign,omitempty"`
 }
 
 // measure times reps steady-state runs of one workload under an engine
@@ -97,11 +116,67 @@ func measure(w workloads.Workload, m engineMode, reps int) (float64, *vp.Platfor
 	return best, p, nil
 }
 
+// measureCampaign runs one fault campaign over the workload and returns
+// the campaign point for the pool axis. reps campaigns are run and the
+// best throughput kept; engine counters are from the best run.
+func measureCampaign(w workloads.Workload, workers, mutants, reps int, noPool bool) (campaignStats, error) {
+	prog, err := asm.AssembleAt(vp.Prelude+w.Source, vp.RAMBase)
+	if err != nil {
+		return campaignStats{}, err
+	}
+	tg := &fault.Target{Program: prog, Budget: w.Budget, Sensor: w.Sensor}
+	g, err := fault.RunGolden(tg)
+	if err != nil {
+		return campaignStats{}, err
+	}
+	end := vp.RAMBase + uint32(len(prog.Bytes))
+	// Code bit-flips weigh heavily in the mix on purpose: each one
+	// flushes the worker's private cache, so the re-warm path (pool
+	// adoption vs recompilation) is what this axis contrasts.
+	plan := fault.NewPlan(fault.PlanConfig{
+		Seed:         7,
+		GPRTransient: mutants * 2 / 5,
+		MemPermanent: mutants / 5,
+		CodeBitflip:  mutants - mutants*2/5 - mutants/5,
+		GoldenInsts:  g.Insts,
+		CodeStart:    vp.RAMBase, CodeEnd: end,
+		DataStart: vp.RAMBase, DataEnd: end,
+	})
+	cs := campaignStats{
+		Workload: w.Name,
+		Engine:   tg.Engine.String(),
+		Workers:  workers,
+		Mutants:  len(plan.Faults),
+	}
+	for r := 0; r < reps; r++ {
+		reg := obs.NewRegistry()
+		res, err := fault.CampaignOpt(tg, plan, fault.Options{
+			Workers: workers, NoSharedPool: noPool, Metrics: reg,
+		})
+		if err != nil {
+			return campaignStats{}, err
+		}
+		mps := float64(res.Total) / res.Duration.Seconds()
+		if mps > cs.MutantsPerSec {
+			cs.MutantsPerSec = mps
+			cs.TBsCompiled = reg.Counter(vp.MetricTBsCompiled, "").Value()
+			cs.PoolBlocks = uint64(reg.Gauge("s4e_fault_pool_blocks", "").Value())
+			cs.PoolHits = reg.Counter(vp.MetricPoolHits, "").Value()
+			cs.OverlayCompiles = reg.Counter(vp.MetricOverlayCompiles, "").Value()
+		}
+	}
+	return cs, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_emu.json", "output JSON file")
 	reps := flag.Int("reps", 3, "repetitions per measurement (best is kept)")
 	names := flag.String("workloads", "xtea,crc32,fir,matmul,sort,pid",
 		"comma-separated workload subset")
+	campWorkload := flag.String("campaign-workload", "pid",
+		"workload for the fault-campaign pool axis (empty: skip the campaign axis)")
+	campMutants := flag.Int("campaign-mutants", 400, "mutants per campaign measurement")
+	campWorkers := flag.Int("campaign-workers", 4, "campaign workers per measurement")
 	metricsPath := flag.String("metrics", "", "write accumulated engine/bus metrics to `file` (.json for JSON, - for stdout, else Prometheus text)")
 	tracePath := flag.String("trace", "", "write per-measurement trace events (JSONL) to `file`")
 	progress := flag.Bool("progress", false, "print a progress line per measurement to stderr")
@@ -184,6 +259,40 @@ func main() {
 	}
 	fmt.Printf("geomean threaded/switch: %.2fx\n",
 		geomeanRatio(res.MIPS["threaded"], res.MIPS["switch"]))
+
+	// Campaign pool axis: same plan, shared translation pool on vs off.
+	if *campWorkload != "" {
+		w, ok := workloads.ByName(*campWorkload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "s4e-bench: unknown campaign workload %q\n", *campWorkload)
+			os.Exit(2)
+		}
+		res.Campaign = map[string]campaignStats{}
+		for _, mode := range []struct {
+			name   string
+			noPool bool
+		}{{"pool-on", false}, {"pool-off", true}} {
+			if *progress {
+				fmt.Fprintf(os.Stderr, "s4e-bench: campaign %s/%s (%d mutants, %d workers, %d reps)\n",
+					w.Name, mode.name, *campMutants, *campWorkers, *reps)
+			}
+			cs, err := measureCampaign(w, *campWorkers, *campMutants, *reps, mode.noPool)
+			if err != nil {
+				fatal(err)
+			}
+			res.Campaign[mode.name] = cs
+			tr.Emit("campaign-measurement", "mode", mode.name, "mutants_per_sec", cs.MutantsPerSec,
+				"tbs_compiled", cs.TBsCompiled)
+			fmt.Printf("campaign %-9s %s: %8.0f mutants/sec  tbs_compiled=%-6d pool_hits=%-6d overlay=%d\n",
+				mode.name, w.Name, cs.MutantsPerSec, cs.TBsCompiled, cs.PoolHits, cs.OverlayCompiles)
+		}
+		on, off := res.Campaign["pool-on"], res.Campaign["pool-off"]
+		if on.TBsCompiled > 0 && off.MutantsPerSec > 0 {
+			fmt.Printf("campaign pool-on/pool-off: %.2fx mutants/sec, %.1fx fewer TBs compiled\n",
+				on.MutantsPerSec/off.MutantsPerSec,
+				float64(off.TBsCompiled)/float64(on.TBsCompiled))
+		}
+	}
 
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

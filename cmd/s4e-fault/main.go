@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	s4e-fault [-gpr 200] [-mem 100] [-code 100] [-workers N] [-seed S] prog.s
+//	s4e-fault [-gpr 200] [-mem 100] [-code 100] [-workers N] [-seed S]
+//	          [-engine threaded] [-pool=true] prog.s
 //
 // Exit status: 0 on a clean campaign, 1 on runtime failure, 2 on usage
 // error. Mutants the harness cannot run are reported as "errored" in
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/asm"
+	"repro/internal/emu"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/vp"
@@ -31,6 +33,9 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers")
 	seed := flag.Int64("seed", 1, "fault plan seed")
 	budget := flag.Uint64("budget", 10_000_000, "instruction budget per mutant")
+	engName := flag.String("engine", "threaded", "execution engine: threaded, switch")
+	pool := flag.Bool("pool", true,
+		"share the golden run's compiled translation pool across workers (false: each worker cold-compiles privately)")
 	guided := flag.Bool("guided", false,
 		"derive the plan from a coverage-instrumented golden run (targets only used registers and executed code)")
 	metricsPath := flag.String("metrics", "", "write campaign and engine metrics to `file` after the run (.json for JSON, - for stdout, else Prometheus text)")
@@ -51,6 +56,15 @@ func main() {
 		fatal(err)
 	}
 	tg := &fault.Target{Program: prog, Budget: *budget}
+	switch *engName {
+	case "threaded":
+		tg.Engine = emu.EngineThreaded
+	case "switch":
+		tg.Engine = emu.EngineSwitch
+	default:
+		fmt.Fprintf(os.Stderr, "s4e-fault: unknown engine %q (threaded, switch)\n", *engName)
+		os.Exit(2)
+	}
 
 	var plan fault.Plan
 	var g *fault.Golden
@@ -85,7 +99,7 @@ func main() {
 	}
 	fmt.Printf("golden: %v, %d instructions\n", g.Stop, g.Insts)
 
-	opts := fault.Options{Workers: *workers}
+	opts := fault.Options{Workers: *workers, NoSharedPool: !*pool}
 	if *metricsPath != "" {
 		opts.Metrics = obs.NewRegistry()
 	}
@@ -105,9 +119,13 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(res)
-	fmt.Printf("%d mutants in %v (%.0f mutants/sec, %d workers)\n",
+	poolState := "shared pool"
+	if !*pool {
+		poolState = "private caches"
+	}
+	fmt.Printf("%d mutants in %v (%.0f mutants/sec, %d workers, %s engine, %s)\n",
 		res.Total, res.Duration.Round(time.Millisecond),
-		float64(res.Total)/res.Duration.Seconds(), *workers)
+		float64(res.Total)/res.Duration.Seconds(), *workers, *engName, poolState)
 
 	if opts.Metrics != nil {
 		if werr := opts.Metrics.WriteFile(*metricsPath); werr != nil {

@@ -95,8 +95,14 @@ func (s StopInfo) String() string {
 	}
 }
 
-// tb is one translated block.
-type tb struct {
+// tbCode is the immutable, machine-independent part of a translated
+// block: the decoded metadata plus the threaded-code executor slice.
+// Executors take the Machine as an argument, so compiled code carries no
+// per-machine state and one tbCode can back any number of machines —
+// this is the unit of sharing in a TBPool. After a tbCode has been
+// published to a pool it is strictly read-only; private blocks may still
+// compile their ops lazily because they are owned by one machine.
+type tbCode struct {
 	info plugin.BlockInfo
 	end  uint32 // exclusive upper address
 
@@ -107,12 +113,21 @@ type tb struct {
 	ext  isa.ExtSet
 
 	// ops is the threaded-code form: one specialized executor per
-	// instruction, compiled lazily on first threaded execution.
+	// instruction, compiled lazily on first threaded execution (eagerly
+	// when the block is frozen into a TBPool).
 	ops []opFn
+}
+
+// tb is one translated block as seen by one machine: the shared compiled
+// part plus the per-machine mutable link state.
+type tb struct {
+	*tbCode
 
 	// succ caches up to two successor blocks (fallthrough/taken of the
 	// terminator), so hot loops chain block-to-block without touching
-	// the lookup path. Severed on any invalidation.
+	// the lookup path. Severed on any invalidation. Links are strictly
+	// per-machine: two workers sharing a pooled tbCode never see each
+	// other's chains.
 	succ [2]*tb
 }
 
@@ -152,6 +167,12 @@ type Machine struct {
 	codeLo   uint32
 	codeHi   uint32
 	lastLoad isa.Reg // destination of the immediately preceding load, 0 if none
+
+	// pool is the attached shared translation pool (nil if none) and
+	// poolGen the pool generation observed at attach time; a lookup only
+	// trusts the pool while the generations still agree.
+	pool    *TBPool
+	poolGen uint64
 
 	// jmp is the direct-mapped jump cache in front of the tbs map.
 	jmp [jmpCacheSize]*tb
@@ -230,6 +251,21 @@ func (m *Machine) StoreWatermark() (lo, hi uint32) { return m.storeLo, m.storeHi
 // know to restore those bytes.
 func (m *Machine) NoteRAMWrite(addr uint32, size uint8) { m.noteRAMStore(addr, size) }
 
+// NoteRAMWriteRange folds an externally performed write of [lo, hi) into
+// the store watermark (host-side bulk writes such as a snapshot restore,
+// where the 255-byte limit of NoteRAMWrite's size would not reach).
+func (m *Machine) NoteRAMWriteRange(lo, hi uint32) {
+	if lo >= hi {
+		return
+	}
+	if lo < m.storeLo {
+		m.storeLo = lo
+	}
+	if hi > m.storeHi {
+		m.storeHi = hi
+	}
+}
+
 // ResetStoreWatermark clears the RAM store watermark.
 func (m *Machine) ResetStoreWatermark() { m.storeLo, m.storeHi = ^uint32(0), 0 }
 
@@ -243,13 +279,17 @@ func (m *Machine) CodeRange() (lo, hi uint32) { return m.codeLo, m.codeHi }
 func (m *Machine) FlushICache() { m.icache = nil }
 
 // Reset clears architectural state and the translation cache, and boots
-// at pc.
+// at pc. A reset accompanies loading a new image (whose bytes bypass the
+// store watermark), so any attached translation pool is detached: its
+// blocks were compiled from the previous image and nothing tracks how
+// the new one differs.
 func (m *Machine) Reset(pc uint32) {
 	m.Hart.Reset(pc)
 	m.stop = nil
 	m.InvalidateTBs()
 	m.lastLoad = 0
 	m.icache = nil
+	m.pool = nil
 }
 
 // icacheFetch simulates the instruction-cache lookup for one fetch and
@@ -365,6 +405,17 @@ type EngineStats struct {
 	ChainFollows uint64
 	// ChainsSevered counts successor links cut by invalidations.
 	ChainsSevered uint64
+	// PoolHits counts blocks adopted from the attached shared translation
+	// pool instead of being compiled privately.
+	PoolHits uint64
+	// PoolMisses counts translations of a pc the attached pool does not
+	// cover at all (code the golden run never reached).
+	PoolMisses uint64
+	// OverlayCompiles counts private translations of a pc the pool does
+	// cover but could not serve — the bytes under the block were written
+	// since the last pristine rewind (a code-mutating fault, a store into
+	// code) or the pool generation went stale.
+	OverlayCompiles uint64
 }
 
 // JumpCacheHitRate returns hits/(hits+misses), or 0 with no lookups.
@@ -385,6 +436,9 @@ func (s *EngineStats) Add(other EngineStats) {
 	s.JumpCacheMisses += other.JumpCacheMisses
 	s.ChainFollows += other.ChainFollows
 	s.ChainsSevered += other.ChainsSevered
+	s.PoolHits += other.PoolHits
+	s.PoolMisses += other.PoolMisses
+	s.OverlayCompiles += other.OverlayCompiles
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -403,9 +457,14 @@ func (m *Machine) severChain(t *tb) {
 	}
 }
 
-// translate builds (or fetches) the translated block starting at pc.
+// translate builds (or fetches) the translated block starting at pc,
+// consulting the private cache first, then the attached shared pool,
+// then decoding from memory.
 func (m *Machine) translate(pc uint32) (*tb, *mem.Fault) {
 	if t, ok := m.tbs[pc]; ok && !m.DisableTBCache && t.prof == m.Profile && t.ext == m.ISA {
+		return t, nil
+	}
+	if t := m.poolFetch(pc); t != nil {
 		return t, nil
 	}
 	var insts []decode.Inst
@@ -442,13 +501,32 @@ func (m *Machine) translate(pc uint32) (*tb, *mem.Fault) {
 		}
 		addr += uint32(in.Size)
 	}
-	t := &tb{
+	c := &tbCode{
 		info: plugin.BlockInfo{PC: pc, Insts: insts, Addrs: addrs},
 		prof: m.Profile,
 		ext:  m.ISA,
 	}
-	t.end = pc + t.info.Size()
+	c.end = pc + c.info.Size()
+	t := &tb{tbCode: c}
 	m.stats.TBsCompiled++
+	if p := m.activePool(); p != nil {
+		// The pool covers this pc but could not serve it (mutated bytes
+		// under the block, stale generation): this translation is a
+		// private overlay compile on top of the shared pool.
+		if _, ok := p.blocks[pc]; ok {
+			m.stats.OverlayCompiles++
+		} else {
+			m.stats.PoolMisses++
+		}
+	}
+	m.install(t)
+	return t, nil
+}
+
+// install publishes a block (freshly translated or adopted from the
+// pool) into the private cache and the code-range bookkeeping.
+func (m *Machine) install(t *tb) {
+	pc := t.info.PC
 	if old := m.tbs[pc]; old != nil {
 		// A stale block (profile/ISA change, DisableTBCache retranslate)
 		// is replaced; make sure nothing chains to it any more.
@@ -463,7 +541,6 @@ func (m *Machine) translate(pc uint32) (*tb, *mem.Fault) {
 		m.codeHi = t.end
 	}
 	m.Hooks.Translate(t.info)
-	return t, nil
 }
 
 // lookupTB returns the block at pc, consulting the jump cache before the

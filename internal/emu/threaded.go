@@ -80,7 +80,7 @@ func (m *Machine) runThreaded(budget uint64) StopInfo {
 			}
 		}
 		if cur.ops == nil {
-			compileTB(cur)
+			cur.tbCode.compile()
 		}
 		if m.Hooks.HasBlockHooks() {
 			m.Hooks.BlockExec(cur.info)
@@ -148,31 +148,37 @@ func (m *Machine) chainOK(t *tb, pc uint32) bool {
 	return t != nil && t.info.PC == pc && t.prof == m.Profile && t.ext == m.ISA
 }
 
-// compileTB builds the threaded-code form of a block: the per-instruction
-// executor slice plus the precomputed static cycle plan.
-func compileTB(t *tb) {
-	insts := t.info.Insts
-	t.ops = make([]opFn, len(insts))
+// compile builds the threaded-code form of a block: the per-instruction
+// executor slice plus the precomputed static cycle plan. Compilation is
+// deterministic in the block's bytes and specialization, and executors
+// take the machine as an argument, so the result is machine-independent
+// — the property the shared translation pool relies on. Only the owning
+// machine may call this (lazily) on a private block; pooled blocks are
+// compiled once, before publication.
+func (c *tbCode) compile() {
+	insts := c.info.Insts
+	ops := make([]opFn, len(insts))
 	var costs []uint32
 	var dyn []bool
 	icache := false
-	if t.prof != nil {
-		costs, dyn = t.prof.StaticPlan(insts)
-		icache = t.prof.HasICache()
+	if c.prof != nil {
+		costs, dyn = c.prof.StaticPlan(insts)
+		icache = c.prof.HasICache()
 	}
 	for i, in := range insts {
 		if icache || (dyn != nil && dyn[i]) {
 			// Operand-dependent (early-out mul/div) or fetch-dependent
 			// (I-cache) cycle cost: keep the fully dynamic interpretation.
-			t.ops[i] = fallbackOp(in)
+			ops[i] = fallbackOp(in)
 			continue
 		}
 		cost := uint32(1)
 		if costs != nil {
 			cost = costs[i]
 		}
-		t.ops[i] = compileOp(in, t.info.Addrs[i], cost, t.prof, t.ext)
+		ops[i] = compileOp(in, c.info.Addrs[i], cost, c.prof, c.ext)
 	}
+	c.ops = ops
 }
 
 // fallbackOp interprets one instruction through execOne, for everything

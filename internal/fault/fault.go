@@ -136,6 +136,12 @@ type Target struct {
 	Profile *timing.Profile
 	Sensor  []int16
 
+	// Engine selects the execution engine for the golden run and every
+	// mutant (the zero value is the threaded-code engine, mirroring
+	// emu.Machine.Engine), so campaigns can be run and compared on both
+	// engines.
+	Engine emu.Engine
+
 	// RAMSize bounds the platform memory; 0 picks a minimal size
 	// covering the image plus stack headroom, which keeps per-worker
 	// platforms and snapshots cheap.
@@ -160,6 +166,7 @@ func (t *Target) newPlatform() (*vp.Platform, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.Machine.Engine = t.Engine
 	if err := p.LoadProgram(t.Program); err != nil {
 		return nil, err
 	}
@@ -173,7 +180,11 @@ func (t *Target) newPlatform() (*vp.Platform, error) {
 // image rather than a full snapshot-RAM copy — and it keeps the
 // machine's translation cache across mutants whenever the previous run
 // left the code bytes untouched, so the block working set is translated
-// once per worker, not once per mutant.
+// once per worker, not once per mutant. With a shared translation pool
+// attached (the campaign default), even that per-worker warmup — and
+// every re-warm after a code-mutating fault flushed the private cache —
+// is mostly eliminated: blocks are adopted from the golden run's
+// compiled pool, and only mutated ranges take private overlay compiles.
 type injector struct {
 	t    *Target
 	p    *vp.Platform
@@ -185,11 +196,15 @@ type injector struct {
 	dirtyCode bool
 }
 
-func newInjector(t *Target) (*injector, error) {
+// newInjector builds a worker injector; pool, when non-nil, is the
+// golden run's shared translation pool to warm-start from (attached
+// after the program load, so the machine's image matches the pool's).
+func newInjector(t *Target, pool *emu.TBPool) (*injector, error) {
 	p, err := t.newPlatform()
 	if err != nil {
 		return nil, err
 	}
+	p.Machine.AttachTBPool(pool)
 	return &injector{t: t, p: p, base: p.Snapshot()}, nil
 }
 
@@ -204,20 +219,27 @@ func (inj *injector) reset() {
 
 // RunGolden executes the fault-free program and records its behaviour.
 func RunGolden(t *Target) (*Golden, error) {
+	g, _, err := runGolden(t)
+	return g, err
+}
+
+// runGolden is RunGolden keeping the platform alive, so the campaign can
+// freeze the golden run's compiled translation state into a shared pool.
+func runGolden(t *Target) (*Golden, *vp.Platform, error) {
 	p, err := t.newPlatform()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	stop := p.Run(t.Budget)
 	if stop.Reason != emu.StopExit && stop.Reason != emu.StopEbreak {
-		return nil, fmt.Errorf("fault: golden run ended with %v", stop)
+		return nil, nil, fmt.Errorf("fault: golden run ended with %v", stop)
 	}
-	return &Golden{Stop: stop, Output: p.Output(), Insts: p.Machine.Hart.Instret}, nil
+	return &Golden{Stop: stop, Output: p.Output(), Insts: p.Machine.Hart.Instret}, p, nil
 }
 
 // Inject runs one mutant and classifies it against the golden behaviour.
 func Inject(t *Target, g *Golden, f Fault) (Outcome, error) {
-	inj, err := newInjector(t)
+	inj, err := newInjector(t, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -340,6 +362,20 @@ func injectStuck(t *Target, g *Golden, f Fault, p *vp.Platform) (Outcome, error)
 	return Trapped, nil
 }
 
+// goldenCodeClean reports whether the golden run left its translated
+// code bytes bit-identical to the post-load image: no store ever hit
+// translated code, and no translation overlaps bytes the run wrote.
+// Only then do the golden platform's compiled blocks match the pristine
+// image every campaign worker boots from.
+func goldenCodeClean(p *vp.Platform) bool {
+	if p.Machine.CodeWrites() != 0 {
+		return false
+	}
+	slo, shi := p.Machine.StoreWatermark()
+	clo, chi := p.Machine.CodeRange()
+	return !(slo < chi && clo < shi)
+}
+
 // Plan is a generated fault list.
 type Plan struct {
 	Faults []Fault
@@ -438,6 +474,14 @@ func (r *Results) Errored() int { return r.ByOutcome[Errored] }
 type Options struct {
 	// Workers is the number of parallel mutant runners (<=0 means 1).
 	Workers int
+	// NoSharedPool disables the shared translation pool: every worker
+	// cold-compiles its own private translation cache, the pre-pool
+	// behaviour kept for ablation and differential testing. By default
+	// (false) the golden run's compiled blocks are frozen into an
+	// emu.TBPool that all workers attach, so the code image is compiled
+	// once per campaign instead of once per worker (and re-warms after
+	// code-mutant flushes come from the pool, not the compiler).
+	NoSharedPool bool
 	// Metrics, when non-nil, receives campaign counters
 	// (s4e_fault_mutants_total{outcome=...}, s4e_fault_done_total,
 	// throughput gauges) plus the accumulated engine/bus stats of every
@@ -467,13 +511,26 @@ func Campaign(t *Target, plan Plan, workers int) (*Results, error) {
 // (errors.Join) alongside. Callers that care only about guest behaviour
 // can therefore keep partial results even when err != nil.
 func CampaignOpt(t *Target, plan Plan, o Options) (*Results, error) {
-	golden, err := RunGolden(t)
+	golden, gp, err := runGolden(t)
 	if err != nil {
 		return nil, err
 	}
 	workers := o.Workers
 	if workers <= 0 {
 		workers = 1
+	}
+	// Freeze the golden run's compiled translation state into the shared
+	// pool every worker warm-starts from. The golden platform itself is
+	// discarded; only the immutable compiled blocks live on. A golden
+	// run that dirtied its own code (self-modification, wild jump into
+	// written data — detected exactly like the injector's per-mutant
+	// check) compiled blocks that don't match the pristine image workers
+	// validate against, so such a campaign falls back to private caches.
+	var pool *emu.TBPool
+	if !o.NoSharedPool && goldenCodeClean(gp) {
+		pool = gp.Machine.BuildTBPool()
+		o.Metrics.Gauge("s4e_fault_pool_blocks", "shared translation-pool blocks").
+			Set(float64(pool.Size()))
 	}
 	res := &Results{
 		Total:     len(plan.Faults),
@@ -542,7 +599,7 @@ func CampaignOpt(t *Target, plan Plan, o Options) (*Results, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			inj, err := newInjector(t)
+			inj, err := newInjector(t, pool)
 			if err != nil {
 				mu.Lock()
 				errs = append(errs, err)

@@ -1,0 +1,45 @@
+package vp
+
+import "testing"
+
+func TestDiffRange(t *testing.T) {
+	const n = 3*4096 + 17 // spans several chunks plus a ragged tail
+	mk := func() []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(i * 7)
+		}
+		return b
+	}
+	cases := []struct {
+		name   string
+		dirty  []int // byte offsets flipped in b
+		lo, hi uint32
+	}{
+		{"equal", nil, 0, 0},
+		{"first-byte", []int{0}, 0, 1},
+		{"last-byte", []int{n - 1}, n - 1, n},
+		{"middle", []int{5000}, 5000, 5001},
+		{"chunk-boundary", []int{4095, 4096}, 4095, 4097},
+		{"spread", []int{100, 9000, n - 2}, 100, n - 1},
+		{"same-chunk-precise", []int{130, 140}, 130, 141},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a, b := mk(), mk()
+			for _, off := range c.dirty {
+				b[off] ^= 0xff
+			}
+			lo, hi := diffRange(a, b)
+			if len(c.dirty) == 0 {
+				if lo < hi {
+					t.Fatalf("equal slices reported dirty [%d,%d)", lo, hi)
+				}
+				return
+			}
+			if lo != uint32(c.lo) || hi != uint32(c.hi) {
+				t.Errorf("diffRange = [%d,%d), want [%d,%d)", lo, hi, c.lo, c.hi)
+			}
+		})
+	}
+}

@@ -12,6 +12,9 @@ const (
 	MetricJumpCacheHitRate = "s4e_emu_jump_cache_hit_rate"
 	MetricChainFollows     = "s4e_emu_chain_follows_total"
 	MetricChainsSevered    = "s4e_emu_chains_severed_total"
+	MetricPoolHits         = "s4e_emu_pool_hits_total"
+	MetricPoolMisses       = "s4e_emu_pool_misses_total"
+	MetricOverlayCompiles  = "s4e_emu_overlay_compiles_total"
 	MetricInsts            = "s4e_emu_instructions_retired_total"
 	MetricCycles           = "s4e_emu_cycles_total"
 	MetricBusFetches       = "s4e_bus_fetches_total"
@@ -37,6 +40,9 @@ func (p *Platform) RecordStats(r *obs.Registry) {
 	r.Counter(MetricJumpCacheMisses, "jump cache misses").Add(es.JumpCacheMisses)
 	r.Counter(MetricChainFollows, "block transitions via chain links").Add(es.ChainFollows)
 	r.Counter(MetricChainsSevered, "chain links severed by invalidation").Add(es.ChainsSevered)
+	r.Counter(MetricPoolHits, "blocks adopted from the shared translation pool").Add(es.PoolHits)
+	r.Counter(MetricPoolMisses, "translations of pcs the shared pool does not cover").Add(es.PoolMisses)
+	r.Counter(MetricOverlayCompiles, "private overlay compiles over mutated pool ranges").Add(es.OverlayCompiles)
 	r.Counter(MetricInsts, "instructions retired").Add(p.Machine.Hart.Instret)
 	r.Counter(MetricCycles, "modelled cycles").Add(p.Machine.Hart.Cycle)
 

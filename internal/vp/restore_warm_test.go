@@ -1,0 +1,92 @@
+package vp_test
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/vp"
+)
+
+// TestRestoreKeepsWarmTranslations: a full Restore whose RAM diff does
+// not touch translated code must keep the translation cache — the warm
+// rewind the snapshot/restore campaign pattern relies on.
+func TestRestoreKeepsWarmTranslations(t *testing.T) {
+	p, err := vp.New(vp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The program dirties data directly after the code (buf) — byte-precise
+	// diffing must not drag the adjacent code into the invalidation range.
+	src := `
+	la a1, buf
+	li a2, 77
+	sw a2, 0(a1)
+	li a0, 5
+	ebreak
+buf:	.word 0
+`
+	if _, err := p.LoadSource(src); err != nil {
+		t.Fatal(err)
+	}
+	base := p.Snapshot()
+	if stop := p.Run(1000); stop.Reason != emu.StopEbreak {
+		t.Fatalf("first run: %v", stop)
+	}
+	warm := p.Machine.CachedBlocks()
+	if warm == 0 {
+		t.Fatal("no translations cached after first run")
+	}
+	compiled := p.Machine.Stats().TBsCompiled
+
+	p.Restore(base)
+	if got := p.Machine.CachedBlocks(); got != warm {
+		t.Errorf("restore dropped translations: %d cached, want %d", got, warm)
+	}
+	if stop := p.Run(1000); stop.Reason != emu.StopEbreak {
+		t.Fatalf("second run: %v", stop)
+	}
+	if got := p.Machine.Hart.Reg(isa.A0); got != 5 {
+		t.Errorf("a0 = %d, want 5", got)
+	}
+	if got := p.Machine.Stats().TBsCompiled; got != compiled {
+		t.Errorf("second run recompiled: %d blocks total, want %d", got, compiled)
+	}
+}
+
+// TestRestoreInvalidatesStaleCode: when the restore changes bytes under
+// translated blocks (the cached code differs from the snapshot image),
+// the overlapping translations must be dropped, or the machine would
+// execute stale code after the rewind.
+func TestRestoreInvalidatesStaleCode(t *testing.T) {
+	p, err := vp.New(vp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LoadSource("\tli a0, 5\n\tebreak\n"); err != nil {
+		t.Fatal(err)
+	}
+	base := p.Snapshot() // image: li a0, 5
+
+	// Host-patch the immediate to 9 and run, so the cache holds blocks
+	// compiled from the patched image.
+	ram := p.RAM.Bytes()
+	ram[2] = 0x90 // addi a0,x0,5 (0x00500513) -> addi a0,x0,9
+	p.Machine.InvalidateTBs()
+	if stop := p.Run(1000); stop.Reason != emu.StopEbreak {
+		t.Fatalf("patched run: %v", stop)
+	}
+	if got := p.Machine.Hart.Reg(isa.A0); got != 9 {
+		t.Fatalf("patched run a0 = %d, want 9", got)
+	}
+
+	// Restoring the original image changes bytes under the cached block:
+	// the block must go, and the rerun must show the original behaviour.
+	p.Restore(base)
+	if stop := p.Run(1000); stop.Reason != emu.StopEbreak {
+		t.Fatalf("restored run: %v", stop)
+	}
+	if got := p.Machine.Hart.Reg(isa.A0); got != 5 {
+		t.Errorf("restored run a0 = %d, want 5 (stale translation survived restore)", got)
+	}
+}

@@ -5,6 +5,7 @@
 package vp
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
@@ -164,16 +165,76 @@ func (p *Platform) Snapshot() *Snapshot {
 	}
 }
 
-// Restore rewinds the platform to a snapshot. The translation cache is
-// dropped because RAM contents may differ.
+// Restore rewinds the platform to a snapshot. The RAM copy is diffed
+// against current memory as it happens: when the restore does not change
+// any byte under a translated block, the translation cache is kept warm;
+// otherwise only the blocks overlapping the changed range are dropped.
+// The changed range is also folded into the machine's store watermark,
+// so watermark consumers (RestoreReuse's zeroing, shared-pool validity)
+// stay sound across a full restore. The modelled I-cache is always
+// flushed so cycle counts never depend on what ran before.
 func (p *Platform) Restore(s *Snapshot) {
 	p.Machine.Hart.Restore(s.hart)
-	copy(p.RAM.Bytes(), s.ram)
+	ram := p.RAM.Bytes()
+	lo, hi := diffRange(ram, s.ram)
+	copy(ram, s.ram)
+	if lo < hi {
+		aLo, aHi := RAMBase+lo, RAMBase+hi
+		p.Machine.NoteRAMWriteRange(aLo, aHi)
+		if cLo, cHi := p.Machine.CodeRange(); aLo < cHi && aHi > cLo {
+			p.Machine.InvalidateRange(aLo, aHi)
+		}
+	}
+	p.Machine.FlushICache()
 	p.UART.Restore(s.uart)
 	p.Clint.Restore(s.clint)
 	p.Sensor.SetPos(s.sensor)
-	p.Machine.InvalidateTBs()
 	p.Machine.ClearStop()
+}
+
+// diffRange returns the exact range [lo, hi) spanning every byte where
+// a and b differ; lo >= hi means the slices are equal. The scan is
+// chunked (memcmp speed) with byte-precise trimming of the boundary
+// chunks, so a dirty data word sitting right next to unchanged code
+// does not drag the code into the range.
+func diffRange(a, b []byte) (lo, hi uint32) {
+	const chunk = 4096
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	first := -1
+	for off := 0; off < n; off += chunk {
+		end := off + chunk
+		if end > n {
+			end = n
+		}
+		if !bytes.Equal(a[off:end], b[off:end]) {
+			first = off
+			for a[first] == b[first] {
+				first++
+			}
+			break
+		}
+	}
+	if first < 0 {
+		return 1, 0
+	}
+	last := first + 1
+	for off := n; off > first; off -= chunk {
+		start := off - chunk
+		if start < first {
+			start = first
+		}
+		if !bytes.Equal(a[start:off], b[start:off]) {
+			last = off
+			for a[last-1] == b[last-1] {
+				last--
+			}
+			break
+		}
+	}
+	return uint32(first), uint32(last)
 }
 
 // RestoreReuse rewinds the platform to a post-load snapshot of prog
@@ -186,7 +247,10 @@ func (p *Platform) Restore(s *Snapshot) {
 // host-side writes need Machine.NoteRAMWrite). Because the code bytes
 // come back bit-identical, the machine's translation cache is kept —
 // callers that dirtied translated code during the run must call
-// InvalidateTBs themselves (see Machine.CodeWrites).
+// InvalidateTBs themselves (see Machine.CodeWrites). The watermark reset
+// below also re-certifies an attached shared translation pool
+// (emu.TBPool): pool validity is defined as "block bytes untouched since
+// the last pristine rewind", and this is that rewind.
 func (p *Platform) RestoreReuse(s *Snapshot, prog *asm.Program) {
 	p.Machine.Hart.Restore(s.hart)
 	ram := p.RAM.Bytes()
