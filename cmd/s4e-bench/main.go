@@ -10,7 +10,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/vp"
 	"repro/internal/workloads"
 )
@@ -69,6 +72,23 @@ type campaignStats struct {
 	OverlayCompiles uint64  `json:"overlay_compiles"`
 }
 
+// serviceStats is one point on the analysis-service axis: a burst of
+// identical campaign jobs pushed through internal/serve at one queue
+// depth, with the cross-job translation-pool cache on or off. Latency
+// quantiles come from the service's own obs histogram.
+type serviceStats struct {
+	Workload   string  `json:"workload"`
+	QueueDepth int     `json:"queue_depth"`
+	Workers    int     `json:"workers"`
+	Jobs       int     `json:"jobs"`
+	Mutants    int     `json:"mutants_per_job"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	Shed       int     `json:"shed"` // 429-equivalent rejections the client retried
+	PoolHits   uint64  `json:"pool_hits"`
+}
+
 // Result is the written JSON document.
 type Result struct {
 	GoVersion string               `json:"go_version"`
@@ -80,6 +100,9 @@ type Result struct {
 	EngineStats map[string][]engineStats `json:"engine_stats"`
 	// Campaign is the fault-campaign pool axis ("pool-on"/"pool-off").
 	Campaign map[string]campaignStats `json:"campaign,omitempty"`
+	// Service is the analysis-service throughput axis, keyed
+	// "q<depth>-pool-{on,off}".
+	Service map[string]serviceStats `json:"service,omitempty"`
 }
 
 // measure times reps steady-state runs of one workload under an engine
@@ -168,6 +191,80 @@ func measureCampaign(w workloads.Workload, workers, mutants, reps int, noPool bo
 	return cs, nil
 }
 
+// measureService pushes a burst of identical campaign jobs through an
+// in-process analysis service at one queue depth and reports jobs/sec
+// plus the p50/p99 execution latency read back from the service's
+// latency histogram. A full queue is handled like an HTTP client would
+// handle 429: back off briefly and resubmit (counted in Shed).
+func measureService(w workloads.Workload, depth, workers, jobs, mutants int, noPool bool) (serviceStats, error) {
+	s := serve.New(serve.Config{
+		Workers:        workers,
+		QueueDepth:     depth,
+		DefaultTimeout: 5 * time.Minute,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck // bench teardown
+	}()
+	spec := serve.FaultSpec{
+		Seed:         7,
+		GPRTransient: mutants * 2 / 5,
+		MemPermanent: mutants / 5,
+		CodeBitflip:  mutants - mutants*2/5 - mutants/5,
+		Workers:      1, // the service's worker pool is the parallelism
+		NoPool:       noPool,
+	}
+	st := serviceStats{
+		Workload: w.Name, QueueDepth: depth, Workers: workers,
+		Jobs: jobs, Mutants: mutants,
+	}
+
+	start := time.Now()
+	ids := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		for {
+			js, err := s.Submit(serve.Request{
+				Type: "fault", Source: w.Source, Budget: w.Budget, Fault: &spec,
+			})
+			if errors.Is(err, serve.ErrQueueFull) {
+				st.Shed++
+				time.Sleep(500 * time.Microsecond)
+				continue
+			}
+			if err != nil {
+				return serviceStats{}, err
+			}
+			ids = append(ids, js.ID)
+			break
+		}
+	}
+	for _, id := range ids {
+		for {
+			js, ok := s.Job(id)
+			if !ok {
+				return serviceStats{}, fmt.Errorf("service job %s vanished", id)
+			}
+			if js.State == serve.StateDone {
+				break
+			}
+			if js.State == serve.StateErrored || js.State == serve.StateCancelled {
+				return serviceStats{}, fmt.Errorf("service job %s: %s (%s)", id, js.State, js.Error)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	st.JobsPerSec = float64(jobs) / elapsed
+
+	reg := s.Metrics()
+	h := reg.Histogram(`s4e_serve_job_seconds{type="fault"}`, "", nil)
+	st.P50MS = h.Quantile(0.5) * 1e3
+	st.P99MS = h.Quantile(0.99) * 1e3
+	st.PoolHits = reg.Counter(`s4e_serve_pool_jobs_total{cache="hit"}`, "").Value()
+	return st, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_emu.json", "output JSON file")
 	reps := flag.Int("reps", 3, "repetitions per measurement (best is kept)")
@@ -177,6 +274,11 @@ func main() {
 		"workload for the fault-campaign pool axis (empty: skip the campaign axis)")
 	campMutants := flag.Int("campaign-mutants", 400, "mutants per campaign measurement")
 	campWorkers := flag.Int("campaign-workers", 4, "campaign workers per measurement")
+	svcJobs := flag.Int("service-jobs", 16,
+		"jobs per analysis-service measurement (0: skip the service axis)")
+	svcWorkload := flag.String("service-workload", "xtea", "workload for the service axis")
+	svcMutants := flag.Int("service-mutants", 60, "mutants per service campaign job")
+	svcWorkers := flag.Int("service-workers", 4, "service worker-pool size")
 	metricsPath := flag.String("metrics", "", "write accumulated engine/bus metrics to `file` (.json for JSON, - for stdout, else Prometheus text)")
 	tracePath := flag.String("trace", "", "write per-measurement trace events (JSONL) to `file`")
 	progress := flag.Bool("progress", false, "print a progress line per measurement to stderr")
@@ -291,6 +393,52 @@ func main() {
 			fmt.Printf("campaign pool-on/pool-off: %.2fx mutants/sec, %.1fx fewer TBs compiled\n",
 				on.MutantsPerSec/off.MutantsPerSec,
 				float64(off.TBsCompiled)/float64(on.TBsCompiled))
+		}
+	}
+
+	// Service axis: the same campaign work pushed through internal/serve
+	// as concurrent jobs, across queue depths, pool sharing on vs off.
+	if *svcJobs > 0 {
+		w, ok := workloads.ByName(*svcWorkload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "s4e-bench: unknown service workload %q\n", *svcWorkload)
+			os.Exit(2)
+		}
+		res.Service = map[string]serviceStats{}
+		for _, depth := range []int{1, 8, 64} {
+			for _, mode := range []struct {
+				name   string
+				noPool bool
+			}{{"pool-on", false}, {"pool-off", true}} {
+				key := fmt.Sprintf("q%d-%s", depth, mode.name)
+				if *progress {
+					fmt.Fprintf(os.Stderr, "s4e-bench: service %s (%d jobs, %d reps)\n",
+						key, *svcJobs, *reps)
+				}
+				var best serviceStats
+				for r := 0; r < *reps; r++ {
+					ss, err := measureService(w, depth, *svcWorkers, *svcJobs, *svcMutants, mode.noPool)
+					if err != nil {
+						fatal(err)
+					}
+					if ss.JobsPerSec > best.JobsPerSec {
+						best = ss
+					}
+				}
+				res.Service[key] = best
+				tr.Emit("service-measurement", "mode", key, "jobs_per_sec", best.JobsPerSec,
+					"p99_ms", best.P99MS)
+				fmt.Printf("service %-13s %s: %7.1f jobs/sec  p50=%6.1fms p99=%6.1fms shed=%-4d pool_hits=%d\n",
+					key, w.Name, best.JobsPerSec, best.P50MS, best.P99MS, best.Shed, best.PoolHits)
+			}
+		}
+		for _, depth := range []int{1, 8, 64} {
+			on := res.Service[fmt.Sprintf("q%d-pool-on", depth)]
+			off := res.Service[fmt.Sprintf("q%d-pool-off", depth)]
+			if off.JobsPerSec > 0 {
+				fmt.Printf("service q%-2d pool-on/pool-off: %.2fx jobs/sec\n",
+					depth, on.JobsPerSec/off.JobsPerSec)
+			}
 		}
 	}
 

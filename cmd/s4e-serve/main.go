@@ -1,0 +1,105 @@
+// Command s4e-serve runs the long-running analysis job service: an HTTP
+// server accepting emulation runs, fault-injection campaigns, WCET
+// analyses, QTA co-simulations, and guest-binary lints as JSON jobs on
+// a bounded worker pool. Jobs over the same binary share one golden run
+// and one compiled translation pool.
+//
+// Usage:
+//
+//	s4e-serve [-addr :8080] [-workers N] [-queue 16] [-timeout 60s]
+//	          [-budget 10000000] [-retries 2]
+//
+// The API:
+//
+//	POST   /v1/jobs             submit a job (JSON body; 202/400/429/503)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result result (202 until terminal)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /metrics             Prometheus metrics
+//	GET    /healthz             liveness
+//
+// SIGINT/SIGTERM drain the server: the listener stops accepting, queued
+// and running jobs finish (bounded by -drain), then the process exits
+// 0. Exit status: 0 on clean shutdown, 1 on runtime failure, 2 on usage
+// error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel job executors")
+	queue := flag.Int("queue", 16, "bounded queue depth (full queue sheds with 429)")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-job execution timeout")
+	budget := flag.Uint64("budget", 10_000_000, "default per-job instruction budget")
+	retries := flag.Int("retries", 2, "retries for transiently failing jobs")
+	drain := flag.Duration("drain", 30*time.Second,
+		"shutdown grace period before running jobs are cancelled")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: s4e-serve [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		DefaultBudget:  *budget,
+		Retries:        *retries,
+	})
+	hs := &http.Server{Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s4e-serve:", err)
+		os.Exit(1)
+	}
+	// The resolved address (not the flag) so -addr :0 is scriptable.
+	fmt.Fprintf(os.Stderr, "s4e-serve: listening on %s (%d workers, queue %d)\n",
+		ln.Addr(), *workers, *queue)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal (bad address, port in use).
+		fmt.Fprintln(os.Stderr, "s4e-serve:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "s4e-serve: %v: draining (grace %v)\n", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "s4e-serve: http shutdown:", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "s4e-serve: drain incomplete:", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "s4e-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "s4e-serve: drained, bye")
+}

@@ -1,0 +1,67 @@
+package repro
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocs enforces the documentation contract: every package
+// under internal/ and cmd/ must carry a godoc package comment. CI runs
+// this check, so an undocumented new package fails the build instead of
+// silently shipping.
+func TestPackageDocs(t *testing.T) {
+	fset := token.NewFileSet()
+	var missing []string
+	for _, root := range []string{"internal", "cmd"} {
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			dir := filepath.Join(root, e.Name())
+			documented, hasGo, err := packageDocumented(fset, dir)
+			if err != nil {
+				t.Errorf("%s: %v", dir, err)
+				continue
+			}
+			if hasGo && !documented {
+				missing = append(missing, dir)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("packages without a godoc package comment:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}
+
+// packageDocumented reports whether any non-test Go file in dir carries
+// a package doc comment.
+func packageDocumented(fset *token.FileSet, dir string) (documented, hasGo bool, err error) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return false, false, err
+	}
+	for _, f := range files {
+		name := f.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		hasGo = true
+		af, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return false, true, err
+		}
+		if af.Doc != nil && strings.TrimSpace(af.Doc.Text()) != "" {
+			return true, true, nil
+		}
+	}
+	return false, hasGo, nil
+}

@@ -7,6 +7,7 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -495,6 +496,33 @@ type Options struct {
 	// ProgressEvery (default 1s) plus a final line at completion.
 	Progress      io.Writer
 	ProgressEvery time.Duration
+	// Golden, when non-nil, is a previously computed golden reference
+	// for this exact target (same program, budget, profile, sensor and
+	// engine); the campaign skips its own golden run and uses it
+	// directly. Pool, when additionally non-nil, is the matching shared
+	// translation pool (from Prepare) the workers warm-start from. A
+	// long-running service uses the pair to run the golden once per
+	// binary and share both across many campaign jobs.
+	Golden *Golden
+	Pool   *emu.TBPool
+}
+
+// Prepare runs the golden reference once and freezes its compiled
+// translation state into a shareable pool, so many campaigns over the
+// same target can reuse both via Options.Golden/Options.Pool. The pool
+// is nil when the golden run dirtied its own code (the same
+// goldenCodeClean gate CampaignOpt applies); the Golden is still valid
+// then, campaigns just fall back to private translation caches.
+func Prepare(t *Target) (*Golden, *emu.TBPool, error) {
+	g, gp, err := runGolden(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pool *emu.TBPool
+	if goldenCodeClean(gp) {
+		pool = gp.Machine.BuildTBPool()
+	}
+	return g, pool, nil
 }
 
 // Campaign runs every fault in the plan against the target, using the
@@ -511,24 +539,43 @@ func Campaign(t *Target, plan Plan, workers int) (*Results, error) {
 // (errors.Join) alongside. Callers that care only about guest behaviour
 // can therefore keep partial results even when err != nil.
 func CampaignOpt(t *Target, plan Plan, o Options) (*Results, error) {
-	golden, gp, err := runGolden(t)
-	if err != nil {
-		return nil, err
+	return CampaignContext(context.Background(), t, plan, o)
+}
+
+// CampaignContext is CampaignOpt under a context. Cancellation (or a
+// deadline) stops the workers at the next mutant boundary — each mutant
+// is bounded by the target budget, so the campaign returns promptly
+// with partial results: every classified slot keeps its outcome, slots
+// never reached stay Errored, and the joined error includes ctx.Err().
+func CampaignContext(ctx context.Context, t *Target, plan Plan, o Options) (*Results, error) {
+	golden := o.Golden
+	pool := o.Pool
+	if golden == nil {
+		g, gp, err := runGolden(t)
+		if err != nil {
+			return nil, err
+		}
+		golden = g
+		// Freeze the golden run's compiled translation state into the
+		// shared pool every worker warm-starts from. The golden platform
+		// itself is discarded; only the immutable compiled blocks live
+		// on. A golden run that dirtied its own code (self-modification,
+		// wild jump into written data — detected exactly like the
+		// injector's per-mutant check) compiled blocks that don't match
+		// the pristine image workers validate against, so such a
+		// campaign falls back to private caches.
+		if !o.NoSharedPool && goldenCodeClean(gp) {
+			pool = gp.Machine.BuildTBPool()
+		}
 	}
 	workers := o.Workers
 	if workers <= 0 {
 		workers = 1
 	}
-	// Freeze the golden run's compiled translation state into the shared
-	// pool every worker warm-starts from. The golden platform itself is
-	// discarded; only the immutable compiled blocks live on. A golden
-	// run that dirtied its own code (self-modification, wild jump into
-	// written data — detected exactly like the injector's per-mutant
-	// check) compiled blocks that don't match the pristine image workers
-	// validate against, so such a campaign falls back to private caches.
-	var pool *emu.TBPool
-	if !o.NoSharedPool && goldenCodeClean(gp) {
-		pool = gp.Machine.BuildTBPool()
+	if o.NoSharedPool {
+		pool = nil
+	}
+	if pool != nil {
 		o.Metrics.Gauge("s4e_fault_pool_blocks", "shared translation-pool blocks").
 			Set(float64(pool.Size()))
 	}
@@ -607,6 +654,9 @@ func CampaignOpt(t *Target, plan Plan, o Options) (*Results, error) {
 				return
 			}
 			for i := range idx {
+				if ctx.Err() != nil {
+					return // cancelled: remaining slots stay Errored
+				}
 				out, err := inj.run(golden, plan.Faults[i])
 				if err != nil {
 					out = Errored
@@ -639,6 +689,12 @@ func CampaignOpt(t *Target, plan Plan, o Options) (*Results, error) {
 	}
 	o.Trace.Emit("campaign-end", "done", done.Load(), "errored", counts[Errored].Load(),
 		"seconds", res.Duration.Seconds())
+
+	if err := ctx.Err(); err != nil {
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+	}
 
 	for i, out := range res.Details {
 		res.ByOutcome[out]++

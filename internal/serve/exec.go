@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/emu"
+	"repro/internal/fault"
+	"repro/internal/flow"
+	"repro/internal/qta"
+	"repro/internal/vp"
+	"repro/internal/wcet"
+)
+
+// parseEngine maps the request's engine name to the emu engine.
+func parseEngine(name string) (emu.Engine, error) {
+	switch name {
+	case "", "threaded":
+		return emu.EngineThreaded, nil
+	case "switch":
+		return emu.EngineSwitch, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (threaded, switch)", name)
+}
+
+// binKey identifies one guest binary under one execution specialization:
+// jobs agreeing on the key share the compiled translation pool, and
+// campaign jobs additionally share per-budget golden runs.
+type binKey struct {
+	image   [32]byte // sha256 over org, entry, image bytes
+	engine  emu.Engine
+	profile string
+}
+
+// binEntry is the shared state of one binary: the compiled translation
+// pool (published by the first job that ran the binary cleanly) and the
+// fault goldens keyed by instruction budget.
+type binEntry struct {
+	mu      sync.Mutex
+	pool    *emu.TBPool
+	goldens map[uint64]*fault.Golden
+}
+
+// bin returns the cache entry for a job's binary/engine/profile.
+func (s *Server) bin(j *Job) *binEntry {
+	h := sha256.New()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], j.prog.Org)
+	binary.LittleEndian.PutUint32(hdr[4:], j.prog.Entry)
+	h.Write(hdr[:])
+	h.Write(j.prog.Bytes)
+	key := binKey{engine: j.engine, profile: j.profile.ProfileName}
+	h.Sum(key.image[:0])
+	e, loaded := s.bins.Load(key)
+	if !loaded {
+		e, _ = s.bins.LoadOrStore(key, &binEntry{goldens: map[uint64]*fault.Golden{}})
+	}
+	return e.(*binEntry)
+}
+
+// poolShare counts cross-job translation-pool cache traffic.
+func (s *Server) poolShare(hit bool) {
+	which := "miss"
+	if hit {
+		which = "hit"
+	}
+	s.reg.Counter(fmt.Sprintf("s4e_serve_pool_jobs_total{cache=%q}", which),
+		"jobs by shared-translation-pool cache outcome").Inc()
+}
+
+// newPlatform builds a loaded platform for an executing job.
+func (j *Job) newPlatform() (*vp.Platform, error) {
+	p, err := vp.New(vp.Config{Profile: j.profile})
+	if err != nil {
+		return nil, err
+	}
+	p.Machine.Engine = j.engine
+	if err := p.LoadProgram(j.prog); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// codeClean reports whether the run left its translated code bytes
+// pristine (no store into translated code, no translation over written
+// bytes) — the same gate fault campaigns apply before publishing a
+// pool.
+func codeClean(p *vp.Platform) bool {
+	if p.Machine.CodeWrites() != 0 {
+		return false
+	}
+	slo, shi := p.Machine.StoreWatermark()
+	clo, chi := p.Machine.CodeRange()
+	return !(slo < chi && clo < shi)
+}
+
+// RunResult is the payload of a finished "run" job.
+type RunResult struct {
+	Reason string `json:"reason"`
+	Code   uint32 `json:"code"`
+	PC     uint32 `json:"pc"`
+	Insts  uint64 `json:"insts"`
+	Cycles uint64 `json:"cycles"`
+	Output string `json:"output"`
+}
+
+// execRun executes the guest once on the virtual platform. Jobs over
+// the same binary share the compiled translation pool: the first run
+// publishes it, later runs (and campaigns) adopt its blocks instead of
+// recompiling.
+func (s *Server) execRun(ctx context.Context, j *Job) (any, error) {
+	p, err := j.newPlatform()
+	if err != nil {
+		return nil, Transient(err)
+	}
+	e := s.bin(j)
+	e.mu.Lock()
+	pool := e.pool
+	e.mu.Unlock()
+	s.poolShare(pool != nil)
+	p.Machine.AttachTBPool(pool) // nil attach is a no-op detach
+	stop, err := p.RunContext(ctx, j.budget)
+	res := RunResult{
+		Reason: stop.Reason.String(), Code: stop.Code, PC: stop.PC,
+		Insts: p.Machine.Hart.Instret, Cycles: p.Machine.Hart.Cycle,
+		Output: p.Output(),
+	}
+	if err != nil {
+		return res, err
+	}
+	if pool == nil && codeClean(p) {
+		built := p.Machine.BuildTBPool()
+		e.mu.Lock()
+		if e.pool == nil {
+			e.pool = built
+		}
+		e.mu.Unlock()
+	}
+	return res, nil
+}
+
+// FaultResult is the payload of a finished "fault" job. Details lists
+// every mutant's outcome in plan order, so results are comparable
+// bit-for-bit with the CLI campaign over the same plan.
+type FaultResult struct {
+	Total      int                       `json:"total"`
+	ByOutcome  map[string]int            `json:"by_outcome"`
+	ByModel    map[string]map[string]int `json:"by_model"`
+	Details    []string                  `json:"details"`
+	GoldenStop string                    `json:"golden_stop"`
+	GoldenInst uint64                    `json:"golden_insts"`
+	DurationMS float64                   `json:"duration_ms"`
+	PoolShared bool                      `json:"pool_shared"`
+	Errors     string                    `json:"errors,omitempty"`
+}
+
+// execFault runs a fault-injection campaign. The golden run and the
+// shared translation pool are computed once per (binary, engine,
+// profile, budget) and reused by every later campaign job over the
+// same binary — the cross-job analogue of the per-campaign pool
+// warm-start.
+func (s *Server) execFault(ctx context.Context, j *Job) (any, error) {
+	spec := j.req.Fault
+	tg := &fault.Target{Program: j.prog, Budget: j.budget, Profile: j.profile, Engine: j.engine}
+
+	e := s.bin(j)
+	e.mu.Lock()
+	golden := e.goldens[j.budget]
+	pool := e.pool
+	e.mu.Unlock()
+	hit := golden != nil
+	if !hit {
+		g, p, err := fault.Prepare(tg)
+		if err != nil {
+			return nil, err
+		}
+		golden = g
+		e.mu.Lock()
+		e.goldens[j.budget] = g
+		if e.pool == nil && p != nil {
+			e.pool = p
+		}
+		pool = e.pool
+		e.mu.Unlock()
+	}
+	s.poolShare(hit)
+
+	end := vp.RAMBase + uint32(len(j.prog.Bytes))
+	plan := fault.NewPlan(fault.PlanConfig{
+		Seed:         spec.Seed,
+		GPRTransient: spec.GPRTransient,
+		GPRPermanent: spec.GPRPermanent,
+		MemPermanent: spec.MemPermanent,
+		CodeBitflip:  spec.CodeBitflip,
+		GoldenInsts:  golden.Insts,
+		CodeStart:    vp.RAMBase, CodeEnd: end,
+		DataStart: vp.RAMBase, DataEnd: end,
+	})
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	res, err := fault.CampaignContext(ctx, tg, plan, fault.Options{
+		Workers:      workers,
+		NoSharedPool: spec.NoPool,
+		Golden:       golden,
+		Pool:         pool,
+		Metrics:      s.reg,
+	})
+	if res == nil {
+		return nil, err
+	}
+	out := FaultResult{
+		Total:      res.Total,
+		ByOutcome:  map[string]int{},
+		ByModel:    map[string]map[string]int{},
+		Details:    make([]string, len(res.Details)),
+		GoldenStop: golden.Stop.String(),
+		GoldenInst: golden.Insts,
+		DurationMS: float64(res.Duration) / float64(time.Millisecond),
+		PoolShared: pool != nil && !spec.NoPool,
+	}
+	for o, n := range res.ByOutcome {
+		out.ByOutcome[o.String()] = n
+	}
+	for m, row := range res.ByModel {
+		mr := map[string]int{}
+		for o, n := range row {
+			mr[o.String()] = n
+		}
+		out.ByModel[m.String()] = mr
+	}
+	for i, o := range res.Details {
+		out.Details[i] = o.String()
+	}
+	if err != nil {
+		out.Errors = err.Error()
+		if ctx.Err() != nil {
+			// Cancellation/deadline: partial results plus the ctx error.
+			return out, ctx.Err()
+		}
+		// Errored mutants: the campaign itself completed; the job is
+		// done with the error recorded in the payload, mirroring the
+		// CLI's keep-partial-results behaviour.
+	}
+	return out, nil
+}
+
+// WCETResult is the payload of a finished "wcet" job: the annotated CFG
+// artifact (blocks, edges, bounds, the WCET bound) the QTA flow
+// consumes.
+type WCETResult struct {
+	WCET      uint64          `json:"wcet"`
+	Blocks    int             `json:"blocks"`
+	Edges     int             `json:"edges"`
+	Annotated *wcet.Annotated `json:"annotated"`
+}
+
+// analyze builds the CFG and runs the cancellable WCET analysis.
+func (j *Job) analyze(ctx context.Context) (*wcet.Annotated, error) {
+	g, err := cfg.Build(j.prog.Bytes, j.prog.Org, j.prog.Entry)
+	if err != nil {
+		return nil, err
+	}
+	infer := j.req.InferBounds == nil || *j.req.InferBounds
+	return wcet.AnalyzeContext(ctx, g, wcet.Config{
+		Profile:     j.profile,
+		Bounds:      j.req.Bounds,
+		Symbols:     j.prog.Symbols,
+		InferBounds: infer,
+	})
+}
+
+// execWCET runs the static WCET analysis.
+func (s *Server) execWCET(ctx context.Context, j *Job) (any, error) {
+	an, err := j.analyze(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return WCETResult{WCET: an.WCET, Blocks: len(an.Blocks), Edges: len(an.Edges), Annotated: an}, nil
+}
+
+// QTAResult is the payload of a finished "qta" job: the three-way
+// static/observed/dynamic timing comparison.
+type QTAResult struct {
+	StaticWCET  uint64 `json:"static_wcet"`
+	QTATime     uint64 `json:"qta_time"`
+	Dynamic     uint64 `json:"dynamic"`
+	Insts       uint64 `json:"insts"`
+	BlocksSeen  int    `json:"blocks_seen"`
+	BlocksTotal int    `json:"blocks_total"`
+	Missing     uint64 `json:"missing"`
+	Traps       uint64 `json:"traps"`
+	Sound       bool   `json:"sound"`
+	StopReason  string `json:"stop_reason"`
+}
+
+// execQTA runs static analysis plus the timing-annotated co-simulation.
+func (s *Server) execQTA(ctx context.Context, j *Job) (any, error) {
+	an, err := j.analyze(ctx)
+	if err != nil {
+		return nil, err
+	}
+	p, err := j.newPlatform()
+	if err != nil {
+		return nil, Transient(err)
+	}
+	q, stop, err := qta.CoSim(ctx, an, p, j.budget)
+	if err != nil {
+		return nil, err
+	}
+	r := q.NewResult(j.ID, p.Machine.Hart.Cycle, p.Machine.Hart.Instret)
+	return QTAResult{
+		StaticWCET: r.StaticWCET, QTATime: r.QTATime, Dynamic: r.Dynamic,
+		Insts: r.Insts, BlocksSeen: r.BlocksSeen, BlocksTotal: r.BlocksTotal,
+		Missing: r.Missing, Traps: r.Traps, Sound: r.Sound(),
+		StopReason: stop.Reason.String(),
+	}, nil
+}
+
+// LintFinding is one linter diagnostic in a "lint" job's payload.
+type LintFinding struct {
+	Check    string `json:"check"`
+	Severity string `json:"severity"`
+	Addr     uint32 `json:"addr"`
+	Line     int    `json:"line,omitempty"`
+	Msg      string `json:"msg"`
+}
+
+// LintResult is the payload of a finished "lint" job.
+type LintResult struct {
+	Findings []LintFinding `json:"findings"`
+	Definite int           `json:"definite"`
+	Possible int           `json:"possible"`
+	Info     int           `json:"info"`
+}
+
+// execLint runs the guest-binary linter under the platform
+// configuration.
+func (s *Server) execLint(ctx context.Context, j *Job) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	findings, err := flow.LintProgram(j.prog, j.req.Bounds)
+	if err != nil {
+		return nil, err
+	}
+	out := LintResult{Findings: []LintFinding{}}
+	for _, f := range findings {
+		out.Findings = append(out.Findings, LintFinding{
+			Check: f.Check, Severity: f.Severity.String(),
+			Addr: f.Addr, Line: f.Line, Msg: f.Msg,
+		})
+		switch f.Severity.String() {
+		case "definite":
+			out.Definite++
+		case "possible":
+			out.Possible++
+		default:
+			out.Info++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,482 @@
+// Package serve is the long-running analysis service of the Scale4Edge
+// ecosystem: an HTTP job server that accepts the one-shot CLI workloads
+// — emulation runs, fault-injection campaigns, static WCET analysis,
+// QTA co-simulation, guest-binary lint — as JSON jobs over uploaded
+// guest binaries and executes them on a bounded worker pool. It is the
+// piece that turns the toolbox into an operable system: a bounded queue
+// that sheds load with 429 instead of growing without limit, per-job
+// context deadlines and cancellation threaded into the analysis entry
+// points (fault.CampaignContext, wcet.AnalyzeContext, qta.CoSim,
+// vp.RunContext), per-job panic recovery that marks the job errored
+// without killing its worker, retry-with-backoff for transient
+// failures, graceful shutdown that drains in-flight jobs, and
+// first-class observability through the internal/obs registry
+// (/metrics, /healthz, per-job-type latency histograms, queue-depth
+// gauge, shed/retry counters). Jobs over the same guest binary share
+// one golden run and one compiled translation pool (emu.TBPool), so a
+// burst of campaign jobs compiles the working set once, not once per
+// job.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/timing"
+)
+
+// Config parametrizes a server. The zero value is usable: two workers,
+// a 16-deep queue, 60 s job timeout, two retries.
+type Config struct {
+	// Workers is the number of parallel job executors (<=0 means 2).
+	Workers int
+	// QueueDepth bounds the number of accepted-but-not-started jobs
+	// (<=0 means 16). A full queue sheds new submissions with
+	// ErrQueueFull (HTTP 429 + Retry-After) instead of buffering
+	// without limit.
+	QueueDepth int
+	// DefaultTimeout caps a job's execution wall-clock when the request
+	// does not set one (<=0 means 60 s).
+	DefaultTimeout time.Duration
+	// DefaultBudget is the instruction budget when the request leaves
+	// it zero (default 10M, the s4e-fault default).
+	DefaultBudget uint64
+	// Retries is how many times a transiently failing job is re-run
+	// before it is marked errored (<0 means 0; default 2).
+	Retries int
+	// RetryBackoff is the base delay before the first retry; each
+	// further retry doubles it (default 50 ms).
+	RetryBackoff time.Duration
+	// MaxBodyBytes bounds the request body (default 16 MiB).
+	MaxBodyBytes int64
+	// Metrics receives the service instruments; nil builds a private
+	// registry (still exported at /metrics).
+	Metrics *obs.Registry
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.DefaultBudget == 0 {
+		c.DefaultBudget = 10_000_000
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+}
+
+// Sentinel submission errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrQueueFull is returned when the bounded queue sheds a job.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining is returned once shutdown has begun.
+	ErrDraining = errors.New("serve: server is draining")
+)
+
+// transientError marks an error as worth retrying.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so the worker retry loop re-runs the job (with
+// backoff) instead of failing it on first error.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err carries the Transient marker.
+func IsTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// Server is the analysis job service. Create with New, expose
+// Handler() over HTTP, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	start time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	queue    chan *Job
+	queued   int // jobs accepted and not yet picked up by a worker
+	draining bool
+	wg       sync.WaitGroup
+
+	bins sync.Map // binKey -> *binEntry: per-binary golden/pool cache
+
+	// instruments
+	mDepth     *obs.Gauge
+	mDepthPeak *obs.Gauge
+	mInflight  *obs.Gauge
+	mShed      *obs.Counter
+	mRetries   *obs.Counter
+	mPanics    *obs.Counter
+
+	// execOverride replaces the typed executor in tests (panic and
+	// retry-path coverage without constructing pathological guests).
+	execOverride func(ctx context.Context, j *Job) (any, error)
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg.fill()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:   cfg,
+		reg:   reg,
+		start: time.Now(),
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, cfg.QueueDepth),
+
+		mDepth:     reg.Gauge("s4e_serve_queue_depth", "jobs queued and not yet started"),
+		mDepthPeak: reg.Gauge("s4e_serve_queue_depth_peak", "highest queue depth observed"),
+		mInflight:  reg.Gauge("s4e_serve_jobs_inflight", "jobs currently executing"),
+		mShed:      reg.Counter("s4e_serve_shed_total", "submissions rejected by the full queue"),
+		mRetries:   reg.Counter("s4e_serve_retries_total", "transient job failures retried"),
+		mPanics:    reg.Counter("s4e_serve_panics_total", "job executions recovered from a panic"),
+	}
+	reg.Gauge("s4e_serve_workers", "parallel job executors").Set(float64(cfg.Workers))
+	reg.Gauge("s4e_serve_queue_capacity", "bounded queue capacity").Set(float64(cfg.QueueDepth))
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics returns the server's registry (for embedding the service in a
+// larger process, e.g. the benchmark harness reading latency
+// histograms).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Submit validates and enqueues a job, returning its initial status.
+// ErrQueueFull and ErrDraining report backpressure and shutdown; other
+// errors are invalid requests.
+func (s *Server) Submit(req Request) (Status, error) {
+	if !jobTypes[req.Type] {
+		return Status{}, fmt.Errorf("unknown job type %q (run, fault, wcet, qta, lint)", req.Type)
+	}
+	prog, err := resolveProgram(&req)
+	if err != nil {
+		return Status{}, err
+	}
+	profName := req.Profile
+	if profName == "" {
+		profName = "edge-small"
+	}
+	prof, ok := timing.Profiles()[profName]
+	if !ok {
+		return Status{}, fmt.Errorf("unknown profile %q", profName)
+	}
+	engine, err := parseEngine(req.Engine)
+	if err != nil {
+		return Status{}, err
+	}
+	if req.Type == "fault" && req.Fault == nil {
+		return Status{}, fmt.Errorf("fault job needs a fault spec")
+	}
+
+	j := &Job{
+		ID:        newID(),
+		Type:      req.Type,
+		req:       req,
+		prog:      prog,
+		profile:   prof,
+		engine:    engine,
+		budget:    req.Budget,
+		timeout:   time.Duration(req.TimeoutMS) * time.Millisecond,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	if j.budget == 0 {
+		j.budget = s.cfg.DefaultBudget
+	}
+	if j.timeout <= 0 {
+		j.timeout = s.cfg.DefaultTimeout
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return Status{}, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.mShed.Inc()
+		return Status{}, ErrQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.queued++
+	s.noteDepth()
+	st := j.status()
+	s.mu.Unlock()
+
+	s.reg.Counter(fmt.Sprintf("s4e_serve_jobs_submitted_total{type=%q}", j.Type),
+		"jobs accepted into the queue").Inc()
+	return st, nil
+}
+
+// noteDepth refreshes the queue-depth gauge and its peak; callers hold
+// s.mu.
+func (s *Server) noteDepth() {
+	d := float64(s.queued)
+	s.mDepth.Set(d)
+	if d > s.mDepthPeak.Value() {
+		s.mDepthPeak.Set(d)
+	}
+}
+
+// Job returns the status of a job by ID.
+func (s *Server) Job(id string) (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, false
+	}
+	return j.status(), true
+}
+
+// Result returns a finished job's result payload.
+func (s *Server) Result(id string) (Status, any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, nil, false
+	}
+	return j.status(), j.result, true
+}
+
+// Jobs lists every job's status in submission order.
+func (s *Server) Jobs() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status())
+	}
+	return out
+}
+
+// Cancel aborts a job: a queued job is marked cancelled before it ever
+// runs, a running job has its context cancelled and returns partial
+// work promptly (every analysis entry point is context-threaded). The
+// second return is false when the job is unknown; cancelling a job that
+// already reached a terminal state is a no-op reporting that state.
+func (s *Server) Cancel(id string) (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, false
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.cancelled = true
+		j.finished = time.Now()
+		s.finishMetrics(j)
+	case StateRunning:
+		j.cancelled = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return j.status(), true
+}
+
+// worker executes queued jobs until the queue is closed by Shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		s.queued--
+		s.noteDepth()
+		s.mu.Unlock()
+		s.runJob(j)
+	}
+}
+
+// runJob drives one job through execution, retry, and state
+// transitions.
+func (s *Server) runJob(j *Job) {
+	s.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), j.timeout)
+	j.cancel = cancel
+	s.mu.Unlock()
+	defer cancel()
+
+	s.mInflight.Add(1)
+	defer s.mInflight.Add(-1)
+
+	var result any
+	var err error
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		j.attempts = attempt + 1
+		s.mu.Unlock()
+		result, err = s.execute(ctx, j)
+		if err == nil || ctx.Err() != nil || !IsTransient(err) || attempt >= s.cfg.Retries {
+			break
+		}
+		s.mRetries.Inc()
+		backoff := s.cfg.RetryBackoff << attempt
+		select {
+		case <-ctx.Done():
+		case <-time.After(backoff):
+		}
+	}
+
+	s.mu.Lock()
+	j.finished = time.Now()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+	case j.cancelled:
+		j.state = StateCancelled
+		j.err = err.Error()
+		j.result = result // partial results stay readable
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = StateErrored
+		j.err = fmt.Sprintf("job timeout after %v: %v", j.timeout, err)
+		j.result = result
+	default:
+		j.state = StateErrored
+		j.err = err.Error()
+	}
+	s.finishMetrics(j)
+	sec := j.finished.Sub(j.started).Seconds()
+	s.mu.Unlock()
+
+	s.jobSeconds(j.Type).Observe(sec)
+}
+
+// finishMetrics counts a terminal transition; callers hold s.mu.
+func (s *Server) finishMetrics(j *Job) {
+	s.reg.Counter(
+		fmt.Sprintf("s4e_serve_jobs_finished_total{type=%q,state=%q}", j.Type, string(j.state)),
+		"jobs by terminal state").Inc()
+}
+
+// jobSecondsBounds spans sub-millisecond lint jobs to minute-long
+// campaigns.
+var jobSecondsBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60,
+}
+
+// jobSeconds returns the latency histogram of one job type.
+func (s *Server) jobSeconds(typ string) *obs.Histogram {
+	return s.reg.Histogram(
+		fmt.Sprintf("s4e_serve_job_seconds{type=%q}", typ),
+		"job execution latency by type", jobSecondsBounds)
+}
+
+// execute runs one attempt of a job with panic isolation: a panicking
+// analysis marks the job errored (carrying the stack) without taking
+// down the worker or the process.
+func (s *Server) execute(ctx context.Context, j *Job) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.mPanics.Inc()
+			err = fmt.Errorf("job panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if s.execOverride != nil {
+		return s.execOverride(ctx, j)
+	}
+	switch j.Type {
+	case "run":
+		return s.execRun(ctx, j)
+	case "fault":
+		return s.execFault(ctx, j)
+	case "wcet":
+		return s.execWCET(ctx, j)
+	case "qta":
+		return s.execQTA(ctx, j)
+	case "lint":
+		return s.execLint(ctx, j)
+	}
+	return nil, fmt.Errorf("unknown job type %q", j.Type)
+}
+
+// Shutdown drains the server: no new submissions are accepted, queued
+// and in-flight jobs run to completion, then the workers exit. If ctx
+// expires first, every running job's context is cancelled (they return
+// promptly with partial state) and Shutdown reports ctx's error after
+// the workers finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			if j.state == StateQueued {
+				j.state = StateCancelled
+				j.cancelled = true
+				j.finished = time.Now()
+				s.finishMetrics(j)
+			}
+			if j.cancel != nil {
+				j.cancelled = true
+				j.cancel()
+			}
+		}
+		s.mu.Unlock()
+		<-done // jobs are context-threaded, so this is prompt
+		return ctx.Err()
+	}
+}

@@ -6,6 +6,7 @@ package vp
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 
@@ -139,6 +140,40 @@ func (p *Platform) LoadSource(src string) (*asm.Program, error) {
 // Run executes until stop or budget exhaustion.
 func (p *Platform) Run(budget uint64) emu.StopInfo {
 	return p.Machine.Run(budget)
+}
+
+// runChunk is the cancellation granularity of RunContext: about 10 ms
+// of emulation at edge-platform speeds, small enough that a cancelled
+// job releases its worker promptly, large enough that the per-chunk
+// bookkeeping is invisible in throughput.
+const runChunk = 2_000_000
+
+// RunContext is Run under a context: the budget is executed in bounded
+// chunks with a cancellation check between them. Budget stops are
+// resumable, so chunking does not change the architectural result — the
+// engine differential tests rely on exactly this property. On
+// cancellation the partial StopInfo (a budget stop at the current PC)
+// is returned together with ctx.Err(); budget 0 means unlimited, which
+// with a cancellable context is safe against diverging guests.
+func (p *Platform) RunContext(ctx context.Context, budget uint64) (emu.StopInfo, error) {
+	var done uint64
+	for {
+		if err := ctx.Err(); err != nil {
+			return emu.StopInfo{Reason: emu.StopBudget, PC: p.Machine.Hart.PC}, err
+		}
+		step := uint64(runChunk)
+		if budget != 0 {
+			if rem := budget - done; rem < step {
+				step = rem
+			}
+		}
+		before := p.Machine.Hart.Instret
+		stop := p.Run(step)
+		done += p.Machine.Hart.Instret - before
+		if stop.Reason != emu.StopBudget || (budget != 0 && done >= budget) {
+			return stop, nil
+		}
+	}
 }
 
 // Snapshot is a full platform checkpoint: hart, RAM and device state.

@@ -10,6 +10,7 @@
 package wcet
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -73,6 +74,14 @@ type Annotated struct {
 
 // Analyze runs the full static analysis over the graph.
 func Analyze(g *cfg.Graph, conf Config) (*Annotated, error) {
+	return AnalyzeContext(context.Background(), g, conf)
+}
+
+// AnalyzeContext is Analyze under a context: cancellation (or a
+// deadline) is checked at every function and loop-contraction boundary,
+// so a job service can abandon an analysis of a pathological graph
+// without waiting it out.
+func AnalyzeContext(ctx context.Context, g *cfg.Graph, conf Config) (*Annotated, error) {
 	if conf.Profile == nil {
 		return nil, fmt.Errorf("wcet: timing profile required")
 	}
@@ -97,7 +106,7 @@ func Analyze(g *cfg.Graph, conf Config) (*Annotated, error) {
 		}
 	}
 
-	a := &analysis{g: g, conf: conf, an: an, funcMemo: map[uint32]uint64{}, inProgress: map[uint32]bool{}}
+	a := &analysis{ctx: ctx, g: g, conf: conf, an: an, funcMemo: map[uint32]uint64{}, inProgress: map[uint32]bool{}}
 	total, err := a.functionWCET(g.Entry)
 	if err != nil {
 		return nil, err
@@ -118,6 +127,7 @@ func transferPenalty(p *timing.Profile, b *cfg.Block, kind cfg.EdgeKind) uint32 
 
 // analysis carries the per-run state of the structural WCET computation.
 type analysis struct {
+	ctx        context.Context
 	g          *cfg.Graph
 	conf       Config
 	an         *Annotated
@@ -135,6 +145,9 @@ type node struct {
 // functionWCET computes the WCET of the function at entry, including all
 // callees.
 func (a *analysis) functionWCET(entry uint32) (uint64, error) {
+	if err := a.ctx.Err(); err != nil {
+		return 0, err
+	}
 	if v, ok := a.funcMemo[entry]; ok {
 		return v, nil
 	}
@@ -197,6 +210,9 @@ func (a *analysis) functionWCET(entry uint32) (uint64, error) {
 	sort.Slice(loops, func(i, j int) bool { return loops[i].Depth > loops[j].Depth })
 
 	for _, l := range loops {
+		if err := a.ctx.Err(); err != nil {
+			return 0, err
+		}
 		bound, err := a.boundFor(l, auto)
 		if err != nil {
 			return 0, err

@@ -1,0 +1,157 @@
+package repro
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeBinary drives the s4e-serve binary end to end: start on an
+// ephemeral port, submit a job over HTTP, read its result and metrics,
+// then SIGTERM the process and require a clean drain (exit 0).
+func TestServeBinary(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "s4e-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/s4e-serve").CombinedOutput(); err != nil {
+		t.Fatalf("build s4e-serve: %v\n%s", err, out)
+	}
+
+	srv := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2", "-queue", "8")
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill() //nolint:errcheck // backstop; normally exited
+
+	// The first stderr line carries the resolved listen address.
+	rd := bufio.NewReader(stderr)
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading banner: %v", err)
+	}
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("banner %q lacks address", line)
+	}
+	addr := strings.Fields(line[i+len(marker):])[0]
+	base := "http://" + addr
+	var tail strings.Builder
+	copied := make(chan struct{})
+	go func() {
+		defer close(copied)
+		io.Copy(&tail, rd) //nolint:errcheck // best-effort drain
+	}()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// Submit the same summation task the toolchain test runs; its guest
+	// exit code (sum(1..16) = 136) proves real execution.
+	body, err := json.Marshal(map[string]any{
+		"type": "run", "source": taskSource, "budget": 100_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: status %d id %q err %v", resp.StatusCode, st.ID, err)
+	}
+
+	var result struct {
+		Status struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		} `json:"status"`
+		Result struct {
+			Code uint32 `json:"code"`
+		} `json:"result"`
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		resp, err = http.Get(base + "/v1/jobs/" + st.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&result)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if result.Status.State != "done" || result.Result.Code != 136 {
+		t.Fatalf("job state %q err %q code %d, want done/136",
+			result.Status.State, result.Status.Error, result.Result.Code)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`s4e_serve_job_seconds_count{type="run"} 1`,
+		"s4e_serve_queue_depth_peak 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Graceful drain: SIGTERM must exit 0 promptly.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		<-copied // Wait closes the pipe; only call it after stderr hits EOF
+		done <- srv.Wait()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("exit after SIGTERM: %v\nstderr:\n%s", err, tail.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("s4e-serve did not exit after SIGTERM")
+	}
+	if !strings.Contains(tail.String(), "drained") {
+		t.Errorf("drain log missing: %s", tail.String())
+	}
+}

@@ -15,7 +15,7 @@ func buildTools(t *testing.T) string {
 	tools := []string{
 		"s4e-asm", "s4e-dis", "s4e-run", "s4e-cfg", "s4e-wcet", "s4e-qta",
 		"s4e-cov", "s4e-fault", "s4e-torture", "s4e-experiments", "s4e-bench",
-		"s4e-lint",
+		"s4e-lint", "s4e-serve",
 	}
 	for _, tool := range tools {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
