@@ -226,18 +226,19 @@ func BenchmarkE7_BMI(b *testing.B) {
 }
 
 // BenchmarkE8_MIPS measures raw emulation speed across the engine axis:
-// the threaded-code engine, the interpreter-switch engine, and the
-// switch engine with the translation-block cache disabled (the
-// retranslate-everything baseline). One platform is built per
-// sub-benchmark and rewound between iterations with the watermark-based
-// RestoreReuse, so the timed loop holds emulation only — not assembly
-// or RAM allocation.
+// the superblock trace engine, the threaded-code engine, the
+// interpreter-switch engine, and the switch engine with the
+// translation-block cache disabled (the retranslate-everything
+// baseline). One platform is built per sub-benchmark and rewound
+// between iterations with the watermark-based RestoreReuse, so the
+// timed loop holds emulation only — not assembly or RAM allocation.
 func BenchmarkE8_MIPS(b *testing.B) {
 	for _, mode := range []struct {
 		name    string
 		engine  emu.Engine
 		disable bool
 	}{
+		{"superblock", emu.EngineSuperblock, false},
 		{"threaded", emu.EngineThreaded, false},
 		{"switch", emu.EngineSwitch, false},
 		{"no-tb-cache", emu.EngineSwitch, true},
@@ -295,32 +296,42 @@ func BenchmarkE10_PoolCampaign(b *testing.B) {
 		DataStart:    vp.RAMBase,
 		DataEnd:      end,
 	})
-	for _, mode := range []struct {
+	for _, eng := range []struct {
 		name   string
-		noPool bool
+		engine emu.Engine
 	}{
-		{"shared-pool", false},
-		{"private-caches", true},
+		{"threaded", emu.EngineThreaded},
+		{"superblock", emu.EngineSuperblock},
 	} {
-		for _, workers := range []int{1, 4} {
-			b.Run(fmt.Sprintf("%s/workers-%d", mode.name, workers), func(b *testing.B) {
-				var tbs uint64
-				for i := 0; i < b.N; i++ {
-					reg := obs.NewRegistry()
-					res, err := fault.CampaignOpt(tg, plan, fault.Options{
-						Workers: workers, NoSharedPool: mode.noPool, Metrics: reg,
-					})
-					if err != nil {
-						b.Fatal(err)
+		etg := *tg
+		etg.Engine = eng.engine
+		for _, mode := range []struct {
+			name   string
+			noPool bool
+		}{
+			{"shared-pool", false},
+			{"private-caches", true},
+		} {
+			for _, workers := range []int{1, 4} {
+				b.Run(fmt.Sprintf("%s/%s/workers-%d", eng.name, mode.name, workers), func(b *testing.B) {
+					var tbs uint64
+					for i := 0; i < b.N; i++ {
+						reg := obs.NewRegistry()
+						res, err := fault.CampaignOpt(&etg, plan, fault.Options{
+							Workers: workers, NoSharedPool: mode.noPool, Metrics: reg,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if res.Total != len(plan.Faults) {
+							b.Fatalf("short campaign: %d/%d", res.Total, len(plan.Faults))
+						}
+						tbs = reg.Counter(vp.MetricTBsCompiled, "").Value()
 					}
-					if res.Total != len(plan.Faults) {
-						b.Fatalf("short campaign: %d/%d", res.Total, len(plan.Faults))
-					}
-					tbs = reg.Counter(vp.MetricTBsCompiled, "").Value()
-				}
-				b.ReportMetric(float64(len(plan.Faults))*float64(b.N)/b.Elapsed().Seconds(), "mutants/sec")
-				b.ReportMetric(float64(tbs), "tbs-compiled")
-			})
+					b.ReportMetric(float64(len(plan.Faults))*float64(b.N)/b.Elapsed().Seconds(), "mutants/sec")
+					b.ReportMetric(float64(tbs), "tbs-compiled")
+				})
+			}
 		}
 	}
 }

@@ -37,10 +37,36 @@ type engineMode struct {
 	disable bool
 }
 
-var modes = []engineMode{
+var allModes = []engineMode{
 	{"threaded", emu.EngineThreaded, false},
 	{"switch", emu.EngineSwitch, false},
+	{"superblock", emu.EngineSuperblock, false},
 	{"no-tb-cache", emu.EngineSwitch, true},
+}
+
+// selectModes resolves the -engines flag: a comma-separated subset of
+// the mode names above, in the requested order.
+func selectModes(spec string) ([]engineMode, error) {
+	var out []engineMode
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, m := range allModes {
+			if m.name == name {
+				out = append(out, m)
+				found = true
+				break
+			}
+		}
+		if !found {
+			var known []string
+			for _, m := range allModes {
+				known = append(known, m.name)
+			}
+			return nil, fmt.Errorf("unknown engine mode %q (%s)", name, strings.Join(known, ", "))
+		}
+	}
+	return out, nil
 }
 
 // engineStats is the per-measurement engine counter snapshot recorded
@@ -54,6 +80,13 @@ type engineStats struct {
 	ChainFollows     uint64  `json:"chain_follows"`
 	ChainsSevered    uint64  `json:"chains_severed"`
 	InstsRetired     uint64  `json:"insts_retired"`
+	// Superblock trace counters (zero for non-trace engines, omitted).
+	TracesFormed      uint64  `json:"traces_formed,omitempty"`
+	AvgTraceBlocks    float64 `json:"avg_trace_blocks,omitempty"`
+	TraceRuns         uint64  `json:"trace_runs,omitempty"`
+	TraceSideExits    uint64  `json:"trace_side_exits,omitempty"`
+	TraceSideExitRate float64 `json:"trace_side_exit_rate,omitempty"`
+	TracesInvalidated uint64  `json:"traces_invalidated,omitempty"`
 }
 
 // campaignStats is one point on the campaign pool axis: a full fault
@@ -142,12 +175,12 @@ func measure(w workloads.Workload, m engineMode, reps int) (float64, *vp.Platfor
 // measureCampaign runs one fault campaign over the workload and returns
 // the campaign point for the pool axis. reps campaigns are run and the
 // best throughput kept; engine counters are from the best run.
-func measureCampaign(w workloads.Workload, workers, mutants, reps int, noPool bool) (campaignStats, error) {
+func measureCampaign(w workloads.Workload, engine emu.Engine, workers, mutants, reps int, noPool bool) (campaignStats, error) {
 	prog, err := asm.AssembleAt(vp.Prelude+w.Source, vp.RAMBase)
 	if err != nil {
 		return campaignStats{}, err
 	}
-	tg := &fault.Target{Program: prog, Budget: w.Budget, Sensor: w.Sensor}
+	tg := &fault.Target{Program: prog, Budget: w.Budget, Sensor: w.Sensor, Engine: engine}
 	g, err := fault.RunGolden(tg)
 	if err != nil {
 		return campaignStats{}, err
@@ -270,6 +303,8 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per measurement (best is kept)")
 	names := flag.String("workloads", "xtea,crc32,fir,matmul,sort,pid",
 		"comma-separated workload subset")
+	engines := flag.String("engines", "threaded,switch,superblock,no-tb-cache",
+		"comma-separated engine-mode subset for the MIPS axis")
 	campWorkload := flag.String("campaign-workload", "pid",
 		"workload for the fault-campaign pool axis (empty: skip the campaign axis)")
 	campMutants := flag.Int("campaign-mutants", 400, "mutants per campaign measurement")
@@ -297,6 +332,11 @@ func main() {
 			os.Exit(2)
 		}
 		selected = append(selected, w)
+	}
+	modes, err := selectModes(*engines)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s4e-bench:", err)
+		os.Exit(2)
 	}
 
 	var reg *obs.Registry
@@ -342,14 +382,20 @@ func main() {
 			es := p.Machine.Stats()
 			res.MIPS[m.name] = append(res.MIPS[m.name], best)
 			res.EngineStats[m.name] = append(res.EngineStats[m.name], engineStats{
-				TBsCompiled:      es.TBsCompiled,
-				TBsInvalidated:   es.TBsInvalidated,
-				JumpCacheHits:    es.JumpCacheHits,
-				JumpCacheMisses:  es.JumpCacheMisses,
-				JumpCacheHitRate: es.JumpCacheHitRate(),
-				ChainFollows:     es.ChainFollows,
-				ChainsSevered:    es.ChainsSevered,
-				InstsRetired:     p.Machine.Hart.Instret,
+				TBsCompiled:       es.TBsCompiled,
+				TBsInvalidated:    es.TBsInvalidated,
+				JumpCacheHits:     es.JumpCacheHits,
+				JumpCacheMisses:   es.JumpCacheMisses,
+				JumpCacheHitRate:  es.JumpCacheHitRate(),
+				ChainFollows:      es.ChainFollows,
+				ChainsSevered:     es.ChainsSevered,
+				InstsRetired:      p.Machine.Hart.Instret,
+				TracesFormed:      es.TracesFormed,
+				AvgTraceBlocks:    es.AvgTraceBlocks(),
+				TraceRuns:         es.TraceRuns,
+				TraceSideExits:    es.TraceSideExits,
+				TraceSideExitRate: es.TraceSideExitRate(),
+				TracesInvalidated: es.TracesInvalidated,
 			})
 			p.RecordStats(reg)
 			tr.Emit("measurement", "workload", w.Name, "mode", m.name, "mips", best,
@@ -357,10 +403,17 @@ func main() {
 			fmt.Printf(" %12.1f", best)
 		}
 		// Geometric means need every workload; print the row ratio now.
-		fmt.Printf("   %.2fx\n", res.MIPS["threaded"][i]/res.MIPS["switch"][i])
+		if t, s := res.MIPS["threaded"], res.MIPS["switch"]; len(t) > i && len(s) > i {
+			fmt.Printf("   %.2fx", t[i]/s[i])
+		}
+		fmt.Println()
 	}
-	fmt.Printf("geomean threaded/switch: %.2fx\n",
-		geomeanRatio(res.MIPS["threaded"], res.MIPS["switch"]))
+	for _, pair := range [][2]string{{"threaded", "switch"}, {"superblock", "threaded"}} {
+		a, b := res.MIPS[pair[0]], res.MIPS[pair[1]]
+		if len(a) == len(selected) && len(b) == len(selected) {
+			fmt.Printf("geomean %s/%s: %.2fx\n", pair[0], pair[1], geomeanRatio(a, b))
+		}
+	}
 
 	// Campaign pool axis: same plan, shared translation pool on vs off.
 	if *campWorkload != "" {
@@ -370,22 +423,30 @@ func main() {
 			os.Exit(2)
 		}
 		res.Campaign = map[string]campaignStats{}
+		// Threaded keys keep their historical names ("pool-on"/"pool-off");
+		// the superblock engine adds a prefixed pair to the same axis.
 		for _, mode := range []struct {
 			name   string
+			engine emu.Engine
 			noPool bool
-		}{{"pool-on", false}, {"pool-off", true}} {
+		}{
+			{"pool-on", emu.EngineThreaded, false},
+			{"pool-off", emu.EngineThreaded, true},
+			{"superblock-pool-on", emu.EngineSuperblock, false},
+			{"superblock-pool-off", emu.EngineSuperblock, true},
+		} {
 			if *progress {
 				fmt.Fprintf(os.Stderr, "s4e-bench: campaign %s/%s (%d mutants, %d workers, %d reps)\n",
 					w.Name, mode.name, *campMutants, *campWorkers, *reps)
 			}
-			cs, err := measureCampaign(w, *campWorkers, *campMutants, *reps, mode.noPool)
+			cs, err := measureCampaign(w, mode.engine, *campWorkers, *campMutants, *reps, mode.noPool)
 			if err != nil {
 				fatal(err)
 			}
 			res.Campaign[mode.name] = cs
 			tr.Emit("campaign-measurement", "mode", mode.name, "mutants_per_sec", cs.MutantsPerSec,
 				"tbs_compiled", cs.TBsCompiled)
-			fmt.Printf("campaign %-9s %s: %8.0f mutants/sec  tbs_compiled=%-6d pool_hits=%-6d overlay=%d\n",
+			fmt.Printf("campaign %-19s %s: %8.0f mutants/sec  tbs_compiled=%-6d pool_hits=%-6d overlay=%d\n",
 				mode.name, w.Name, cs.MutantsPerSec, cs.TBsCompiled, cs.PoolHits, cs.OverlayCompiles)
 		}
 		on, off := res.Campaign["pool-on"], res.Campaign["pool-off"]

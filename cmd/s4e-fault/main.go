@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/asm"
@@ -33,7 +34,8 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers")
 	seed := flag.Int64("seed", 1, "fault plan seed")
 	budget := flag.Uint64("budget", 10_000_000, "instruction budget per mutant")
-	engName := flag.String("engine", "threaded", "execution engine: threaded, switch")
+	engName := flag.String("engine", "threaded",
+		"execution engine: "+strings.Join(emu.EngineNames(), ", "))
 	pool := flag.Bool("pool", true,
 		"share the golden run's compiled translation pool across workers (false: each worker cold-compiles privately)")
 	guided := flag.Bool("guided", false,
@@ -56,15 +58,12 @@ func main() {
 		fatal(err)
 	}
 	tg := &fault.Target{Program: prog, Budget: *budget}
-	switch *engName {
-	case "threaded":
-		tg.Engine = emu.EngineThreaded
-	case "switch":
-		tg.Engine = emu.EngineSwitch
-	default:
-		fmt.Fprintf(os.Stderr, "s4e-fault: unknown engine %q (threaded, switch)\n", *engName)
+	engine, err := emu.ParseEngine(*engName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s4e-fault:", err)
 		os.Exit(2)
 	}
+	tg.Engine = engine
 
 	var plan fault.Plan
 	var g *fault.Golden

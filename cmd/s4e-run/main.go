@@ -48,7 +48,8 @@ func parseISA(s string) (isa.ExtSet, error) {
 func main() {
 	profName := flag.String("profile", "unit", "timing profile: unit, edge-small, edge-fast")
 	isaName := flag.String("isa", "full", "ISA configuration: rv32i(m)(f)(b)(c), full")
-	engName := flag.String("engine", "threaded", "execution engine: threaded, switch")
+	engName := flag.String("engine", "threaded",
+		"execution engine: "+strings.Join(emu.EngineNames(), ", "))
 	itrace := flag.Bool("itrace", false, "print an instruction trace to stderr")
 	budget := flag.Uint64("budget", 100_000_000, "instruction budget")
 	stats := flag.Bool("stats", true, "print run statistics")
@@ -75,14 +76,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	switch strings.ToLower(*engName) {
-	case "threaded":
-		p.Machine.Engine = emu.EngineThreaded
-	case "switch":
-		p.Machine.Engine = emu.EngineSwitch
-	default:
-		usage(fmt.Errorf("unknown engine %q", *engName))
+	engine, err := emu.ParseEngine(strings.ToLower(*engName))
+	if err != nil {
+		usage(err)
 	}
+	p.Machine.Engine = engine
 	if *itrace {
 		if err := p.Machine.Hooks.Register(&plugin.Tracer{W: os.Stderr}); err != nil {
 			fatal(err)

@@ -38,13 +38,43 @@ const (
 	// interpreter switch on every execution — the pre-threading baseline,
 	// kept for the ablation and as a differential-testing oracle.
 	EngineSwitch
+	// EngineSuperblock is the threaded engine plus runtime trace fusion:
+	// hot multi-block paths are flattened into single superblock
+	// executors with deferred accounting and guard ops at the former
+	// block boundaries (side-exiting to the threaded path on mispredict
+	// or interrupt). Architecturally identical to the other engines.
+	EngineSuperblock
 )
 
 func (e Engine) String() string {
-	if e == EngineSwitch {
+	switch e {
+	case EngineSwitch:
 		return "switch"
+	case EngineSuperblock:
+		return "superblock"
 	}
 	return "threaded"
+}
+
+// EngineNames lists the accepted engine spellings, in the order tools
+// document them. This is the single source of truth for engine-name
+// validation: the CLIs and the job service all parse through
+// ParseEngine, so adding an engine here is the whole change.
+func EngineNames() []string { return []string{"threaded", "switch", "superblock"} }
+
+// ParseEngine maps an engine name to its Engine value. The empty string
+// selects the default (threaded) engine; an unknown name is an error
+// naming the accepted spellings.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "", "threaded":
+		return EngineThreaded, nil
+	case "switch":
+		return EngineSwitch, nil
+	case "superblock":
+		return EngineSuperblock, nil
+	}
+	return EngineThreaded, fmt.Errorf("unknown engine %q (threaded, switch, superblock)", name)
 }
 
 // StopReason says why Run returned.
@@ -129,6 +159,25 @@ type tb struct {
 	// per-machine: two workers sharing a pooled tbCode never see each
 	// other's chains.
 	succ [2]*tb
+
+	// hot counts superblock-engine dispatches of this block; reaching
+	// traceHotThreshold starts trace recording at this block. Strictly
+	// per-machine, like the chain links.
+	hot uint32
+
+	// trace is the superblock trace entered at this block, if one has
+	// been formed or adopted — the dispatch fast path, so hot blocks pay
+	// no trace-map lookup. Cleared when the trace is invalidated.
+	trace *traceCode
+
+	// noTrace bans this block from trace profiling: its trace side-exited
+	// far more often than it completed, so tracing it costs more than
+	// plain threaded execution.
+	noTrace bool
+
+	// trRuns/trExits count completed and side-exited executions of this
+	// block's trace, feeding the ban heuristic.
+	trRuns, trExits uint64
 }
 
 // Machine is one emulated hart plus its bus, timing model and plugins.
@@ -178,8 +227,28 @@ type Machine struct {
 	jmp [jmpCacheSize]*tb
 
 	// curTB is the block currently executing, so stores can tell whether
-	// they invalidated the code under the program counter.
+	// they invalidated the code under the program counter. While a
+	// superblock trace executes it holds the trace's span block (covering
+	// every constituent), so a store into any part of the trace forces a
+	// side exit.
 	curTB *tb
+
+	// traces maps entry pc to the superblock traces this machine may
+	// dispatch (privately formed or adopted from the pool's frozen tier).
+	// Lazily allocated; only the superblock engine populates it.
+	traces map[uint32]*traceCode
+
+	// rec/recActive are the trace recorder: while recActive, each
+	// dispatched block is appended to rec until the path closes a loop or
+	// hits the length cap, at which point rec is fused into a trace.
+	rec       []*tb
+	recActive bool
+
+	// sbPolled marks that a superblock guard already polled interrupts at
+	// the current block boundary, so the engine loop must not poll again
+	// before dispatching the next block (a double poll at an advanced
+	// cycle count would be architecturally visible).
+	sbPolled bool
 
 	// codeWrites counts stores that hit translated code; the fault
 	// campaign uses it to detect runs that dirtied the code region.
@@ -342,6 +411,44 @@ func (m *Machine) InvalidateTBs() {
 	m.codeLo, m.codeHi = ^uint32(0), 0
 	m.icache = nil
 	m.jmp = [jmpCacheSize]*tb{}
+	m.dropAllTraces()
+}
+
+// dropAllTraces discards every superblock trace and aborts any trace
+// recording in progress (full-flush invalidation path).
+func (m *Machine) dropAllTraces() {
+	if len(m.traces) > 0 {
+		m.stats.TracesInvalidated += uint64(len(m.traces))
+		m.traces = nil
+	}
+	m.abortRecording()
+}
+
+// dropTracesOverlapping discards the traces whose constituent range
+// overlaps [lo, hi) — range-precise trace invalidation, riding the same
+// store watermark machinery as block invalidation — and aborts any
+// recording (a recorded block may have just been dropped).
+func (m *Machine) dropTracesOverlapping(lo, hi uint32) {
+	for pc, tr := range m.traces {
+		if lo < tr.hi && tr.lo < hi {
+			// A surviving entry block may still carry the dispatch
+			// pointer; sever it or the dead trace would keep running.
+			if t := m.tbs[pc]; t != nil && t.trace == tr {
+				t.trace = nil
+			}
+			delete(m.traces, pc)
+			m.stats.TracesInvalidated++
+		}
+	}
+	m.abortRecording()
+}
+
+// abortRecording discards the in-progress trace recording, if any.
+func (m *Machine) abortRecording() {
+	if m.recActive {
+		m.recActive = false
+		m.rec = m.rec[:0]
+	}
 }
 
 // InvalidateRange drops only the translated blocks overlapping [lo, hi)
@@ -377,6 +484,9 @@ func (m *Machine) invalidateRange(lo, hi uint32) (hitCurrent bool) {
 	}
 	m.codeLo, m.codeHi = newLo, newHi
 	m.jmp = [jmpCacheSize]*tb{}
+	if len(m.traces) > 0 || m.recActive {
+		m.dropTracesOverlapping(lo, hi)
+	}
 	return m.curTB != nil && lo < m.curTB.end && m.curTB.info.PC < hi
 }
 
@@ -416,6 +526,45 @@ type EngineStats struct {
 	// since the last pristine rewind (a code-mutating fault, a store into
 	// code) or the pool generation went stale.
 	OverlayCompiles uint64
+	// TracesFormed counts superblock traces fused from hot block paths
+	// by this machine (pool adoptions are counted separately).
+	TracesFormed uint64
+	// TraceBlocksFused counts constituent blocks across formed traces;
+	// TraceBlocksFused/TracesFormed is the average trace length.
+	TraceBlocksFused uint64
+	// TraceRuns counts fully retired trace executions (every guard taken
+	// end to end).
+	TraceRuns uint64
+	// TraceSideExits counts trace executions that left early through a
+	// guard (branch mispredict, interrupt) or a mid-trace divert (trap,
+	// store into the trace's own code).
+	TraceSideExits uint64
+	// TracesInvalidated counts traces dropped by stores into their
+	// range, fence.i, resets and full flushes.
+	TracesInvalidated uint64
+	// TracePoolHits counts traces adopted from the attached pool's
+	// frozen-superblock tier instead of being re-formed privately.
+	TracePoolHits uint64
+}
+
+// TraceSideExitRate returns side exits / trace entries, or 0 with no
+// trace executions — the superblock engine's quality metric (low means
+// traces follow the hot path they were recorded from).
+func (s EngineStats) TraceSideExitRate() float64 {
+	total := s.TraceRuns + s.TraceSideExits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.TraceSideExits) / float64(total)
+}
+
+// AvgTraceBlocks returns the average number of constituent blocks per
+// formed trace, or 0 when none were formed.
+func (s EngineStats) AvgTraceBlocks() float64 {
+	if s.TracesFormed == 0 {
+		return 0
+	}
+	return float64(s.TraceBlocksFused) / float64(s.TracesFormed)
 }
 
 // JumpCacheHitRate returns hits/(hits+misses), or 0 with no lookups.
@@ -439,6 +588,12 @@ func (s *EngineStats) Add(other EngineStats) {
 	s.PoolHits += other.PoolHits
 	s.PoolMisses += other.PoolMisses
 	s.OverlayCompiles += other.OverlayCompiles
+	s.TracesFormed += other.TracesFormed
+	s.TraceBlocksFused += other.TraceBlocksFused
+	s.TraceRuns += other.TraceRuns
+	s.TraceSideExits += other.TraceSideExits
+	s.TracesInvalidated += other.TracesInvalidated
+	s.TracePoolHits += other.TracePoolHits
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -611,11 +766,14 @@ func (m *Machine) trap(cause, tval, pc uint32) {
 
 // Run executes until the machine stops or the instruction budget is
 // exhausted. budget 0 means unlimited (dangerous with diverging code).
-// The two engines are architecturally equivalent: same Instret, Cycle,
+// The engines are architecturally equivalent: same Instret, Cycle,
 // registers, memory and traps for any program.
 func (m *Machine) Run(budget uint64) StopInfo {
-	if m.Engine == EngineSwitch {
+	switch m.Engine {
+	case EngineSwitch:
 		return m.runSwitch(budget)
+	case EngineSuperblock:
+		return m.runSuperblock(budget)
 	}
 	return m.runThreaded(budget)
 }

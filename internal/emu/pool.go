@@ -52,6 +52,14 @@ type TBPool struct {
 	ext    isa.ExtSet
 	blocks map[uint32]*tbCode
 	lo, hi uint32 // address range covered by pooled blocks
+
+	// traces is the frozen-superblock tier: compiled traces the donor
+	// machine formed (superblock engine only), published read-only so
+	// attached machines warm-start with fused hot paths instead of
+	// re-profiling. Adoption requires the trace's whole range untouched
+	// per the adopter's store watermark; mutated ranges fall back to
+	// private re-formation, the trace analog of an overlay compile.
+	traces map[uint32]*traceCode
 }
 
 // BuildTBPool freezes the machine's current translation cache into a
@@ -96,11 +104,28 @@ func (m *Machine) BuildTBPool() *TBPool {
 			p.hi = t.end
 		}
 	}
+	for pc, tr := range m.traces {
+		if tr.prof != m.Profile || tr.ext != m.ISA {
+			continue
+		}
+		if m.storeLo < m.storeHi && tr.lo < m.storeHi && tr.hi > m.storeLo {
+			// Same pristine-image rule as blocks, over the trace's whole
+			// constituent range.
+			continue
+		}
+		if p.traces == nil {
+			p.traces = make(map[uint32]*traceCode)
+		}
+		p.traces[pc] = tr
+	}
 	return p
 }
 
 // Size returns the number of pooled blocks.
 func (p *TBPool) Size() int { return len(p.blocks) }
+
+// Traces returns the number of traces in the frozen-superblock tier.
+func (p *TBPool) Traces() int { return len(p.traces) }
 
 // CodeRange returns the address range covered by pooled blocks; lo > hi
 // means the pool is empty.

@@ -1,0 +1,1122 @@
+package emu
+
+import (
+	"math/bits"
+
+	"repro/internal/decode"
+	"repro/internal/isa"
+	"repro/internal/plugin"
+	"repro/internal/timing"
+)
+
+// This file implements the superblock trace engine: the threaded engine
+// plus runtime trace fusion, the next speed tier on QEMU/TCG's own
+// block-chaining → trace-fusion evolution. Hot blocks are profiled with
+// per-block dispatch counters; once a block crosses traceHotThreshold
+// the engine records the dynamically executed block path (NET-style:
+// follow execution until the path closes a loop back onto its head or
+// reaches the length cap) and fuses it into a single flattened executor
+// slice spanning all constituent blocks.
+//
+// Unlike the threaded engine, whose unit of execution is a specialized
+// closure per instruction, a trace compiles to a slice of sbOp micro-ops
+// executed by one inline switch. The closure-per-instruction model pays
+// an indirect call, a prologue and a return for every ALU op; the
+// micro-op switch turns the common instructions into straight-line code
+// inside one loop, which is where the trace engine's speedup over the
+// threaded engine comes from. Anything without a micro-op encoding (CSR,
+// FP, system ops, dynamically costed instructions) falls back to the
+// threaded engine's compiled closure via the sbFn kind, with exact
+// architectural state materialized first.
+//
+// The mechanisms that keep a fused trace bit-exact:
+//
+//   - Deferred accounting. Pure register ops carry no accounting at
+//     all: they only write their destination register. The pending
+//     (instret, cycle) deltas are compile-time constants, flushed by an
+//     sbAcct op immediately before anything that can trap, divert or
+//     observe the counters. Branches and jumps fold the flush into
+//     their own retire, so a block whose tail is its terminator pays no
+//     separate flush op. The invariant: whenever pending accounting is
+//     nonzero, a later op in the trace flushes it (and sets the PC)
+//     before any observer can read architectural state.
+//
+//   - Constant folding. A lui/auipc feeding an immediately following
+//     addi into the same register (the canonical 32-bit constant and
+//     `la` idioms) is folded into one sbConst writing the precomputed
+//     value. Nothing observes the register between the pair, so the
+//     combined write is exact.
+//
+//   - Guard ops. At each former block boundary the guard flushes
+//     pending accounting, polls interrupts exactly where the threaded
+//     engine would, and side-exits to the threaded path when the PC
+//     does not match the recorded next block (branch mispredict, or an
+//     interrupt redirecting control flow). A fully taken trace performs
+//     the same per-boundary polls as the threaded engine — interrupt
+//     delivery timing is bit-identical — but skips the block lookup,
+//     chain validation, hook checks and per-block loop setup.
+//
+//   - Deferred loads/stores (unit profile only). Under the unit cycle
+//     model nothing reads the load-use hazard state, so in-RAM aligned
+//     loads and stores execute as micro-ops with no accounting at all,
+//     joining the deferred run. The slow path (device access,
+//     misalignment, store into code) flushes the pending snapshot
+//     carried by the op, performs the access through the bus with exact
+//     state, and either compensates the flush back out (successful
+//     device access — the op rejoins the deferral) or side-exits with
+//     exact state (trap, code invalidation, stop). Under a timing
+//     profile loads and stores keep the threaded engine's closures.
+//
+// A store into any constituent block's range is detected through the
+// existing store-to-code machinery: while a trace runs, Machine.curTB
+// holds the trace's span block, so memStore's range invalidation
+// reports a hit and the store side-exits; the invalidation itself drops
+// exactly the traces overlapping the written range. Side exits are
+// always architecturally exact — the remaining instructions simply
+// re-execute through the threaded path.
+//
+// Traces only run when no plugin hooks are registered and the remaining
+// budget covers the full trace, so per-instruction hook dispatch and
+// budget stops never happen inside a trace; both gates fall back to
+// plain threaded execution, which is trivially equivalent. Traces whose
+// side exits dwarf their completed runs (a mispredicted recording, e.g.
+// a data-dependent branch) are dropped and their entry block banned
+// from re-profiling, so pathological paths degrade to plain threaded
+// speed instead of paying guard overhead forever.
+
+const (
+	// traceHotThreshold is the number of superblock-engine dispatches of
+	// one block before trace recording starts there. Edge workloads have
+	// short trip counts (xtea runs its round loop 32 times), so the
+	// threshold is low: recording costs one loop iteration and fusing is
+	// cheap, while a late trace misses most of the loop's executions.
+	traceHotThreshold = 8
+	// maxTraceBlocks caps the number of blocks fused into one trace.
+	maxTraceBlocks = 8
+	// traceBanExits and traceBanRatio define the drop heuristic: once a
+	// trace has side-exited more than traceBanExits times and more than
+	// traceBanRatio times as often as it completed, its entry block is
+	// banned from tracing.
+	traceBanExits = 32
+	traceBanRatio = 3
+)
+
+// sbOp micro-op kinds. sbFn is the escape hatch: op.fn holds a threaded
+// compiled closure (or a bare register-writing closure for the binOps
+// long tail) and everything else is encoded inline.
+const (
+	sbFn uint8 = iota
+	sbConst
+	sbAddi
+	sbSlti
+	sbSltiu
+	sbAndi
+	sbOri
+	sbXori
+	sbSlli
+	sbSrli
+	sbSrai
+	sbRoti
+	sbBexti
+	sbAdd
+	sbSub
+	sbMv
+	sbAnd
+	sbOr
+	sbXor
+	sbSll
+	sbSrl
+	sbSra
+	sbSlt
+	sbSltu
+	sbMul
+	sbLw
+	sbLh
+	sbLhu
+	sbLb
+	sbLbu
+	sbSw
+	sbSh
+	sbSb
+	sbBeq
+	sbBne
+	sbBlt
+	sbBge
+	sbBltu
+	sbBgeu
+	sbJal
+	sbJalr
+	sbAcct
+	sbGuard
+)
+
+// sbOp is one trace micro-op. Field meaning depends on kind:
+//
+//	ALU kinds    rd/rs1/rs2 registers, imm the (pre-sign-extended or
+//	             precomputed) immediate. No accounting: the op is part
+//	             of a deferred run.
+//	mem kinds    rd/rs1/rs2 and imm as decoded (stores keep the value
+//	             register in rs2 and the instruction size in rd); pc is
+//	             the instruction's address; n/aux snapshot the pending
+//	             (instret, cycle) deferral before the op, for the slow
+//	             path's flush-and-compensate.
+//	branch/jump  imm the taken target (jalr: the immediate), pc the
+//	             fallthrough/link address, n/aux the pending deferral
+//	             including the op's own cost, pen the extra taken-branch
+//	             penalty. The op folds the accounting flush into its own
+//	             retire.
+//	sbAcct       flush: instret += n, cycle += aux, PC = imm.
+//	sbGuard      flush n/aux, set PC = pc when rs1 != 0 (bare
+//	             fallthrough tail), poll interrupts, side-exit unless
+//	             PC == imm (the recorded next block).
+//	sbFn         fn is a threaded-engine closure; all other fields zero.
+type sbOp struct {
+	fn   opFn
+	imm  uint32
+	aux  uint32
+	pc   uint32
+	n    uint16
+	pen  uint16
+	kind uint8
+	rd   uint8
+	rs1  uint8
+	rs2  uint8
+}
+
+// traceCode is one immutable compiled superblock trace: the flattened
+// micro-op slice spanning every constituent block. Like tbCode it is
+// machine-independent and strictly read-only after construction, so a
+// TBPool can publish it to any number of machines.
+type traceCode struct {
+	entry  uint32
+	prof   *timing.Profile
+	ext    isa.ExtSet
+	blocks []*tbCode
+	ops    []sbOp
+	// nInsts is the architectural instruction count of a fully taken
+	// trace execution; the budget gate admits a trace only when at least
+	// this many instructions remain.
+	nInsts uint64
+	// lo/hi bound the constituent blocks' address ranges (conservative
+	// for non-contiguous traces); trace invalidation keys off them.
+	lo, hi uint32
+	// span is a synthetic block covering [lo, hi), installed as curTB
+	// while the trace executes so a store into any constituent forces a
+	// side exit through the store-to-code path.
+	span *tb
+}
+
+// runSuperblock is the superblock engine loop: the threaded loop with
+// trace dispatch, hot-block profiling and trace recording layered on.
+// Trace dispatch rides the resolved block (tb.trace), so the hot path
+// pays no map lookup — the trace map is only consulted when a block
+// first crosses the hotness threshold.
+func (m *Machine) runSuperblock(budget uint64) StopInfo {
+	h := &m.Hart
+	m.ensureRAM()
+	m.sbPolled = false
+	left := budget
+	var cur, prev *tb
+	for m.stop == nil {
+		if m.sbPolled {
+			// A guard already polled at this boundary; polling again at
+			// the advanced cycle count would be architecturally visible.
+			m.sbPolled = false
+		} else {
+			m.pollInterrupts()
+			if m.stop != nil {
+				break
+			}
+		}
+		pc := h.PC
+		if cur == nil || cur.info.PC != pc {
+			cur = m.lookupTB(pc)
+			if cur == nil {
+				prev = nil
+				continue // fetch fault became a trap or a stop
+			}
+			if prev != nil && !m.DisableTBCache {
+				prev.succ[1], prev.succ[0] = prev.succ[0], cur
+			}
+		}
+		if m.recActive {
+			if pc == m.rec[0].info.PC || len(m.rec) >= maxTraceBlocks {
+				m.buildTrace()
+			} else {
+				m.rec = append(m.rec, cur)
+			}
+		} else if tr := cur.trace; tr != nil {
+			if (budget == 0 || left >= tr.nInsts) &&
+				!m.Hooks.HasBlockHooks() && !m.Hooks.HasInsnHooks() && !m.Hooks.HasMemHooks() {
+				n0 := h.Instret
+				r0, e0 := m.stats.TraceRuns, m.stats.TraceSideExits
+				m.execTrace(tr, budget, left)
+				if budget != 0 {
+					left -= h.Instret - n0
+				}
+				cur.trRuns += m.stats.TraceRuns - r0
+				cur.trExits += m.stats.TraceSideExits - e0
+				if cur.trExits > traceBanExits && cur.trExits > traceBanRatio*cur.trRuns {
+					// The recording mispredicted this path (e.g. a
+					// data-dependent branch): guards side-exit far more
+					// often than the trace completes, so it costs more
+					// than plain threaded execution. Drop it and ban the
+					// entry block from re-profiling.
+					cur.trace = nil
+					cur.noTrace = true
+					delete(m.traces, pc)
+					m.stats.TracesInvalidated++
+				}
+				cur, prev = nil, nil
+				continue
+			}
+		} else if !m.DisableTBCache && !cur.noTrace {
+			cur.hot++
+			if cur.hot >= traceHotThreshold {
+				cur.hot = 0
+				if tr := m.traceFor(pc); tr != nil {
+					cur.trace = tr
+				} else {
+					m.recActive = true
+					m.rec = append(m.rec[:0], cur)
+				}
+			}
+		}
+		if cur.ops == nil {
+			cur.tbCode.compile()
+		}
+		if m.Hooks.HasBlockHooks() {
+			m.Hooks.BlockExec(cur.info)
+		}
+		m.lastLoad = 0 // hazard state does not cross block boundaries
+		m.curTB = cur
+		if budget == 0 && !m.Hooks.HasInsnHooks() {
+			for _, fn := range cur.ops {
+				if fn(m) {
+					break
+				}
+			}
+		} else {
+			diverted := false
+			for i, fn := range cur.ops {
+				if budget != 0 && left == 0 {
+					m.stop = &StopInfo{Reason: StopBudget, PC: h.PC}
+					break
+				}
+				if m.Hooks.HasInsnHooks() {
+					m.Hooks.InsnExec(cur.info.Addrs[i], cur.info.Insts[i])
+				}
+				diverted = fn(m)
+				if budget != 0 {
+					left--
+				}
+				if diverted || m.stop != nil {
+					break
+				}
+			}
+			if m.stop == nil && !diverted && budget != 0 && left == 0 {
+				m.stop = &StopInfo{Reason: StopBudget, PC: h.PC}
+			}
+		}
+		m.curTB = nil
+		if m.stop != nil {
+			break
+		}
+		prev = cur
+		npc := h.PC
+		switch {
+		case m.chainOK(cur.succ[0], npc):
+			cur = cur.succ[0]
+			m.stats.ChainFollows++
+		case m.chainOK(cur.succ[1], npc):
+			cur = cur.succ[1]
+			m.stats.ChainFollows++
+		default:
+			cur = nil
+		}
+	}
+	s := *m.stop
+	if s.Reason == StopBudget {
+		// A budget stop is resumable: clear it so Run can be called again.
+		m.stop = nil
+	}
+	return s
+}
+
+// traceFor returns the dispatchable trace entered at pc, if any,
+// consulting the private trace map first and then the attached pool's
+// frozen tier. A pooled trace is adopted only while the bytes under its
+// whole range are untouched per the store watermark — the same validity
+// contract as pooled blocks; a dirty range leaves the entry to private
+// re-formation over the current bytes (the overlay behaviour). Callers
+// gate on DisableTBCache.
+func (m *Machine) traceFor(pc uint32) *traceCode {
+	if tr := m.traces[pc]; tr != nil {
+		if tr.prof == m.Profile && tr.ext == m.ISA {
+			return tr
+		}
+		delete(m.traces, pc) // stale specialization
+		return nil
+	}
+	p := m.activePool()
+	if p == nil || len(p.traces) == 0 {
+		return nil
+	}
+	tr := p.traces[pc]
+	if tr == nil {
+		return nil
+	}
+	if m.storeLo < m.storeHi && tr.lo < m.storeHi && tr.hi > m.storeLo {
+		return nil
+	}
+	if m.traces == nil {
+		m.traces = make(map[uint32]*traceCode)
+	}
+	m.traces[pc] = tr
+	m.stats.TracePoolHits++
+	return tr
+}
+
+// execTrace runs one trace until a side exit, a stop, or (for a
+// self-looping trace) the budget gate closes. The caller has already
+// verified the budget covers a full execution and no hooks are
+// registered. Returns true when the trace side-exited (left before its
+// final op).
+func (m *Machine) execTrace(tr *traceCode, budget, left uint64) bool {
+	h := &m.Hart
+	m.lastLoad = 0
+	m.curTB = tr.span
+	n0 := h.Instret
+	ops := tr.ops
+	last := len(ops) - 1
+	for {
+		// The trace's last op is its terminator: diverting there is the
+		// normal end of a fully taken trace, not a side exit — only an
+		// earlier divert leaves the trace.
+		diverted := false
+	body:
+		for i := 0; i <= last; i++ {
+			op := &ops[i]
+			switch op.kind {
+			case sbConst:
+				h.X[op.rd&31] = op.imm
+			case sbAddi:
+				h.X[op.rd&31] = h.X[op.rs1&31] + op.imm
+			case sbSlti:
+				h.X[op.rd&31] = b2u(int32(h.X[op.rs1&31]) < int32(op.imm))
+			case sbSltiu:
+				h.X[op.rd&31] = b2u(h.X[op.rs1&31] < op.imm)
+			case sbAndi:
+				h.X[op.rd&31] = h.X[op.rs1&31] & op.imm
+			case sbOri:
+				h.X[op.rd&31] = h.X[op.rs1&31] | op.imm
+			case sbXori:
+				h.X[op.rd&31] = h.X[op.rs1&31] ^ op.imm
+			case sbSlli:
+				h.X[op.rd&31] = h.X[op.rs1&31] << op.imm
+			case sbSrli:
+				h.X[op.rd&31] = h.X[op.rs1&31] >> op.imm
+			case sbSrai:
+				h.X[op.rd&31] = uint32(int32(h.X[op.rs1&31]) >> op.imm)
+			case sbRoti:
+				h.X[op.rd&31] = bits.RotateLeft32(h.X[op.rs1&31], int(int32(op.imm)))
+			case sbBexti:
+				h.X[op.rd&31] = h.X[op.rs1&31] >> op.imm & 1
+			case sbAdd:
+				h.X[op.rd&31] = h.X[op.rs1&31] + h.X[op.rs2&31]
+			case sbSub:
+				h.X[op.rd&31] = h.X[op.rs1&31] - h.X[op.rs2&31]
+			case sbMv:
+				h.X[op.rd&31] = h.X[op.rs1&31]
+			case sbAnd:
+				h.X[op.rd&31] = h.X[op.rs1&31] & h.X[op.rs2&31]
+			case sbOr:
+				h.X[op.rd&31] = h.X[op.rs1&31] | h.X[op.rs2&31]
+			case sbXor:
+				h.X[op.rd&31] = h.X[op.rs1&31] ^ h.X[op.rs2&31]
+			case sbSll:
+				h.X[op.rd&31] = h.X[op.rs1&31] << (h.X[op.rs2&31] & 31)
+			case sbSrl:
+				h.X[op.rd&31] = h.X[op.rs1&31] >> (h.X[op.rs2&31] & 31)
+			case sbSra:
+				h.X[op.rd&31] = uint32(int32(h.X[op.rs1&31]) >> (h.X[op.rs2&31] & 31))
+			case sbSlt:
+				h.X[op.rd&31] = b2u(int32(h.X[op.rs1&31]) < int32(h.X[op.rs2&31]))
+			case sbSltu:
+				h.X[op.rd&31] = b2u(h.X[op.rs1&31] < h.X[op.rs2&31])
+			case sbMul:
+				h.X[op.rd&31] = h.X[op.rs1&31] * h.X[op.rs2&31]
+
+			case sbLw:
+				addr := h.X[op.rs1&31] + op.imm
+				off := uint64(addr - m.ramBase)
+				if addr&3 == 0 && off+4 <= uint64(len(m.ram)) {
+					r := m.ram[off : off+4 : off+4]
+					if op.rd != 0 {
+						h.X[op.rd&31] = uint32(r[0]) | uint32(r[1])<<8 |
+							uint32(r[2])<<16 | uint32(r[3])<<24
+					}
+				} else {
+					v, ok := m.sbSlowLoad(op, addr, 4)
+					if !ok {
+						diverted = i < last
+						break body
+					}
+					if op.rd != 0 {
+						h.X[op.rd&31] = v
+					}
+				}
+			case sbLh, sbLhu:
+				addr := h.X[op.rs1&31] + op.imm
+				off := uint64(addr - m.ramBase)
+				var v uint32
+				if addr&1 == 0 && off+2 <= uint64(len(m.ram)) {
+					v = uint32(m.ram[off]) | uint32(m.ram[off+1])<<8
+				} else {
+					var ok bool
+					if v, ok = m.sbSlowLoad(op, addr, 2); !ok {
+						diverted = i < last
+						break body
+					}
+				}
+				if op.kind == sbLh {
+					v = uint32(int32(v) << 16 >> 16)
+				}
+				if op.rd != 0 {
+					h.X[op.rd&31] = v
+				}
+			case sbLb, sbLbu:
+				addr := h.X[op.rs1&31] + op.imm
+				off := uint64(addr - m.ramBase)
+				var v uint32
+				if off < uint64(len(m.ram)) {
+					v = uint32(m.ram[off])
+				} else {
+					var ok bool
+					if v, ok = m.sbSlowLoad(op, addr, 1); !ok {
+						diverted = i < last
+						break body
+					}
+				}
+				if op.kind == sbLb {
+					v = uint32(int32(v) << 24 >> 24)
+				}
+				if op.rd != 0 {
+					h.X[op.rd&31] = v
+				}
+
+			case sbSw:
+				addr := h.X[op.rs1&31] + op.imm
+				v := h.X[op.rs2&31]
+				off := uint64(addr - m.ramBase)
+				if addr&3 == 0 && off+4 <= uint64(len(m.ram)) &&
+					!(addr < m.codeHi && addr+4 > m.codeLo) {
+					r := m.ram[off : off+4 : off+4]
+					r[0] = byte(v)
+					r[1] = byte(v >> 8)
+					r[2] = byte(v >> 16)
+					r[3] = byte(v >> 24)
+					m.noteRAMStore(addr, 4)
+				} else if m.sbSlowStore(op, addr, v, 4) {
+					diverted = i < last
+					break body
+				}
+			case sbSh:
+				addr := h.X[op.rs1&31] + op.imm
+				v := h.X[op.rs2&31]
+				off := uint64(addr - m.ramBase)
+				if addr&1 == 0 && off+2 <= uint64(len(m.ram)) &&
+					!(addr < m.codeHi && addr+2 > m.codeLo) {
+					m.ram[off] = byte(v)
+					m.ram[off+1] = byte(v >> 8)
+					m.noteRAMStore(addr, 2)
+				} else if m.sbSlowStore(op, addr, v, 2) {
+					diverted = i < last
+					break body
+				}
+			case sbSb:
+				addr := h.X[op.rs1&31] + op.imm
+				v := h.X[op.rs2&31]
+				off := uint64(addr - m.ramBase)
+				if off < uint64(len(m.ram)) &&
+					!(addr < m.codeHi && addr+1 > m.codeLo) {
+					m.ram[off] = byte(v)
+					m.noteRAMStore(addr, 1)
+				} else if m.sbSlowStore(op, addr, v, 1) {
+					diverted = i < last
+					break body
+				}
+
+			case sbBeq:
+				m.lastLoad = 0
+				h.Instret += uint64(op.n) + 1
+				if h.X[op.rs1&31] == h.X[op.rs2&31] {
+					h.Cycle += uint64(op.aux) + uint64(op.pen)
+					h.PC = op.imm
+				} else {
+					h.Cycle += uint64(op.aux)
+					h.PC = op.pc
+				}
+			case sbBne:
+				m.lastLoad = 0
+				h.Instret += uint64(op.n) + 1
+				if h.X[op.rs1&31] != h.X[op.rs2&31] {
+					h.Cycle += uint64(op.aux) + uint64(op.pen)
+					h.PC = op.imm
+				} else {
+					h.Cycle += uint64(op.aux)
+					h.PC = op.pc
+				}
+			case sbBlt:
+				m.lastLoad = 0
+				h.Instret += uint64(op.n) + 1
+				if int32(h.X[op.rs1&31]) < int32(h.X[op.rs2&31]) {
+					h.Cycle += uint64(op.aux) + uint64(op.pen)
+					h.PC = op.imm
+				} else {
+					h.Cycle += uint64(op.aux)
+					h.PC = op.pc
+				}
+			case sbBge:
+				m.lastLoad = 0
+				h.Instret += uint64(op.n) + 1
+				if int32(h.X[op.rs1&31]) >= int32(h.X[op.rs2&31]) {
+					h.Cycle += uint64(op.aux) + uint64(op.pen)
+					h.PC = op.imm
+				} else {
+					h.Cycle += uint64(op.aux)
+					h.PC = op.pc
+				}
+			case sbBltu:
+				m.lastLoad = 0
+				h.Instret += uint64(op.n) + 1
+				if h.X[op.rs1&31] < h.X[op.rs2&31] {
+					h.Cycle += uint64(op.aux) + uint64(op.pen)
+					h.PC = op.imm
+				} else {
+					h.Cycle += uint64(op.aux)
+					h.PC = op.pc
+				}
+			case sbBgeu:
+				m.lastLoad = 0
+				h.Instret += uint64(op.n) + 1
+				if h.X[op.rs1&31] >= h.X[op.rs2&31] {
+					h.Cycle += uint64(op.aux) + uint64(op.pen)
+					h.PC = op.imm
+				} else {
+					h.Cycle += uint64(op.aux)
+					h.PC = op.pc
+				}
+
+			case sbJal:
+				m.lastLoad = 0
+				h.Instret += uint64(op.n) + 1
+				h.Cycle += uint64(op.aux)
+				if op.rd != 0 {
+					h.X[op.rd&31] = op.pc
+				}
+				h.PC = op.imm
+			case sbJalr:
+				m.lastLoad = 0
+				h.Instret += uint64(op.n) + 1
+				h.Cycle += uint64(op.aux)
+				// Read rs1 before the link write: rd may alias rs1.
+				target := (h.X[op.rs1&31] + op.imm) &^ 1
+				if op.rd != 0 {
+					h.X[op.rd&31] = op.pc
+				}
+				h.PC = target
+
+			case sbAcct:
+				h.Instret += uint64(op.n)
+				h.Cycle += uint64(op.aux)
+				h.PC = op.imm
+				m.lastLoad = 0
+			case sbGuard:
+				h.Instret += uint64(op.n)
+				h.Cycle += uint64(op.aux)
+				if op.rs1 != 0 {
+					// Bare fallthrough tail: the architectural PC is the
+					// block's end — not the expected next block, which can
+					// legitimately differ when the recording captured an
+					// interrupt redirect at this boundary.
+					h.PC = op.pc
+				}
+				m.lastLoad = 0
+				m.pollInterrupts()
+				if m.stop != nil {
+					diverted = i < last
+					break body
+				}
+				if h.PC != op.imm {
+					m.sbPolled = true // boundary poll done; engine must not re-poll
+					diverted = i < last
+					break body
+				}
+
+			default: // sbFn: threaded closure (fallback, CSR/FP/system, binOps tail)
+				if op.fn(m) {
+					diverted = i < last
+					break body
+				}
+			}
+		}
+		if diverted {
+			m.stats.TraceSideExits++
+			m.curTB = nil
+			return true
+		}
+		m.stats.TraceRuns++
+		if m.stop != nil || h.PC != tr.entry {
+			break
+		}
+		// Self-looping trace: re-enter without going through the engine
+		// loop. The boundary poll and the budget gate are replayed here
+		// exactly as the outer loop would perform them.
+		if budget != 0 && left-(h.Instret-n0) < tr.nInsts {
+			break
+		}
+		m.pollInterrupts()
+		if m.stop != nil {
+			break
+		}
+		if h.PC != tr.entry {
+			m.sbPolled = true // boundary poll done; do not poll again
+			break
+		}
+		m.lastLoad = 0
+	}
+	m.curTB = nil
+	return false
+}
+
+// sbSlowLoad handles a trace load that missed the direct-RAM fast path
+// (device access, misalignment, or a fault). The pending accounting
+// snapshot carried by the op is flushed first so the bus — and any trap
+// — observes exact counters and PC; on success (a device load) the
+// flush is subtracted back out, because the op rejoins the deferred run
+// and the next flush point re-materializes everything including it. The
+// PC intentionally stays at op.pc afterwards: pending accounting is now
+// nonzero, and the deferral invariant guarantees a later flush sets the
+// PC before any observer reads it.
+func (m *Machine) sbSlowLoad(op *sbOp, addr uint32, size uint8) (uint32, bool) {
+	h := &m.Hart
+	h.Instret += uint64(op.n)
+	h.Cycle += uint64(op.aux)
+	h.PC = op.pc
+	v, ok := m.memLoad(op.pc, addr, size)
+	if !ok {
+		return 0, false // trapped or stopped, with exact state
+	}
+	h.Instret -= uint64(op.n)
+	h.Cycle -= uint64(op.aux)
+	return v, true
+}
+
+// sbSlowStore handles a trace store that missed the direct-RAM fast
+// path, with the same flush-and-compensate scheme as sbSlowLoad. When
+// the store invalidated code or stopped the machine it cannot rejoin
+// the deferral — the trace must side-exit — so it self-accounts exactly
+// (deferred stores exist only under the unit profile: one cycle, one
+// instruction, PC advanced by the instruction size held in op.rd) and
+// reports the divert.
+func (m *Machine) sbSlowStore(op *sbOp, addr, val uint32, size uint8) bool {
+	h := &m.Hart
+	h.Instret += uint64(op.n)
+	h.Cycle += uint64(op.aux)
+	h.PC = op.pc
+	ok, inval := m.memStore(op.pc, addr, size, val)
+	if !ok {
+		return true // trapped, with exact state
+	}
+	if inval || m.stop != nil {
+		h.Instret++
+		h.Cycle++
+		h.PC = op.pc + uint32(op.rd)
+		m.lastLoad = 0
+		return true
+	}
+	h.Instret -= uint64(op.n)
+	h.Cycle -= uint64(op.aux)
+	return false
+}
+
+// buildTrace fuses the recorded block path into a trace and installs it
+// on the entry block. Recording state is consumed either way; the
+// fusion is abandoned when a recorded block is no longer the live
+// translation at its pc (invalidated or respecialized since it was
+// recorded).
+func (m *Machine) buildTrace() {
+	rec := m.rec
+	m.recActive = false
+	m.rec = m.rec[:0]
+	if len(rec) == 0 {
+		return
+	}
+	entry := rec[0].info.PC
+	for _, t := range rec {
+		if m.tbs[t.info.PC] != t || t.prof != m.Profile || t.ext != m.ISA {
+			return
+		}
+	}
+	if tr := m.traces[entry]; tr != nil {
+		if tr.prof == m.Profile && tr.ext == m.ISA {
+			rec[0].trace = tr // already formed (e.g. pool adoption); relink
+		}
+		return
+	}
+	tr := newTraceCode(rec, m.Profile, m.ISA)
+	if m.traces == nil {
+		m.traces = make(map[uint32]*traceCode)
+	}
+	m.traces[entry] = tr
+	rec[0].trace = tr
+	m.stats.TracesFormed++
+	m.stats.TraceBlocksFused += uint64(len(rec))
+}
+
+// newTraceCode compiles a recorded block path into one flattened
+// micro-op slice. Each block's instructions are recompiled in
+// deferred-accounting form; a guard op separates consecutive blocks and
+// the last block's pending accounting is flushed by a trailing sbAcct.
+func newTraceCode(rec []*tb, prof *timing.Profile, ext isa.ExtSet) *traceCode {
+	tr := &traceCode{
+		entry: rec[0].info.PC,
+		prof:  prof,
+		ext:   ext,
+		lo:    ^uint32(0),
+	}
+	for i, t := range rec {
+		c := t.tbCode
+		tr.blocks = append(tr.blocks, c)
+		if c.info.PC < tr.lo {
+			tr.lo = c.info.PC
+		}
+		if c.end > tr.hi {
+			tr.hi = c.end
+		}
+		tr.nInsts += uint64(len(c.info.Insts))
+		if i < len(rec)-1 {
+			appendTraceBlock(tr, c, rec[i+1].info.PC, true)
+		} else {
+			appendTraceBlock(tr, c, 0, false)
+		}
+	}
+	tr.span = &tb{tbCode: &tbCode{
+		info: plugin.BlockInfo{PC: tr.lo},
+		end:  tr.hi,
+		prof: prof,
+		ext:  ext,
+	}}
+	return tr
+}
+
+// appendTraceBlock recompiles one constituent block into tr.ops in
+// deferred-accounting micro-op form, ending with a guard expecting the
+// recorded next block (or a trailing flush of a bare tail of the last
+// block).
+func appendTraceBlock(tr *traceCode, c *tbCode, expect uint32, guard bool) {
+	insts := c.info.Insts
+	addrs := c.info.Addrs
+	var costs []uint32
+	var dyn []bool
+	icache := false
+	if tr.prof != nil {
+		costs, dyn = tr.prof.StaticPlan(insts)
+		icache = tr.prof.HasICache()
+	}
+	// Loads and stores defer their accounting only under the unit cycle
+	// model: nothing reads the load-use hazard state there (execOne
+	// consults lastLoad only when a profile is set), so a load can skip
+	// its bookkeeping entirely. Under a profile they keep the threaded
+	// engine's closures, whose static costs and hazard updates are
+	// already exact.
+	deferLS := tr.prof == nil
+	var pend uint64    // deferred retired-instruction count
+	var pendCyc uint64 // deferred cycle count
+	constIdx := -1     // index in tr.ops of a fold-eligible sbConst, -1 if none
+	var constRd isa.Reg
+	for i, in := range insts {
+		cost := uint32(1)
+		if costs != nil {
+			cost = costs[i]
+		}
+		if !icache && (dyn == nil || !dyn[i]) {
+			if op, emit, ok := bareOp(in, addrs[i], tr.ext); ok {
+				pend++
+				pendCyc += uint64(cost)
+				if !emit {
+					continue // architectural no-op: accounting only
+				}
+				if constIdx >= 0 && (in.Op == isa.OpADDI || in.Op == isa.OpCADDI) &&
+					in.Rd == constRd && in.Rs1 == constRd {
+					// lui/auipc rd + addi rd, rd, lo: fold into the constant
+					// write. Nothing observes rd between the pair, so the
+					// combined store is exact.
+					tr.ops[constIdx].imm += uint32(in.Imm)
+					continue
+				}
+				tr.ops = append(tr.ops, op)
+				if op.kind == sbConst && in.Rd != 0 {
+					constIdx = len(tr.ops) - 1
+					constRd = in.Rd
+				} else {
+					constIdx = -1
+				}
+				continue
+			}
+			if op, ok := ctlOp(in, addrs[i], cost, tr.prof, tr.ext, pend, pendCyc); ok {
+				// Branches and jumps fold the pending flush into their own
+				// retire; no separate sbAcct needed.
+				constIdx = -1
+				tr.ops = append(tr.ops, op)
+				pend, pendCyc = 0, 0
+				continue
+			}
+			if deferLS {
+				if op, ok := memOp(in, addrs[i], tr.ext, pend, pendCyc); ok {
+					// The op snapshots the deferral before itself (for the
+					// slow path's flush), then joins it.
+					constIdx = -1
+					tr.ops = append(tr.ops, op)
+					pend++
+					pendCyc += uint64(cost)
+					continue
+				}
+			}
+		}
+		// Impure or dynamically costed: flush pending accounting so the
+		// op observes exact counters, PC and hazard state, then reuse the
+		// threaded engine's compiled form verbatim.
+		constIdx = -1
+		if pend > 0 {
+			tr.ops = append(tr.ops, acctOp(pend, pendCyc, addrs[i]))
+			pend, pendCyc = 0, 0
+		}
+		if icache || (dyn != nil && dyn[i]) {
+			tr.ops = append(tr.ops, sbOp{kind: sbFn, fn: fallbackOp(in)})
+		} else {
+			tr.ops = append(tr.ops, sbOp{kind: sbFn, fn: compileOp(in, addrs[i], cost, tr.prof, tr.ext)})
+		}
+	}
+	if guard {
+		g := sbOp{kind: sbGuard, imm: expect, pc: c.end, n: uint16(pend), aux: uint32(pendCyc)}
+		if pend > 0 {
+			g.rs1 = 1 // bare tail: guard must materialize the fallthrough PC
+		}
+		tr.ops = append(tr.ops, g)
+	} else if pend > 0 {
+		tr.ops = append(tr.ops, acctOp(pend, pendCyc, c.end))
+	}
+}
+
+// acctOp builds the deferred-accounting flush micro-op.
+func acctOp(n, cyc uint64, pc uint32) sbOp {
+	return sbOp{kind: sbAcct, n: uint16(n), aux: uint32(cyc), imm: pc}
+}
+
+// bareOp builds the deferred-accounting micro-op for one pure
+// specialized instruction: writes only the destination register, never
+// traps, never diverts, and leaves all accounting to a later flush.
+// emit=false with ok=true means an architectural no-op (x0-targeted
+// ops, fences, wfi): accounting only, nothing emitted. ok=false means
+// the instruction has no bare form and must keep the threaded engine's
+// exact closure.
+func bareOp(in decode.Inst, pc uint32, ext isa.ExtSet) (op sbOp, emit, ok bool) {
+	if !in.Valid() || !in.Op.In(ext) {
+		return sbOp{}, false, false
+	}
+	immU := uint32(in.Imm)
+	mk := func(kind uint8, imm uint32) (sbOp, bool, bool) {
+		if in.Rd == 0 {
+			return sbOp{}, false, true
+		}
+		return sbOp{kind: kind, imm: imm,
+			rd: uint8(in.Rd), rs1: uint8(in.Rs1), rs2: uint8(in.Rs2)}, true, true
+	}
+	switch in.Op {
+	case isa.OpFENCE, isa.OpWFI:
+		return sbOp{}, false, true
+	case isa.OpLUI, isa.OpCLUI:
+		return mk(sbConst, immU)
+	case isa.OpAUIPC:
+		return mk(sbConst, pc+immU)
+	case isa.OpADDI, isa.OpCADDI, isa.OpCADDI16SP, isa.OpCADDI4SPN, isa.OpCLI, isa.OpCNOP:
+		if in.Rs1 == 0 { // li: constant materialization
+			return mk(sbConst, immU)
+		}
+		return mk(sbAddi, immU)
+	case isa.OpSLTI:
+		return mk(sbSlti, immU)
+	case isa.OpSLTIU:
+		return mk(sbSltiu, immU)
+	case isa.OpXORI:
+		return mk(sbXori, immU)
+	case isa.OpORI:
+		return mk(sbOri, immU)
+	case isa.OpANDI, isa.OpCANDI:
+		return mk(sbAndi, immU)
+	case isa.OpSLLI, isa.OpCSLLI:
+		return mk(sbSlli, immU)
+	case isa.OpSRLI, isa.OpCSRLI:
+		return mk(sbSrli, immU)
+	case isa.OpSRAI, isa.OpCSRAI:
+		return mk(sbSrai, immU)
+	case isa.OpRORI:
+		return mk(sbRoti, uint32(-in.Imm)) // left-rotation amount
+	case isa.OpBSETI:
+		return mk(sbOri, 1<<immU)
+	case isa.OpBCLRI:
+		return mk(sbAndi, ^(uint32(1) << immU))
+	case isa.OpBINVI:
+		return mk(sbXori, 1<<immU)
+	case isa.OpBEXTI:
+		return mk(sbBexti, immU)
+	case isa.OpADD, isa.OpCADD:
+		return mk(sbAdd, 0)
+	case isa.OpCMV:
+		// CMV reads rs2; normalize onto rs1 so the executor has one shape.
+		if in.Rd == 0 {
+			return sbOp{}, false, true
+		}
+		return sbOp{kind: sbMv, rd: uint8(in.Rd), rs1: uint8(in.Rs2)}, true, true
+	case isa.OpSUB, isa.OpCSUB:
+		return mk(sbSub, 0)
+	case isa.OpSLL:
+		return mk(sbSll, 0)
+	case isa.OpSRL:
+		return mk(sbSrl, 0)
+	case isa.OpSRA:
+		return mk(sbSra, 0)
+	case isa.OpSLT:
+		return mk(sbSlt, 0)
+	case isa.OpSLTU:
+		return mk(sbSltu, 0)
+	case isa.OpXOR, isa.OpCXOR:
+		return mk(sbXor, 0)
+	case isa.OpOR, isa.OpCOR:
+		return mk(sbOr, 0)
+	case isa.OpAND, isa.OpCAND:
+		return mk(sbAnd, 0)
+	case isa.OpMUL:
+		return mk(sbMul, 0)
+	}
+
+	if fn := binOps[in.Op]; fn != nil {
+		if in.Rd == 0 {
+			return sbOp{}, false, true
+		}
+		rd, rs1, rs2 := in.Rd, in.Rs1, in.Rs2
+		f := func(m *Machine) bool {
+			h := &m.Hart
+			h.X[rd] = fn(h.Reg(rs1), h.Reg(rs2))
+			return false
+		}
+		return sbOp{kind: sbFn, fn: f}, true, true
+	}
+
+	return sbOp{}, false, false
+}
+
+// ctlOp builds the micro-op for a branch or jump, folding the pending
+// accounting flush into the op's own retire. ok=false leaves the
+// instruction to the exact-closure path (invalid, misaligned target).
+func ctlOp(in decode.Inst, pc, cost uint32, prof *timing.Profile, ext isa.ExtSet,
+	pend, pendCyc uint64) (sbOp, bool) {
+	if !in.Valid() || !in.Op.In(ext) {
+		return sbOp{}, false
+	}
+	op := sbOp{
+		pc:  pc + uint32(in.Size),
+		n:   uint16(pend),
+		aux: uint32(pendCyc),
+		rd:  uint8(in.Rd),
+		rs1: uint8(in.Rs1),
+		rs2: uint8(in.Rs2),
+	}
+	switch in.Op {
+	case isa.OpJAL, isa.OpCJAL, isa.OpCJ:
+		target := pc + uint32(in.Imm)
+		if target&1 != 0 {
+			return sbOp{}, false // misaligned target: trap via execOne
+		}
+		op.kind = sbJal
+		op.imm = target
+		op.aux += cost + jumpPen(prof)
+		return op, true
+	case isa.OpJALR, isa.OpCJR, isa.OpCJALR:
+		op.kind = sbJalr
+		op.imm = uint32(in.Imm)
+		op.aux += cost + jumpPen(prof)
+		return op, true
+	case isa.OpBEQ, isa.OpCBEQZ, isa.OpBNE, isa.OpCBNEZ,
+		isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		target := pc + uint32(in.Imm)
+		if target&1 != 0 {
+			return sbOp{}, false // misaligned taken-target: trap via execOne
+		}
+		op.imm = target
+		op.aux += cost
+		op.pen = uint16(branchPen(prof))
+		switch in.Op {
+		case isa.OpBEQ, isa.OpCBEQZ:
+			op.kind = sbBeq
+		case isa.OpBNE, isa.OpCBNEZ:
+			op.kind = sbBne
+		case isa.OpBLT:
+			op.kind = sbBlt
+		case isa.OpBGE:
+			op.kind = sbBge
+		case isa.OpBLTU:
+			op.kind = sbBltu
+		default: // OpBGEU
+			op.kind = sbBgeu
+		}
+		return op, true
+	}
+	return sbOp{}, false
+}
+
+// memOp builds the deferred load/store micro-op (unit profile only: the
+// caller gates on deferLS). The op carries a snapshot of the pending
+// deferral before itself so the slow path can flush exactly; stores
+// keep the value register in rs2 and reuse rd for the instruction size
+// (the slow path's PC step).
+func memOp(in decode.Inst, pc uint32, ext isa.ExtSet, pend, pendCyc uint64) (sbOp, bool) {
+	if !in.Valid() || !in.Op.In(ext) {
+		return sbOp{}, false
+	}
+	op := sbOp{
+		imm: uint32(in.Imm),
+		pc:  pc,
+		n:   uint16(pend),
+		aux: uint32(pendCyc),
+		rd:  uint8(in.Rd),
+		rs1: uint8(in.Rs1),
+		rs2: uint8(in.Rs2),
+	}
+	switch in.Op {
+	case isa.OpLW, isa.OpCLW, isa.OpCLWSP:
+		op.kind = sbLw
+	case isa.OpLH:
+		op.kind = sbLh
+	case isa.OpLHU:
+		op.kind = sbLhu
+	case isa.OpLB:
+		op.kind = sbLb
+	case isa.OpLBU:
+		op.kind = sbLbu
+	case isa.OpSW, isa.OpCSW, isa.OpCSWSP:
+		op.kind = sbSw
+		op.rd = uint8(in.Size)
+	case isa.OpSH:
+		op.kind = sbSh
+		op.rd = uint8(in.Size)
+	case isa.OpSB:
+		op.kind = sbSb
+		op.rd = uint8(in.Size)
+	default:
+		return sbOp{}, false
+	}
+	return op, true
+}

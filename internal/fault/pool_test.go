@@ -59,6 +59,7 @@ func TestCampaignPoolDifferential(t *testing.T) {
 	}{
 		{"threaded", emu.EngineThreaded},
 		{"switch", emu.EngineSwitch},
+		{"superblock", emu.EngineSuperblock},
 	} {
 		for _, workers := range []int{1, 4} {
 			t.Run(fmt.Sprintf("%s/workers-%d", eng.name, workers), func(t *testing.T) {
@@ -89,6 +90,45 @@ func TestCampaignPoolDifferential(t *testing.T) {
 					if pooled.ByOutcome[oc] != private.ByOutcome[oc] {
 						t.Errorf("%v count: pool=%d private=%d",
 							oc, pooled.ByOutcome[oc], private.ByOutcome[oc])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCampaignSuperblockDifferential proves the superblock trace engine
+// is architecturally invisible to fault campaigns: against a threaded
+// reference, a superblock campaign classifies every mutant identically —
+// with and without the shared pool (whose frozen-trace tier warm-starts
+// workers), at one and four workers. Code-mutating faults force trace
+// invalidation and overlay paths, the sharpest part of the contract.
+func TestCampaignSuperblockDifferential(t *testing.T) {
+	tg, _ := target(t, "crc32")
+	g, err := fault.RunGolden(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ttg := *tg
+	ttg.Engine = emu.EngineThreaded
+	plan := poolPlan(&ttg, g)
+	ref, _ := runPoolCampaign(t, &ttg, plan, 1, false)
+
+	for _, noPool := range []bool{false, true} {
+		for _, workers := range []int{1, 4} {
+			name := fmt.Sprintf("pool-%t/workers-%d", !noPool, workers)
+			t.Run(name, func(t *testing.T) {
+				stg := *tg
+				stg.Engine = emu.EngineSuperblock
+				got, _ := runPoolCampaign(t, &stg, plan, workers, noPool)
+				if len(got.Details) != len(ref.Details) {
+					t.Fatalf("result sizes differ: %d vs %d", len(got.Details), len(ref.Details))
+				}
+				for i := range got.Details {
+					if got.Details[i] != ref.Details[i] {
+						t.Errorf("mutant %d (%v): superblock=%v threaded=%v",
+							i, plan.Faults[i], got.Details[i], ref.Details[i])
 					}
 				}
 			})

@@ -17,15 +17,11 @@ import (
 	"repro/internal/wcet"
 )
 
-// parseEngine maps the request's engine name to the emu engine.
+// parseEngine maps the request's engine name to the emu engine, through
+// the centralized name list (emu.ParseEngine) so the service accepts
+// exactly the spellings the CLIs do.
 func parseEngine(name string) (emu.Engine, error) {
-	switch name {
-	case "", "threaded":
-		return emu.EngineThreaded, nil
-	case "switch":
-		return emu.EngineSwitch, nil
-	}
-	return 0, fmt.Errorf("unknown engine %q (threaded, switch)", name)
+	return emu.ParseEngine(name)
 }
 
 // binKey identifies one guest binary under one execution specialization:

@@ -15,6 +15,11 @@ const (
 	MetricPoolHits         = "s4e_emu_pool_hits_total"
 	MetricPoolMisses       = "s4e_emu_pool_misses_total"
 	MetricOverlayCompiles  = "s4e_emu_overlay_compiles_total"
+	MetricTracesFormed     = "s4e_emu_trace_formed_total"
+	MetricTraceRuns        = "s4e_emu_trace_retired_total"
+	MetricTraceSideExits   = "s4e_emu_trace_side_exits_total"
+	MetricTracesDropped    = "s4e_emu_trace_invalidated_total"
+	MetricTracePoolHits    = "s4e_emu_trace_pool_hits_total"
 	MetricInsts            = "s4e_emu_instructions_retired_total"
 	MetricCycles           = "s4e_emu_cycles_total"
 	MetricBusFetches       = "s4e_bus_fetches_total"
@@ -43,6 +48,11 @@ func (p *Platform) RecordStats(r *obs.Registry) {
 	r.Counter(MetricPoolHits, "blocks adopted from the shared translation pool").Add(es.PoolHits)
 	r.Counter(MetricPoolMisses, "translations of pcs the shared pool does not cover").Add(es.PoolMisses)
 	r.Counter(MetricOverlayCompiles, "private overlay compiles over mutated pool ranges").Add(es.OverlayCompiles)
+	r.Counter(MetricTracesFormed, "superblock traces formed").Add(es.TracesFormed)
+	r.Counter(MetricTraceRuns, "superblock trace executions retired in full").Add(es.TraceRuns)
+	r.Counter(MetricTraceSideExits, "superblock trace side exits").Add(es.TraceSideExits)
+	r.Counter(MetricTracesDropped, "superblock traces invalidated or banned").Add(es.TracesInvalidated)
+	r.Counter(MetricTracePoolHits, "traces adopted from the shared pool's frozen tier").Add(es.TracePoolHits)
 	r.Counter(MetricInsts, "instructions retired").Add(p.Machine.Hart.Instret)
 	r.Counter(MetricCycles, "modelled cycles").Add(p.Machine.Hart.Cycle)
 
