@@ -5,6 +5,9 @@
 //
 //	s4e-cov [-isa rv32imf] -suites              # three-family study + union
 //	s4e-cov [-isa rv32imf] prog1.s prog2.s ...  # coverage of given programs
+//
+// -ext adds a per-extension-group breakdown (I, M, Zicsr, Xbmi/Zbb,
+// Xbmi/Zbs, ...) using the same grouping tables as the subset analyzer.
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cover"
 	"repro/internal/exp"
 	"repro/internal/isa"
 	"repro/internal/suites"
@@ -21,6 +25,7 @@ func main() {
 	isaName := flag.String("isa", "rv32imf", "ISA configuration the coverage is scored against")
 	suitesFlag := flag.Bool("suites", false, "run the built-in architectural/unit/torture study")
 	missing := flag.Bool("missing", false, "list uncovered instruction types")
+	byExt := flag.Bool("ext", false, "break coverage down per extension group")
 	flag.Parse()
 
 	set, err := parseISA(*isaName)
@@ -54,6 +59,16 @@ func main() {
 	}
 	r := c.Report()
 	fmt.Println(r)
+	if *byExt {
+		for _, g := range r.Groups {
+			fmt.Printf("  %-10s %d/%d (%.1f%%)", g.Group, g.Covered, g.Total,
+				cover.Pct(g.Covered, g.Total))
+			if *missing && len(g.MissingOps) > 0 {
+				fmt.Printf("  missing: %v", g.MissingOps)
+			}
+			fmt.Println()
+		}
+	}
 	if *missing {
 		fmt.Println("missing instruction types:", r.MissingOps)
 		fmt.Println("untouched GPRs:", r.MissingGPR)

@@ -5,13 +5,16 @@
 //
 // Usage:
 //
-//	s4e-lint [-bounds loop=32] [-min possible] [-fail definite] prog.s
+//	s4e-lint [-bounds loop=32] [-min possible] [-fail definite] [-json] prog.s
 //
-// The exit code is 1 when a finding at or above the -fail severity is
-// present, 0 otherwise.
+// With -json the findings (after -min filtering) are emitted as one
+// JSON document on stdout for machine consumption. The exit code is 1
+// when a finding at or above the -fail severity is present, 0
+// otherwise.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -60,6 +63,7 @@ func main() {
 	minFlag := flag.String("min", "info", "lowest severity to report")
 	failFlag := flag.String("fail", "definite", "lowest severity that fails the run")
 	compress := flag.Bool("rvc", false, "lint the RVC-compressed build")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: s4e-lint [flags] prog.s")
@@ -94,6 +98,14 @@ func main() {
 	// Report line numbers relative to the user's file, not the
 	// prepended platform prelude.
 	preludeOff := strings.Count(vp.Prelude, "\n")
+	type jsonFinding struct {
+		Check    string `json:"check"`
+		Severity string `json:"severity"`
+		Addr     uint32 `json:"addr"`
+		Line     int    `json:"line,omitempty"`
+		Msg      string `json:"msg"`
+	}
+	var jfs []jsonFinding
 	reported, failing := 0, 0
 	for _, f := range findings {
 		if f.Line > preludeOff {
@@ -104,11 +116,35 @@ func main() {
 		}
 		if f.Severity >= minSev {
 			reported++
-			fmt.Printf("%s: %s\n", flag.Arg(0), f)
+			if *jsonOut {
+				jfs = append(jfs, jsonFinding{
+					Check: f.Check, Severity: f.Severity.String(),
+					Addr: f.Addr, Line: f.Line, Msg: f.Msg,
+				})
+			} else {
+				fmt.Printf("%s: %s\n", flag.Arg(0), f)
+			}
 		}
 	}
-	fmt.Printf("%s: %d findings (%d reported, %d at fail level)\n",
-		flag.Arg(0), len(findings), reported, failing)
+	if *jsonOut {
+		doc := struct {
+			File     string        `json:"file"`
+			Findings []jsonFinding `json:"findings"`
+			Total    int           `json:"total"`
+			Failing  int           `json:"failing"`
+		}{flag.Arg(0), jfs, len(findings), failing}
+		if doc.Findings == nil {
+			doc.Findings = []jsonFinding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("%s: %d findings (%d reported, %d at fail level)\n",
+			flag.Arg(0), len(findings), reported, failing)
+	}
 	if failing > 0 {
 		os.Exit(1)
 	}

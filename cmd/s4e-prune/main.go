@@ -1,0 +1,101 @@
+// Command s4e-prune runs the whole-binary ISA-subset and
+// resource-usage analyzer over an assembly program: it closes the
+// interprocedural CFG (resolving constant indirect jumps), then reports
+// the exact opcode and extension-group set the binary can execute, the
+// integer register footprint and RV32E feasibility, the CSR footprint,
+// and a worst-case call-depth/stack-depth bound. The opcode set is the
+// allowlist a subset-specialized core (or emu.Machine.SetSubset) needs
+// to run the program.
+//
+// Usage:
+//
+//	s4e-prune [-rvc] [-json] [-funcs] prog.s
+//
+// -funcs adds a per-function breakdown; -json emits the full report as
+// one JSON document.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/subset"
+	"repro/internal/vp"
+)
+
+func main() {
+	compress := flag.Bool("rvc", false, "analyze the RVC-compressed build")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	funcs := flag.Bool("funcs", false, "print a per-function breakdown")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: s4e-prune [flags] prog.s")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.AssembleAtOpt(vp.Prelude+string(src), vp.RAMBase,
+		asm.Options{Compress: *compress})
+	if err != nil {
+		fatal(err)
+	}
+	symbols := map[uint32]string{}
+	for name, addr := range prog.Symbols {
+		symbols[addr] = name
+	}
+	rep, err := subset.Analyze(prog.Bytes, prog.Org, prog.Entry, symbols)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(rep)
+	if *funcs {
+		for _, f := range rep.Funcs {
+			name := f.Name
+			if name == "" {
+				name = fmt.Sprintf("0x%08x", f.Entry)
+			}
+			fmt.Printf("\nfunction %s (0x%08x)\n", name, f.Entry)
+			fmt.Printf("  insts  %d\n", f.Insts)
+			fmt.Printf("  groups %v\n", f.Groups)
+			fmt.Printf("  regs   %v\n", f.Regs)
+			if len(f.CSRs) > 0 {
+				fmt.Printf("  csrs   %v\n", f.CSRs)
+			}
+			switch {
+			case f.Recursive:
+				fmt.Printf("  stack  unbounded (recursive)\n")
+			case f.FrameKnown:
+				fmt.Printf("  stack  frame %d bytes, subtree %d bytes, depth %d\n",
+					f.FrameBytes, f.StackBytes, f.CallDepth)
+			default:
+				fmt.Printf("  stack  frame unknown (non-constant sp adjustment)\n")
+			}
+			for _, c := range f.Callees {
+				cname := symbols[c]
+				if cname == "" {
+					cname = fmt.Sprintf("0x%08x", c)
+				}
+				fmt.Printf("  calls  %s\n", cname)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s4e-prune:", err)
+	os.Exit(1)
+}

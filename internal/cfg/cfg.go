@@ -82,8 +82,15 @@ type Block struct {
 	Term  TermKind
 	Succs []Succ
 
-	// CallTarget is the callee entry for TermCall blocks.
+	// CallTarget is the callee entry for TermCall blocks. Indirect calls
+	// carry 0 unless resolution (BuildResolved) pinned a single target.
 	CallTarget uint32
+
+	// CallTargets lists every statically resolved callee of an indirect
+	// TermCall block (nil for direct calls and unresolved indirects).
+	// len > 1 means a call through a table of known function pointers:
+	// CallTarget stays 0, but the callees are all in the graph.
+	CallTargets []uint32
 }
 
 // End returns the address one past the last instruction.
@@ -100,8 +107,21 @@ type Graph struct {
 }
 
 // Build reconstructs the CFG of the code reachable from entry in image
-// (loaded at base).
+// (loaded at base). Indirect jumps and calls terminate exploration: the
+// graph is open at those points (TermRet / TermCall with CallTarget 0).
 func Build(image []byte, base, entry uint32) (*Graph, error) {
+	return BuildResolved(image, base, entry, nil)
+}
+
+// BuildResolved is Build with externally resolved indirect control flow:
+// indirect maps the address of a jalr/c.jr/c.jalr instruction to the set
+// of targets it can transfer to, as proven by a value analysis (see
+// internal/subset). Resolved indirect jumps become TermJump blocks with
+// one edge per target, closing the CFG; resolved indirect calls record
+// their callees (CallTarget for a unique one, CallTargets always), so
+// interprocedural walks follow them. Instructions absent from the map
+// keep Build's open-graph behaviour.
+func BuildResolved(image []byte, base, entry uint32, indirect map[uint32][]uint32) (*Graph, error) {
 	fetch16 := func(addr uint32) (uint16, bool) {
 		off := addr - base
 		if addr < base || int(off)+2 > len(image) {
@@ -161,9 +181,13 @@ func Build(image []byte, base, entry uint32) (*Graph, error) {
 					addr = 0 // direct jump: the target is already queued
 				}
 			case in.Op == isa.OpJALR || in.Op == isa.OpCJR || in.Op == isa.OpCJALR:
+				for _, tgt := range indirect[addr] {
+					leaders[tgt] = true
+					work = append(work, tgt)
+				}
 				if in.Rd != isa.Zero {
-					// Indirect call: the callee is unknown statically, but
-					// execution resumes after it.
+					// Indirect call (callees, if resolved, were queued
+					// above): execution resumes after it.
 					leaders[next] = true
 					addr = next
 				} else {
@@ -203,7 +227,7 @@ func Build(image []byte, base, entry uint32) (*Graph, error) {
 		}
 		cur.Insts = append(cur.Insts, in)
 		cur.Addrs = append(cur.Addrs, a)
-		terminated := classify(cur, in, a)
+		terminated := classify(cur, in, a, indirect)
 		contiguousNext := i+1 < len(addrs) && addrs[i+1] == a+uint32(in.Size)
 		if terminated || !contiguousNext {
 			flush()
@@ -231,8 +255,9 @@ func Build(image []byte, base, entry uint32) (*Graph, error) {
 }
 
 // classify fills the block's terminator info when in ends it; it reports
-// whether in terminates the block.
-func classify(b *Block, in decode.Inst, addr uint32) bool {
+// whether in terminates the block. indirect carries resolved indirect
+// targets keyed by instruction address (nil for the open graph).
+func classify(b *Block, in decode.Inst, addr uint32, indirect map[uint32][]uint32) bool {
 	if !in.Valid() {
 		b.Term = TermHalt
 		return true
@@ -261,11 +286,26 @@ func classify(b *Block, in decode.Inst, addr uint32) bool {
 		b.Succs = []Succ{{tgt, EdgeJump}}
 		return true
 	case in.Op == isa.OpJALR, in.Op == isa.OpCJR, in.Op == isa.OpCJALR:
+		tgts := indirect[addr]
 		if in.Rd != isa.Zero {
-			// Indirect call: return-to-fallthrough, callee unknown.
+			// Indirect call: return-to-fallthrough; the callee set is
+			// whatever resolution proved (possibly nothing).
 			b.Term = TermCall
 			b.CallTarget = 0
+			b.CallTargets = tgts
+			if len(tgts) == 1 {
+				b.CallTarget = tgts[0]
+			}
 			b.Succs = []Succ{{next, EdgeJump}}
+			return true
+		}
+		if len(tgts) > 0 {
+			// Resolved computed goto (jump table): the graph closes with
+			// one jump edge per proven target.
+			b.Term = TermJump
+			for _, t := range tgts {
+				b.Succs = append(b.Succs, Succ{t, EdgeJump})
+			}
 			return true
 		}
 		b.Term = TermRet
@@ -322,8 +362,14 @@ func (g *Graph) Callees(entry uint32) []uint32 {
 	set := map[uint32]bool{}
 	for _, u := range g.FunctionBlocks(entry) {
 		b := g.Blocks[u]
-		if b.Term == TermCall && b.CallTarget != 0 {
+		if b.Term != TermCall {
+			continue
+		}
+		if b.CallTarget != 0 {
 			set[b.CallTarget] = true
+		}
+		for _, t := range b.CallTargets {
+			set[t] = true
 		}
 	}
 	out := make([]uint32, 0, len(set))

@@ -145,6 +145,15 @@ func (c *Coverage) Merge(other *Coverage) error {
 	return nil
 }
 
+// GroupReport is the coverage of one extension group (I, M, Zicsr,
+// Xbmi/Zbb, Xbmi/Zbs, ...), using the same grouping the subset analyzer
+// reports (isa.Op.ExtGroup).
+type GroupReport struct {
+	Group          string
+	Covered, Total int
+	MissingOps     []string
+}
+
 // Report is the coverage summary for one collection.
 type Report struct {
 	ISA string
@@ -156,6 +165,10 @@ type Report struct {
 
 	MissingOps []string
 	MissingGPR []string
+
+	// Groups breaks the instruction-type coverage down per extension
+	// group, in the configured ISA's op order.
+	Groups []GroupReport
 }
 
 // Pct formats a covered/total ratio as a percentage.
@@ -169,12 +182,23 @@ func Pct(covered, total int) float64 {
 // Report summarizes the collection against its ISA configuration.
 func (c *Coverage) Report() Report {
 	r := Report{ISA: c.ISA.String()}
+	groupIdx := map[string]int{}
 	for _, op := range isa.OpsIn(c.ISA) {
 		r.OpsTotal++
+		grp := op.ExtGroup()
+		gi, ok := groupIdx[grp]
+		if !ok {
+			gi = len(r.Groups)
+			groupIdx[grp] = gi
+			r.Groups = append(r.Groups, GroupReport{Group: grp})
+		}
+		r.Groups[gi].Total++
 		if c.Ops[op] > 0 {
 			r.OpsCovered++
+			r.Groups[gi].Covered++
 		} else {
 			r.MissingOps = append(r.MissingOps, op.String())
+			r.Groups[gi].MissingOps = append(r.Groups[gi].MissingOps, op.String())
 		}
 	}
 	for i := 0; i < isa.NumRegs; i++ {

@@ -53,7 +53,7 @@ func (m *Machine) memStore(pc, addr uint32, size uint8, val uint32) (ok, invalid
 func (m *Machine) execOne(in decode.Inst) (diverted bool) {
 	h := &m.Hart
 	pc := h.PC
-	if !in.Valid() || !in.Op.In(m.ISA) {
+	if !in.Valid() || !in.Op.In(m.ISA) || !m.subsetAllows(in.Op) {
 		m.trap(isa.ExcIllegalInst, in.Raw, pc)
 		return true
 	}

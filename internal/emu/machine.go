@@ -136,11 +136,13 @@ type tbCode struct {
 	info plugin.BlockInfo
 	end  uint32 // exclusive upper address
 
-	// prof and ext record the timing profile and ISA configuration the
-	// block (and its compiled executors) were specialized against; a
-	// cached block is stale when either differs from the machine's.
+	// prof, ext and sub record the timing profile, ISA configuration and
+	// subset allowlist the block (and its compiled executors) were
+	// specialized against; a cached block is stale when any differs from
+	// the machine's.
 	prof *timing.Profile
 	ext  isa.ExtSet
+	sub  isa.OpSet
 
 	// ops is the threaded-code form: one specialized executor per
 	// instruction, compiled lazily on first threaded execution (eagerly
@@ -202,6 +204,14 @@ type Machine struct {
 
 	// HaltOnEbreak makes ebreak stop the machine instead of trapping.
 	HaltOnEbreak bool
+
+	// subset, when non-empty, is the instruction allowlist proven by the
+	// static subset analysis (internal/subset): executing any op outside
+	// it raises an illegal-instruction trap, exactly as if the op were
+	// absent from the ISA — the emulation of a subset-pruned core.
+	// subsetOn caches non-emptiness for the per-instruction check.
+	subset   isa.OpSet
+	subsetOn bool
 
 	// DisableTBCache forces re-translation of every block (the
 	// interpreter-style baseline for the translation-cache ablation).
@@ -291,6 +301,25 @@ func New(bus *mem.Bus) *Machine {
 	}
 	m.Hart.Reset(0)
 	return m
+}
+
+// SetSubset installs an instruction allowlist: with a non-empty set the
+// machine traps (illegal instruction) on any op outside it, on every
+// engine. The empty set removes the restriction. Cached translations
+// are tagged with the subset they were specialized against, so changing
+// it never reuses stale dispatch tables — like a profile or ISA change.
+func (m *Machine) SetSubset(s isa.OpSet) {
+	m.subset = s
+	m.subsetOn = !s.Empty()
+}
+
+// Subset returns the installed instruction allowlist (empty when
+// unrestricted).
+func (m *Machine) Subset() isa.OpSet { return m.subset }
+
+// subsetAllows is the per-instruction enforcement predicate.
+func (m *Machine) subsetAllows(o isa.Op) bool {
+	return !m.subsetOn || m.subset.Has(o)
 }
 
 // ensureRAM resolves the direct-RAM fast-path pointers once per machine.
@@ -616,7 +645,8 @@ func (m *Machine) severChain(t *tb) {
 // consulting the private cache first, then the attached shared pool,
 // then decoding from memory.
 func (m *Machine) translate(pc uint32) (*tb, *mem.Fault) {
-	if t, ok := m.tbs[pc]; ok && !m.DisableTBCache && t.prof == m.Profile && t.ext == m.ISA {
+	if t, ok := m.tbs[pc]; ok && !m.DisableTBCache && t.prof == m.Profile &&
+		t.ext == m.ISA && t.sub == m.subset {
 		return t, nil
 	}
 	if t := m.poolFetch(pc); t != nil {
@@ -648,7 +678,8 @@ func (m *Machine) translate(pc uint32) (*tb, *mem.Fault) {
 		}
 		insts = append(insts, in)
 		addrs = append(addrs, addr)
-		if !in.Valid() || in.Op.IsControlFlow() || !in.Op.In(m.ISA) {
+		if !in.Valid() || in.Op.IsControlFlow() || !in.Op.In(m.ISA) ||
+			!m.subsetAllows(in.Op) {
 			break // terminator: executing it traps or transfers control
 		}
 		if in.Op == isa.OpWFI || in.Op == isa.OpFENCEI {
@@ -660,6 +691,7 @@ func (m *Machine) translate(pc uint32) (*tb, *mem.Fault) {
 		info: plugin.BlockInfo{PC: pc, Insts: insts, Addrs: addrs},
 		prof: m.Profile,
 		ext:  m.ISA,
+		sub:  m.subset,
 	}
 	c.end = pc + c.info.Size()
 	t := &tb{tbCode: c}
@@ -704,7 +736,8 @@ func (m *Machine) install(t *tb) {
 func (m *Machine) lookupTB(pc uint32) *tb {
 	if !m.DisableTBCache {
 		slot := pc >> 1 & (jmpCacheSize - 1)
-		if t := m.jmp[slot]; t != nil && t.info.PC == pc && t.prof == m.Profile && t.ext == m.ISA {
+		if t := m.jmp[slot]; t != nil && t.info.PC == pc && t.prof == m.Profile &&
+			t.ext == m.ISA && t.sub == m.subset {
 			m.stats.JumpCacheHits++
 			return t
 		}

@@ -50,6 +50,7 @@ type TBPool struct {
 	gen    atomic.Uint64
 	prof   *timing.Profile
 	ext    isa.ExtSet
+	sub    isa.OpSet
 	blocks map[uint32]*tbCode
 	lo, hi uint32 // address range covered by pooled blocks
 
@@ -74,6 +75,7 @@ func (m *Machine) BuildTBPool() *TBPool {
 	p := &TBPool{
 		prof:   m.Profile,
 		ext:    m.ISA,
+		sub:    m.subset,
 		blocks: make(map[uint32]*tbCode, len(m.tbs)),
 		lo:     ^uint32(0),
 	}
@@ -81,7 +83,7 @@ func (m *Machine) BuildTBPool() *TBPool {
 		return p
 	}
 	for pc, t := range m.tbs {
-		if t.prof != m.Profile || t.ext != m.ISA {
+		if t.prof != m.Profile || t.ext != m.ISA || t.sub != m.subset {
 			continue // stale specialization; do not publish
 		}
 		if m.storeLo < m.storeHi && pc < m.storeHi && t.end > m.storeLo {
@@ -105,7 +107,7 @@ func (m *Machine) BuildTBPool() *TBPool {
 		}
 	}
 	for pc, tr := range m.traces {
-		if tr.prof != m.Profile || tr.ext != m.ISA {
+		if tr.prof != m.Profile || tr.ext != m.ISA || tr.sub != m.subset {
 			continue
 		}
 		if m.storeLo < m.storeHi && tr.lo < m.storeHi && tr.hi > m.storeLo {
@@ -168,7 +170,7 @@ func (m *Machine) TBPoolAttached() bool { return m.pool != nil }
 func (m *Machine) activePool() *TBPool {
 	p := m.pool
 	if p == nil || m.DisableTBCache || p.prof != m.Profile || p.ext != m.ISA ||
-		p.gen.Load() != m.poolGen {
+		p.sub != m.subset || p.gen.Load() != m.poolGen {
 		return nil
 	}
 	return p

@@ -191,6 +191,7 @@ type traceCode struct {
 	entry  uint32
 	prof   *timing.Profile
 	ext    isa.ExtSet
+	sub    isa.OpSet
 	blocks []*tbCode
 	ops    []sbOp
 	// nInsts is the architectural instruction count of a fully taken
@@ -352,7 +353,7 @@ func (m *Machine) runSuperblock(budget uint64) StopInfo {
 // gate on DisableTBCache.
 func (m *Machine) traceFor(pc uint32) *traceCode {
 	if tr := m.traces[pc]; tr != nil {
-		if tr.prof == m.Profile && tr.ext == m.ISA {
+		if tr.prof == m.Profile && tr.ext == m.ISA && tr.sub == m.subset {
 			return tr
 		}
 		delete(m.traces, pc) // stale specialization
@@ -755,17 +756,18 @@ func (m *Machine) buildTrace() {
 	}
 	entry := rec[0].info.PC
 	for _, t := range rec {
-		if m.tbs[t.info.PC] != t || t.prof != m.Profile || t.ext != m.ISA {
+		if m.tbs[t.info.PC] != t || t.prof != m.Profile || t.ext != m.ISA ||
+			t.sub != m.subset {
 			return
 		}
 	}
 	if tr := m.traces[entry]; tr != nil {
-		if tr.prof == m.Profile && tr.ext == m.ISA {
+		if tr.prof == m.Profile && tr.ext == m.ISA && tr.sub == m.subset {
 			rec[0].trace = tr // already formed (e.g. pool adoption); relink
 		}
 		return
 	}
-	tr := newTraceCode(rec, m.Profile, m.ISA)
+	tr := newTraceCode(rec, m.Profile, m.ISA, m.subset)
 	if m.traces == nil {
 		m.traces = make(map[uint32]*traceCode)
 	}
@@ -779,11 +781,12 @@ func (m *Machine) buildTrace() {
 // micro-op slice. Each block's instructions are recompiled in
 // deferred-accounting form; a guard op separates consecutive blocks and
 // the last block's pending accounting is flushed by a trailing sbAcct.
-func newTraceCode(rec []*tb, prof *timing.Profile, ext isa.ExtSet) *traceCode {
+func newTraceCode(rec []*tb, prof *timing.Profile, ext isa.ExtSet, sub isa.OpSet) *traceCode {
 	tr := &traceCode{
 		entry: rec[0].info.PC,
 		prof:  prof,
 		ext:   ext,
+		sub:   sub,
 		lo:    ^uint32(0),
 	}
 	for i, t := range rec {
@@ -807,6 +810,7 @@ func newTraceCode(rec []*tb, prof *timing.Profile, ext isa.ExtSet) *traceCode {
 		end:  tr.hi,
 		prof: prof,
 		ext:  ext,
+		sub:  sub,
 	}}
 	return tr
 }
@@ -841,7 +845,7 @@ func appendTraceBlock(tr *traceCode, c *tbCode, expect uint32, guard bool) {
 		if costs != nil {
 			cost = costs[i]
 		}
-		if !icache && (dyn == nil || !dyn[i]) {
+		if !icache && (dyn == nil || !dyn[i]) && tr.sub.Allows(in.Op) {
 			if op, emit, ok := bareOp(in, addrs[i], tr.ext); ok {
 				pend++
 				pendCyc += uint64(cost)
@@ -896,7 +900,7 @@ func appendTraceBlock(tr *traceCode, c *tbCode, expect uint32, guard bool) {
 		if icache || (dyn != nil && dyn[i]) {
 			tr.ops = append(tr.ops, sbOp{kind: sbFn, fn: fallbackOp(in)})
 		} else {
-			tr.ops = append(tr.ops, sbOp{kind: sbFn, fn: compileOp(in, addrs[i], cost, tr.prof, tr.ext)})
+			tr.ops = append(tr.ops, sbOp{kind: sbFn, fn: compileOp(in, addrs[i], cost, tr.prof, tr.ext, tr.sub)})
 		}
 	}
 	if guard {

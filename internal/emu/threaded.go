@@ -145,7 +145,8 @@ func (m *Machine) runThreaded(budget uint64) StopInfo {
 // chainOK validates a successor link before following it: the block must
 // start at the new PC and match the machine's current specialization.
 func (m *Machine) chainOK(t *tb, pc uint32) bool {
-	return t != nil && t.info.PC == pc && t.prof == m.Profile && t.ext == m.ISA
+	return t != nil && t.info.PC == pc && t.prof == m.Profile &&
+		t.ext == m.ISA && t.sub == m.subset
 }
 
 // compile builds the threaded-code form of a block: the per-instruction
@@ -176,7 +177,7 @@ func (c *tbCode) compile() {
 		if costs != nil {
 			cost = costs[i]
 		}
-		ops[i] = compileOp(in, c.info.Addrs[i], cost, c.prof, c.ext)
+		ops[i] = compileOp(in, c.info.Addrs[i], cost, c.prof, c.ext, c.sub)
 	}
 	c.ops = ops
 }
@@ -288,9 +289,11 @@ var binOps = map[isa.Op]func(a, b uint32) uint32{
 
 // compileOp builds the specialized executor for one instruction. cost is
 // the precomputed static cycle cost (base + intra-block load-use stall);
-// control-transfer penalties are folded in here.
-func compileOp(in decode.Inst, pc, cost uint32, prof *timing.Profile, ext isa.ExtSet) opFn {
-	if !in.Valid() || !in.Op.In(ext) {
+// control-transfer penalties are folded in here. sub is the subset
+// allowlist the block is specialized against: a disallowed op keeps the
+// dynamic interpretation, which raises the illegal-instruction trap.
+func compileOp(in decode.Inst, pc, cost uint32, prof *timing.Profile, ext isa.ExtSet, sub isa.OpSet) opFn {
+	if !in.Valid() || !in.Op.In(ext) || !sub.Allows(in.Op) {
 		return fallbackOp(in) // traps as illegal, exactly like execOne
 	}
 	rd, rs1, rs2 := in.Rd, in.Rs1, in.Rs2

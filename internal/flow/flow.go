@@ -17,6 +17,7 @@ import (
 	"repro/internal/lint"
 	"repro/internal/plugin"
 	"repro/internal/qta"
+	"repro/internal/subset"
 	"repro/internal/timing"
 	"repro/internal/vp"
 	"repro/internal/wcet"
@@ -61,9 +62,15 @@ func LintConfig(prog *asm.Program, bounds map[string]int) lint.Config {
 }
 
 // LintProgram runs the linter over an assembled program under the
-// platform configuration.
+// platform configuration. The CFG is closed by the subset analyzer
+// first, so indirect jumps through proven-constant targets resolve and
+// no longer demote unreachable-code findings to Possible.
 func LintProgram(prog *asm.Program, bounds map[string]int) ([]lint.Finding, error) {
-	return lint.Program(prog, LintConfig(prog, bounds))
+	g, _, err := subset.Resolve(prog.Bytes, prog.Org, prog.Entry)
+	if err != nil {
+		return nil, err
+	}
+	return lint.Graph(g, prog.Lines, LintConfig(prog, bounds)), nil
 }
 
 // AnnotatedDOT renders a program's CFG in Graphviz format with static-
@@ -146,7 +153,7 @@ func AnalyzeFull(src string, prof *timing.Profile, bounds map[string]int, infer 
 	if err != nil {
 		return nil, err
 	}
-	g, err := cfg.Build(prog.Bytes, prog.Org, prog.Entry)
+	g, _, err := subset.Resolve(prog.Bytes, prog.Org, prog.Entry)
 	if err != nil {
 		return nil, err
 	}

@@ -501,6 +501,120 @@ func OpsIn(s ExtSet) []Op {
 	return out
 }
 
+// opSetWords is the number of 64-bit words an OpSet needs.
+const opSetWords = (NumOps + 63) / 64
+
+// OpSet is a bit set over the instruction universe. It is a comparable
+// value type (equality via ==), which lets cached compiled code be
+// tagged with the exact subset it was specialized against. The zero
+// value is the empty set; as an execution allowlist the empty set means
+// "unrestricted" (see Allows), so plain machines need no setup.
+type OpSet struct {
+	w [opSetWords]uint64
+}
+
+// Add inserts o into the set.
+func (s *OpSet) Add(o Op) {
+	if o.Valid() {
+		s.w[o>>6] |= 1 << (o & 63)
+	}
+}
+
+// Has reports whether o is in the set.
+func (s OpSet) Has(o Op) bool {
+	return int(o) < NumOps && s.w[o>>6]&(1<<(o&63)) != 0
+}
+
+// Empty reports whether the set contains no ops.
+func (s OpSet) Empty() bool { return s == OpSet{} }
+
+// Allows reports whether o may execute under s as an allowlist: the
+// empty set places no restriction, a non-empty set admits only its
+// members. This is the subset-enforcement predicate shared by the
+// interpreter and the specializing compilers.
+func (s OpSet) Allows(o Op) bool { return s.Empty() || s.Has(o) }
+
+// Len returns the number of ops in the set.
+func (s OpSet) Len() int {
+	n := 0
+	for _, w := range s.w {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Ops returns the members in declaration order.
+func (s OpSet) Ops() []Op {
+	out := make([]Op, 0, s.Len())
+	for o := Op(1); int(o) < NumOps; o++ {
+		if s.Has(o) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Union returns s ∪ t.
+func (s OpSet) Union(t OpSet) OpSet {
+	var out OpSet
+	for i := range out.w {
+		out.w[i] = s.w[i] | t.w[i]
+	}
+	return out
+}
+
+// Extensions returns the ExtSet spanned by the set's members.
+func (s OpSet) Extensions() ExtSet {
+	var e ExtSet
+	for o := Op(1); int(o) < NumOps; o++ {
+		if s.Has(o) {
+			e = e.With(o.Extension())
+		}
+	}
+	return e
+}
+
+// OpSetOf builds the set containing the given ops.
+func OpSetOf(ops ...Op) OpSet {
+	var s OpSet
+	for _, o := range ops {
+		s.Add(o)
+	}
+	return s
+}
+
+// ExtGroup returns the reporting group of the instruction: the extension
+// name, with the Xbmi exploration extension split into its Zbb-flavoured
+// (logic/count/rotate/byte ops) and Zbs-flavoured (single-bit ops)
+// halves. The subset analyzer and the coverage tool share these names so
+// pruning and coverage reports agree on what a group means.
+func (o Op) ExtGroup() string {
+	if o.Extension() == ExtXbmi {
+		if o >= OpBSET && o <= OpBEXTI {
+			return "Xbmi/Zbs"
+		}
+		return "Xbmi/Zbb"
+	}
+	return o.Extension().String()
+}
+
+// ExtGroups returns the reporting groups of the given ISA configuration
+// in declaration order of their first member op.
+func ExtGroups(s ExtSet) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, o := range OpsIn(s) {
+		g := o.ExtGroup()
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
 // ByName returns the Op with the given mnemonic, or OpInvalid.
 func ByName(name string) Op {
 	return opsByName[name]

@@ -339,8 +339,8 @@ func (l *linter) checkUnreachable() {
 		switch {
 		case b.Term == cfg.TermRet && last.Rs1 != isa.RA:
 			sev = Possible // computed goto, not a return
-		case b.Term == cfg.TermCall && b.CallTarget == 0:
-			sev = Possible // indirect call
+		case b.Term == cfg.TermCall && b.CallTarget == 0 && len(b.CallTargets) == 0:
+			sev = Possible // indirect call with no proven targets
 		}
 		for _, in := range b.Insts {
 			if in.CSR == isa.CSRMtvec && in.Op.Class() == isa.ClassCSR {
@@ -398,8 +398,11 @@ func (l *linter) checkSelfModifyingStores() {
 			for _, s := range b.Succs {
 				stack = append(stack, s.Addr)
 			}
-			if b.Term == cfg.TermCall && b.CallTarget != 0 {
-				stack = append(stack, b.CallTarget)
+			if b.Term == cfg.TermCall {
+				if b.CallTarget != 0 {
+					stack = append(stack, b.CallTarget)
+				}
+				stack = append(stack, b.CallTargets...)
 			}
 		}
 		return false

@@ -111,18 +111,30 @@ func TestUnreachableDefinite(t *testing.T) {
 	want(t, fs, "unreachable", lint.Definite, "not reachable")
 }
 
-// An indirect jump means the CFG may be incomplete: unreachable findings
-// must be demoted to possible.
-func TestUnreachableDemotedByIndirectJump(t *testing.T) {
+// An indirect jump whose target the interval analysis proves constant
+// (la+jr) closes the CFG: unreachable findings stay Definite instead of
+// being blanket-demoted.
+func TestUnreachableDefiniteWithResolvedIndirectJump(t *testing.T) {
 	fs := lintSrc(t, `
 	la   t0, fin
 	jr   t0
 	li   a1, 2
 fin:	ebreak
 `, nil)
+	want(t, fs, "unreachable", lint.Definite, "not reachable")
+}
+
+// An indirect jump through a statically unknown register means the CFG
+// may be incomplete: unreachable findings must be demoted to possible.
+func TestUnreachableDemotedByIndirectJump(t *testing.T) {
+	fs := lintSrc(t, `
+	jr   a0
+	li   a1, 2
+fin:	ebreak
+`, nil)
 	for _, f := range fs {
 		if f.Check == "unreachable" && f.Severity == lint.Definite {
-			t.Errorf("indirect flow must demote unreachable: %s", f)
+			t.Errorf("unresolved indirect flow must demote unreachable: %s", f)
 		}
 	}
 }

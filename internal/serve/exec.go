@@ -13,6 +13,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/flow"
 	"repro/internal/qta"
+	"repro/internal/subset"
 	"repro/internal/vp"
 	"repro/internal/wcet"
 )
@@ -334,6 +335,29 @@ type LintResult struct {
 	Definite int           `json:"definite"`
 	Possible int           `json:"possible"`
 	Info     int           `json:"info"`
+}
+
+// SubsetResult is the payload of a finished "subset" job: the
+// whole-binary ISA-subset and resource-usage report.
+type SubsetResult struct {
+	Report *subset.Report `json:"report"`
+}
+
+// execSubset runs the interprocedural ISA-subset analyzer over the
+// job's program.
+func (s *Server) execSubset(ctx context.Context, j *Job) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	symbols := map[uint32]string{}
+	for name, addr := range j.prog.Symbols {
+		symbols[addr] = name
+	}
+	rep, err := subset.Analyze(j.prog.Bytes, j.prog.Org, j.prog.Entry, symbols)
+	if err != nil {
+		return nil, err
+	}
+	return SubsetResult{Report: rep}, nil
 }
 
 // execLint runs the guest-binary linter under the platform

@@ -18,7 +18,8 @@ import (
 // the platform prelude like every CLI tool) or ELF (a base64-encoded
 // ELF32 executable, the JSON encoding of []byte) must be given.
 type Request struct {
-	// Type selects the analysis: "run", "fault", "wcet", "qta", "lint".
+	// Type selects the analysis: "run", "fault", "wcet", "qta", "lint",
+	// "subset".
 	Type string `json:"type"`
 
 	// Source is RV32 assembly source for the virtual platform.
@@ -156,6 +157,7 @@ func newID() string {
 // jobTypes is the set of accepted job types.
 var jobTypes = map[string]bool{
 	"run": true, "fault": true, "wcet": true, "qta": true, "lint": true,
+	"subset": true,
 }
 
 // maxELFImage bounds the flattened address span of an uploaded ELF, so

@@ -182,7 +182,7 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 // errors are invalid requests.
 func (s *Server) Submit(req Request) (Status, error) {
 	if !jobTypes[req.Type] {
-		return Status{}, fmt.Errorf("unknown job type %q (run, fault, wcet, qta, lint)", req.Type)
+		return Status{}, fmt.Errorf("unknown job type %q (run, fault, wcet, qta, lint, subset)", req.Type)
 	}
 	prog, err := resolveProgram(&req)
 	if err != nil {
@@ -436,6 +436,8 @@ func (s *Server) execute(ctx context.Context, j *Job) (result any, err error) {
 		return s.execQTA(ctx, j)
 	case "lint":
 		return s.execLint(ctx, j)
+	case "subset":
+		return s.execSubset(ctx, j)
 	}
 	return nil, fmt.Errorf("unknown job type %q", j.Type)
 }

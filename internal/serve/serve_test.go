@@ -104,7 +104,7 @@ func TestRunJob(t *testing.T) {
 func TestAnalysisJobTypes(t *testing.T) {
 	s := newServer(t, Config{Workers: 2})
 	xtea := src(t, "xtea")
-	for _, typ := range []string{"wcet", "qta", "lint"} {
+	for _, typ := range []string{"wcet", "qta", "lint", "subset"} {
 		st, err := s.Submit(Request{Type: typ, Source: xtea, Budget: 100_000})
 		if err != nil {
 			t.Fatalf("%s: %v", typ, err)
@@ -113,6 +113,29 @@ func TestAnalysisJobTypes(t *testing.T) {
 		if st.State != StateDone {
 			t.Fatalf("%s job state %s (err %q)", typ, st.State, st.Error)
 		}
+	}
+}
+
+func TestSubsetJob(t *testing.T) {
+	s := newServer(t, Config{Workers: 1})
+	st, err := s.Submit(Request{Type: "subset", Source: src(t, "xtea")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = wait(t, s, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("subset job state %s (err %q)", st.State, st.Error)
+	}
+	_, res, _ := s.Result(st.ID)
+	sr, ok := res.(SubsetResult)
+	if !ok {
+		t.Fatalf("result type %T", res)
+	}
+	if sr.Report == nil || len(sr.Report.Ops) == 0 {
+		t.Fatalf("empty subset report: %+v", sr)
+	}
+	if !sr.Report.Sound {
+		t.Errorf("xtea should analyze sound: unresolved=%v", sr.Report.Unresolved)
 	}
 }
 

@@ -1,0 +1,546 @@
+// Package subset is the whole-binary interprocedural ISA-subset and
+// resource-usage analyzer: the static half of the ecosystem's
+// core-pruning flow. From one entry point it reconstructs the complete
+// interprocedural CFG — iterating the interval value analysis until
+// indirect jalr/jump-table targets built from lui/auipc+addi constant
+// sequences are proven and the graph closes — and derives the exact
+// opcode and extension set the binary can execute, its integer
+// register-file footprint (RV32E feasibility), its CSR footprint, and a
+// worst-case call-depth/stack-depth bound from per-function frame
+// analysis over the call graph.
+//
+// The resulting opcode set is a contract: emu.Machine.SetSubset
+// installs it as an allowlist and every engine traps any instruction
+// outside it, so the subset soundness can be checked differentially
+// against real executions (see soundness_test.go).
+package subset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/dataflow"
+	"repro/internal/decode"
+	"repro/internal/isa"
+)
+
+// maxResolveIters bounds the build/solve/rebuild fixpoint. Each
+// productive iteration proves at least one new indirect target, and
+// binaries have finitely many indirect sites, so this is a safety
+// backstop rather than a precision knob.
+const maxResolveIters = 16
+
+// Resolve reconstructs the CFG for image at base starting from entry
+// and iteratively closes indirect control flow: the interval analysis
+// runs over every discovered function, each jalr/c.jr whose target
+// register is proven constant contributes a new edge, and the graph is
+// rebuilt until no further site resolves. It returns the closed graph
+// and the proven indirect-target map (instruction address -> targets).
+// Plain returns (jalr x0, 0(ra) / c.jr ra) are left as TermRet: their
+// successors are the call sites the graph already models.
+func Resolve(image []byte, base, entry uint32) (*cfg.Graph, map[uint32][]uint32, error) {
+	indirect := map[uint32][]uint32{}
+	for iter := 0; iter < maxResolveIters; iter++ {
+		g, err := cfg.BuildResolved(image, base, entry, indirect)
+		if err != nil {
+			return nil, nil, err
+		}
+		changed := false
+		for _, fn := range Functions(g) {
+			res := dataflow.Solve(g, fn, dataflow.NewIntervalDomain(dataflow.UnknownEntry()))
+			for _, bs := range g.FunctionBlocks(fn) {
+				b := g.Blocks[bs]
+				if len(b.Insts) == 0 {
+					continue
+				}
+				last := b.Insts[len(b.Insts)-1]
+				if !isIndirect(last.Op) || isReturn(last) {
+					continue
+				}
+				addr := b.Addrs[len(b.Addrs)-1]
+				if _, done := indirect[addr]; done {
+					continue
+				}
+				in, ok := res.In[bs]
+				if !ok {
+					continue
+				}
+				s := in
+				for i := 0; i < len(b.Insts)-1; i++ {
+					dataflow.ApplyInst(&s, b.Addrs[i], b.Insts[i])
+				}
+				v, ok := s.Get(last.Rs1).Singleton()
+				if !ok {
+					continue
+				}
+				tgt := (v + uint32(last.Imm)) &^ 1
+				if tgt < base || tgt >= base+uint32(len(image)) {
+					continue
+				}
+				indirect[addr] = []uint32{tgt}
+				changed = true
+			}
+		}
+		if !changed {
+			return g, indirect, nil
+		}
+	}
+	g, err := cfg.BuildResolved(image, base, entry, indirect)
+	return g, indirect, err
+}
+
+func isIndirect(op isa.Op) bool {
+	return op == isa.OpJALR || op == isa.OpCJR || op == isa.OpCJALR
+}
+
+// isReturn matches the canonical return idiom: an indirect jump through
+// ra with no link. Treating it as a return (rather than an unresolved
+// jump) is sound because every call edge into the function is already
+// in the graph, and each call block falls through to its return point.
+func isReturn(in decode.Inst) bool {
+	return isIndirect(in.Op) && in.Rd == isa.Zero && in.Rs1 == isa.RA && in.Imm == 0
+}
+
+// Functions lists the entry function and every statically known callee,
+// transitively, in discovery order.
+func Functions(g *cfg.Graph) []uint32 {
+	funcs := []uint32{g.Entry}
+	seen := map[uint32]bool{g.Entry: true}
+	for i := 0; i < len(funcs); i++ {
+		for _, c := range g.Callees(funcs[i]) {
+			if !seen[c] {
+				seen[c] = true
+				funcs = append(funcs, c)
+			}
+		}
+	}
+	return funcs
+}
+
+// ResolvedJump is one indirect-control-flow site the analysis closed.
+type ResolvedJump struct {
+	PC      uint32   `json:"pc"`
+	Targets []uint32 `json:"targets"`
+}
+
+// FuncReport is the per-function slice of the analysis.
+type FuncReport struct {
+	Entry   uint32   `json:"entry"`
+	Name    string   `json:"name,omitempty"`
+	Insts   int      `json:"insts"`
+	Ops     []string `json:"ops"`
+	Groups  []string `json:"groups"`
+	Regs    []string `json:"regs"`
+	CSRs    []string `json:"csrs,omitempty"`
+	Callees []uint32 `json:"callees,omitempty"`
+	// FrameBytes is the function's own worst-case stack frame (locally
+	// pushed bytes); FrameKnown is false when sp moves by a non-constant
+	// or inconsistent amount.
+	FrameBytes uint32 `json:"frame_bytes"`
+	FrameKnown bool   `json:"frame_known"`
+	// StackBytes and CallDepth bound the whole subtree below this
+	// function; meaningless when Recursive.
+	StackBytes uint32 `json:"stack_bytes"`
+	CallDepth  int    `json:"call_depth"`
+	Recursive  bool   `json:"recursive,omitempty"`
+
+	ops isa.OpSet
+}
+
+// GroupUsage lists the opcodes a binary uses from one extension group
+// (I, M, Zicsr, Xbmi/Zbb, Xbmi/Zbs, ...).
+type GroupUsage struct {
+	Group string   `json:"group"`
+	Ops   []string `json:"ops"`
+}
+
+// Report is the whole-binary analysis result.
+type Report struct {
+	Entry      uint32       `json:"entry"`
+	Insts      int          `json:"insts"`
+	Ops        []string     `json:"ops"`
+	Groups     []GroupUsage `json:"groups"`
+	Extensions string       `json:"extensions"`
+
+	Regs     []string `json:"regs"`
+	RegCount int      `json:"reg_count"`
+	// RV32E reports whether the integer footprint fits the embedded
+	// 16-register file; RV32EBlockers lists the x16..x31 registers that
+	// prevent it.
+	RV32E         bool     `json:"rv32e"`
+	RV32EBlockers []string `json:"rv32e_blockers,omitempty"`
+	UsesFP        bool     `json:"uses_fp"`
+
+	CSRs []string `json:"csrs"`
+
+	// CallDepth and StackBytes bound the deepest call chain from the
+	// entry; StackKnown is false if any frame on some chain is
+	// non-constant or the call graph is recursive.
+	CallDepth  int    `json:"call_depth"`
+	StackBytes uint32 `json:"stack_bytes"`
+	StackKnown bool   `json:"stack_known"`
+	Recursive  bool   `json:"recursive,omitempty"`
+
+	// Resolved lists the indirect jumps the interval analysis closed;
+	// Unresolved lists the ones it could not (excluding plain returns).
+	// Sound is true when the static view is complete: no unresolved
+	// indirect flow and no trap-vector installation (an mtvec write
+	// admits handler code outside the CFG).
+	Resolved   []ResolvedJump `json:"resolved,omitempty"`
+	Unresolved []uint32       `json:"unresolved,omitempty"`
+	MtvecWrite bool           `json:"mtvec_write,omitempty"`
+	Sound      bool           `json:"sound"`
+
+	Funcs []FuncReport `json:"functions"`
+
+	set   isa.OpSet
+	graph *cfg.Graph
+}
+
+// OpSet returns the exact opcode set as an emu-installable allowlist.
+func (r *Report) OpSet() isa.OpSet { return r.set }
+
+// Graph returns the closed interprocedural CFG the report was computed
+// over.
+func (r *Report) Graph() *cfg.Graph { return r.graph }
+
+// Analyze runs the whole-binary analysis on a flat image loaded at base
+// with the given entry point. symbols (address -> name) is optional and
+// only used to label functions.
+func Analyze(image []byte, base, entry uint32, symbols map[uint32]string) (*Report, error) {
+	g, resolved, err := Resolve(image, base, entry)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{Entry: entry, graph: g, Sound: true}
+
+	var allRegs [32]bool
+	csrs := map[isa.CSR]bool{}
+	funcs := Functions(g)
+	frames := make(map[uint32]*FuncReport, len(funcs))
+
+	for _, fn := range funcs {
+		fr := &FuncReport{Entry: fn, Name: symbols[fn]}
+		var regs [32]bool
+		fcsrs := map[isa.CSR]bool{}
+		var scratch [4]isa.Reg
+		for _, bs := range g.FunctionBlocks(fn) {
+			b := g.Blocks[bs]
+			for _, in := range b.Insts {
+				fr.Insts++
+				fr.ops.Add(in.Op)
+				r.set.Add(in.Op)
+				if rd, ok := in.WritesReg(); ok {
+					regs[rd] = true
+				}
+				for _, rg := range in.ReadsRegs(scratch[:0]) {
+					regs[rg] = true
+				}
+				if frd, frs1, frs2 := isa.UsesFPRegs(in.Op); frd || frs1 || frs2 {
+					r.UsesFP = true
+				}
+				if in.Op.Class() == isa.ClassCSR {
+					fcsrs[in.CSR] = true
+					csrs[in.CSR] = true
+					if in.CSR == isa.CSRMtvec && csrWrites(in) {
+						r.MtvecWrite = true
+					}
+				}
+			}
+			// Unresolved indirect flow breaks completeness.
+			if len(b.Insts) > 0 {
+				last := b.Insts[len(b.Insts)-1]
+				addr := b.Addrs[len(b.Addrs)-1]
+				if isIndirect(last.Op) && !isReturn(last) {
+					if _, ok := resolved[addr]; !ok {
+						r.Unresolved = append(r.Unresolved, addr)
+					}
+				}
+			}
+		}
+		fr.Ops = opNames(fr.ops)
+		fr.Groups = isa.ExtGroups(fr.ops.Extensions())
+		fr.Regs = regNames(regs)
+		fr.CSRs = csrNames(fcsrs)
+		fr.Callees = g.Callees(fn)
+		fr.FrameBytes, fr.FrameKnown = frameBound(g, fn)
+		for i := range regs {
+			if regs[i] {
+				allRegs[i] = true
+			}
+		}
+		frames[fn] = fr
+	}
+
+	// Call-depth and stack-depth bounds over the call graph.
+	r.StackKnown = true
+	state := map[uint32]int{} // 0 unvisited, 1 on stack, 2 done
+	var walk func(fn uint32) (depth int, stack uint32)
+	walk = func(fn uint32) (int, uint32) {
+		fr := frames[fn]
+		if fr == nil {
+			return 0, 0
+		}
+		switch state[fn] {
+		case 1:
+			fr.Recursive = true
+			r.Recursive = true
+			r.StackKnown = false
+			return 0, 0
+		case 2:
+			return fr.CallDepth, fr.StackBytes
+		}
+		state[fn] = 1
+		depth, stack := 1, fr.FrameBytes
+		if !fr.FrameKnown {
+			r.StackKnown = false
+		}
+		for _, c := range fr.Callees {
+			d, s := walk(c)
+			if 1+d > depth {
+				depth = 1 + d
+			}
+			if fr.FrameBytes+s > stack {
+				stack = fr.FrameBytes + s
+			}
+		}
+		state[fn] = 2
+		fr.CallDepth, fr.StackBytes = depth, stack
+		return depth, stack
+	}
+	r.CallDepth, r.StackBytes = walk(g.Entry)
+	if r.Recursive {
+		r.StackKnown = false
+	}
+
+	r.Ops = opNames(r.set)
+	r.Insts = 0
+	for _, fn := range funcs {
+		r.Insts += frames[fn].Insts
+		r.Funcs = append(r.Funcs, *frames[fn])
+	}
+	sort.Slice(r.Funcs, func(i, j int) bool { return r.Funcs[i].Entry < r.Funcs[j].Entry })
+	r.Extensions = r.set.Extensions().String()
+	r.Groups = groupUsage(r.set)
+	r.Regs = regNames(allRegs)
+	for i := range allRegs {
+		if allRegs[i] {
+			r.RegCount++
+			if i >= 16 {
+				r.RV32EBlockers = append(r.RV32EBlockers, isa.Reg(i).String())
+			}
+		}
+	}
+	r.RV32E = len(r.RV32EBlockers) == 0 && !r.UsesFP
+	r.CSRs = csrNames(csrs)
+	for pc, tgts := range resolved {
+		r.Resolved = append(r.Resolved, ResolvedJump{PC: pc, Targets: tgts})
+	}
+	sort.Slice(r.Resolved, func(i, j int) bool { return r.Resolved[i].PC < r.Resolved[j].PC })
+	sort.Slice(r.Unresolved, func(i, j int) bool { return r.Unresolved[i] < r.Unresolved[j] })
+	if len(r.Unresolved) > 0 || r.MtvecWrite {
+		r.Sound = false
+	}
+	return r, nil
+}
+
+// csrWrites reports whether a Zicsr instruction writes its CSR: the rw
+// forms always do, the set/clear forms only with a non-zero source.
+func csrWrites(in decode.Inst) bool {
+	switch in.Op {
+	case isa.OpCSRRW, isa.OpCSRRWI:
+		return true
+	case isa.OpCSRRS, isa.OpCSRRC:
+		return in.Rs1 != isa.Zero
+	case isa.OpCSRRSI, isa.OpCSRRCI:
+		return in.Imm != 0
+	}
+	return false
+}
+
+// frameBound computes the function's worst-case local stack frame: the
+// deepest proven sp decrement relative to function entry. It tracks a
+// single constant sp offset per block; any non-constant adjustment or
+// inconsistent merge makes the bound unknown (returned as the deepest
+// constant offset seen, with known=false).
+func frameBound(g *cfg.Graph, fn uint32) (bytes uint32, known bool) {
+	const unknown = int64(1) << 62
+	blocks := g.FunctionBlocks(fn)
+	in := map[uint32]int64{fn: 0}
+	inSet := map[uint32]bool{fn: true}
+	work := []uint32{fn}
+	member := map[uint32]bool{}
+	for _, b := range blocks {
+		member[b] = true
+	}
+	known = true
+	deepest := int64(0)
+	for len(work) > 0 {
+		bs := work[len(work)-1]
+		work = work[:len(work)-1]
+		b := g.Blocks[bs]
+		if b == nil {
+			continue
+		}
+		off := in[bs]
+		for _, inst := range b.Insts {
+			if off != unknown && off < deepest {
+				deepest = off
+			}
+			if rd, ok := inst.WritesReg(); ok && rd == isa.SP {
+				switch inst.Op {
+				case isa.OpADDI, isa.OpCADDI, isa.OpCADDI16SP:
+					if inst.Rs1 == isa.SP && off != unknown {
+						off += int64(inst.Imm)
+					} else {
+						off = unknown
+						known = false
+					}
+				default:
+					off = unknown
+					known = false
+				}
+			}
+		}
+		if off != unknown && off < deepest {
+			deepest = off
+		}
+		// Calls preserve sp by ABI; propagate to intraprocedural succs
+		// only (a TermCall block's jump edge is its return point, which
+		// is intraprocedural; the callee is reached via CallTarget).
+		for _, sc := range b.Succs {
+			if !member[sc.Addr] {
+				continue
+			}
+			prev, seen := in[sc.Addr]
+			if !inSet[sc.Addr] {
+				in[sc.Addr] = off
+				inSet[sc.Addr] = true
+				work = append(work, sc.Addr)
+			} else if seen && prev != off {
+				if prev != unknown {
+					in[sc.Addr] = unknown
+					known = false
+					work = append(work, sc.Addr)
+				}
+			}
+		}
+	}
+	return uint32(-deepest), known
+}
+
+func opNames(s isa.OpSet) []string {
+	ops := s.Ops()
+	names := make([]string, len(ops))
+	for i, o := range ops {
+		names[i] = o.String()
+	}
+	return names
+}
+
+func groupUsage(s isa.OpSet) []GroupUsage {
+	order := []string{}
+	byGroup := map[string][]string{}
+	for _, o := range s.Ops() {
+		grp := o.ExtGroup()
+		if _, ok := byGroup[grp]; !ok {
+			order = append(order, grp)
+		}
+		byGroup[grp] = append(byGroup[grp], o.String())
+	}
+	gs := make([]GroupUsage, len(order))
+	for i, grp := range order {
+		gs[i] = GroupUsage{Group: grp, Ops: byGroup[grp]}
+	}
+	return gs
+}
+
+func regNames(regs [32]bool) []string {
+	var names []string
+	for i, used := range regs {
+		if used {
+			names = append(names, isa.Reg(i).String())
+		}
+	}
+	return names
+}
+
+func csrNames(m map[isa.CSR]bool) []string {
+	addrs := make([]isa.CSR, 0, len(m))
+	for c := range m {
+		addrs = append(addrs, c)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	names := make([]string, len(addrs))
+	for i, c := range addrs {
+		names[i] = c.String()
+	}
+	return names
+}
+
+// String renders the report in the tools' human-readable form.
+func (r *Report) String() string {
+	var b []byte
+	p := func(format string, args ...any) {
+		b = fmt.Appendf(b, format, args...)
+	}
+	p("entry       0x%08x\n", r.Entry)
+	p("insts       %d static (in %d functions)\n", r.Insts, len(r.Funcs))
+	p("extensions  %s\n", r.Extensions)
+	for _, g := range r.Groups {
+		p("  %-10s %d ops: %s\n", g.Group, len(g.Ops), joinMax(g.Ops, 12))
+	}
+	p("registers   %d used: %s\n", r.RegCount, joinMax(r.Regs, 32))
+	if r.RV32E {
+		p("rv32e       feasible\n")
+	} else if r.UsesFP && len(r.RV32EBlockers) == 0 {
+		p("rv32e       blocked by FP use\n")
+	} else {
+		p("rv32e       blocked by %s\n", joinMax(r.RV32EBlockers, 16))
+	}
+	if len(r.CSRs) > 0 {
+		p("csrs        %s\n", joinMax(r.CSRs, 16))
+	} else {
+		p("csrs        none\n")
+	}
+	if r.StackKnown {
+		p("call depth  %d\n", r.CallDepth)
+		p("stack bound %d bytes\n", r.StackBytes)
+	} else if r.Recursive {
+		p("call depth  unbounded (recursive)\n")
+	} else {
+		p("call depth  %d (stack bound unknown: non-constant frame)\n", r.CallDepth)
+	}
+	for _, j := range r.Resolved {
+		for _, t := range j.Targets {
+			p("resolved    indirect jump at 0x%08x -> 0x%08x\n", j.PC, t)
+		}
+	}
+	for _, pc := range r.Unresolved {
+		p("unresolved  indirect jump at 0x%08x\n", pc)
+	}
+	if r.Sound {
+		p("sound       yes: static opcode set covers all executions\n")
+	} else {
+		p("sound       no: unresolved indirect flow or trap handler installed\n")
+	}
+	return string(b)
+}
+
+func joinMax(names []string, max int) string {
+	if len(names) == 0 {
+		return "-"
+	}
+	s := ""
+	for i, n := range names {
+		if i == max {
+			return s + fmt.Sprintf(" ... (+%d more)", len(names)-max)
+		}
+		if i > 0 {
+			s += " "
+		}
+		s += n
+	}
+	return s
+}

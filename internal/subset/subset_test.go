@@ -1,0 +1,291 @@
+package subset_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/isa"
+	"repro/internal/subset"
+	"repro/internal/vp"
+)
+
+func analyze(t *testing.T, src string) *subset.Report {
+	t.Helper()
+	prog, err := asm.AssembleAt(vp.Prelude+src, vp.RAMBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symbols := map[uint32]string{}
+	for name, addr := range prog.Symbols {
+		symbols[addr] = name
+	}
+	rep, err := subset.Analyze(prog.Bytes, prog.Org, prog.Entry, symbols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// A constant-target indirect jump (la+jr) must resolve: the graph
+// closes, the report is sound, and code after the jump is analyzed.
+func TestResolveIndirectJump(t *testing.T) {
+	rep := analyze(t, `
+	la   t0, fin
+	jr   t0
+	mul  a0, a0, a0
+fin:	ebreak
+`)
+	if len(rep.Resolved) != 1 {
+		t.Fatalf("resolved = %v, want exactly 1 site", rep.Resolved)
+	}
+	if !rep.Sound {
+		t.Errorf("report not sound: unresolved=%v mtvec=%v", rep.Unresolved, rep.MtvecWrite)
+	}
+	// The mul sits after an unconditional jump: it must NOT be in the
+	// opcode set (proving the graph closed rather than fell back to
+	// scanning everything).
+	if rep.OpSet().Has(isa.OpMUL) {
+		t.Errorf("mul is unreachable but present in subset %v", rep.Ops)
+	}
+}
+
+// An indirect call through a proven-constant register is an edge in the
+// call graph: the callee's ops join the subset.
+func TestResolveIndirectCall(t *testing.T) {
+	rep := analyze(t, `
+	la   t0, helper
+	jalr ra, 0(t0)
+	ebreak
+helper:
+	mul  a0, a0, a0
+	ret
+`)
+	if !rep.Sound {
+		t.Fatalf("report not sound: unresolved=%v", rep.Unresolved)
+	}
+	if !rep.OpSet().Has(isa.OpMUL) {
+		t.Errorf("indirectly called helper's mul missing from subset %v", rep.Ops)
+	}
+	if rep.CallDepth != 2 {
+		t.Errorf("call depth = %d, want 2", rep.CallDepth)
+	}
+}
+
+// A jump through a statically unknown register leaves the report
+// unsound.
+func TestUnresolvedIndirectJumpUnsound(t *testing.T) {
+	rep := analyze(t, `
+	jr   a0
+`)
+	if rep.Sound {
+		t.Error("report claims soundness despite unresolved indirect jump")
+	}
+	if len(rep.Unresolved) != 1 {
+		t.Errorf("unresolved = %v, want exactly 1 site", rep.Unresolved)
+	}
+}
+
+// Installing a trap vector admits handler code outside the CFG: the
+// report must not claim soundness.
+func TestMtvecWriteUnsound(t *testing.T) {
+	rep := analyze(t, `
+	la   t0, handler
+	csrw mtvec, t0
+	ebreak
+handler:
+	mret
+`)
+	if rep.Sound {
+		t.Error("report claims soundness despite mtvec write")
+	}
+	if !rep.MtvecWrite {
+		t.Error("mtvec write not detected")
+	}
+}
+
+// A pure CSR read must not count as a trap-vector installation.
+func TestMtvecReadStaysSound(t *testing.T) {
+	rep := analyze(t, `
+	csrr t0, mtvec
+	ebreak
+`)
+	if rep.MtvecWrite {
+		t.Error("csrr mtvec misclassified as a write")
+	}
+	if !rep.Sound {
+		t.Errorf("report not sound: unresolved=%v", rep.Unresolved)
+	}
+}
+
+// Stack analysis: nested calls with constant frames give an exact
+// whole-program bound.
+func TestStackBound(t *testing.T) {
+	rep := analyze(t, `
+	call outer
+	ebreak
+outer:
+	addi sp, sp, -32
+	sw   ra, 0(sp)
+	call inner
+	lw   ra, 0(sp)
+	addi sp, sp, 32
+	ret
+inner:
+	addi sp, sp, -16
+	addi sp, sp, 16
+	ret
+`)
+	if !rep.StackKnown {
+		t.Fatal("stack bound unknown")
+	}
+	if rep.StackBytes != 48 {
+		t.Errorf("stack bound = %d bytes, want 48", rep.StackBytes)
+	}
+	if rep.CallDepth != 3 {
+		t.Errorf("call depth = %d, want 3", rep.CallDepth)
+	}
+}
+
+// Recursion makes the stack bound unknowable; the report must say so
+// rather than emit a number.
+func TestRecursionUnbounded(t *testing.T) {
+	rep := analyze(t, `
+	call self
+	ebreak
+self:
+	addi sp, sp, -16
+	beqz a0, done
+	addi a0, a0, -1
+	call self
+done:
+	addi sp, sp, 16
+	ret
+`)
+	if !rep.Recursive {
+		t.Error("recursion not detected")
+	}
+	if rep.StackKnown {
+		t.Error("stack bound claimed despite recursion")
+	}
+}
+
+// Register footprint: a program confined to x0..x15 is RV32E-feasible,
+// one touching a saved register above x15 is not.
+func TestRV32EFeasibility(t *testing.T) {
+	small := analyze(t, `
+	li   a0, 1
+	li   a5, 2
+	add  a0, a0, a5
+	ebreak
+`)
+	if !small.RV32E {
+		t.Errorf("x0..x15 program not RV32E-feasible: blockers %v", small.RV32EBlockers)
+	}
+	big := analyze(t, `
+	li   s2, 1
+	ebreak
+`)
+	if big.RV32E {
+		t.Error("s2 (x18) user claimed RV32E-feasible")
+	}
+	found := false
+	for _, r := range big.RV32EBlockers {
+		if r == "s2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("blockers = %v, want s2 listed", big.RV32EBlockers)
+	}
+}
+
+// The extension grouping must split Xbmi into its Zbb-like and Zbs-like
+// halves, sharing tables with isa.ExtGroup.
+func TestExtensionGroups(t *testing.T) {
+	rep := analyze(t, `
+	andn a0, a0, a1
+	bset a0, a0, a1
+	mul  a0, a0, a1
+	ebreak
+`)
+	got := map[string]bool{}
+	for _, g := range rep.Groups {
+		got[g.Group] = true
+	}
+	for _, want := range []string{"I", "M", "Xbmi/Zbb", "Xbmi/Zbs"} {
+		if !got[want] {
+			t.Errorf("group %s missing from %v", want, rep.Groups)
+		}
+	}
+}
+
+// CSR footprint is reported by name.
+func TestCSRFootprint(t *testing.T) {
+	rep := analyze(t, `
+	csrr t0, mcycle
+	csrw mscratch, t0
+	ebreak
+`)
+	want := map[string]bool{"mcycle": false, "mscratch": false}
+	for _, c := range rep.CSRs {
+		if _, ok := want[c]; ok {
+			want[c] = true
+		}
+	}
+	for c, seen := range want {
+		if !seen {
+			t.Errorf("CSR %s missing from footprint %v", c, rep.CSRs)
+		}
+	}
+}
+
+// The report must round-trip through JSON (the serve payload and the
+// -json CLI path).
+func TestReportJSON(t *testing.T) {
+	rep := analyze(t, "\tli a0, 1\n\tebreak\n")
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"rv32e"`, `"stack_bytes"`, `"sound"`, `"functions"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("JSON report missing %s: %s", key, b)
+		}
+	}
+}
+
+// BuildResolved closes the graph only where targets are supplied, and
+// records multi-target sites as jump-table edges.
+func TestBuildResolvedEdges(t *testing.T) {
+	prog, err := asm.AssembleAt(`
+	jr   t0
+a:	ebreak
+b:	ebreak
+`, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jrAddr := prog.Org
+	aAddr, bAddr := prog.Symbols["a"], prog.Symbols["b"]
+	g, err := cfg.BuildResolved(prog.Bytes, prog.Org, prog.Entry,
+		map[uint32][]uint32{jrAddr: {aAddr, bAddr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, ok := g.BlockAt(jrAddr)
+	if !ok {
+		t.Fatal("entry block missing")
+	}
+	if blk.Term != cfg.TermJump || len(blk.Succs) != 2 {
+		t.Fatalf("jump-table block: term %v succs %v, want jump with 2 edges", blk.Term, blk.Succs)
+	}
+	if _, ok := g.BlockAt(aAddr); !ok {
+		t.Error("target a not in graph")
+	}
+	if _, ok := g.BlockAt(bAddr); !ok {
+		t.Error("target b not in graph")
+	}
+}

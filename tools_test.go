@@ -15,7 +15,7 @@ func buildTools(t *testing.T) string {
 	tools := []string{
 		"s4e-asm", "s4e-dis", "s4e-run", "s4e-cfg", "s4e-wcet", "s4e-qta",
 		"s4e-cov", "s4e-fault", "s4e-torture", "s4e-experiments", "s4e-bench",
-		"s4e-lint", "s4e-serve",
+		"s4e-lint", "s4e-serve", "s4e-prune",
 	}
 	for _, tool := range tools {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
@@ -216,6 +216,31 @@ func TestToolchainEndToEnd(t *testing.T) {
 		if !strings.Contains(out, "uninit-read") {
 			t.Errorf("uninit-read finding missing:\n%s", out)
 		}
+
+		// Machine-readable output: same failing program, JSON document.
+		out, code = runTool(t, filepath.Join(bin, "s4e-lint"), "-json", buggy)
+		if code != 1 {
+			t.Fatalf("s4e-lint -json: exit %d, want 1:\n%s", code, out)
+		}
+		if !strings.Contains(out, `"check": "uninit-read"`) || !strings.Contains(out, `"failing"`) {
+			t.Errorf("JSON findings missing:\n%s", out)
+		}
+	})
+
+	t.Run("prune", func(t *testing.T) {
+		out, code := runTool(t, filepath.Join(bin, "s4e-prune"), "-funcs", src)
+		if code != 0 {
+			t.Fatalf("s4e-prune (%d):\n%s", code, out)
+		}
+		for _, want := range []string{"extensions", "rv32e", "stack bound", "sound       yes"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("report missing %q:\n%s", want, out)
+			}
+		}
+		out, code = runTool(t, filepath.Join(bin, "s4e-prune"), "-json", src)
+		if code != 0 || !strings.Contains(out, `"sound": true`) {
+			t.Fatalf("s4e-prune -json (%d):\n%s", code, out)
+		}
 	})
 
 	t.Run("torture-roundtrip", func(t *testing.T) {
@@ -235,6 +260,10 @@ func TestToolchainEndToEnd(t *testing.T) {
 		out, code := runTool(t, filepath.Join(bin, "s4e-cov"), "-isa", "rv32im", "-missing", src)
 		if code != 0 || !strings.Contains(out, "insn types") {
 			t.Fatalf("s4e-cov (%d):\n%s", code, out)
+		}
+		out, code = runTool(t, filepath.Join(bin, "s4e-cov"), "-isa", "rv32im", "-ext", src)
+		if code != 0 || !strings.Contains(out, "M ") {
+			t.Fatalf("s4e-cov -ext missing group rows (%d):\n%s", code, out)
 		}
 	})
 
