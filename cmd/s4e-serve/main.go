@@ -1,20 +1,30 @@
 // Command s4e-serve runs the long-running analysis job service: an HTTP
 // server accepting emulation runs, fault-injection campaigns, WCET
-// analyses, QTA co-simulations, and guest-binary lints as JSON jobs on
-// a bounded worker pool. Jobs over the same binary share one golden run
-// and one compiled translation pool.
+// analyses, QTA co-simulations, guest-binary lints and ISA-subset
+// analyses as JSON jobs on a bounded worker pool. Jobs over the same
+// binary share one golden run and one compiled translation pool, fault
+// campaigns can be sharded across the pool (`fault.shards`), and with
+// -state the service journals every submission and terminal transition
+// to an append-only JSONL store — a restarted server replays the
+// journal, restores finished jobs (status and result), and re-queues
+// jobs that were queued or running at the crash. Submissions carrying
+// an Idempotency-Key are deduplicated against retained jobs, across
+// restarts included.
 //
 // Usage:
 //
 //	s4e-serve [-addr :8080] [-workers N] [-queue 16] [-timeout 60s]
-//	          [-budget 10000000] [-retries 2]
+//	          [-budget 10000000] [-retries 2] [-state DIR]
+//	          [-retain 4096] [-retain-ttl 0]
 //
 // The API:
 //
-//	POST   /v1/jobs             submit a job (JSON body; 202/400/429/503)
+//	POST   /v1/jobs             submit a job (JSON body; 202/400/429/503,
+//	                            200 on an Idempotency-Key replay)
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result result (202 until terminal)
+//	GET    /v1/jobs/{id}/events lifecycle + campaign progress (SSE)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /metrics             Prometheus metrics
 //	GET    /healthz             liveness
@@ -39,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/serve/store"
 )
 
 func main() {
@@ -48,6 +59,11 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-job execution timeout")
 	budget := flag.Uint64("budget", 10_000_000, "default per-job instruction budget")
 	retries := flag.Int("retries", 2, "retries for transiently failing jobs")
+	state := flag.String("state", "",
+		"state directory for the persistent job journal (empty = in-memory only)")
+	retain := flag.Int("retain", 4096, "finished jobs kept in memory before eviction")
+	retainTTL := flag.Duration("retain-ttl", 0,
+		"additionally evict finished jobs older than this (0 = no TTL)")
 	drain := flag.Duration("drain", 30*time.Second,
 		"shutdown grace period before running jobs are cancelled")
 	flag.Parse()
@@ -57,12 +73,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	var st *store.Store
+	if *state != "" {
+		var err error
+		st, err = store.Open(*state)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "s4e-serve:", err)
+			os.Exit(1)
+		}
+		if n := len(st.Replay()); n > 0 || st.Torn() > 0 {
+			fmt.Fprintf(os.Stderr, "s4e-serve: journal %s: %d records (%d torn)\n",
+				st.Path(), n, st.Torn())
+		}
+	}
+
 	srv := serve.New(serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
 		DefaultBudget:  *budget,
 		Retries:        *retries,
+		MaxTerminal:    *retain,
+		TerminalTTL:    *retainTTL,
+		Store:          st,
 	})
 	hs := &http.Server{Handler: srv.Handler()}
 	ln, err := net.Listen("tcp", *addr)
@@ -96,6 +129,11 @@ func main() {
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "s4e-serve: drain incomplete:", err)
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "s4e-serve: journal close:", err)
+		}
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "s4e-serve:", err)

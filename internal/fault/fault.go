@@ -455,6 +455,75 @@ func NewPlan(cfg PlanConfig) Plan {
 	return Plan{Faults: faults}
 }
 
+// Range returns the sub-plan covering Faults[lo:hi) — one contiguous
+// shard of a campaign. Mutants are classified independently of each
+// other (each run boots from the same golden snapshot), so executing a
+// plan as K range shards and merging with MergeShards is bit-identical
+// to one unsharded campaign over the full plan. Out-of-range bounds are
+// clamped.
+func (p Plan) Range(lo, hi int) Plan {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(p.Faults) {
+		hi = len(p.Faults)
+	}
+	if lo >= hi {
+		return Plan{}
+	}
+	return Plan{Faults: p.Faults[lo:hi]}
+}
+
+// MergeShards reassembles per-range campaign results into one Results
+// covering the full plan: parts[i] must be the result of running
+// plan.Range(offsets[i], offsets[i]+parts[i].Total), and the ranges
+// must tile the plan exactly (contiguous, in order, no gaps). Details
+// are copied back into plan positions and the classification tables are
+// recomputed from them, so the merged result is bit-identical to the
+// unsharded campaign's. Duration is the maximum shard duration (shards
+// run in parallel; the sum would overstate wall clock).
+func MergeShards(plan Plan, offsets []int, parts []*Results) (*Results, error) {
+	if len(offsets) != len(parts) {
+		return nil, fmt.Errorf("fault: %d offsets for %d shard results", len(offsets), len(parts))
+	}
+	res := &Results{
+		Total:     len(plan.Faults),
+		ByOutcome: make(map[Outcome]int),
+		ByModel:   make(map[Model]map[Outcome]int),
+		Details:   make([]Outcome, len(plan.Faults)),
+	}
+	next := 0
+	for i, part := range parts {
+		if part == nil {
+			return nil, fmt.Errorf("fault: shard %d result missing", i)
+		}
+		if offsets[i] != next {
+			return nil, fmt.Errorf("fault: shard %d starts at %d, want %d", i, offsets[i], next)
+		}
+		if offsets[i]+part.Total > len(plan.Faults) {
+			return nil, fmt.Errorf("fault: shard %d range [%d,%d) exceeds plan size %d",
+				i, offsets[i], offsets[i]+part.Total, len(plan.Faults))
+		}
+		copy(res.Details[offsets[i]:], part.Details)
+		next = offsets[i] + part.Total
+		if part.Duration > res.Duration {
+			res.Duration = part.Duration
+		}
+	}
+	if next != len(plan.Faults) {
+		return nil, fmt.Errorf("fault: shards cover %d of %d mutants", next, len(plan.Faults))
+	}
+	for i, out := range res.Details {
+		res.ByOutcome[out]++
+		m := plan.Faults[i].Model
+		if res.ByModel[m] == nil {
+			res.ByModel[m] = make(map[Outcome]int)
+		}
+		res.ByModel[m][out]++
+	}
+	return res, nil
+}
+
 // Results aggregates a campaign.
 type Results struct {
 	Total     int
@@ -496,6 +565,14 @@ type Options struct {
 	// ProgressEvery (default 1s) plus a final line at completion.
 	Progress      io.Writer
 	ProgressEvery time.Duration
+	// OnProgress, when non-nil, is called with (mutants done, total) on
+	// the same cadence as Progress — every ProgressEvery while the
+	// campaign runs, plus once at completion with done==total (unless
+	// cancelled). It is invoked from the campaign's progress goroutine;
+	// implementations must be safe for that and should return quickly.
+	// This is the hook a serving layer uses to stream live campaign
+	// progress without parsing the human-readable Progress lines.
+	OnProgress func(done, total uint64)
 	// Golden, when non-nil, is a previously computed golden reference
 	// for this exact target (same program, budget, profile, sensor and
 	// engine); the campaign skips its own golden run and uses it
@@ -614,7 +691,7 @@ func CampaignContext(ctx context.Context, t *Target, plan Plan, o Options) (*Res
 
 	stopProgress := make(chan struct{})
 	var progressWG sync.WaitGroup
-	if o.Progress != nil {
+	if o.Progress != nil || o.OnProgress != nil {
 		every := o.ProgressEvery
 		if every <= 0 {
 			every = time.Second
@@ -629,7 +706,12 @@ func CampaignContext(ctx context.Context, t *Target, plan Plan, o Options) (*Res
 				case <-stopProgress:
 					return
 				case <-tick.C:
-					writeProgress(o.Progress, done.Load(), uint64(res.Total), &counts, time.Since(start))
+					if o.Progress != nil {
+						writeProgress(o.Progress, done.Load(), uint64(res.Total), &counts, time.Since(start))
+					}
+					if o.OnProgress != nil {
+						o.OnProgress(done.Load(), uint64(res.Total))
+					}
 				}
 			}
 		}()
@@ -686,6 +768,9 @@ func CampaignContext(ctx context.Context, t *Target, plan Plan, o Options) (*Res
 	}
 	if o.Progress != nil {
 		writeProgress(o.Progress, done.Load(), uint64(res.Total), &counts, res.Duration)
+	}
+	if o.OnProgress != nil {
+		o.OnProgress(done.Load(), uint64(res.Total))
 	}
 	o.Trace.Emit("campaign-end", "done", done.Load(), "errored", counts[Errored].Load(),
 		"seconds", res.Duration.Seconds())

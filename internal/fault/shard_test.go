@@ -1,0 +1,148 @@
+package fault_test
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/vp"
+)
+
+// planFor builds a mixed-model plan over the target, mirroring what the
+// serving layer generates for a campaign job.
+func planFor(t *testing.T, tg *fault.Target, seed int64) fault.Plan {
+	t.Helper()
+	g, err := fault.RunGolden(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := vp.RAMBase + uint32(len(tg.Program.Bytes))
+	return fault.NewPlan(fault.PlanConfig{
+		Seed:         seed,
+		GPRTransient: 20, GPRPermanent: 8, MemPermanent: 10, CodeBitflip: 10,
+		GoldenInsts: g.Insts,
+		CodeStart:   vp.RAMBase, CodeEnd: end,
+		DataStart: vp.RAMBase, DataEnd: end,
+	})
+}
+
+func TestPlanRangeClamps(t *testing.T) {
+	p := fault.Plan{Faults: make([]fault.Fault, 10)}
+	cases := []struct{ lo, hi, want int }{
+		{0, 10, 10}, {3, 7, 4}, {-5, 3, 3}, {8, 99, 2}, {7, 7, 0}, {9, 2, 0},
+	}
+	for _, c := range cases {
+		if got := len(p.Range(c.lo, c.hi).Faults); got != c.want {
+			t.Errorf("Range(%d,%d) has %d faults, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+// TestMergeShardsBitIdentical is the sharding determinism anchor:
+// running a plan as K contiguous range shards (K in {1, 2, 4}) and
+// merging must reproduce the unsharded campaign mutant for mutant —
+// same Details, same ByOutcome and ByModel tables.
+func TestMergeShardsBitIdentical(t *testing.T) {
+	tg, _ := target(t, "xtea")
+	plan := planFor(t, tg, 11)
+
+	// The unsharded reference, on a shared golden+pool like the service.
+	golden, pool, err := fault.Prepare(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fault.Options{Workers: 2, Golden: golden, Pool: pool}
+	ref, err := fault.CampaignOpt(tg, plan, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []int{1, 2, 4} {
+		n := len(plan.Faults)
+		base, rem := n/k, n%k
+		var offsets []int
+		var parts []*fault.Results
+		lo := 0
+		for i := 0; i < k; i++ {
+			size := base
+			if i < rem {
+				size++
+			}
+			part, err := fault.CampaignOpt(tg, plan.Range(lo, lo+size), opt)
+			if err != nil {
+				t.Fatalf("k=%d shard %d: %v", k, i, err)
+			}
+			offsets = append(offsets, lo)
+			parts = append(parts, part)
+			lo += size
+		}
+		merged, err := fault.MergeShards(plan, offsets, parts)
+		if err != nil {
+			t.Fatalf("k=%d merge: %v", k, err)
+		}
+		if merged.Total != ref.Total {
+			t.Fatalf("k=%d total %d, want %d", k, merged.Total, ref.Total)
+		}
+		for i := range ref.Details {
+			if merged.Details[i] != ref.Details[i] {
+				t.Fatalf("k=%d mutant %d classified %v, unsharded %v",
+					k, i, merged.Details[i], ref.Details[i])
+			}
+		}
+		for o, n := range ref.ByOutcome {
+			if merged.ByOutcome[o] != n {
+				t.Errorf("k=%d outcome %v count %d, want %d", k, o, merged.ByOutcome[o], n)
+			}
+		}
+		for m, row := range ref.ByModel {
+			for o, n := range row {
+				if merged.ByModel[m][o] != n {
+					t.Errorf("k=%d model %v outcome %v count %d, want %d",
+						k, m, o, merged.ByModel[m][o], n)
+				}
+			}
+		}
+	}
+}
+
+// MergeShards must reject tilings that do not cover the plan exactly.
+func TestMergeShardsRejectsBadTiling(t *testing.T) {
+	plan := fault.Plan{Faults: make([]fault.Fault, 8)}
+	mk := func(n int) *fault.Results {
+		return &fault.Results{Total: n, Details: make([]fault.Outcome, n)}
+	}
+	cases := []struct {
+		name    string
+		offsets []int
+		parts   []*fault.Results
+	}{
+		{"gap", []int{0, 5}, []*fault.Results{mk(4), mk(3)}},
+		{"overlap", []int{0, 3}, []*fault.Results{mk(4), mk(5)}},
+		{"short", []int{0, 4}, []*fault.Results{mk(4), mk(3)}},
+		{"overrun", []int{0, 4}, []*fault.Results{mk(4), mk(5)}},
+		{"nil part", []int{0, 4}, []*fault.Results{mk(4), nil}},
+		{"arity", []int{0}, []*fault.Results{mk(4), mk(4)}},
+	}
+	for _, c := range cases {
+		if _, err := fault.MergeShards(plan, c.offsets, c.parts); err == nil {
+			t.Errorf("%s: merge accepted, want error", c.name)
+		}
+	}
+}
+
+// The OnProgress hook must fire with a final done==total call even for
+// campaigns far shorter than the progress tick.
+func TestOnProgressFinalCall(t *testing.T) {
+	tg, _ := target(t, "xtea")
+	plan := planFor(t, tg, 5).Range(0, 6)
+	var last [2]uint64
+	calls := 0
+	_, err := fault.CampaignOpt(tg, plan, fault.Options{
+		OnProgress: func(done, total uint64) { last = [2]uint64{done, total}; calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 || last != [2]uint64{6, 6} {
+		t.Errorf("OnProgress calls=%d last=%v, want final (6,6)", calls, last)
+	}
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Event is one entry on a job's lifecycle stream, delivered over
+// GET /v1/jobs/{id}/events as a server-sent event. Seq increases
+// monotonically per job; clients can resume a broken stream with the
+// standard Last-Event-ID header. Progress events are coalesced — only
+// the newest one is retained for late or resumed subscribers — while
+// state-transition events (queued, running, done, errored, cancelled)
+// are kept for the job's whole retention lifetime, so a subscriber that
+// attaches after the job finished still sees the full transition
+// history.
+type Event struct {
+	Seq  int       `json:"seq"`
+	Type string    `json:"event"`
+	Time time.Time `json:"time"`
+	Data any       `json:"data,omitempty"`
+}
+
+// Progress is the payload of a "progress" event, and the live Progress
+// field of a campaign job's Status: mutants classified so far out of
+// the plan total, with a per-shard breakdown when the campaign runs
+// sharded.
+type Progress struct {
+	Done   uint64          `json:"done"`
+	Total  uint64          `json:"total"`
+	Shards []ShardProgress `json:"shards,omitempty"`
+}
+
+// ShardProgress is one shard's slice of a sharded campaign: the
+// contiguous mutant-index range [Lo,Hi) it executes and how far along
+// it is.
+type ShardProgress struct {
+	Shard int    `json:"shard"`
+	Lo    int    `json:"lo"`
+	Hi    int    `json:"hi"`
+	Done  uint64 `json:"done"`
+	State string `json:"state"` // "queued", "running", "done"
+}
+
+// clone deep-copies the progress snapshot so status/event consumers
+// never alias the live struct mutated under the server mutex.
+func (p *Progress) clone() *Progress {
+	if p == nil {
+		return nil
+	}
+	cp := *p
+	cp.Shards = append([]ShardProgress(nil), p.Shards...)
+	return &cp
+}
+
+// emitLocked appends one event to the job's stream and wakes every
+// /events subscriber. Callers hold the server mutex. Progress events
+// overwrite each other (only the latest is replayable); all other types
+// accumulate.
+func (j *Job) emitLocked(typ string, data any) {
+	j.eventSeq++
+	ev := Event{Seq: j.eventSeq, Type: typ, Time: time.Now(), Data: data}
+	if typ == "progress" {
+		j.progressEv = &ev
+	} else {
+		j.events = append(j.events, ev)
+	}
+	if j.notify != nil {
+		close(j.notify)
+		j.notify = nil
+	}
+}
+
+// eventsSinceLocked returns the job's events with Seq > after in
+// sequence order, plus a channel that is closed when a newer event
+// arrives. Callers hold the server mutex.
+func (j *Job) eventsSinceLocked(after int) ([]Event, <-chan struct{}) {
+	var out []Event
+	for _, ev := range j.events {
+		if ev.Seq > after {
+			out = append(out, ev)
+		}
+	}
+	if j.progressEv != nil && j.progressEv.Seq > after {
+		out = append(out, *j.progressEv)
+		sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	}
+	if j.notify == nil {
+		j.notify = make(chan struct{})
+	}
+	return out, j.notify
+}
+
+// handleEvents streams a job's lifecycle as server-sent events:
+// queued/running/progress immediately on subscription (replayed from
+// the retained stream), then live events until the job reaches a
+// terminal state, at which point the stream ends. Clients reconnect
+// with Last-Event-ID to skip events they already saw.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	last := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			last = n
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	s.mSubscribers.Add(1)
+	defer s.mSubscribers.Add(-1)
+
+	for {
+		s.mu.Lock()
+		evs, notify := j.eventsSinceLocked(last)
+		terminal := j.state.terminal()
+		s.mu.Unlock()
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+				return // client gone
+			}
+			last = ev.Seq
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		if terminal {
+			// The terminal event is emitted in the same critical section
+			// as the state change, so evs already carried everything.
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -202,13 +202,24 @@ func (s *Server) execFault(ctx context.Context, j *Job) (any, error) {
 	if workers <= 0 {
 		workers = 1
 	}
-	res, err := fault.CampaignContext(ctx, tg, plan, fault.Options{
+	opts := fault.Options{
 		Workers:      workers,
 		NoSharedPool: spec.NoPool,
 		Golden:       golden,
 		Pool:         pool,
 		Metrics:      s.reg,
-	})
+	}
+	var res *fault.Results
+	var err error
+	if spec.Shards > 1 && len(plan.Faults) > 0 {
+		// Sharded: contiguous mutant ranges run as independent sub-jobs
+		// on the worker pool, merged bit-identically to the unsharded
+		// campaign (see runShardedCampaign).
+		res, err = s.runShardedCampaign(ctx, j, tg, plan, opts, shardCount(spec.Shards, len(plan.Faults)))
+	} else {
+		opts.OnProgress = func(done, total uint64) { s.noteProgress(j, done, total) }
+		res, err = fault.CampaignContext(ctx, tg, plan, opts)
+	}
 	if res == nil {
 		return nil, err
 	}

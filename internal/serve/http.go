@@ -10,10 +10,12 @@ import (
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/jobs             submit a job (202, 400, 429, 503)
+//	POST   /v1/jobs             submit a job (202; 200 on an
+//	                            Idempotency-Key replay; 400, 429, 503)
 //	GET    /v1/jobs             list all jobs
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result result payload (202 while not terminal)
+//	GET    /v1/jobs/{id}/events lifecycle stream (server-sent events)
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /metrics             Prometheus text exposition
 //	GET    /healthz             liveness + queue summary
@@ -23,6 +25,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -62,7 +65,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	st, err := s.Submit(req)
+	// The idempotency key rides either the request body or the standard
+	// Idempotency-Key header (the body, when set, wins).
+	if key := r.Header.Get("Idempotency-Key"); key != "" && req.IdempotencyKey == "" {
+		req.IdempotencyKey = key
+	}
+	st, created, err := s.submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		// Back off roughly one job's worth of service time.
@@ -77,6 +85,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	if !created {
+		// Idempotent replay: the key named an already-accepted job.
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
 	writeJSON(w, http.StatusAccepted, st)
 }
 

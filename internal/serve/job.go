@@ -45,6 +45,14 @@ type Request struct {
 	// expired job frees its worker promptly.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 
+	// IdempotencyKey deduplicates submissions: a submit whose key
+	// matches a previously accepted job (including jobs replayed from
+	// the journal after a restart) returns that job's status instead of
+	// enqueuing a duplicate execution. The HTTP layer also accepts the
+	// key via the Idempotency-Key request header. Keys live as long as
+	// the job they name is retained in memory.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+
 	// Fault parametrizes fault-campaign jobs.
 	Fault *FaultSpec `json:"fault,omitempty"`
 }
@@ -65,6 +73,13 @@ type FaultSpec struct {
 	// NoPool disables translation-pool sharing for this campaign (the
 	// ablation switch, mirroring s4e-fault -pool=false).
 	NoPool bool `json:"no_pool,omitempty"`
+	// Shards splits the campaign's mutant plan into this many contiguous
+	// index ranges executed as independent sub-jobs on the server's
+	// worker pool, then deterministically merged (bit-identical to the
+	// unsharded campaign — see fault.MergeShards). <=1 runs unsharded.
+	// Workers applies per shard, so total parallelism is bounded by the
+	// server's worker pool, not Shards×Workers.
+	Shards int `json:"shards,omitempty"`
 }
 
 // State is the lifecycle phase of a job.
@@ -97,12 +112,28 @@ type Job struct {
 	budget  uint64
 	timeout time.Duration
 
+	key      string // idempotency key, "" when none
+	replayed bool   // restored from the journal (terminal stub)
+
 	state     State
 	attempts  int
 	err       string
 	result    any
 	cancel    func() // non-nil while running
 	cancelled bool   // user-requested (vs deadline)
+	released  bool   // queue-slot accounting already released (cancelled while queued)
+
+	// shardRun marks an internal campaign-shard work item riding the job
+	// queue; such items never enter the jobs map or the journal.
+	shardRun func()
+
+	// lifecycle event stream (see events.go); guarded by the server
+	// mutex like the rest of the mutable state.
+	events     []Event
+	progressEv *Event
+	progress   *Progress
+	eventSeq   int
+	notify     chan struct{}
 
 	submitted time.Time
 	started   time.Time
@@ -122,6 +153,11 @@ type Status struct {
 	Finished  *time.Time `json:"finished,omitempty"`
 	// DurationMS is the execution time of a finished job.
 	DurationMS float64 `json:"duration_ms,omitempty"`
+	// IdempotencyKey echoes the submission's deduplication key.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Progress is the live campaign progress of a running fault job
+	// (mutants done/total, per-shard when sharded).
+	Progress *Progress `json:"progress,omitempty"`
 }
 
 // status snapshots the job under the server mutex.
@@ -129,6 +165,7 @@ func (j *Job) status() Status {
 	st := Status{
 		ID: j.ID, Type: j.Type, State: j.state, Error: j.err,
 		Attempts: j.attempts, Submitted: j.submitted,
+		IdempotencyKey: j.key, Progress: j.progress.clone(),
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -189,24 +226,32 @@ func programFromELF(img *elf.Image) (*asm.Program, error) {
 	if len(img.Segments) == 0 {
 		return nil, fmt.Errorf("elf has no loadable segments")
 	}
-	lo, hi := ^uint32(0), uint32(0)
+	// Segment ends are computed in uint64: seg.Addr+len(seg.Data) wraps
+	// uint32 for segments reaching the top of the address space, which
+	// would bypass the span check below and panic in the copy.
+	lo, hi := uint64(^uint32(0)), uint64(0)
 	for _, seg := range img.Segments {
-		if seg.Addr < lo {
-			lo = seg.Addr
+		end := uint64(seg.Addr) + uint64(len(seg.Data))
+		if end > 1<<32 {
+			return nil, fmt.Errorf("elf segment at 0x%08x overflows the 32-bit address space (%d bytes)",
+				seg.Addr, len(seg.Data))
 		}
-		if end := seg.Addr + uint32(len(seg.Data)); end > hi {
+		if uint64(seg.Addr) < lo {
+			lo = uint64(seg.Addr)
+		}
+		if end > hi {
 			hi = end
 		}
 	}
-	if hi < lo || uint64(hi-lo) > maxELFImage {
+	if hi < lo || hi-lo > maxELFImage {
 		return nil, fmt.Errorf("elf image span %d bytes exceeds the %d limit", hi-lo, maxELFImage)
 	}
 	bytes := make([]byte, hi-lo)
 	for _, seg := range img.Segments {
-		copy(bytes[seg.Addr-lo:], seg.Data)
+		copy(bytes[uint64(seg.Addr)-lo:], seg.Data)
 	}
 	return &asm.Program{
-		Org:     lo,
+		Org:     uint32(lo),
 		Entry:   img.Entry,
 		Bytes:   bytes,
 		Symbols: img.Symbols,

@@ -16,10 +16,22 @@
 // one golden run and one compiled translation pool (emu.TBPool), so a
 // burst of campaign jobs compiles the working set once, not once per
 // job.
+//
+// The durability layer (internal/serve/store) journals every accepted
+// submission and terminal transition to an append-only JSONL file: a
+// restarted server replays the journal, restores finished jobs' status
+// and results, rebuilds the idempotency-key index, and re-queues jobs
+// that were queued or running at the crash. Fault campaigns can be
+// sharded into contiguous mutant-index ranges executed as independent
+// sub-jobs on the worker pool and merged bit-identically to the
+// unsharded run, and every job's lifecycle (queued, running, campaign
+// progress, terminal) streams as server-sent events from
+// GET /v1/jobs/{id}/events.
 package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -27,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/serve/store"
 	"repro/internal/timing"
 )
 
@@ -54,6 +67,20 @@ type Config struct {
 	RetryBackoff time.Duration
 	// MaxBodyBytes bounds the request body (default 16 MiB).
 	MaxBodyBytes int64
+	// MaxTerminal bounds how many finished jobs stay in memory (<=0
+	// means 4096). When exceeded, the oldest terminal jobs are evicted
+	// (counted by s4e_serve_evicted_total); the journal, when
+	// configured, keeps the full history.
+	MaxTerminal int
+	// TerminalTTL additionally evicts finished jobs older than this
+	// (0 disables TTL eviction). Enforced on terminal transitions.
+	TerminalTTL time.Duration
+	// Store, when non-nil, is the persistent job journal: accepted
+	// submissions and terminal transitions are appended to it, and New
+	// replays it — finished jobs come back with status and result,
+	// jobs queued or running at the crash are re-queued. The caller
+	// owns the store's lifetime (close it after Shutdown).
+	Store *store.Store
 	// Metrics receives the service instruments; nil builds a private
 	// registry (still exported at /metrics).
 	Metrics *obs.Registry
@@ -80,6 +107,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 16 << 20
+	}
+	if c.MaxTerminal <= 0 {
+		c.MaxTerminal = 4096
 	}
 }
 
@@ -121,28 +151,38 @@ type Server struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	order    []string // submission order, for listing
+	order    []string          // submission order, for listing and eviction
+	idem     map[string]string // idempotency key -> job ID
 	queue    chan *Job
-	queued   int // jobs accepted and not yet picked up by a worker
+	queued   int // live jobs/shards accepted and not yet picked up by a worker
 	draining bool
 	wg       sync.WaitGroup
 
 	bins sync.Map // binKey -> *binEntry: per-binary golden/pool cache
 
 	// instruments
-	mDepth     *obs.Gauge
-	mDepthPeak *obs.Gauge
-	mInflight  *obs.Gauge
-	mShed      *obs.Counter
-	mRetries   *obs.Counter
-	mPanics    *obs.Counter
+	mDepth       *obs.Gauge
+	mDepthPeak   *obs.Gauge
+	mInflight    *obs.Gauge
+	mShed        *obs.Counter
+	mRetries     *obs.Counter
+	mPanics      *obs.Counter
+	mEvicted     *obs.Counter
+	mIdemHits    *obs.Counter
+	mResumed     *obs.Counter
+	mReplayed    *obs.Counter
+	mJournalErrs *obs.Counter
+	mSubscribers *obs.Gauge
 
 	// execOverride replaces the typed executor in tests (panic and
 	// retry-path coverage without constructing pathological guests).
 	execOverride func(ctx context.Context, j *Job) (any, error)
 }
 
-// New builds a server and starts its worker pool.
+// New builds a server, starts its worker pool, and — when Config.Store
+// is set — replays the journal: finished jobs reappear with status and
+// result, jobs that were queued or running when the previous process
+// died are re-queued for execution.
 func New(cfg Config) *Server {
 	cfg.fill()
 	reg := cfg.Metrics
@@ -154,20 +194,35 @@ func New(cfg Config) *Server {
 		reg:   reg,
 		start: time.Now(),
 		jobs:  make(map[string]*Job),
-		queue: make(chan *Job, cfg.QueueDepth),
+		idem:  make(map[string]string),
+		// The channel is deliberately larger than the logical queue
+		// bound: cancelled-while-queued jobs release their logical slot
+		// immediately but stay in the channel until a worker drains
+		// them, and campaign shards ride the same channel. Submission
+		// capacity is gated on s.queued, not channel occupancy.
+		queue: make(chan *Job, 2*cfg.QueueDepth+16),
 
-		mDepth:     reg.Gauge("s4e_serve_queue_depth", "jobs queued and not yet started"),
-		mDepthPeak: reg.Gauge("s4e_serve_queue_depth_peak", "highest queue depth observed"),
-		mInflight:  reg.Gauge("s4e_serve_jobs_inflight", "jobs currently executing"),
-		mShed:      reg.Counter("s4e_serve_shed_total", "submissions rejected by the full queue"),
-		mRetries:   reg.Counter("s4e_serve_retries_total", "transient job failures retried"),
-		mPanics:    reg.Counter("s4e_serve_panics_total", "job executions recovered from a panic"),
+		mDepth:       reg.Gauge("s4e_serve_queue_depth", "jobs queued and not yet started"),
+		mDepthPeak:   reg.Gauge("s4e_serve_queue_depth_peak", "highest queue depth observed"),
+		mInflight:    reg.Gauge("s4e_serve_jobs_inflight", "jobs currently executing"),
+		mShed:        reg.Counter("s4e_serve_shed_total", "submissions rejected by the full queue"),
+		mRetries:     reg.Counter("s4e_serve_retries_total", "transient job failures retried"),
+		mPanics:      reg.Counter("s4e_serve_panics_total", "job executions recovered from a panic"),
+		mEvicted:     reg.Counter("s4e_serve_evicted_total", "terminal jobs evicted by the retention policy"),
+		mIdemHits:    reg.Counter("s4e_serve_idempotent_hits_total", "submissions deduplicated by idempotency key"),
+		mResumed:     reg.Counter("s4e_serve_jobs_resumed_total", "journal jobs re-queued at restart"),
+		mReplayed:    reg.Counter("s4e_serve_jobs_replayed_total", "terminal journal jobs restored at restart"),
+		mJournalErrs: reg.Counter("s4e_serve_journal_errors_total", "journal append failures"),
+		mSubscribers: reg.Gauge("s4e_serve_event_subscribers", "open /events streams"),
 	}
 	reg.Gauge("s4e_serve_workers", "parallel job executors").Set(float64(cfg.Workers))
 	reg.Gauge("s4e_serve_queue_capacity", "bounded queue capacity").Set(float64(cfg.QueueDepth))
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if cfg.Store != nil {
+		s.replay()
 	}
 	return s
 }
@@ -177,16 +232,15 @@ func New(cfg Config) *Server {
 // histograms).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
-// Submit validates and enqueues a job, returning its initial status.
-// ErrQueueFull and ErrDraining report backpressure and shutdown; other
-// errors are invalid requests.
-func (s *Server) Submit(req Request) (Status, error) {
+// buildJob validates a request into an executable job (not yet
+// accepted: the caller enqueues it under the server mutex).
+func (s *Server) buildJob(req Request) (*Job, error) {
 	if !jobTypes[req.Type] {
-		return Status{}, fmt.Errorf("unknown job type %q (run, fault, wcet, qta, lint, subset)", req.Type)
+		return nil, fmt.Errorf("unknown job type %q (run, fault, wcet, qta, lint, subset)", req.Type)
 	}
 	prog, err := resolveProgram(&req)
 	if err != nil {
-		return Status{}, err
+		return nil, err
 	}
 	profName := req.Profile
 	if profName == "" {
@@ -194,14 +248,19 @@ func (s *Server) Submit(req Request) (Status, error) {
 	}
 	prof, ok := timing.Profiles()[profName]
 	if !ok {
-		return Status{}, fmt.Errorf("unknown profile %q", profName)
+		return nil, fmt.Errorf("unknown profile %q", profName)
 	}
 	engine, err := parseEngine(req.Engine)
 	if err != nil {
-		return Status{}, err
+		return nil, err
 	}
-	if req.Type == "fault" && req.Fault == nil {
-		return Status{}, fmt.Errorf("fault job needs a fault spec")
+	if req.Type == "fault" {
+		if req.Fault == nil {
+			return nil, fmt.Errorf("fault job needs a fault spec")
+		}
+		if req.Fault.Shards < 0 {
+			return nil, fmt.Errorf("fault shards must be >= 0, got %d", req.Fault.Shards)
+		}
 	}
 
 	j := &Job{
@@ -213,6 +272,7 @@ func (s *Server) Submit(req Request) (Status, error) {
 		engine:    engine,
 		budget:    req.Budget,
 		timeout:   time.Duration(req.TimeoutMS) * time.Millisecond,
+		key:       req.IdempotencyKey,
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
@@ -222,29 +282,274 @@ func (s *Server) Submit(req Request) (Status, error) {
 	if j.timeout <= 0 {
 		j.timeout = s.cfg.DefaultTimeout
 	}
+	return j, nil
+}
+
+// Submit validates and enqueues a job, returning its initial status.
+// ErrQueueFull and ErrDraining report backpressure and shutdown; other
+// errors are invalid requests. A submission whose IdempotencyKey
+// matches a retained job returns that job's current status instead of
+// enqueuing a duplicate.
+func (s *Server) Submit(req Request) (Status, error) {
+	st, _, err := s.submit(req)
+	return st, err
+}
+
+// submit is Submit reporting whether a new job was created (false on an
+// idempotency-key hit — the HTTP layer answers 200 instead of 202).
+func (s *Server) submit(req Request) (Status, bool, error) {
+	// Fast idempotency path: skip validation and assembly entirely when
+	// the key already names a retained job.
+	if req.IdempotencyKey != "" {
+		s.mu.Lock()
+		if st, ok := s.idemLookupLocked(req.IdempotencyKey); ok {
+			s.mu.Unlock()
+			s.mIdemHits.Inc()
+			return st, false, nil
+		}
+		s.mu.Unlock()
+	}
+	j, err := s.buildJob(req)
+	if err != nil {
+		return Status{}, false, err
+	}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		return Status{}, ErrDraining
+		return Status{}, false, ErrDraining
+	}
+	// Re-check under the same critical section as the insert, so two
+	// concurrent submissions with one key cannot both enqueue.
+	if j.key != "" {
+		if st, ok := s.idemLookupLocked(j.key); ok {
+			s.mu.Unlock()
+			s.mIdemHits.Inc()
+			return st, false, nil
+		}
+	}
+	// Capacity is the logical queued count, not channel occupancy:
+	// cancelled-while-queued jobs have released their slot even though
+	// their husk still sits in the channel until a worker drains it.
+	if s.queued >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		s.mShed.Inc()
+		return Status{}, false, ErrQueueFull
 	}
 	select {
 	case s.queue <- j:
 	default:
+		// Physical backstop: the slack is exhausted (a storm of
+		// cancelled husks); shed rather than block under the mutex.
 		s.mu.Unlock()
 		s.mShed.Inc()
-		return Status{}, ErrQueueFull
+		return Status{}, false, ErrQueueFull
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
+	if j.key != "" {
+		s.idem[j.key] = j.ID
+	}
 	s.queued++
 	s.noteDepth()
+	j.emitLocked("queued", nil)
 	st := j.status()
 	s.mu.Unlock()
 
+	s.journal(store.Record{
+		Kind: store.RecordSubmit, JobID: j.ID, Key: j.key, Type: j.Type,
+		Request: marshalRequest(j.req),
+	})
 	s.reg.Counter(fmt.Sprintf("s4e_serve_jobs_submitted_total{type=%q}", j.Type),
 		"jobs accepted into the queue").Inc()
-	return st, nil
+	return st, true, nil
+}
+
+// idemLookupLocked resolves an idempotency key to a retained job's
+// status; callers hold s.mu.
+func (s *Server) idemLookupLocked(key string) (Status, bool) {
+	id, ok := s.idem[key]
+	if !ok {
+		return Status{}, false
+	}
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, false
+	}
+	return j.status(), true
+}
+
+// marshalRequest serializes a request for the journal; submission
+// already validated it, so failure is not expected (a nil result just
+// makes the job non-resumable).
+func marshalRequest(req Request) json.RawMessage {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// journal appends one record to the configured store, counting (but
+// otherwise tolerating) failures: durability must not take down the
+// serving path.
+func (s *Server) journal(rec store.Record) {
+	if s.cfg.Store == nil {
+		return
+	}
+	if err := s.cfg.Store.Append(rec); err != nil {
+		s.mJournalErrs.Inc()
+		return
+	}
+	s.reg.Counter(fmt.Sprintf("s4e_serve_journal_records_total{kind=%q}", rec.Kind),
+		"journal records appended").Inc()
+}
+
+// terminalRecord snapshots j's terminal transition for the journal;
+// callers hold s.mu.
+func terminalRecord(j *Job) store.Record {
+	rec := store.Record{
+		Kind: store.RecordTerminal, JobID: j.ID,
+		State: string(j.state), Error: j.err, Attempts: j.attempts,
+	}
+	if j.result != nil {
+		if b, err := json.Marshal(j.result); err == nil {
+			rec.Result = b
+		}
+	}
+	return rec
+}
+
+// replay restores the journal at startup: terminal jobs come back as
+// status+result stubs, jobs with no terminal record (queued or running
+// at the crash) are re-validated and re-queued under their original
+// IDs. Runs before New returns; the workers are already live, so
+// resumed jobs begin executing immediately.
+func (s *Server) replay() {
+	type entry struct{ sub, term *store.Record }
+	recs := s.cfg.Store.Replay()
+	byID := make(map[string]*entry)
+	var order []string
+	for i := range recs {
+		r := &recs[i]
+		e := byID[r.JobID]
+		if e == nil {
+			e = &entry{}
+			byID[r.JobID] = e
+		}
+		switch r.Kind {
+		case store.RecordSubmit:
+			if e.sub == nil {
+				order = append(order, r.JobID)
+			}
+			e.sub = r
+		case store.RecordTerminal:
+			e.term = r
+		}
+	}
+	for _, id := range order {
+		e := byID[id]
+		if e.term != nil {
+			s.replayTerminal(id, e.sub, e.term)
+		} else {
+			s.resume(id, e.sub)
+		}
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+}
+
+// replayTerminal restores one finished job from its journal records.
+func (s *Server) replayTerminal(id string, sub, term *store.Record) {
+	j := &Job{
+		ID: id, Type: sub.Type, key: sub.Key, replayed: true,
+		state: State(term.State), err: term.Error, attempts: term.Attempts,
+		submitted: sub.Time, finished: term.Time,
+	}
+	if !j.state.terminal() { // corrupt state string: surface, don't re-run
+		j.state = StateErrored
+		j.err = fmt.Sprintf("journal: unknown terminal state %q", term.State)
+	}
+	if len(term.Result) > 0 {
+		j.result = json.RawMessage(term.Result)
+	}
+	var data any
+	if j.err != "" {
+		data = map[string]string{"error": j.err}
+	}
+	j.events = []Event{
+		{Seq: 1, Type: "queued", Time: sub.Time},
+		{Seq: 2, Type: string(j.state), Time: term.Time, Data: data},
+	}
+	j.eventSeq = 2
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	if j.key != "" {
+		s.idem[j.key] = id
+	}
+	s.mu.Unlock()
+	s.mReplayed.Inc()
+}
+
+// resume re-validates and re-queues one journal job that never reached
+// a terminal state. Resumed jobs bypass the logical queue bound — they
+// were already accepted once — and block until the channel takes them
+// (the workers are live and draining).
+func (s *Server) resume(id string, sub *store.Record) {
+	var req Request
+	var j *Job
+	err := json.Unmarshal(sub.Request, &req)
+	if err == nil {
+		j, err = s.buildJob(req)
+	}
+	if err != nil {
+		s.resumeFailed(id, sub, err)
+		return
+	}
+	j.ID = id
+	j.key = sub.Key
+	j.submitted = sub.Time
+	j.events = []Event{{Seq: 1, Type: "queued", Time: sub.Time}}
+	j.eventSeq = 1
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	if j.key != "" {
+		s.idem[j.key] = id
+	}
+	s.queued++
+	s.noteDepth()
+	s.mu.Unlock()
+	s.queue <- j
+	s.mResumed.Inc()
+}
+
+// resumeFailed records a journal job whose request no longer validates
+// (journal torn mid-record, profile or engine removed across versions)
+// as errored rather than dropping it silently.
+func (s *Server) resumeFailed(id string, sub *store.Record, err error) {
+	j := &Job{
+		ID: id, Type: sub.Type, key: sub.Key, replayed: true,
+		state: StateErrored, err: fmt.Sprintf("resume: %v", err),
+		submitted: sub.Time, finished: time.Now(),
+	}
+	j.events = []Event{
+		{Seq: 1, Type: "queued", Time: sub.Time},
+		{Seq: 2, Type: string(StateErrored), Time: j.finished, Data: map[string]string{"error": j.err}},
+	}
+	j.eventSeq = 2
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	if j.key != "" {
+		s.idem[j.key] = id
+	}
+	rec := terminalRecord(j)
+	s.mu.Unlock()
+	s.journal(rec)
+	s.mReplayed.Inc()
 }
 
 // noteDepth refreshes the queue-depth gauge and its peak; callers hold
@@ -279,7 +584,7 @@ func (s *Server) Result(id string) (Status, any, bool) {
 	return j.status(), j.result, true
 }
 
-// Jobs lists every job's status in submission order.
+// Jobs lists every retained job's status in submission order.
 func (s *Server) Jobs() []Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -291,42 +596,73 @@ func (s *Server) Jobs() []Status {
 }
 
 // Cancel aborts a job: a queued job is marked cancelled before it ever
-// runs, a running job has its context cancelled and returns partial
-// work promptly (every analysis entry point is context-threaded). The
-// second return is false when the job is unknown; cancelling a job that
-// already reached a terminal state is a no-op reporting that state.
+// runs (releasing its queue slot immediately), a running job has its
+// context cancelled and returns partial work promptly (every analysis
+// entry point is context-threaded). The second return is false when the
+// job is unknown; cancelling a job that already reached a terminal
+// state is a no-op reporting that state.
 func (s *Server) Cancel(id string) (Status, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		s.mu.Unlock()
 		return Status{}, false
 	}
+	var rec *store.Record
 	switch j.state {
 	case StateQueued:
 		j.state = StateCancelled
 		j.cancelled = true
-		j.finished = time.Now()
-		s.finishMetrics(j)
+		// The husk stays in the channel until a worker drains it, but
+		// its logical queue slot — capacity, queued counter, depth
+		// gauge — is released now, so live jobs are not shed on the
+		// back of dead ones.
+		j.released = true
+		s.queued--
+		s.noteDepth()
+		s.finishLocked(j)
+		r := terminalRecord(j)
+		rec = &r
 	case StateRunning:
 		j.cancelled = true
 		if j.cancel != nil {
 			j.cancel()
 		}
 	}
-	return j.status(), true
+	st := j.status()
+	s.mu.Unlock()
+	if rec != nil {
+		s.journal(*rec)
+	}
+	return st, true
 }
 
-// worker executes queued jobs until the queue is closed by Shutdown.
+// worker executes queued jobs (and campaign shards) until the queue is
+// closed by Shutdown.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
-		s.mu.Lock()
-		s.queued--
-		s.noteDepth()
-		s.mu.Unlock()
+		s.dequeued(j)
+		if j.shardRun != nil {
+			j.shardRun()
+			continue
+		}
 		s.runJob(j)
 	}
+}
+
+// dequeued settles queue accounting for one popped item: jobs cancelled
+// while queued already released their slot, everything else releases it
+// now.
+func (s *Server) dequeued(j *Job) {
+	s.mu.Lock()
+	if j.released {
+		j.released = false
+	} else {
+		s.queued--
+		s.noteDepth()
+	}
+	s.mu.Unlock()
 }
 
 // runJob drives one job through execution, retry, and state
@@ -341,6 +677,7 @@ func (s *Server) runJob(j *Job) {
 	j.started = time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), j.timeout)
 	j.cancel = cancel
+	j.emitLocked("running", nil)
 	s.mu.Unlock()
 	defer cancel()
 
@@ -363,10 +700,16 @@ func (s *Server) runJob(j *Job) {
 		case <-ctx.Done():
 		case <-time.After(backoff):
 		}
+		// The job context may have expired during the backoff sleep; a
+		// further attempt on the dead context would be wasted work, would
+		// inflate the attempt count, and would replace the original
+		// transient error with the context error in the reported status.
+		if ctx.Err() != nil {
+			break
+		}
 	}
 
 	s.mu.Lock()
-	j.finished = time.Now()
 	j.cancel = nil
 	switch {
 	case err == nil:
@@ -383,12 +726,29 @@ func (s *Server) runJob(j *Job) {
 	default:
 		j.state = StateErrored
 		j.err = err.Error()
+		j.result = result
 	}
-	s.finishMetrics(j)
+	s.finishLocked(j)
+	rec := terminalRecord(j)
 	sec := j.finished.Sub(j.started).Seconds()
 	s.mu.Unlock()
 
+	s.journal(rec)
 	s.jobSeconds(j.Type).Observe(sec)
+}
+
+// finishLocked stamps a terminal transition: finish time, terminal
+// event, metrics, retention. Callers hold s.mu, have already set
+// j.state, and journal the returned-state snapshot after unlocking.
+func (s *Server) finishLocked(j *Job) {
+	j.finished = time.Now()
+	var data any
+	if j.err != "" {
+		data = map[string]string{"error": j.err}
+	}
+	j.emitLocked(string(j.state), data)
+	s.finishMetrics(j)
+	s.evictLocked()
 }
 
 // finishMetrics counts a terminal transition; callers hold s.mu.
@@ -396,6 +756,48 @@ func (s *Server) finishMetrics(j *Job) {
 	s.reg.Counter(
 		fmt.Sprintf("s4e_serve_jobs_finished_total{type=%q,state=%q}", j.Type, string(j.state)),
 		"jobs by terminal state").Inc()
+}
+
+// evictLocked applies the retention policy: when more than MaxTerminal
+// finished jobs are in memory, the oldest are dropped; with a
+// TerminalTTL, finished jobs older than it are dropped regardless of
+// count. Queued and running jobs are never evicted. The journal (when
+// configured) retains the full history. Callers hold s.mu.
+func (s *Server) evictLocked() {
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].state.terminal() {
+			terminal++
+		}
+	}
+	ttl := s.cfg.TerminalTTL
+	if terminal <= s.cfg.MaxTerminal && ttl == 0 {
+		return
+	}
+	now := time.Now()
+	keep := make([]string, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		evict := false
+		if j.state.terminal() {
+			if terminal > s.cfg.MaxTerminal {
+				evict = true
+			} else if ttl > 0 && now.Sub(j.finished) > ttl {
+				evict = true
+			}
+		}
+		if !evict {
+			keep = append(keep, id)
+			continue
+		}
+		terminal--
+		delete(s.jobs, id)
+		if j.key != "" && s.idem[j.key] == id {
+			delete(s.idem, j.key)
+		}
+		s.mEvicted.Inc()
+	}
+	s.order = keep
 }
 
 // jobSecondsBounds spans sub-millisecond lint jobs to minute-long
@@ -465,12 +867,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
+		var recs []store.Record
 		for _, j := range s.jobs {
 			if j.state == StateQueued {
 				j.state = StateCancelled
 				j.cancelled = true
-				j.finished = time.Now()
-				s.finishMetrics(j)
+				j.released = true
+				s.queued--
+				s.noteDepth()
+				s.finishLocked(j)
+				recs = append(recs, terminalRecord(j))
 			}
 			if j.cancel != nil {
 				j.cancelled = true
@@ -478,6 +884,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			}
 		}
 		s.mu.Unlock()
+		for _, rec := range recs {
+			s.journal(rec)
+		}
 		<-done // jobs are context-threaded, so this is prompt
 		return ctx.Err()
 	}

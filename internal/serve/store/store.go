@@ -1,0 +1,164 @@
+// Package store is the durability layer of the analysis service: an
+// append-only JSONL journal of job submissions and terminal transitions
+// kept under a state directory. The journal is the source of truth for
+// job history — a restarted server replays it to restore every finished
+// job's status and result, to rebuild the idempotency-key index, and to
+// re-queue jobs that were queued or running when the process died. The
+// in-memory job table may evict old terminal jobs (bounded retention);
+// the journal never forgets. Records are self-describing JSON objects,
+// one per line, so the journal doubles as an audit log greppable with
+// standard tools. A torn final line (the signature of a crash mid-write)
+// is detected and ignored on replay rather than poisoning the restart.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Record kinds. A job's life in the journal is one RecordSubmit followed
+// by at most one RecordTerminal; a job with no terminal record was alive
+// (queued or running) when the journal closed, and a replaying server
+// re-queues it.
+const (
+	// RecordSubmit captures an accepted submission: the job ID, the
+	// optional idempotency key, and the raw request body needed to
+	// re-validate and re-run the job after a restart.
+	RecordSubmit = "submit"
+	// RecordTerminal captures a terminal transition (done, errored,
+	// cancelled) with the error string, attempt count, and the result
+	// payload serialized as raw JSON.
+	RecordTerminal = "terminal"
+)
+
+// Record is one journal line.
+type Record struct {
+	Time  time.Time `json:"time"`
+	Kind  string    `json:"kind"`
+	JobID string    `json:"job_id"`
+
+	// Submit fields.
+	Key     string          `json:"key,omitempty"`
+	Type    string          `json:"type,omitempty"`
+	Request json.RawMessage `json:"request,omitempty"`
+
+	// Terminal fields.
+	State    string          `json:"state,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Attempts int             `json:"attempts,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+// Store is an open journal. Append is safe for concurrent use; the
+// replayed prefix read at Open time is immutable.
+type Store struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+
+	replayed []Record
+	torn     int // undecodable lines skipped during replay
+}
+
+// journalName is the journal file inside the state directory.
+const journalName = "jobs.jsonl"
+
+// Open creates the state directory if needed, replays the existing
+// journal (if any), and opens it for appending. Lines that do not
+// decode — a torn tail from a crash mid-write, typically — are skipped
+// and counted, never fatal.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{f: f, path: path}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20) // result payloads can be large
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil || r.Kind == "" || r.JobID == "" {
+			s.torn++
+			continue
+		}
+		s.replayed = append(s.replayed, r)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: reading journal: %w", err)
+	}
+	return s, nil
+}
+
+// Path returns the journal file path.
+func (s *Store) Path() string { return s.path }
+
+// Replay returns the records read at Open time, in journal order. The
+// slice is shared; callers must not mutate it.
+func (s *Store) Replay() []Record { return s.replayed }
+
+// Torn reports how many undecodable journal lines Open skipped.
+func (s *Store) Torn() int { return s.torn }
+
+// Append writes one record to the journal and flushes it to the OS.
+// The write is a single Write call of one full line, so concurrent
+// appenders never interleave bytes and a crash tears at most the final
+// line.
+func (s *Store) Append(r Record) error {
+	if r.Time.IsZero() {
+		r.Time = time.Now().UTC()
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("store: encoding record: %w", err)
+	}
+	b = append(b, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("store: closed")
+	}
+	if _, err := s.f.Write(b); err != nil {
+		return fmt.Errorf("store: appending: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes the journal to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	return s.f.Sync()
+}
+
+// Close syncs and closes the journal. Further Appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}

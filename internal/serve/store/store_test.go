@@ -1,0 +1,118 @@
+package store_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/serve/store"
+)
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []store.Record{
+		{Kind: store.RecordSubmit, JobID: "job-1", Key: "k1", Type: "emu",
+			Request: json.RawMessage(`{"type":"emu"}`)},
+		{Kind: store.RecordSubmit, JobID: "job-2", Type: "fault"},
+		{Kind: store.RecordTerminal, JobID: "job-1", State: "succeeded",
+			Attempts: 1, Result: json.RawMessage(`{"insts":42}`)},
+	}
+	for _, r := range recs {
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got := st2.Replay()
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range recs {
+		g := got[i]
+		if g.Kind != r.Kind || g.JobID != r.JobID || g.Key != r.Key ||
+			g.Type != r.Type || g.State != r.State || g.Attempts != r.Attempts {
+			t.Errorf("record %d: got %+v, want %+v", i, g, r)
+		}
+		if string(g.Result) != string(r.Result) {
+			t.Errorf("record %d result: got %s, want %s", i, g.Result, r.Result)
+		}
+		if g.Time.IsZero() {
+			t.Errorf("record %d: Append did not stamp Time", i)
+		}
+	}
+	if st2.Torn() != 0 {
+		t.Errorf("clean journal reports %d torn lines", st2.Torn())
+	}
+}
+
+// A journal whose final line was cut mid-write (the crash case) must
+// still replay every complete record, count the torn tail, and accept
+// new appends.
+func TestTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(store.Record{Kind: store.RecordSubmit, JobID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(store.Record{Kind: store.RecordTerminal, JobID: "a", State: "succeeded"}); err != nil {
+		t.Fatal(err)
+	}
+	path := st.Path()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the torn write: append half a record, no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"submit","job_id":"tor`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer st2.Close()
+	if got := len(st2.Replay()); got != 2 {
+		t.Errorf("replayed %d records, want 2", got)
+	}
+	if st2.Torn() != 1 {
+		t.Errorf("torn count %d, want 1", st2.Torn())
+	}
+	// The store must stay appendable after recovery.
+	if err := st2.Append(store.Record{Kind: store.RecordSubmit, JobID: "b"}); err != nil {
+		t.Fatalf("append after torn recovery: %v", err)
+	}
+}
+
+func TestOpenCreatesDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "state")
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := os.Stat(st.Path()); err != nil {
+		t.Fatalf("journal file missing: %v", err)
+	}
+}

@@ -13,17 +13,13 @@ import (
 	"time"
 )
 
-// TestServeBinary drives the s4e-serve binary end to end: start on an
-// ephemeral port, submit a job over HTTP, read its result and metrics,
-// then SIGTERM the process and require a clean drain (exit 0).
-func TestServeBinary(t *testing.T) {
-	dir := t.TempDir()
-	bin := filepath.Join(dir, "s4e-serve")
-	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/s4e-serve").CombinedOutput(); err != nil {
-		t.Fatalf("build s4e-serve: %v\n%s", err, out)
-	}
-
-	srv := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2", "-queue", "8")
+// startServe launches one s4e-serve process and parses the resolved
+// listen address out of its stderr banner. It returns the process, the
+// API base URL, the accumulating stderr tail, and a channel closed when
+// stderr reaches EOF (wait on it before calling cmd.Wait).
+func startServe(t *testing.T, bin string, args ...string) (*exec.Cmd, string, *strings.Builder, chan struct{}) {
+	t.Helper()
+	srv := exec.Command(bin, args...)
 	stderr, err := srv.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -31,27 +27,71 @@ func TestServeBinary(t *testing.T) {
 	if err := srv.Start(); err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Process.Kill() //nolint:errcheck // backstop; normally exited
+	t.Cleanup(func() { srv.Process.Kill() }) //nolint:errcheck // backstop; normally exited
 
-	// The first stderr line carries the resolved listen address.
+	// The first stderr line carries the resolved listen address (the
+	// journal banner, when present, comes before it on a restart).
 	rd := bufio.NewReader(stderr)
-	line, err := rd.ReadString('\n')
-	if err != nil {
-		t.Fatalf("reading banner: %v", err)
-	}
 	const marker = "listening on "
-	i := strings.Index(line, marker)
-	if i < 0 {
-		t.Fatalf("banner %q lacks address", line)
+	var addr string
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading banner: %v", err)
+		}
+		if i := strings.Index(line, marker); i >= 0 {
+			addr = strings.Fields(line[i+len(marker):])[0]
+			break
+		}
 	}
-	addr := strings.Fields(line[i+len(marker):])[0]
-	base := "http://" + addr
-	var tail strings.Builder
+	tail := &strings.Builder{}
 	copied := make(chan struct{})
 	go func() {
 		defer close(copied)
-		io.Copy(&tail, rd) //nolint:errcheck // best-effort drain
+		io.Copy(tail, rd) //nolint:errcheck // best-effort drain
 	}()
+	return srv, "http://" + addr, tail, copied
+}
+
+// stopServe SIGTERMs a serve process and requires a clean drain.
+func stopServe(t *testing.T, srv *exec.Cmd, tail *strings.Builder, copied chan struct{}) {
+	t.Helper()
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		<-copied // Wait closes the pipe; only call it after stderr hits EOF
+		done <- srv.Wait()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("exit after SIGTERM: %v\nstderr:\n%s", err, tail.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("s4e-serve did not exit after SIGTERM")
+	}
+	if !strings.Contains(tail.String(), "drained") {
+		t.Errorf("drain log missing: %s", tail.String())
+	}
+}
+
+// TestServeBinary drives the s4e-serve binary end to end: start on an
+// ephemeral port with a journal directory, submit a job over HTTP, read
+// its result, event stream, and metrics, SIGTERM the process and
+// require a clean drain (exit 0) — then restart over the same state
+// directory and require the finished job back, result included.
+func TestServeBinary(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "s4e-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/s4e-serve").CombinedOutput(); err != nil {
+		t.Fatalf("build s4e-serve: %v\n%s", err, out)
+	}
+	state := filepath.Join(dir, "state")
+
+	srv, base, tail, copied := startServe(t, bin,
+		"-addr", "127.0.0.1:0", "-workers", "2", "-queue", "8", "-state", state)
 
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
@@ -116,6 +156,26 @@ func TestServeBinary(t *testing.T) {
 			result.Status.State, result.Status.Error, result.Result.Code)
 	}
 
+	// SSE smoke: the finished job's event stream replays the lifecycle
+	// and ends on the terminal event.
+	resp, err = http.Get(base + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := io.ReadAll(resp.Body) // handler closes the stream at terminal
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("events content type %q", ct)
+	}
+	for _, want := range []string{"event: queued", "event: running", "event: done"} {
+		if !strings.Contains(string(events), want) {
+			t.Errorf("event stream missing %q:\n%s", want, events)
+		}
+	}
+
 	resp, err = http.Get(base + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -135,23 +195,25 @@ func TestServeBinary(t *testing.T) {
 	}
 
 	// Graceful drain: SIGTERM must exit 0 promptly.
-	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+	stopServe(t, srv, tail, copied)
+
+	// Restart over the same state directory: the journal replays the
+	// finished job — same ID, terminal status, result intact.
+	srv2, base2, tail2, copied2 := startServe(t, bin,
+		"-addr", "127.0.0.1:0", "-workers", "2", "-state", state)
+	resp, err = http.Get(base2 + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
 		t.Fatal(err)
 	}
-	done := make(chan error, 1)
-	go func() {
-		<-copied // Wait closes the pipe; only call it after stderr hits EOF
-		done <- srv.Wait()
-	}()
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("exit after SIGTERM: %v\nstderr:\n%s", err, tail.String())
-		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("s4e-serve did not exit after SIGTERM")
+	result.Status.State, result.Result.Code = "", 0
+	err = json.NewDecoder(resp.Body).Decode(&result)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("replayed result: status %d err %v", resp.StatusCode, err)
 	}
-	if !strings.Contains(tail.String(), "drained") {
-		t.Errorf("drain log missing: %s", tail.String())
+	if result.Status.State != "done" || result.Result.Code != 136 {
+		t.Fatalf("replayed job state %q code %d, want done/136",
+			result.Status.State, result.Result.Code)
 	}
+	stopServe(t, srv2, tail2, copied2)
 }
