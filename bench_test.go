@@ -278,6 +278,57 @@ func BenchmarkE8_MIPS(b *testing.B) {
 	}
 }
 
+// BenchmarkE12_RestoreScatter measures the differential-restore win on a
+// scattered-store workload: one word near the bottom of RAM and one near
+// the top, so the watermark box spans almost all of RAM while only two
+// pages are dirty. The pages arm rewinds via the dirty-page bitmap, the
+// watermark arm (DisableDirtyPages) re-copies the whole box; both report
+// the bytes actually copied per restore.
+func BenchmarkE12_RestoreScatter(b *testing.B) {
+	const scatterSrc = `
+	la t0, buf
+	li a1, 0x1234
+	sw a1, 0(t0)
+	sw a1, -16(sp)
+	ebreak
+buf:
+	.word 0
+`
+	for _, mode := range []struct {
+		name         string
+		disablePages bool
+	}{
+		{"pages", false},
+		{"watermark", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			p, err := vp.New(vp.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Machine.DisableDirtyPages = mode.disablePages
+			prog, err := p.LoadSource(vp.Prelude + scatterSrc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			base := p.Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if stop := p.Run(1_000_000); stop.Reason != emu.StopEbreak {
+					b.Fatalf("%+v", stop)
+				}
+				p.RestoreReuse(base, prog)
+			}
+			b.StopTimer()
+			st := p.RestoreStats()
+			if st.Restores > 0 {
+				b.ReportMetric(float64(st.RestoreBytes)/float64(st.Restores), "restore-B/op")
+				b.ReportMetric(float64(st.RestorePages)/float64(st.Restores), "restore-pages/op")
+			}
+		})
+	}
+}
+
 // BenchmarkE10_PoolCampaign measures campaign throughput with and
 // without the shared translation pool at several worker counts, and
 // reports the compiled-block count per campaign — the work the pool

@@ -1,0 +1,185 @@
+package emu_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/vp"
+)
+
+// scatterSrc dirties one word near the bottom of RAM (a data buffer
+// just past the code) and one near the top (stack-relative) — the
+// pathological case for a bounding-box watermark: the box spans nearly
+// all of RAM while only two pages actually changed.
+const scatterSrc = `
+	la t0, buf
+	li a1, 0x1234
+	sw a1, 0(t0)
+	sw a1, -16(sp)
+	ebreak
+buf:
+	.word 0
+`
+
+func scatterPlatform(t *testing.T, disablePages bool) *vp.Platform {
+	t.Helper()
+	p, err := vp.New(vp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Machine.DisableDirtyPages = disablePages
+	if _, err := p.LoadSource(vp.Prelude + scatterSrc); err != nil {
+		t.Fatal(err)
+	}
+	if stop := p.Run(1_000_000); stop.Reason != emu.StopEbreak {
+		t.Fatalf("run: %+v", stop)
+	}
+	return p
+}
+
+func dirtySummary(m *emu.Machine) (ranges int, total uint64) {
+	m.ForEachDirtyRange(func(lo, hi uint32) {
+		ranges++
+		total += uint64(hi - lo)
+	})
+	return ranges, total
+}
+
+// TestDirtyRangesScattered: with the page bitmap on, two scattered
+// stores report two small dirty ranges — not the multi-megabyte
+// watermark box — and the untouched middle of RAM tests clean.
+func TestDirtyRangesScattered(t *testing.T) {
+	p := scatterPlatform(t, false)
+	m := p.Machine
+
+	wlo, whi := m.StoreWatermark()
+	if whi-wlo < 3<<20 {
+		t.Fatalf("watermark box spans 0x%x bytes, want ~4 MiB (scatter failed)", whi-wlo)
+	}
+	ranges, total := dirtySummary(m)
+	if ranges != 2 {
+		t.Errorf("dirty ranges = %d, want 2", ranges)
+	}
+	if total > 2*emu.DirtyPageSize {
+		t.Errorf("dirty bytes = %d, want <= %d (two pages)", total, 2*emu.DirtyPageSize)
+	}
+
+	mid := uint32(vp.RAMBase + 2<<20)
+	if m.DirtyOverlaps(mid, mid+4096) {
+		t.Error("middle of RAM reported dirty; only the extremes were written")
+	}
+	if !m.DirtyOverlaps(whi-4, whi) {
+		t.Error("top-of-RAM store not reported dirty")
+	}
+	if !m.DirtyOverlaps(wlo, wlo+4) {
+		t.Error("bottom-of-RAM store not reported dirty")
+	}
+
+	m.ResetStoreWatermark()
+	if ranges, _ := dirtySummary(m); ranges != 0 {
+		t.Errorf("dirty ranges after reset = %d, want 0", ranges)
+	}
+	if m.DirtyOverlaps(vp.RAMBase, vp.RAMBase+vp.DefaultRAMSize) {
+		t.Error("RAM reported dirty after reset")
+	}
+}
+
+// TestDirtyRangesWatermarkFallback: with DisableDirtyPages the machine
+// degenerates to the pre-bitmap behaviour — one dirty range equal to
+// the watermark box, and box overlap is the (conservative) answer.
+func TestDirtyRangesWatermarkFallback(t *testing.T) {
+	p := scatterPlatform(t, true)
+	m := p.Machine
+
+	wlo, whi := m.StoreWatermark()
+	ranges, total := dirtySummary(m)
+	if ranges != 1 {
+		t.Fatalf("dirty ranges = %d, want 1 (the watermark box)", ranges)
+	}
+	if total != uint64(whi-wlo) {
+		t.Errorf("dirty bytes = %d, want the box span %d", total, whi-wlo)
+	}
+	mid := uint32(vp.RAMBase + 2<<20)
+	if !m.DirtyOverlaps(mid, mid+4096) {
+		t.Error("fallback must report the whole box dirty")
+	}
+}
+
+// TestPoolAdoptionBetweenScatteredStores: scattered dirty state
+// bracketing a clean code region must not block pool adoption — the
+// page-granular check refines the watermark box, so a consumer whose
+// box covers the code (but whose code pages are clean) still adopts
+// every block. With the bitmap disabled, the old box rule applies and
+// the consumer compiles privately: the exact behaviour change the
+// dirty-page tracking buys.
+func TestPoolAdoptionBetweenScatteredStores(t *testing.T) {
+	// Load above RAM base so there is dirtiable space below the code.
+	const org = vp.RAMBase + 0x2000
+	prog, err := asm.AssembleAt(vp.Prelude+poolProg, org)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := func(disablePages bool) *vp.Platform {
+		p, err := vp.New(vp.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Machine.DisableDirtyPages = disablePages
+		if err := p.LoadProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	donor := load(false)
+	if stop := donor.Run(1_000_000); stop.Reason != emu.StopEbreak {
+		t.Fatalf("donor run: %+v", stop)
+	}
+	pool := donor.Machine.BuildTBPool()
+	if pool.Size() == 0 {
+		t.Fatal("donor produced an empty pool")
+	}
+
+	scatter := func(p *vp.Platform) {
+		top := uint32(vp.RAMBase + vp.DefaultRAMSize)
+		p.Machine.NoteRAMWrite(vp.RAMBase+4, 4)
+		p.Machine.NoteRAMWrite(top-8, 4)
+	}
+
+	t.Run("pages", func(t *testing.T) {
+		p := load(false)
+		p.Machine.AttachTBPool(pool)
+		scatter(p)
+		if p.Machine.CodePagesDirty() {
+			t.Error("code pages dirty before any code write")
+		}
+		if stop := p.Run(1_000_000); stop.Reason != emu.StopEbreak {
+			t.Fatalf("run: %+v", stop)
+		}
+		st := p.Machine.Stats()
+		if st.TBsCompiled != 0 {
+			t.Errorf("compiled %d blocks, want 0 (scattered dirt must not block adoption)", st.TBsCompiled)
+		}
+		if st.PoolHits == 0 {
+			t.Error("no pool hits recorded")
+		}
+		// A write into the code itself is still caught, byte or not.
+		p.Machine.NoteRAMWrite(org, 1)
+		if !p.Machine.CodePagesDirty() {
+			t.Error("write into translated code not reported by CodePagesDirty")
+		}
+	})
+
+	t.Run("watermark-fallback", func(t *testing.T) {
+		p := load(true)
+		p.Machine.AttachTBPool(pool)
+		scatter(p)
+		if stop := p.Run(1_000_000); stop.Reason != emu.StopEbreak {
+			t.Fatalf("run: %+v", stop)
+		}
+		if st := p.Machine.Stats(); st.TBsCompiled == 0 {
+			t.Error("fallback adopted through a covering watermark box; expected private compiles")
+		}
+	})
+}

@@ -25,6 +25,15 @@ const maxTBInsts = 64
 // the analog of QEMU's tb_jmp_cache sitting in front of the block map.
 const jmpCacheSize = 1024
 
+// DirtyPageShift/DirtyPageSize set the granularity of the dirty-page
+// bitmap: 512-byte pages. Small enough that one scattered word costs one
+// page of restore copying, large enough that the bitmap for the default
+// 4 MiB platform RAM is 8192 bits (1 KiB) and a page test is one load.
+const (
+	DirtyPageShift = 9
+	DirtyPageSize  = 1 << DirtyPageShift
+)
+
 // Engine selects how Run executes translated blocks.
 type Engine uint8
 
@@ -217,6 +226,14 @@ type Machine struct {
 	// interpreter-style baseline for the translation-cache ablation).
 	DisableTBCache bool
 
+	// DisableDirtyPages turns off the dirty-page bitmap, leaving only
+	// the byte-precise store watermark — the pre-bitmap baseline kept
+	// for the restore-cost ablation (bench E12) and differential tests.
+	// Must be set before the first load or run: the bitmap is sized when
+	// the direct-RAM fast path is resolved and never allocated when the
+	// flag is up.
+	DisableDirtyPages bool
+
 	// Engine selects the execution strategy; the zero value is the
 	// threaded-code engine.
 	Engine Engine
@@ -270,13 +287,24 @@ type Machine struct {
 	ramBase uint32
 	ramInit bool
 
-	// storeLo/storeHi is the RAM store watermark: the address range of
-	// all data stores into RAM since the last ResetStoreWatermark. The
-	// fault campaign intersects it with the translated code range to
-	// decide whether cached translations could have been built from
-	// run-written bytes.
+	// storeLo/storeHi is the RAM store watermark: the byte-precise
+	// bounding box of all data stores into RAM since the last
+	// ResetStoreWatermark. It is kept as a cheap summary of the dirty
+	// bitmap below — a fast disjointness reject for validity checks and
+	// the bound for bitmap clearing — and as the sound fallback when the
+	// bitmap is unavailable (DisableDirtyPages, no direct RAM).
 	storeLo uint32
 	storeHi uint32
+
+	// dirty is the page-granular dirty bitmap over the direct-RAM
+	// region: bit p covers bytes [p<<DirtyPageShift, (p+1)<<DirtyPageShift)
+	// relative to ramBase and is set by every store path (all four
+	// engines funnel through noteRAMStore) and every host-side write
+	// folded in via NoteRAMWrite/NoteRAMWriteRange. Invariant: set bits
+	// always lie inside the watermark box, so ResetStoreWatermark clears
+	// only the words the box covers. nil when DisableDirtyPages is set
+	// or no direct RAM is mapped — consumers fall back to the watermark.
+	dirty []uint64
 
 	// stats holds the engine's lifetime performance counters. They are
 	// plain (non-atomic) fields because a Machine is single-threaded;
@@ -300,6 +328,11 @@ func New(bus *mem.Bus) *Machine {
 		storeLo:      ^uint32(0),
 	}
 	m.Hart.Reset(0)
+	// Host-side bulk writes (loaders, snapshot restores, injected
+	// corruption) land on the bus without passing through the engine
+	// store paths; the notification folds them into the watermark and
+	// dirty-page bitmap so rewinds and validity checks see them.
+	bus.WriteNotify = m.NoteRAMWriteRange
 	return m
 }
 
@@ -322,21 +355,62 @@ func (m *Machine) subsetAllows(o isa.Op) bool {
 	return !m.subsetOn || m.subset.Has(o)
 }
 
-// ensureRAM resolves the direct-RAM fast-path pointers once per machine.
+// ensureRAM resolves the direct-RAM fast-path pointers once per machine
+// and sizes the dirty-page bitmap to the region.
 func (m *Machine) ensureRAM() {
 	if !m.ramInit {
 		m.ramBase, m.ram = m.Bus.DirectRAM()
 		m.ramInit = true
+		if !m.DisableDirtyPages && m.ram != nil {
+			pages := (len(m.ram) + DirtyPageSize - 1) / DirtyPageSize
+			m.dirty = make([]uint64, (pages+63)/64)
+		}
 	}
 }
 
-// noteRAMStore folds a RAM data store into the store watermark.
+// noteRAMStore folds a RAM data store into the store watermark and the
+// dirty-page bitmap. Callers guarantee [addr, addr+size) lies inside the
+// direct-RAM region, so the page indices need no clamping; an aligned
+// store touches at most two pages.
 func (m *Machine) noteRAMStore(addr uint32, size uint8) {
 	if addr < m.storeLo {
 		m.storeLo = addr
 	}
-	if addr+uint32(size) > m.storeHi {
-		m.storeHi = addr + uint32(size)
+	end := addr + uint32(size)
+	if end > m.storeHi {
+		m.storeHi = end
+	}
+	if m.dirty != nil {
+		p := (addr - m.ramBase) >> DirtyPageShift
+		m.dirty[p>>6] |= 1 << (p & 63)
+		if lp := (end - 1 - m.ramBase) >> DirtyPageShift; lp != p {
+			m.dirty[lp>>6] |= 1 << (lp & 63)
+		}
+	}
+}
+
+// markDirtyPages sets the dirty bits for every page overlapping [lo, hi),
+// clamped to the direct-RAM region (host-side writes may carry arbitrary
+// addresses). The watermark is maintained by the callers.
+func (m *Machine) markDirtyPages(lo, hi uint32) {
+	m.ensureRAM()
+	if m.dirty == nil {
+		return
+	}
+	base := m.ramBase
+	if top := base + uint32(len(m.ram)); hi > top {
+		hi = top
+	}
+	if lo < base {
+		lo = base
+	}
+	if lo >= hi {
+		return
+	}
+	first := (lo - base) >> DirtyPageShift
+	last := (hi - 1 - base) >> DirtyPageShift
+	for p := first; p <= last; p++ {
+		m.dirty[p>>6] |= 1 << (p & 63)
 	}
 }
 
@@ -345,13 +419,16 @@ func (m *Machine) noteRAMStore(addr uint32, size uint8) {
 func (m *Machine) StoreWatermark() (lo, hi uint32) { return m.storeLo, m.storeHi }
 
 // NoteRAMWrite folds an externally performed RAM write (e.g. an injected
-// bit flip) into the store watermark so watermark-based state rewinds
-// know to restore those bytes.
-func (m *Machine) NoteRAMWrite(addr uint32, size uint8) { m.noteRAMStore(addr, size) }
+// bit flip) into the store watermark and the dirty-page bitmap, so
+// dirty-state-based rewinds know to restore those bytes.
+func (m *Machine) NoteRAMWrite(addr uint32, size uint8) {
+	m.NoteRAMWriteRange(addr, addr+uint32(size))
+}
 
 // NoteRAMWriteRange folds an externally performed write of [lo, hi) into
-// the store watermark (host-side bulk writes such as a snapshot restore,
-// where the 255-byte limit of NoteRAMWrite's size would not reach).
+// the store watermark and the dirty-page bitmap (host-side bulk writes
+// such as a snapshot restore or the program loader, where the 255-byte
+// limit of NoteRAMWrite's size would not reach).
 func (m *Machine) NoteRAMWriteRange(lo, hi uint32) {
 	if lo >= hi {
 		return
@@ -362,10 +439,136 @@ func (m *Machine) NoteRAMWriteRange(lo, hi uint32) {
 	if hi > m.storeHi {
 		m.storeHi = hi
 	}
+	m.markDirtyPages(lo, hi)
 }
 
-// ResetStoreWatermark clears the RAM store watermark.
-func (m *Machine) ResetStoreWatermark() { m.storeLo, m.storeHi = ^uint32(0), 0 }
+// ResetStoreWatermark clears the store watermark and the dirty-page
+// bitmap. Since set bits always lie inside the watermark box, only the
+// bitmap words the box covers are cleared — a rewind after a scattered
+// run does not pay a full-bitmap clear, only a full-box one.
+func (m *Machine) ResetStoreWatermark() {
+	if m.dirty != nil && m.storeLo < m.storeHi {
+		base := m.ramBase
+		lo, hi := m.storeLo, m.storeHi
+		if lo < base {
+			lo = base
+		}
+		if top := base + uint32(len(m.ram)); hi > top {
+			hi = top
+		}
+		if lo < hi {
+			first := (lo - base) >> DirtyPageShift >> 6
+			last := (hi - 1 - base) >> DirtyPageShift >> 6
+			clear(m.dirty[first : last+1])
+		}
+	}
+	m.storeLo, m.storeHi = ^uint32(0), 0
+}
+
+// DirtyOverlaps reports whether any byte of [lo, hi) may have been
+// written since the last ResetStoreWatermark. The watermark box gives a
+// cheap byte-precise reject; inside the box the page bitmap refines the
+// answer, so a block between two scattered stores tests clean even
+// though the box spans it. Without a bitmap (DisableDirtyPages, range
+// outside direct RAM) the box overlap is the conservative answer.
+func (m *Machine) DirtyOverlaps(lo, hi uint32) bool {
+	if lo >= hi || m.storeLo >= m.storeHi || hi <= m.storeLo || lo >= m.storeHi {
+		return false
+	}
+	if m.dirty == nil {
+		return true
+	}
+	base := m.ramBase
+	if top := base + uint32(len(m.ram)); hi > top {
+		hi = top
+	}
+	if lo < base {
+		lo = base
+	}
+	if lo >= hi {
+		return true // outside direct RAM: the bitmap cannot attest
+	}
+	first := (lo - base) >> DirtyPageShift
+	last := (hi - 1 - base) >> DirtyPageShift
+	for p := first; p <= last; p++ {
+		if m.dirty[p>>6]&(1<<(p&63)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CodePagesDirty reports whether any translated block overlaps dirty
+// state — the page-granular replacement for intersecting the watermark
+// with the code bounding box. Scattered data stores around a code region
+// no longer read as "code may be stale"; only a block whose own pages
+// were written does.
+func (m *Machine) CodePagesDirty() bool {
+	if m.storeLo >= m.storeHi {
+		return false
+	}
+	if m.dirty == nil {
+		return m.storeLo < m.codeHi && m.codeLo < m.storeHi
+	}
+	for _, t := range m.tbs {
+		if m.DirtyOverlaps(t.info.PC, t.end) {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEachDirtyRange calls fn for each maximal run of dirty pages as an
+// absolute address range, clamped to the direct-RAM region and trimmed
+// to the byte-precise watermark box at the extremes (so a lone store
+// costs its bytes, not its whole page). Ranges arrive in ascending
+// order. Without a bitmap the single clamped watermark box is reported.
+// This is the read side of the differential-restore path; it does not
+// clear the state (ResetStoreWatermark does).
+func (m *Machine) ForEachDirtyRange(fn func(lo, hi uint32)) {
+	if m.storeLo >= m.storeHi {
+		return
+	}
+	m.ensureRAM()
+	base := m.ramBase
+	wlo, whi := m.storeLo, m.storeHi
+	if wlo < base {
+		wlo = base
+	}
+	if top := base + uint32(len(m.ram)); whi > top {
+		whi = top
+	}
+	if wlo >= whi {
+		return
+	}
+	if m.dirty == nil {
+		fn(wlo, whi)
+		return
+	}
+	first := (wlo - base) >> DirtyPageShift
+	last := (whi - 1 - base) >> DirtyPageShift
+	run := int64(-1)
+	for p := first; p <= last+1; p++ {
+		set := p <= last && m.dirty[p>>6]&(1<<(p&63)) != 0
+		if set && run < 0 {
+			run = int64(p)
+		}
+		if !set && run >= 0 {
+			lo64 := uint64(base) + uint64(run)<<DirtyPageShift
+			hi64 := uint64(base) + uint64(p)<<DirtyPageShift
+			if lo64 < uint64(wlo) {
+				lo64 = uint64(wlo)
+			}
+			if hi64 > uint64(whi) {
+				hi64 = uint64(whi)
+			}
+			if lo64 < hi64 {
+				fn(uint32(lo64), uint32(hi64))
+			}
+			run = -1
+		}
+	}
+}
 
 // CodeRange returns the address range currently covered by translated
 // blocks; lo > hi means the cache is empty.
@@ -377,14 +580,17 @@ func (m *Machine) CodeRange() (lo, hi uint32) { return m.codeLo, m.codeHi }
 func (m *Machine) FlushICache() { m.icache = nil }
 
 // Reset clears architectural state and the translation cache, and boots
-// at pc. A reset accompanies loading a new image (whose bytes bypass the
-// store watermark), so any attached translation pool is detached: its
-// blocks were compiled from the previous image and nothing tracks how
-// the new one differs.
+// at pc. A reset accompanies loading a new image, which defines the new
+// pristine baseline: the store watermark and dirty-page bitmap are
+// cleared (the loader's bus writes arrive through the write notification
+// and must not read as mutated state afterwards), and any attached
+// translation pool is detached — its blocks were compiled from the
+// previous image and nothing tracks how the new one differs.
 func (m *Machine) Reset(pc uint32) {
 	m.Hart.Reset(pc)
 	m.stop = nil
 	m.InvalidateTBs()
+	m.ResetStoreWatermark()
 	m.lastLoad = 0
 	m.icache = nil
 	m.pool = nil

@@ -20,15 +20,20 @@ import (
 // Validity contract. A pooled block was compiled from the pool image:
 // the RAM bytes the donor machine translated. An attached machine may
 // adopt a block only while the bytes under it still equal that image.
-// The machine's RAM store watermark (StoreWatermark) tracks every RAM
-// write since the last rewind to the pristine image — guest stores on
-// both engine paths, plus host-side writes folded in via NoteRAMWrite /
-// NoteRAMWriteRange — so "block range disjoint from the watermark"
-// certifies the bytes are untouched. Blocks whose range intersects the
-// watermark take a private overlay compile instead (counted in
-// EngineStats.OverlayCompiles); the pool itself is never invalidated by
-// a code-mutating fault. A watermark reset must therefore coincide with
-// RAM returning to the pristine image, which is exactly the contract
+// The machine's dirty-state tracking — the byte-precise store watermark
+// box refined by the page-granular dirty bitmap — covers every RAM
+// write since the last rewind to the pristine image: guest stores on
+// all engine paths, plus host-side writes folded in via NoteRAMWrite /
+// NoteRAMWriteRange and the bus write notification. Adoption asks
+// DirtyOverlaps(block range): disjoint from the watermark box, or
+// inside the box but touching no dirty page, certifies the bytes are
+// untouched — so scattered data stores around a code region no longer
+// force overlay compiles of blocks between them. Blocks whose range
+// does overlap dirty pages take a private overlay compile instead
+// (counted in EngineStats.OverlayCompiles); the pool itself is never
+// invalidated by a code-mutating fault. A dirty-state reset
+// (ResetStoreWatermark) must therefore coincide with RAM returning to
+// the pristine image, which is exactly the contract
 // vp.Platform.RestoreReuse already maintains.
 //
 // Adopted blocks are wrapped in a private tb (per-machine chain links)
@@ -58,7 +63,7 @@ type TBPool struct {
 	// machine formed (superblock engine only), published read-only so
 	// attached machines warm-start with fused hot paths instead of
 	// re-profiling. Adoption requires the trace's whole range untouched
-	// per the adopter's store watermark; mutated ranges fall back to
+	// per the adopter's dirty state; mutated ranges fall back to
 	// private re-formation, the trace analog of an overlay compile.
 	traces map[uint32]*traceCode
 }
@@ -66,7 +71,7 @@ type TBPool struct {
 // BuildTBPool freezes the machine's current translation cache into a
 // shareable pool: every cached block matching the machine's current
 // profile/ISA specialization — and whose bytes are untouched per the
-// machine's store watermark, so the compilation still reflects the
+// machine's dirty state, so the compilation still reflects the
 // pristine image — is compiled (if it has not been yet) and published.
 // The machine keeps its private cache; the returned pool holds only the
 // immutable compiled parts. Returns an empty pool when the cache is
@@ -86,7 +91,7 @@ func (m *Machine) BuildTBPool() *TBPool {
 		if t.prof != m.Profile || t.ext != m.ISA || t.sub != m.subset {
 			continue // stale specialization; do not publish
 		}
-		if m.storeLo < m.storeHi && pc < m.storeHi && t.end > m.storeLo {
+		if m.DirtyOverlaps(pc, t.end) {
 			// The donor wrote bytes under this block since its last
 			// pristine rewind: the compilation may not match the image
 			// other machines will run. Keep it private.
@@ -110,7 +115,7 @@ func (m *Machine) BuildTBPool() *TBPool {
 		if tr.prof != m.Profile || tr.ext != m.ISA || tr.sub != m.subset {
 			continue
 		}
-		if m.storeLo < m.storeHi && tr.lo < m.storeHi && tr.hi > m.storeLo {
+		if m.DirtyOverlaps(tr.lo, tr.hi) {
 			// Same pristine-image rule as blocks, over the trace's whole
 			// constituent range.
 			continue
@@ -147,7 +152,7 @@ func (p *TBPool) Invalidate() { p.gen.Add(1) }
 // Lookups consult the pool after the private cache; blocks are adopted
 // only while the machine's profile/ISA match the pool's specialization,
 // the pool has not been invalidated, and the block's bytes are untouched
-// per the store watermark. Attaching nil detaches.
+// per the dirty-state check (DirtyOverlaps). Attaching nil detaches.
 func (m *Machine) AttachTBPool(p *TBPool) {
 	m.pool = p
 	// Pools are born at generation 0 and an invalidation is forever, so
@@ -189,7 +194,7 @@ func (m *Machine) poolFetch(pc uint32) *tb {
 	if c == nil {
 		return nil // accounted as PoolMisses by the translate path
 	}
-	if m.storeLo < m.storeHi && pc < m.storeHi && c.end > m.storeLo {
+	if m.DirtyOverlaps(pc, c.end) {
 		// Bytes under the block were written since the last pristine
 		// rewind (code-mutating fault, store into code): the pooled
 		// compilation no longer matches memory. Fall through to a

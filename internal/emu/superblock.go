@@ -347,7 +347,8 @@ func (m *Machine) runSuperblock(budget uint64) StopInfo {
 // traceFor returns the dispatchable trace entered at pc, if any,
 // consulting the private trace map first and then the attached pool's
 // frozen tier. A pooled trace is adopted only while the bytes under its
-// whole range are untouched per the store watermark — the same validity
+// whole range are untouched per the dirty-state check (watermark box
+// refined by the page bitmap, DirtyOverlaps) — the same validity
 // contract as pooled blocks; a dirty range leaves the entry to private
 // re-formation over the current bytes (the overlay behaviour). Callers
 // gate on DisableTBCache.
@@ -367,7 +368,7 @@ func (m *Machine) traceFor(pc uint32) *traceCode {
 	if tr == nil {
 		return nil
 	}
-	if m.storeLo < m.storeHi && tr.lo < m.storeHi && tr.hi > m.storeLo {
+	if m.DirtyOverlaps(tr.lo, tr.hi) {
 		return nil
 	}
 	if m.traces == nil {

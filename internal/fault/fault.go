@@ -147,6 +147,13 @@ type Target struct {
 	// covering the image plus stack headroom, which keeps per-worker
 	// platforms and snapshots cheap.
 	RAMSize uint32
+
+	// NoDirtyPages disables page-granular dirty tracking on every
+	// campaign platform (emu.Machine.DisableDirtyPages), restoring the
+	// single-watermark rewind and validity behaviour — the baseline arm
+	// of the restore-cost ablation (bench E12) and the pages-on/off
+	// differential tests.
+	NoDirtyPages bool
 }
 
 func (t *Target) ramSize() uint32 {
@@ -168,6 +175,9 @@ func (t *Target) newPlatform() (*vp.Platform, error) {
 		return nil, err
 	}
 	p.Machine.Engine = t.Engine
+	// Before the load: the dirty-page bitmap is sized when the machine
+	// first touches RAM, which the program load does.
+	p.Machine.DisableDirtyPages = t.NoDirtyPages
 	if err := p.LoadProgram(t.Program); err != nil {
 		return nil, err
 	}
@@ -255,12 +265,12 @@ func (inj *injector) run(g *Golden, f Fault) (Outcome, error) {
 	cw := p.Machine.CodeWrites()
 	defer func() {
 		// Translations made after a write into translated code (the flip
-		// below, or a wild store), or overlapping any bytes the run wrote
+		// below, or a wild store), or overlapping any pages the run wrote
 		// to RAM (a wild jump into freshly written data), do not match
 		// the pristine image the next reset restores; flush them then.
-		slo, shi := p.Machine.StoreWatermark()
-		clo, chi := p.Machine.CodeRange()
-		if p.Machine.CodeWrites() != cw || (slo < chi && clo < shi) {
+		// The page-granular check means scattered data stores bracketing
+		// the code region no longer force a flush every mutant.
+		if p.Machine.CodeWrites() != cw || p.Machine.CodePagesDirty() {
 			inj.dirtyCode = true
 		}
 	}()
@@ -365,16 +375,11 @@ func injectStuck(t *Target, g *Golden, f Fault, p *vp.Platform) (Outcome, error)
 
 // goldenCodeClean reports whether the golden run left its translated
 // code bytes bit-identical to the post-load image: no store ever hit
-// translated code, and no translation overlaps bytes the run wrote.
+// translated code, and no translation overlaps a page the run wrote.
 // Only then do the golden platform's compiled blocks match the pristine
 // image every campaign worker boots from.
 func goldenCodeClean(p *vp.Platform) bool {
-	if p.Machine.CodeWrites() != 0 {
-		return false
-	}
-	slo, shi := p.Machine.StoreWatermark()
-	clo, chi := p.Machine.CodeRange()
-	return !(slo < chi && clo < shi)
+	return p.Machine.CodeWrites() == 0 && !p.Machine.CodePagesDirty()
 }
 
 // Plan is a generated fault list.
@@ -735,6 +740,11 @@ func CampaignContext(ctx context.Context, t *Target, plan Plan, o Options) (*Res
 				mu.Unlock()
 				return
 			}
+			// Per-mutant restore cost lands in the registry's
+			// s4e_fault_restore_* histograms as it happens; the totals
+			// are folded in with the rest of the worker's counters by
+			// RecordStats below. Nil registry detaches (no-op).
+			inj.p.AttachRestoreObs(o.Metrics)
 			for i := range idx {
 				if ctx.Err() != nil {
 					return // cancelled: remaining slots stay Errored

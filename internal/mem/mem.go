@@ -85,6 +85,15 @@ type region struct {
 type Bus struct {
 	regions []region
 
+	// WriteNotify, when set, observes host-side bulk writes into bus
+	// memory (WriteBytes — program loaders, snapshot restores, injected
+	// corruption) as an absolute address range [lo, hi). The emulator
+	// points it at Machine.NoteRAMWriteRange so such writes are folded
+	// into the store watermark and dirty-page bitmap instead of being
+	// invisible to the rewind and code-validity machinery. Guest stores
+	// do not pass through it; the engines track those directly.
+	WriteNotify func(lo, hi uint32)
+
 	// stats counts dispatched accesses. Plain fields: the bus serves one
 	// hart, and the increments are noise next to the region search. Note
 	// the emulator's direct-RAM fast path bypasses the bus, so these are
@@ -204,15 +213,24 @@ func (b *Bus) Store(addr uint32, size uint8, val uint32) *Fault {
 }
 
 // WriteBytes copies raw bytes into bus memory, for program loading. It
-// fails if any byte lands outside RAM.
+// fails if any byte lands outside RAM. The written range (on error, the
+// written prefix) is reported through WriteNotify when set.
 func (b *Bus) WriteBytes(addr uint32, data []byte) error {
 	for i, by := range data {
 		a := addr + uint32(i)
 		r := b.find(a, 1)
 		if r == nil || r.ram == nil {
+			// Report the prefix actually written before failing, so the
+			// dirty-state tracking stays sound even on a partial write.
+			if b.WriteNotify != nil && i > 0 {
+				b.WriteNotify(addr, addr+uint32(i))
+			}
 			return fmt.Errorf("mem: WriteBytes: 0x%08x not RAM", a)
 		}
 		r.ram.bytes[a-r.base] = by
+	}
+	if b.WriteNotify != nil && len(data) > 0 {
+		b.WriteNotify(addr, addr+uint32(len(data)))
 	}
 	return nil
 }

@@ -157,6 +157,42 @@ func TestWriteReadBytes(t *testing.T) {
 	}
 }
 
+// TestWriteBytesNotify: host-side bulk writes must be observable — the
+// full range on success, the written prefix on failure — so the
+// emulator's dirty-state tracking sees loader/harness writes.
+func TestWriteBytesNotify(t *testing.T) {
+	var b Bus
+	mustMap(t, &b, 0x100, 0x100, NewRAM(0x100), "ram")
+	type rng struct{ lo, hi uint32 }
+	var got []rng
+	b.WriteNotify = func(lo, hi uint32) { got = append(got, rng{lo, hi}) }
+
+	if err := b.WriteBytes(0x140, []byte{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != (rng{0x140, 0x145}) {
+		t.Fatalf("notify after full write: %+v, want [{0x140 0x145}]", got)
+	}
+
+	got = nil
+	if err := b.WriteBytes(0x1fe, []byte{1, 2, 3}); err == nil {
+		t.Fatal("WriteBytes past region end should fail")
+	}
+	// Two bytes landed (0x1fe, 0x1ff) before the third fell off the
+	// region; exactly that prefix must be reported.
+	if len(got) != 1 || got[0] != (rng{0x1fe, 0x200}) {
+		t.Fatalf("notify after partial write: %+v, want [{0x1fe 0x200}]", got)
+	}
+
+	got = nil
+	if err := b.WriteBytes(0x140, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty write must not notify, got %+v", got)
+	}
+}
+
 // Property: for any word value and aligned offset, store-then-load is an
 // identity through the bus.
 func TestQuickStoreLoadIdentity(t *testing.T) {

@@ -84,16 +84,11 @@ func (j *Job) newPlatform() (*vp.Platform, error) {
 }
 
 // codeClean reports whether the run left its translated code bytes
-// pristine (no store into translated code, no translation over written
-// bytes) — the same gate fault campaigns apply before publishing a
-// pool.
+// pristine (no store into translated code, no translation over a
+// written page) — the same gate fault campaigns apply before publishing
+// a pool.
 func codeClean(p *vp.Platform) bool {
-	if p.Machine.CodeWrites() != 0 {
-		return false
-	}
-	slo, shi := p.Machine.StoreWatermark()
-	clo, chi := p.Machine.CodeRange()
-	return !(slo < chi && clo < shi)
+	return p.Machine.CodeWrites() == 0 && !p.Machine.CodePagesDirty()
 }
 
 // RunResult is the payload of a finished "run" job.

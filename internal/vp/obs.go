@@ -26,7 +26,64 @@ const (
 	MetricBusLoads         = "s4e_bus_loads_total"
 	MetricBusStores        = "s4e_bus_stores_total"
 	MetricBusFaults        = "s4e_bus_faults_total"
+
+	// Restore (platform rewind) metrics: totals folded in by
+	// RecordStats, per-restore distributions recorded live through
+	// AttachRestoreObs.
+	MetricRestores          = "s4e_fault_restores_total"
+	MetricRestoreBytesTotal = "s4e_fault_restore_bytes_total"
+	MetricRestorePagesTotal = "s4e_fault_restore_pages_total"
+	MetricRestoreBytes      = "s4e_fault_restore_bytes"
+	MetricRestorePages      = "s4e_fault_restore_pages"
 )
+
+// Bucket bounds for the per-restore distributions: bytes span one
+// scattered word up to the full default RAM; pages span one dirty page
+// up to half the default RAM's page count.
+var (
+	restoreBytesBounds = []float64{256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304}
+	restorePagesBounds = []float64{1, 2, 4, 8, 16, 32, 64, 256, 1024, 4096}
+)
+
+// AttachRestoreObs connects the platform's restore path to the registry:
+// every subsequent Restore/RestoreReuse observes its copied bytes and
+// differing pages into the MetricRestoreBytes / MetricRestorePages
+// histograms. Totals are still accumulated locally and folded in by
+// RecordStats, so attaching is optional (fault-campaign workers attach;
+// one-shot runs usually do not). A nil registry detaches.
+func (p *Platform) AttachRestoreObs(r *obs.Registry) {
+	if r == nil {
+		p.hRestoreBytes, p.hRestorePages = nil, nil
+		return
+	}
+	p.hRestoreBytes = r.Histogram(MetricRestoreBytes, "RAM bytes copied per platform restore", restoreBytesBounds)
+	p.hRestorePages = r.Histogram(MetricRestorePages, "dirty pages copied per platform restore", restorePagesBounds)
+}
+
+// noteRestore accounts one platform rewind.
+func (p *Platform) noteRestore(nbytes, pages uint64) {
+	p.restores++
+	p.restoreBytes += nbytes
+	p.restorePages += pages
+	p.hRestoreBytes.Observe(float64(nbytes))
+	p.hRestorePages.Observe(float64(pages))
+}
+
+// RestoreStats reports the platform's lifetime restore accounting.
+type RestoreStats struct {
+	Restores     uint64 // Restore + RestoreReuse calls
+	RestoreBytes uint64 // RAM bytes actually copied across them
+	RestorePages uint64 // dirty pages those bytes spanned
+}
+
+// RestoreStats returns a snapshot of the restore accounting.
+func (p *Platform) RestoreStats() RestoreStats {
+	return RestoreStats{
+		Restores:     p.restores,
+		RestoreBytes: p.restoreBytes,
+		RestorePages: p.restorePages,
+	}
+}
 
 // RecordStats folds the platform's engine and memory-bus counters into
 // the registry. Counters are additive, so recording several platforms
@@ -55,6 +112,10 @@ func (p *Platform) RecordStats(r *obs.Registry) {
 	r.Counter(MetricTracePoolHits, "traces adopted from the shared pool's frozen tier").Add(es.TracePoolHits)
 	r.Counter(MetricInsts, "instructions retired").Add(p.Machine.Hart.Instret)
 	r.Counter(MetricCycles, "modelled cycles").Add(p.Machine.Hart.Cycle)
+
+	r.Counter(MetricRestores, "platform rewinds (Restore + RestoreReuse)").Add(p.restores)
+	r.Counter(MetricRestoreBytesTotal, "RAM bytes copied by platform rewinds").Add(p.restoreBytes)
+	r.Counter(MetricRestorePagesTotal, "dirty pages copied by platform rewinds").Add(p.restorePages)
 
 	bs := p.Machine.Bus.Stats()
 	r.Counter(MetricBusFetches, "bus instruction fetches (16-bit parcels)").Add(bs.Fetches)

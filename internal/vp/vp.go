@@ -17,6 +17,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/timing"
 )
 
@@ -48,6 +49,18 @@ type Platform struct {
 	UART    *dev.UART
 	Clint   *dev.CLINT
 	Sensor  *dev.Sensor
+
+	// Restore accounting: how many rewinds this platform performed and
+	// how much RAM they actually copied. Plain fields (a platform is
+	// single-threaded); fleet aggregation happens via RecordStats.
+	restores     uint64
+	restoreBytes uint64
+	restorePages uint64
+
+	// Per-restore distributions, attached via AttachRestoreObs; nil
+	// until then (and obs instruments are nil-safe anyway).
+	hRestoreBytes *obs.Histogram
+	hRestorePages *obs.Histogram
 }
 
 // New builds a platform.
@@ -204,27 +217,54 @@ func (p *Platform) Snapshot() *Snapshot {
 // against current memory as it happens: when the restore does not change
 // any byte under a translated block, the translation cache is kept warm;
 // otherwise only the blocks overlapping the changed range are dropped.
-// The changed range is also folded into the machine's store watermark,
-// so watermark consumers (RestoreReuse's zeroing, shared-pool validity)
-// stay sound across a full restore. The modelled I-cache is always
-// flushed so cycle counts never depend on what ran before.
+// Inside the byte-precise diff span, unchanged pages are skipped, so a
+// sparse divergence from the snapshot copies pages, not the whole span.
+// The changed range is also folded into the machine's dirty-state
+// tracking, so its consumers (RestoreReuse's differential copy,
+// shared-pool validity) stay sound across a full restore. The modelled
+// I-cache is always flushed so cycle counts never depend on what ran
+// before.
 func (p *Platform) Restore(s *Snapshot) {
 	p.Machine.Hart.Restore(s.hart)
 	ram := p.RAM.Bytes()
 	lo, hi := diffRange(ram, s.ram)
-	copy(ram, s.ram)
+	var nbytes, pages uint64
 	if lo < hi {
+		nbytes, pages = copyDirtyPages(ram, s.ram, lo, hi)
 		aLo, aHi := RAMBase+lo, RAMBase+hi
 		p.Machine.NoteRAMWriteRange(aLo, aHi)
 		if cLo, cHi := p.Machine.CodeRange(); aLo < cHi && aHi > cLo {
 			p.Machine.InvalidateRange(aLo, aHi)
 		}
 	}
+	p.noteRestore(nbytes, pages)
 	p.Machine.FlushICache()
 	p.UART.Restore(s.uart)
 	p.Clint.Restore(s.clint)
 	p.Sensor.SetPos(s.sensor)
 	p.Machine.ClearStop()
+}
+
+// copyDirtyPages copies src into dst over [lo, hi), skipping the
+// dirty-page-sized chunks that already match — the per-page refinement
+// of the byte-precise diff span: the span bounds what can differ, the
+// page compare avoids copying the clean middle. Chunks are aligned to
+// page boundaries so repeated restores touch stable ranges. Returns the
+// bytes copied and the number of differing pages.
+func copyDirtyPages(dst, src []byte, lo, hi uint32) (bytesCopied, pages uint64) {
+	for off := lo; off < hi; {
+		end := (off &^ (emu.DirtyPageSize - 1)) + emu.DirtyPageSize
+		if end > hi {
+			end = hi
+		}
+		if !bytes.Equal(dst[off:end], src[off:end]) {
+			copy(dst[off:end], src[off:end])
+			bytesCopied += uint64(end - off)
+			pages++
+		}
+		off = end
+	}
+	return bytesCopied, pages
 }
 
 // diffRange returns the exact range [lo, hi) spanning every byte where
@@ -273,34 +313,38 @@ func diffRange(a, b []byte) (lo, hi uint32) {
 }
 
 // RestoreReuse rewinds the platform to a post-load snapshot of prog
-// without copying the snapshot's full RAM image: only the bytes inside
-// the machine's store watermark are re-zeroed, the program bytes are
-// re-copied, and hart/device state is restored. s must have been taken
+// without copying the snapshot's full RAM image: only the dirty ranges
+// the machine tracked since the last rewind — runs of dirty pages,
+// trimmed byte-precisely to the store-watermark box at the extremes —
+// are copied back from the snapshot, and hart/device state is restored.
+// A scattered run (one store at the top of RAM, one at the bottom)
+// therefore costs two pages of copying, not the watermark span; without
+// the page bitmap (emu.Machine.DisableDirtyPages) the single watermark
+// span is copied, the pre-bitmap baseline. s must have been taken
 // immediately after loading prog (the fault campaign's base snapshot),
-// when RAM held exactly zeros plus the program image, and every RAM
-// write since must be visible to the watermark (guest stores are; direct
-// host-side writes need Machine.NoteRAMWrite). Because the code bytes
-// come back bit-identical, the machine's translation cache is kept —
-// callers that dirtied translated code during the run must call
-// InvalidateTBs themselves (see Machine.CodeWrites). The watermark reset
-// below also re-certifies an attached shared translation pool
-// (emu.TBPool): pool validity is defined as "block bytes untouched since
-// the last pristine rewind", and this is that rewind.
+// and every RAM write since must be visible to the dirty-state tracking
+// — guest stores are, bus-level host writes arrive via the write
+// notification, and raw writes into RAM.Bytes() need
+// Machine.NoteRAMWrite. Because the code bytes come back bit-identical,
+// the machine's translation cache is kept — callers that dirtied
+// translated code during the run must call InvalidateTBs themselves
+// (see Machine.CodeWrites). The dirty-state reset below also
+// re-certifies an attached shared translation pool (emu.TBPool): pool
+// validity is defined as "block bytes untouched since the last pristine
+// rewind", and this is that rewind. prog identifies the image the
+// snapshot contract is stated against; the copy source is the snapshot
+// itself.
 func (p *Platform) RestoreReuse(s *Snapshot, prog *asm.Program) {
+	_ = prog
 	p.Machine.Hart.Restore(s.hart)
 	ram := p.RAM.Bytes()
-	if lo, hi := p.Machine.StoreWatermark(); lo < hi {
-		if lo < RAMBase {
-			lo = RAMBase
-		}
-		if top := RAMBase + uint32(len(ram)); hi > top {
-			hi = top
-		}
-		if lo < hi {
-			clear(ram[lo-RAMBase : hi-RAMBase])
-		}
-	}
-	copy(ram[prog.Org-RAMBase:], prog.Bytes)
+	var nbytes, pages uint64
+	p.Machine.ForEachDirtyRange(func(lo, hi uint32) {
+		copy(ram[lo-RAMBase:hi-RAMBase], s.ram[lo-RAMBase:hi-RAMBase])
+		nbytes += uint64(hi - lo)
+		pages += uint64((hi-1)>>emu.DirtyPageShift) - uint64(lo>>emu.DirtyPageShift) + 1
+	})
+	p.noteRestore(nbytes, pages)
 	p.Machine.ResetStoreWatermark()
 	p.UART.Restore(s.uart)
 	p.Clint.Restore(s.clint)
