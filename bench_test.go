@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -384,5 +385,36 @@ func BenchmarkE10_PoolCampaign(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkE13_IRT regenerates the interrupt-response-time table
+// (EXPERIMENTS.md E13): per interrupt demonstrator, the static IRT
+// bound against the worst service latency an adversarially timed
+// interrupt campaign observes, plus the pessimism ratio. The benchmark
+// fails if the bound is ever undercut, so a timing-model regression
+// shows up as a broken bench run, not just a changed number.
+func BenchmarkE13_IRT(b *testing.B) {
+	prof := timing.EdgeSmall()
+	for _, w := range workloads.Interrupt() {
+		b.Run(w.Name, func(b *testing.B) {
+			var res *flow.IRTResult
+			for i := 0; i < b.N; i++ {
+				r, err := flow.RunIRT(context.Background(), w, prof, flow.IRTConfig{
+					Engine: emu.EngineSuperblock, Samples: 24, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			if !res.Sound {
+				b.Fatalf("unsound: bound %d < observed %d", res.Static.Bound, res.Measured.MaxLatency)
+			}
+			b.ReportMetric(float64(res.Static.Bound), "bound-cycles")
+			b.ReportMetric(float64(res.Measured.MaxLatency), "observed-cycles")
+			b.ReportMetric(res.Ratio, "ratio")
+			b.ReportMetric(float64(res.Measured.Delivered), "delivered")
+		})
 	}
 }

@@ -24,8 +24,10 @@ import (
 	"repro/internal/asm"
 	"repro/internal/emu"
 	"repro/internal/fault"
+	"repro/internal/flow"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/timing"
 	"repro/internal/vp"
 	"repro/internal/workloads"
 )
@@ -128,6 +130,22 @@ type serviceStats struct {
 	PoolHits   uint64  `json:"pool_hits"`
 }
 
+// irqStats is one point on the interrupt-response axis (experiment
+// E13): the static IRT bound of one interrupt demonstrator against the
+// worst service latency the adversarial co-sim observes, and the
+// pessimism ratio between them.
+type irqStats struct {
+	Workload      string  `json:"workload"`
+	Engine        string  `json:"engine"`
+	Bound         uint64  `json:"bound_cycles"`
+	MaxLatency    uint64  `json:"observed_max_cycles"`
+	Ratio         float64 `json:"ratio"`
+	Samples       int     `json:"samples"`
+	Delivered     int     `json:"delivered"`
+	Sound         bool    `json:"sound"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+}
+
 // restoreStats is one point on the restore axis (experiment E12): a
 // fault campaign whose per-mutant rewind cost is measured with
 // page-granular dirty tracking on ("pages") or off ("watermark", the
@@ -164,6 +182,9 @@ type Result struct {
 	// Service is the analysis-service throughput axis, keyed
 	// "q<depth>-pool-{on,off}".
 	Service map[string]serviceStats `json:"service,omitempty"`
+	// IRQ is the interrupt-response axis (E13), keyed by interrupt
+	// demonstrator name.
+	IRQ map[string]irqStats `json:"irq,omitempty"`
 	// AxisSeconds is the wall-clock each axis took end to end, so
 	// throughput numbers can be read against the time budget that
 	// produced them.
@@ -425,6 +446,8 @@ func main() {
 	svcWorkload := flag.String("service-workload", "xtea", "workload for the service axis")
 	svcMutants := flag.Int("service-mutants", 60, "mutants per service campaign job")
 	svcWorkers := flag.Int("service-workers", 4, "service worker-pool size")
+	irqSamples := flag.Int("irq-samples", 24,
+		"adversarial trigger samples per interrupt demonstrator on the irq axis (0: skip the irq axis)")
 	metricsPath := flag.String("metrics", "", "write accumulated engine/bus metrics to `file` (.json for JSON, - for stdout, else Prometheus text)")
 	tracePath := flag.String("trace", "", "write per-measurement trace events (JSONL) to `file`")
 	progress := flag.Bool("progress", false, "print a progress line per measurement to stderr")
@@ -674,6 +697,44 @@ func main() {
 		}
 	}
 	res.AxisSeconds["service"] = time.Since(axisStart).Seconds()
+
+	// IRQ axis (E13): static IRT bound vs adversarially measured worst
+	// interrupt-service latency per demonstrator, on the superblock
+	// engine under the edge-small profile (the s4e-qta -irq defaults).
+	axisStart = time.Now()
+	if *irqSamples > 0 {
+		res.IRQ = map[string]irqStats{}
+		prof := timing.EdgeSmall()
+		for _, w := range workloads.Interrupt() {
+			if *progress {
+				fmt.Fprintf(os.Stderr, "s4e-bench: irq %s (%d samples)\n", w.Name, *irqSamples)
+			}
+			start := time.Now()
+			r, err := flow.RunIRT(context.Background(), w, prof, flow.IRTConfig{
+				Engine: emu.EngineSuperblock, Samples: *irqSamples, Seed: 1,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			if !r.Sound {
+				fatal(fmt.Errorf("irq axis: %s bound %d undercut by observed %d",
+					w.Name, r.Static.Bound, r.Measured.MaxLatency))
+			}
+			st := irqStats{
+				Workload: w.Name, Engine: emu.EngineSuperblock.String(),
+				Bound: r.Static.Bound, MaxLatency: r.Measured.MaxLatency,
+				Ratio: r.Ratio, Samples: *irqSamples, Delivered: r.Measured.Delivered,
+				Sound:         r.Sound,
+				SamplesPerSec: float64(*irqSamples) / time.Since(start).Seconds(),
+			}
+			res.IRQ[w.Name] = st
+			tr.Emit("irq-measurement", "workload", w.Name, "bound", st.Bound,
+				"observed_max", st.MaxLatency, "ratio", st.Ratio)
+			fmt.Printf("irq %-12s bound %6d cycles  observed max %6d  ratio %.2f  (%d/%d delivered)\n",
+				w.Name, st.Bound, st.MaxLatency, st.Ratio, st.Delivered, st.Samples)
+		}
+	}
+	res.AxisSeconds["irq"] = time.Since(axisStart).Seconds()
 
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

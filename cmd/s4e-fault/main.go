@@ -5,6 +5,13 @@
 //
 //	s4e-fault [-gpr 200] [-mem 100] [-code 100] [-workers N] [-seed S]
 //	          [-engine threaded] [-pool=true] prog.s
+//	s4e-fault -workload pid_timer -isr handler -latency 3000 [flags]
+//
+// The second form campaigns against a built-in workload (the interrupt
+// demonstrators bring their own device stimuli); -isr concentrates the
+// plan on the named handler's code and the ISR stack window, and
+// -latency classifies benign mutants that blow the cycle budget for
+// interrupt service as latency violations.
 //
 // Exit status: 0 on a clean campaign, 1 on runtime failure, 2 on usage
 // error. Mutants the harness cannot run are reported as "errored" in
@@ -24,6 +31,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/vp"
+	"repro/internal/workloads"
 )
 
 func main() {
@@ -43,21 +51,65 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write campaign and engine metrics to `file` after the run (.json for JSON, - for stdout, else Prometheus text)")
 	tracePath := flag.String("trace", "", "write per-mutant trace events (JSONL) to `file`")
 	progress := flag.Bool("progress", false, "print a live campaign progress line to stderr")
+	workloadName := flag.String("workload", "",
+		"campaign against a built-in workload instead of a source file (the interrupt demonstrators pid_timer, dma_stream, uart_cmd bring their own stimuli and budget)")
+	isr := flag.String("isr", "",
+		"target the plan at the interrupt handler rooted at this `symbol`: code flips land in the handler, memory faults in the ISR stack window")
+	latency := flag.Uint64("latency", 0,
+		"interrupt-service latency budget in `cycles`: benign mutants exceeding it classify latency-viol (0 disables)")
 	flag.Parse()
-	if flag.NArg() != 1 {
+	budgetSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "budget" {
+			budgetSet = true
+		}
+	})
+	if *guided && *isr != "" {
+		fmt.Fprintln(os.Stderr, "s4e-fault: -guided and -isr are mutually exclusive")
+		os.Exit(2)
+	}
+
+	var src string
+	var w workloads.Workload
+	switch {
+	case *workloadName != "":
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: s4e-fault -workload name [flags]  (no source file)")
+			os.Exit(2)
+		}
+		var ok bool
+		w, ok = workloads.ByName(*workloadName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "s4e-fault: unknown workload %q\n", *workloadName)
+			os.Exit(2)
+		}
+		src = w.Source
+		if !budgetSet {
+			*budget = w.Budget
+		}
+		if *isr == "" && w.Handler != "" {
+			*isr = w.Handler
+		}
+	case flag.NArg() == 1:
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	default:
 		fmt.Fprintln(os.Stderr, "usage: s4e-fault [flags] prog.s")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	prog, err := asm.AssembleAt(vp.Prelude+src, vp.RAMBase)
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := asm.AssembleAt(vp.Prelude+string(src), vp.RAMBase)
-	if err != nil {
-		fatal(err)
+	tg := &fault.Target{
+		Program: prog, Budget: *budget,
+		Sensor: w.Sensor, Stream: w.Stream, UARTIn: w.UARTIn,
+		LatencyBudget: *latency,
 	}
-	tg := &fault.Target{Program: prog, Budget: *budget}
 	engine, err := emu.ParseEngine(*engName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "s4e-fault:", err)
@@ -67,7 +119,28 @@ func main() {
 
 	var plan fault.Plan
 	var g *fault.Golden
-	if *guided {
+	if *isr != "" {
+		golden, err := fault.RunGolden(tg)
+		if err != nil {
+			fatal(err)
+		}
+		g = golden
+		plan, err = fault.NewISRPlan(prog, *isr, fault.ISRPlanConfig{
+			Seed:         *seed,
+			GPRTransient: *gpr,
+			GPRPermanent: *gprPerm,
+			MemPermanent: *mem,
+			CodeBitflip:  *code,
+			GoldenInsts:  g.Insts,
+			StackTop:     tg.StackTop(),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		start, end, _ := fault.ISRRegion(prog, *isr)
+		fmt.Printf("isr plan: handler %s code 0x%08x..0x%08x, stack window 64 bytes below 0x%08x\n",
+			*isr, start, end, tg.StackTop())
+	} else if *guided {
 		cfg, golden, err := fault.GuidedPlanConfig(tg, *seed, *gpr)
 		if err != nil {
 			fatal(err)

@@ -6,11 +6,19 @@
 // Usage:
 //
 //	s4e-qta [-profile edge-small] [-annot prog.qta.json] [-blockprofile] prog.s
+//	s4e-qta -irq [-samples 32] [-seed 1] [-engine superblock] [workload ...]
 //
-// Exit status: 0 on success, 1 on runtime failure, 2 on usage error.
+// The -irq mode switches to interrupt-response-time qualification: for
+// each named interrupt demonstrator (default: all of them) it computes
+// the static IRT bound and attacks the program with adversarially timed
+// interrupts, reporting bound vs. observed worst case.
+//
+// Exit status: 0 on success, 1 on runtime failure (including an unsound
+// IRT bound), 2 on usage error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +33,7 @@ import (
 	"repro/internal/timing"
 	"repro/internal/vp"
 	"repro/internal/wcet"
+	"repro/internal/workloads"
 )
 
 func main() {
@@ -35,15 +44,24 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write analysis timing and engine metrics to `file` (.json for JSON, - for stdout, else Prometheus text)")
 	tracePath := flag.String("trace", "", "write structured trace events (JSONL) to `file`")
 	progress := flag.Bool("progress", false, "print a periodic progress line to stderr")
+	irq := flag.Bool("irq", false, "interrupt-response-time qualification over the named interrupt workloads")
+	samples := flag.Int("samples", 32, "adversarial trigger points per workload (-irq)")
+	seed := flag.Uint64("seed", 1, "trigger-jitter seed (-irq)")
+	engName := flag.String("engine", "superblock",
+		"execution engine for -irq: "+strings.Join(emu.EngineNames(), ", "))
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: s4e-qta [flags] prog.s")
-		flag.PrintDefaults()
-		os.Exit(2)
-	}
 	prof, ok := timing.Profiles()[*profName]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "s4e-qta: unknown profile %q\n", *profName)
+		os.Exit(2)
+	}
+	if *irq {
+		runIRQ(prof, *engName, *samples, *seed, flag.Args())
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: s4e-qta [flags] prog.s")
+		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
@@ -164,6 +182,55 @@ func run(p *vp.Platform, budget uint64, progress bool) emu.StopInfo {
 			mips = float64(done) / 1e6 / secs
 		}
 		fmt.Fprintf(os.Stderr, "s4e-qta: %d insts (%.0f MIPS)\n", done, mips)
+	}
+}
+
+// runIRQ is the -irq mode: IRT qualification over interrupt workloads.
+func runIRQ(prof *timing.Profile, engName string, samples int, seed uint64, names []string) {
+	engine, err := emu.ParseEngine(engName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s4e-qta:", err)
+		os.Exit(2)
+	}
+	var ws []workloads.Workload
+	if len(names) == 0 {
+		ws = workloads.Interrupt()
+	} else {
+		for _, n := range names {
+			w, ok := workloads.ByName(n)
+			if !ok || w.Handler == "" {
+				fmt.Fprintf(os.Stderr, "s4e-qta: %q is not an interrupt workload\n", n)
+				os.Exit(2)
+			}
+			ws = append(ws, w)
+		}
+	}
+	allSound := true
+	for _, w := range ws {
+		res, err := flow.RunIRT(context.Background(), w, prof, flow.IRTConfig{
+			Engine:  engine,
+			Samples: samples,
+			Seed:    seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		s := res.Static
+		fmt.Printf("%s: IRT bound %d = blocking %d (critical %d, %d sites) + chain %d + entry %d + handler %d + mret %d\n",
+			w.Name, s.Bound, s.Blocking, s.CriticalMax, s.CriticalSites,
+			s.Chain, s.TrapCost, s.HandlerWCET, s.MretPenalty)
+		m := res.Measured
+		fmt.Printf("%s: observed max %d @ cycle %d (%d delivered, %d skipped of %d over %d cycles), ratio %.2f, sound: %v\n",
+			w.Name, m.MaxLatency, m.MaxTrigger, m.Delivered, m.Skipped, m.Samples,
+			m.GoldenCycles, res.Ratio, res.Sound)
+		if m.Mismatches != 0 {
+			fmt.Printf("%s: WARNING: %d perturbed runs broke the checksum\n", w.Name, m.Mismatches)
+			allSound = false
+		}
+		allSound = allSound && res.Sound
+	}
+	if !allSound {
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,99 @@
+package repro
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// shBlock is one fenced ```sh block lifted from a markdown document.
+type shBlock struct {
+	line int // 1-based line of the opening fence
+	text string
+}
+
+// shBlocks extracts every fenced sh block from a markdown file.
+func shBlocks(t *testing.T, path string) []shBlock {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks []shBlock
+	var cur *shBlock
+	for i, line := range strings.Split(string(data), "\n") {
+		switch {
+		case cur == nil && strings.TrimSpace(line) == "```sh":
+			cur = &shBlock{line: i + 1}
+		case cur != nil && strings.TrimSpace(line) == "```":
+			blocks = append(blocks, *cur)
+			cur = nil
+		case cur != nil:
+			cur.text += line + "\n"
+		}
+	}
+	if cur != nil {
+		t.Fatalf("%s: unterminated fence opened at line %d", path, cur.line)
+	}
+	return blocks
+}
+
+// TestDemonstratorDocs executes every fenced sh block in
+// docs/DEMONSTRATORS.md with freshly built tools on PATH, so the
+// walkthrough cannot drift from the CLIs it documents. Blocks run
+// under `sh -e` from the repository root; a failing command fails the
+// block's subtest with the script and its output.
+func TestDemonstratorDocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	blocks := shBlocks(t, filepath.Join("docs", "DEMONSTRATORS.md"))
+	if len(blocks) == 0 {
+		t.Fatal("docs/DEMONSTRATORS.md has no fenced sh blocks")
+	}
+	for _, b := range blocks {
+		t.Run(fmt.Sprintf("line-%03d", b.line), func(t *testing.T) {
+			cmd := exec.Command("sh", "-e", "-c", b.text)
+			cmd.Env = append(os.Environ(),
+				"PATH="+bin+string(os.PathListSeparator)+os.Getenv("PATH"))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("block at line %d failed: %v\nscript:\n%s\noutput:\n%s",
+					b.line, err, b.text, out)
+			}
+		})
+	}
+}
+
+// TestExamplesRun executes every example program under examples/ and
+// asserts a clean exit, keeping the runnable documentation in sync
+// with the packages it demonstrates.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+e.Name())
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

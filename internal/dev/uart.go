@@ -37,6 +37,10 @@ func (u *UART) Output() string { return u.tx.String() }
 // Feed appends bytes to the receive queue.
 func (u *UART) Feed(data []byte) { u.rx = append(u.rx, data...) }
 
+// RxAvail reports whether the receive queue is non-empty — the level of
+// the UART's PLIC interrupt line.
+func (u *UART) RxAvail() bool { return len(u.rx) > 0 }
+
 // UARTState is a snapshot of the UART's architectural state.
 type UARTState struct {
 	TX string

@@ -74,6 +74,8 @@ type diffCase struct {
 	src    string // assembly body, prelude prepended
 	budget uint64
 	sensor []int16
+	stream []int16 // DMA sensor stream
+	uartIn []byte  // pre-fed UART receive bytes
 	// noStep skips the Step() comparison: single-stepping polls
 	// interrupts before every instruction while the block engines poll
 	// at block boundaries, so asynchronous-interrupt delivery points
@@ -91,6 +93,22 @@ func diffCases(t *testing.T) []diffCase {
 			src:    w.Source,
 			budget: w.Budget,
 			sensor: w.Sensor,
+		})
+	}
+	// Interrupt demonstrators: DMA completion, PLIC claim/clear and UART
+	// drain all happen relative to exact cycle counts at poll points, so
+	// any engine divergence in device-visible time surfaces as a state
+	// mismatch here. Step delivery points legitimately differ (noStep);
+	// the functional Step comparison lives in the workloads tests.
+	for _, w := range workloads.Interrupt() {
+		cases = append(cases, diffCase{
+			name:   "irq/" + w.Name,
+			src:    w.Source,
+			budget: w.Budget,
+			sensor: w.Sensor,
+			stream: w.Stream,
+			uartIn: w.UARTIn,
+			noStep: true,
 		})
 	}
 	for seed := int64(1); seed <= 8; seed++ {
@@ -181,7 +199,7 @@ alt:
 
 func newDiffPlatform(t *testing.T, c diffCase, prof *timing.Profile) *vp.Platform {
 	t.Helper()
-	p, err := vp.New(vp.Config{Profile: prof, Sensor: c.sensor})
+	p, err := vp.New(vp.Config{Profile: prof, Sensor: c.sensor, Stream: c.stream, UARTIn: c.uartIn})
 	if err != nil {
 		t.Fatalf("vp.New: %v", err)
 	}
@@ -309,6 +327,41 @@ func TestEngineDifferentialTightBudget(t *testing.T) {
 				}
 				got := captureState(p, stop)
 				diffStates(t, fmt.Sprintf("%v sliced", engine), ref, got)
+			}
+		})
+	}
+}
+
+// TestInterruptDeliveryPooled proves a shared translation pool does not
+// perturb interrupt delivery: each demonstrator runs bit-identically
+// with the translated engines warm-starting from a pool built by a
+// fault-campaign-style golden run.
+func TestInterruptDeliveryPooled(t *testing.T) {
+	for _, w := range workloads.Interrupt() {
+		c := diffCase{
+			name:   w.Name,
+			src:    w.Source,
+			budget: w.Budget,
+			sensor: w.Sensor,
+			stream: w.Stream,
+			uartIn: w.UARTIn,
+		}
+		t.Run(w.Name, func(t *testing.T) {
+			for _, engine := range []emu.Engine{emu.EngineThreaded, emu.EngineSuperblock} {
+				plain := runEngine(t, c, nil, engine)
+
+				gp := newDiffPlatform(t, c, nil)
+				gp.Machine.Engine = engine
+				if stop := gp.Run(c.budget); stop.Reason != emu.StopExit {
+					t.Fatalf("%v: golden stop = %+v", engine, stop)
+				}
+				pool := gp.Machine.BuildTBPool()
+
+				p := newDiffPlatform(t, c, nil)
+				p.Machine.Engine = engine
+				p.Machine.AttachTBPool(pool)
+				pooled := captureState(p, p.Run(c.budget))
+				diffStates(t, fmt.Sprintf("%v pooled", engine), plain, pooled)
 			}
 		})
 	}

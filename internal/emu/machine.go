@@ -203,6 +203,13 @@ type Machine struct {
 	// cycle counter.
 	Clint *dev.CLINT
 
+	// Ext, when non-nil, drives the machine-external interrupt (MEIP)
+	// from a platform interrupt controller: it is ticked with the cycle
+	// counter at every interrupt poll point and its pending state is
+	// mirrored into mip. All four engines share the poll points, so
+	// external-interrupt delivery is engine-independent by construction.
+	Ext ExtIRQ
+
 	// Hooks is the plugin registry.
 	Hooks plugin.Hooks
 
@@ -243,6 +250,16 @@ type Machine struct {
 	codeLo   uint32
 	codeHi   uint32
 	lastLoad isa.Reg // destination of the immediately preceding load, 0 if none
+
+	// Double-trap guard: a synchronous exception taken with no
+	// instruction retired since the previous one means the installed
+	// handler's own entry faults — on real hardware an unrecoverable
+	// trap loop, here a deterministic StopTrap (fault campaigns over
+	// handler code hit this when a bit flip corrupts the first handler
+	// instruction). Instret at a precise exception is engine-exact, so
+	// the guard fires identically on every engine.
+	excSeen    bool
+	excInstret uint64
 
 	// pool is the attached shared translation pool (nil if none) and
 	// poolGen the pool generation observed at attach time; a lookup only
@@ -589,6 +606,7 @@ func (m *Machine) FlushICache() { m.icache = nil }
 func (m *Machine) Reset(pc uint32) {
 	m.Hart.Reset(pc)
 	m.stop = nil
+	m.excSeen = false
 	m.InvalidateTBs()
 	m.ResetStoreWatermark()
 	m.lastLoad = 0
@@ -631,7 +649,7 @@ func (m *Machine) Stopped() *StopInfo { return m.stop }
 
 // ClearStop discards a pending stop so the machine can run again after a
 // snapshot restore.
-func (m *Machine) ClearStop() { m.stop = nil }
+func (m *Machine) ClearStop() { m.stop = nil; m.excSeen = false }
 
 // InvalidateTBs drops the translation cache and the modelled I-cache
 // (fence.i and the fault injector's instruction mutations call this).
@@ -964,10 +982,25 @@ func (m *Machine) lookupTB(pc uint32) *tb {
 	return t
 }
 
+// ExtIRQ is an external interrupt source (the PLIC): Tick advances it
+// to the hart's cycle and Pending reports the MEIP level.
+type ExtIRQ interface {
+	Tick(cycle uint64)
+	Pending() bool
+}
+
 // pollInterrupts syncs interrupt sources into mip and takes a pending
 // interrupt if one is deliverable.
 func (m *Machine) pollInterrupts() {
 	h := &m.Hart
+	if m.Ext != nil {
+		m.Ext.Tick(h.Cycle)
+		if m.Ext.Pending() {
+			h.Mip |= 1 << isa.IntMachineExternal
+		} else {
+			h.Mip &^= 1 << isa.IntMachineExternal
+		}
+	}
 	if m.Clint != nil {
 		m.Clint.SetTime(h.Cycle)
 		if m.Clint.TimerPending() {
@@ -990,11 +1023,20 @@ func (m *Machine) pollInterrupts() {
 func (m *Machine) trap(cause, tval, pc uint32) {
 	h := &m.Hart
 	m.Hooks.Trap(cause, tval, pc)
-	if h.Mtvec == 0 && cause>>31 == 0 {
-		// Exceptions without a handler stop the simulation: the usual
-		// configuration for bare test programs.
-		m.stop = &StopInfo{Reason: StopTrap, Cause: cause, Tval: tval, PC: pc}
-		return
+	if cause>>31 == 0 {
+		if h.Mtvec == 0 {
+			// Exceptions without a handler stop the simulation: the usual
+			// configuration for bare test programs.
+			m.stop = &StopInfo{Reason: StopTrap, Cause: cause, Tval: tval, PC: pc}
+			return
+		}
+		if m.excSeen && h.Instret == m.excInstret {
+			// Double trap: the handler entry itself faulted, so vectoring
+			// again can only loop without retiring — stop instead.
+			m.stop = &StopInfo{Reason: StopTrap, Cause: cause, Tval: tval, PC: pc}
+			return
+		}
+		m.excSeen, m.excInstret = true, h.Instret
 	}
 	h.Trap(cause, tval, pc)
 	if m.Profile != nil {

@@ -102,10 +102,16 @@ const (
 	// classification — an errored slot says nothing about the fault's
 	// architectural effect.
 	Errored
+	// LatencyViol: the run finished with a result that would classify
+	// Masked or SDC, but an interrupt-service latency exceeded the
+	// target's budget — the failure mode a purely value-based
+	// classification misses on reactive firmware. Appended after Errored
+	// so existing serialized outcomes keep their values.
+	LatencyViol
 )
 
 // numOutcomes sizes per-outcome arrays; keep in step with the constants.
-const numOutcomes = 5
+const numOutcomes = 6
 
 func (o Outcome) String() string {
 	switch o {
@@ -119,6 +125,8 @@ func (o Outcome) String() string {
 		return "hung"
 	case Errored:
 		return "errored"
+	case LatencyViol:
+		return "latency-viol"
 	}
 	return "outcome?"
 }
@@ -136,6 +144,17 @@ type Target struct {
 	Budget  uint64
 	Profile *timing.Profile
 	Sensor  []int16
+	Stream  []int16 // DMA sensor stream (interrupt demonstrators)
+	UARTIn  []byte  // pre-fed UART receive bytes
+
+	// LatencyBudget, when non-zero, bounds the cycles any interrupt may
+	// stay pending before its trap is taken. A mutant whose run would
+	// classify Masked or SDC but exceeded the budget is reclassified
+	// LatencyViol — the silent failure mode of reactive firmware, where
+	// a fault perturbs timing without corrupting values. The budget is
+	// checked against the fault-free behaviour by the caller (a golden
+	// run violating it makes every mutant a violation).
+	LatencyBudget uint64
 
 	// Engine selects the execution engine for the golden run and every
 	// mutant (the zero value is the threaded-code engine, mirroring
@@ -170,7 +189,13 @@ func (t *Target) ramSize() uint32 {
 
 // newPlatform builds a fresh loaded platform for one run.
 func (t *Target) newPlatform() (*vp.Platform, error) {
-	p, err := vp.New(vp.Config{Profile: t.Profile, Sensor: t.Sensor, RAMSize: t.ramSize()})
+	p, err := vp.New(vp.Config{
+		Profile: t.Profile,
+		Sensor:  t.Sensor,
+		Stream:  t.Stream,
+		UARTIn:  t.UARTIn,
+		RAMSize: t.ramSize(),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -201,6 +226,10 @@ type injector struct {
 	p    *vp.Platform
 	base *vp.Snapshot
 
+	// lat observes interrupt-service latency when the target sets a
+	// LatencyBudget; nil otherwise (no hook overhead).
+	lat *latencyWatcher
+
 	// dirtyCode marks that the previous mutant corrupted bytes that may
 	// back cached translations (a fault flip, or a store into translated
 	// code), forcing a cache flush on the next rewind.
@@ -216,16 +245,35 @@ func newInjector(t *Target, pool *emu.TBPool) (*injector, error) {
 		return nil, err
 	}
 	p.Machine.AttachTBPool(pool)
-	return &injector{t: t, p: p, base: p.Snapshot()}, nil
+	inj := &injector{t: t, p: p, base: p.Snapshot()}
+	if t.LatencyBudget > 0 {
+		inj.lat = &latencyWatcher{p: p}
+		if err := p.Machine.Hooks.Register(inj.lat); err != nil {
+			return nil, err
+		}
+	}
+	return inj, nil
 }
 
 // reset rewinds the injector's platform for the next mutant.
 func (inj *injector) reset() {
 	inj.p.RestoreReuse(inj.base, inj.t.Program)
+	if inj.lat != nil {
+		inj.lat.reset()
+	}
 	if inj.dirtyCode {
 		inj.p.Machine.InvalidateTBs()
 		inj.dirtyCode = false
 	}
+}
+
+// finish folds the observed interrupt latency into a mutant's
+// value-based classification.
+func (inj *injector) finish(out Outcome) Outcome {
+	if inj.lat == nil {
+		return out
+	}
+	return latencyOutcome(out, inj.lat.Worst(), inj.t.LatencyBudget)
 }
 
 // RunGolden executes the fault-free program and records its behaviour.
@@ -293,7 +341,11 @@ func (inj *injector) run(g *Golden, f Fault) (Outcome, error) {
 	}
 
 	if f.Model == GPRPermanent {
-		return injectStuck(t, g, f, p)
+		out, err := injectStuck(t, g, f, p)
+		if err != nil {
+			return out, err
+		}
+		return inj.finish(out), nil
 	}
 
 	var stop emu.StopInfo
@@ -323,12 +375,12 @@ func (inj *injector) run(g *Golden, f Fault) (Outcome, error) {
 		return Trapped, nil
 	case emu.StopExit, emu.StopEbreak:
 		if stop.Reason == g.Stop.Reason && stop.Code == g.Stop.Code && p.Output() == g.Output {
-			return Masked, nil
+			return inj.finish(Masked), nil
 		}
 		if stop.Reason != g.Stop.Reason {
 			return Trapped, nil
 		}
-		return SDC, nil
+		return inj.finish(SDC), nil
 	}
 	return Trapped, nil
 }
@@ -813,17 +865,17 @@ func writeProgress(w io.Writer, done, total uint64, counts *[numOutcomes]atomic.
 	if s := elapsed.Seconds(); s > 0 {
 		rate = float64(done) / s
 	}
-	fmt.Fprintf(w, "fault: %d/%d mutants (%.1f%%) %.0f/sec masked=%d sdc=%d trapped=%d hung=%d errored=%d\n",
+	fmt.Fprintf(w, "fault: %d/%d mutants (%.1f%%) %.0f/sec masked=%d sdc=%d trapped=%d hung=%d errored=%d latency=%d\n",
 		done, total, pct, rate,
 		counts[Masked].Load(), counts[SDC].Load(), counts[Trapped].Load(),
-		counts[Hung].Load(), counts[Errored].Load())
+		counts[Hung].Load(), counts[Errored].Load(), counts[LatencyViol].Load())
 }
 
 // String renders the campaign classification table.
 func (r *Results) String() string {
 	var sb strings.Builder
-	outcomes := []Outcome{Masked, SDC, Trapped, Hung, Errored}
-	fmt.Fprintf(&sb, "%-16s %8s %8s %8s %8s %8s %8s\n", "model", "total", "masked", "sdc", "trapped", "hung", "errored")
+	outcomes := []Outcome{Masked, SDC, Trapped, Hung, Errored, LatencyViol}
+	fmt.Fprintf(&sb, "%-16s %8s %8s %8s %8s %8s %8s %8s\n", "model", "total", "masked", "sdc", "trapped", "hung", "errored", "latency")
 	models := make([]Model, 0, len(r.ByModel))
 	for m := range r.ByModel {
 		models = append(models, m)

@@ -177,7 +177,7 @@ func RunQTACompressed(w workloads.Workload, prof *timing.Profile) (qta.Result, e
 	if err != nil {
 		return qta.Result{}, fmt.Errorf("flow: %s: %w", w.Name, err)
 	}
-	p, err := vp.New(vp.Config{Profile: prof, Sensor: w.Sensor})
+	p, err := vp.New(vp.Config{Profile: prof, Sensor: w.Sensor, Stream: w.Stream, UARTIn: w.UARTIn})
 	if err != nil {
 		return qta.Result{}, err
 	}
@@ -206,7 +206,7 @@ func RunQTA(w workloads.Workload, prof *timing.Profile) (qta.Result, error) {
 	if err != nil {
 		return qta.Result{}, fmt.Errorf("flow: %s: %w", w.Name, err)
 	}
-	p, err := vp.New(vp.Config{Profile: prof, Sensor: w.Sensor})
+	p, err := vp.New(vp.Config{Profile: prof, Sensor: w.Sensor, Stream: w.Stream, UARTIn: w.UARTIn})
 	if err != nil {
 		return qta.Result{}, err
 	}
@@ -238,7 +238,7 @@ func Run(w workloads.Workload, prof *timing.Profile) (*vp.Platform, emu.StopInfo
 // RunWith executes a workload with the given plugins attached and
 // verifies the checksum.
 func RunWith(w workloads.Workload, prof *timing.Profile, plugins ...plugin.Plugin) (*vp.Platform, emu.StopInfo, error) {
-	p, err := vp.New(vp.Config{Profile: prof, Sensor: w.Sensor})
+	p, err := vp.New(vp.Config{Profile: prof, Sensor: w.Sensor, Stream: w.Stream, UARTIn: w.UARTIn})
 	if err != nil {
 		return nil, emu.StopInfo{}, err
 	}

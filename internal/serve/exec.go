@@ -16,6 +16,7 @@ import (
 	"repro/internal/subset"
 	"repro/internal/vp"
 	"repro/internal/wcet"
+	"repro/internal/workloads"
 )
 
 // parseEngine maps the request's engine name to the emu engine, through
@@ -51,6 +52,14 @@ func (s *Server) bin(j *Job) *binEntry {
 	binary.LittleEndian.PutUint32(hdr[4:], j.prog.Entry)
 	h.Write(hdr[:])
 	h.Write(j.prog.Bytes)
+	// Device stimuli are part of the guest's identity: golden runs and
+	// cached results depend on what the sensor, DMA stream and UART feed
+	// the program, so jobs differing only in stimuli must not share.
+	binary.Write(h, binary.LittleEndian, int64(len(j.req.Sensor)))
+	binary.Write(h, binary.LittleEndian, j.req.Sensor)
+	binary.Write(h, binary.LittleEndian, int64(len(j.req.Stream)))
+	binary.Write(h, binary.LittleEndian, j.req.Stream)
+	h.Write([]byte(j.req.UARTIn))
 	key := binKey{engine: j.engine, profile: j.profile.ProfileName}
 	h.Sum(key.image[:0])
 	e, loaded := s.bins.Load(key)
@@ -72,7 +81,12 @@ func (s *Server) poolShare(hit bool) {
 
 // newPlatform builds a loaded platform for an executing job.
 func (j *Job) newPlatform() (*vp.Platform, error) {
-	p, err := vp.New(vp.Config{Profile: j.profile})
+	p, err := vp.New(vp.Config{
+		Profile: j.profile,
+		Sensor:  j.req.Sensor,
+		Stream:  j.req.Stream,
+		UARTIn:  []byte(j.req.UARTIn),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +172,11 @@ type FaultResult struct {
 // warm-start.
 func (s *Server) execFault(ctx context.Context, j *Job) (any, error) {
 	spec := j.req.Fault
-	tg := &fault.Target{Program: j.prog, Budget: j.budget, Profile: j.profile, Engine: j.engine}
+	tg := &fault.Target{
+		Program: j.prog, Budget: j.budget, Profile: j.profile, Engine: j.engine,
+		Sensor: j.req.Sensor, Stream: j.req.Stream, UARTIn: []byte(j.req.UARTIn),
+		LatencyBudget: spec.LatencyBudget,
+	}
 
 	e := s.bin(j)
 	e.mu.Lock()
@@ -182,17 +200,38 @@ func (s *Server) execFault(ctx context.Context, j *Job) (any, error) {
 	}
 	s.poolShare(hit)
 
-	end := vp.RAMBase + uint32(len(j.prog.Bytes))
-	plan := fault.NewPlan(fault.PlanConfig{
-		Seed:         spec.Seed,
-		GPRTransient: spec.GPRTransient,
-		GPRPermanent: spec.GPRPermanent,
-		MemPermanent: spec.MemPermanent,
-		CodeBitflip:  spec.CodeBitflip,
-		GoldenInsts:  golden.Insts,
-		CodeStart:    vp.RAMBase, CodeEnd: end,
-		DataStart: vp.RAMBase, DataEnd: end,
-	})
+	var plan fault.Plan
+	if spec.ISRHandler != "" {
+		// ISR-targeted campaign: faults concentrated on the handler's
+		// code and the interrupt stack frame, plan-identical to
+		// s4e-fault -isr with the same values.
+		var err error
+		plan, err = fault.NewISRPlan(j.prog, spec.ISRHandler, fault.ISRPlanConfig{
+			Seed:         spec.Seed,
+			GPRTransient: spec.GPRTransient,
+			GPRPermanent: spec.GPRPermanent,
+			MemPermanent: spec.MemPermanent,
+			CodeBitflip:  spec.CodeBitflip,
+			GoldenInsts:  golden.Insts,
+			StackTop:     tg.StackTop(),
+			StackBytes:   spec.StackBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		end := vp.RAMBase + uint32(len(j.prog.Bytes))
+		plan = fault.NewPlan(fault.PlanConfig{
+			Seed:         spec.Seed,
+			GPRTransient: spec.GPRTransient,
+			GPRPermanent: spec.GPRPermanent,
+			MemPermanent: spec.MemPermanent,
+			CodeBitflip:  spec.CodeBitflip,
+			GoldenInsts:  golden.Insts,
+			CodeStart:    vp.RAMBase, CodeEnd: end,
+			DataStart: vp.RAMBase, DataEnd: end,
+		})
+	}
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = 1
@@ -364,6 +403,40 @@ func (s *Server) execSubset(ctx context.Context, j *Job) (any, error) {
 		return nil, err
 	}
 	return SubsetResult{Report: rep}, nil
+}
+
+// execIRT runs the interrupt-response-time qualification: the static
+// IRT bound cross-checked against adversarially timed interrupts
+// (flow.RunIRT), the service twin of s4e-qta -irq. The payload is the
+// flow.IRTResult: static bound decomposition, measured campaign, and
+// the soundness verdict.
+func (s *Server) execIRT(ctx context.Context, j *Job) (any, error) {
+	spec := j.req.IRQ
+	var w workloads.Workload
+	if spec.Workload != "" {
+		ww, ok := workloads.ByName(spec.Workload)
+		if !ok || ww.Handler == "" {
+			return nil, fmt.Errorf("unknown interrupt workload %q", spec.Workload)
+		}
+		w = ww
+	} else {
+		w = workloads.Workload{
+			Name:       "job",
+			Source:     j.req.Source,
+			Budget:     j.budget,
+			Expect:     spec.Expect,
+			Handler:    spec.Handler,
+			LoopBounds: j.req.Bounds,
+			Sensor:     j.req.Sensor,
+			Stream:     j.req.Stream,
+			UARTIn:     []byte(j.req.UARTIn),
+		}
+	}
+	return flow.RunIRT(ctx, w, j.profile, flow.IRTConfig{
+		Engine:  j.engine,
+		Samples: spec.Samples,
+		Seed:    spec.Seed,
+	})
 }
 
 // execLint runs the guest-binary linter under the platform

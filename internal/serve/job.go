@@ -53,8 +53,18 @@ type Request struct {
 	// the job they name is retained in memory.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
 
+	// Sensor and Stream preload the sensor device and the DMA stream
+	// engine; UARTIn preloads the UART receive queue. Interrupt-driven
+	// guests (run, fault, qta jobs) consume these as their stimuli.
+	Sensor []int16 `json:"sensor,omitempty"`
+	Stream []int16 `json:"stream,omitempty"`
+	UARTIn string  `json:"uart_in,omitempty"`
+
 	// Fault parametrizes fault-campaign jobs.
 	Fault *FaultSpec `json:"fault,omitempty"`
+
+	// IRQ parametrizes "irt" (interrupt-response-time) jobs.
+	IRQ *IRQSpec `json:"irq,omitempty"`
 }
 
 // FaultSpec mirrors the s4e-fault plan flags, so a service campaign is
@@ -80,6 +90,39 @@ type FaultSpec struct {
 	// Workers applies per shard, so total parallelism is bounded by the
 	// server's worker pool, not Shards×Workers.
 	Shards int `json:"shards,omitempty"`
+	// ISRHandler, when set, names the interrupt-handler entry symbol and
+	// switches the campaign to the ISR-targeted plan (fault.NewISRPlan):
+	// code bit flips land only in the handler's reachable instructions
+	// and memory faults only in the ISR stack window below the initial
+	// stack pointer.
+	ISRHandler string `json:"isr_handler,omitempty"`
+	// StackBytes sizes the ISR stack fault window (default 64).
+	StackBytes uint32 `json:"stack_bytes,omitempty"`
+	// LatencyBudget, when non-zero, classifies otherwise-benign mutants
+	// whose worst observed interrupt-service latency exceeds this many
+	// cycles as latency violations (fault.LatencyViol).
+	LatencyBudget uint64 `json:"latency_budget,omitempty"`
+}
+
+// IRQSpec parametrizes "irt" jobs: the static interrupt-response-time
+// bound cross-checked against adversarially timed interrupt injection
+// (flow.RunIRT), mirroring s4e-qta -irq.
+type IRQSpec struct {
+	// Workload names a built-in interrupt demonstrator (pid_timer,
+	// dma_stream, uart_cmd). It brings its own source, stimuli, budget
+	// and expected exit code, so Source and ELF must be empty.
+	Workload string `json:"workload,omitempty"`
+	// Handler names the ISR entry symbol of a custom Source (required
+	// when Workload is empty; ELF uploads are not supported — the IRT
+	// analyzer wants the assembled symbol table and loop bounds).
+	Handler string `json:"handler,omitempty"`
+	// Expect is the exit code the custom source's golden (interrupt-free
+	// trigger at the horizon) run must produce.
+	Expect uint32 `json:"expect,omitempty"`
+	// Samples is the number of adversarial trigger points (default 32).
+	Samples int `json:"samples,omitempty"`
+	// Seed jitters the trigger points inside their strata.
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // State is the lifecycle phase of a job.
@@ -194,7 +237,7 @@ func newID() string {
 // jobTypes is the set of accepted job types.
 var jobTypes = map[string]bool{
 	"run": true, "fault": true, "wcet": true, "qta": true, "lint": true,
-	"subset": true,
+	"subset": true, "irt": true,
 }
 
 // maxELFImage bounds the flattened address span of an uploaded ELF, so

@@ -41,6 +41,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve/store"
 	"repro/internal/timing"
+	"repro/internal/workloads"
 )
 
 // Config parametrizes a server. The zero value is usable: two workers,
@@ -236,7 +237,35 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 // accepted: the caller enqueues it under the server mutex).
 func (s *Server) buildJob(req Request) (*Job, error) {
 	if !jobTypes[req.Type] {
-		return nil, fmt.Errorf("unknown job type %q (run, fault, wcet, qta, lint, subset)", req.Type)
+		return nil, fmt.Errorf("unknown job type %q (run, fault, wcet, qta, lint, subset, irt)", req.Type)
+	}
+	if req.Type == "irt" {
+		if req.IRQ == nil {
+			return nil, fmt.Errorf("irt job needs an irq spec")
+		}
+		if req.IRQ.Samples < 0 {
+			return nil, fmt.Errorf("irt samples must be >= 0, got %d", req.IRQ.Samples)
+		}
+		if req.IRQ.Workload != "" {
+			// A named demonstrator brings its own source; resolve it here
+			// so the job shares the assembly/idempotency path with every
+			// other submission.
+			if req.Source != "" || len(req.ELF) > 0 {
+				return nil, fmt.Errorf("irt workload %q brings its own source; drop source/elf", req.IRQ.Workload)
+			}
+			w, ok := workloads.ByName(req.IRQ.Workload)
+			if !ok || w.Handler == "" {
+				return nil, fmt.Errorf("unknown interrupt workload %q", req.IRQ.Workload)
+			}
+			req.Source = w.Source
+		} else {
+			if len(req.ELF) > 0 {
+				return nil, fmt.Errorf("irt jobs analyze assembly source (the bound needs the symbol table), not elf uploads")
+			}
+			if req.IRQ.Handler == "" {
+				return nil, fmt.Errorf("irt job needs a handler symbol or a workload name")
+			}
+		}
 	}
 	prog, err := resolveProgram(&req)
 	if err != nil {
@@ -260,6 +289,11 @@ func (s *Server) buildJob(req Request) (*Job, error) {
 		}
 		if req.Fault.Shards < 0 {
 			return nil, fmt.Errorf("fault shards must be >= 0, got %d", req.Fault.Shards)
+		}
+		if h := req.Fault.ISRHandler; h != "" {
+			if _, ok := prog.Symbols[h]; !ok {
+				return nil, fmt.Errorf("isr handler symbol %q not found in program", h)
+			}
 		}
 	}
 
@@ -840,6 +874,8 @@ func (s *Server) execute(ctx context.Context, j *Job) (result any, err error) {
 		return s.execLint(ctx, j)
 	case "subset":
 		return s.execSubset(ctx, j)
+	case "irt":
+		return s.execIRT(ctx, j)
 	}
 	return nil, fmt.Errorf("unknown job type %q", j.Type)
 }

@@ -10,7 +10,10 @@ import (
 	"time"
 
 	"repro/internal/asm"
+	"repro/internal/emu"
 	"repro/internal/fault"
+	"repro/internal/flow"
+	"repro/internal/timing"
 	"repro/internal/vp"
 	"repro/internal/workloads"
 )
@@ -69,6 +72,13 @@ func TestSubmitValidation(t *testing.T) {
 		{"bad profile", Request{Type: "run", Source: xtea, Profile: "warp9"}},
 		{"bad engine", Request{Type: "run", Source: xtea, Engine: "jit"}},
 		{"fault without spec", Request{Type: "fault", Source: xtea}},
+		{"fault bad isr symbol", Request{Type: "fault", Source: xtea,
+			Fault: &FaultSpec{GPRTransient: 1, ISRHandler: "nosuch"}}},
+		{"irt without spec", Request{Type: "irt", Source: xtea}},
+		{"irt unknown workload", Request{Type: "irt", IRQ: &IRQSpec{Workload: "xtea"}}},
+		{"irt workload plus source", Request{Type: "irt", Source: xtea,
+			IRQ: &IRQSpec{Workload: "pid_timer"}}},
+		{"irt source without handler", Request{Type: "irt", Source: xtea, IRQ: &IRQSpec{}}},
 	}
 	for _, c := range cases {
 		if _, err := s.Submit(c.req); err == nil {
@@ -472,5 +482,169 @@ func TestShutdownDeadlineCancelsRunning(t *testing.T) {
 	}
 	if st, _ = s.Job(st.ID); !st.State.terminal() {
 		t.Errorf("running job state %s after forced shutdown", st.State)
+	}
+}
+
+// isrReference runs the exact ISR-targeted campaign cmd/s4e-fault -isr
+// would run, directly through the fault package.
+func isrReference(t *testing.T, name string, spec FaultSpec, eng emu.Engine) *fault.Results {
+	t.Helper()
+	w, ok := workloads.ByName(name)
+	if !ok || w.Handler == "" {
+		t.Fatalf("interrupt workload %s missing", name)
+	}
+	prog, err := asm.AssembleAt(vp.Prelude+w.Source, vp.RAMBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := &fault.Target{
+		Program: prog, Budget: w.Budget, Engine: eng,
+		Profile: timing.EdgeSmall(),
+		Sensor:  w.Sensor, Stream: w.Stream, UARTIn: w.UARTIn,
+		LatencyBudget: spec.LatencyBudget,
+	}
+	g, err := fault.RunGolden(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.NewISRPlan(prog, w.Handler, fault.ISRPlanConfig{
+		Seed:         spec.Seed,
+		GPRTransient: spec.GPRTransient,
+		GPRPermanent: spec.GPRPermanent,
+		MemPermanent: spec.MemPermanent,
+		CodeBitflip:  spec.CodeBitflip,
+		GoldenInsts:  g.Insts,
+		StackTop:     tg.StackTop(),
+		StackBytes:   spec.StackBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fault.CampaignOpt(tg, plan, fault.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestISRFaultServiceMatchesCLI pins the service half of the ISR
+// campaign determinism contract: the ISR-targeted, latency-classified
+// campaign submitted through the service is classification-identical,
+// mutant by mutant, to the direct fault-package run — on every
+// translated engine — and the outcome vector is engine-invariant.
+func TestISRFaultServiceMatchesCLI(t *testing.T) {
+	w, _ := workloads.ByName("pid_timer")
+	spec := FaultSpec{
+		Seed: 42, GPRTransient: 12, GPRPermanent: 4, MemPermanent: 8,
+		CodeBitflip: 8, Workers: 2, ISRHandler: w.Handler, LatencyBudget: 3000,
+	}
+	s := newServer(t, Config{Workers: 2})
+
+	var first []string
+	for _, eng := range []string{"switch", "threaded", "superblock"} {
+		e, err := emu.ParseEngine(eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := isrReference(t, "pid_timer", spec, e)
+		st, err := s.Submit(Request{
+			Type: "fault", Source: w.Source, Budget: w.Budget, Engine: eng,
+			Sensor: w.Sensor, Stream: w.Stream, UARTIn: string(w.UARTIn),
+			Fault: &spec,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if st = wait(t, s, st.ID); st.State != StateDone {
+			t.Fatalf("%s: job state %s (err %q)", eng, st.State, st.Error)
+		}
+		_, res, _ := s.Result(st.ID)
+		fr, ok := res.(FaultResult)
+		if !ok {
+			t.Fatalf("%s: result type %T", eng, res)
+		}
+		if fr.Total != ref.Total || len(fr.Details) != len(ref.Details) {
+			t.Fatalf("%s: %d mutants, want %d", eng, fr.Total, ref.Total)
+		}
+		for i, o := range fr.Details {
+			if o != ref.Details[i].String() {
+				t.Errorf("%s: mutant %d classified %s, CLI classified %s",
+					eng, i, o, ref.Details[i])
+			}
+		}
+		if fr.ByOutcome["latency-viol"] == 0 {
+			t.Errorf("%s: no latency violations under a 3000-cycle budget", eng)
+		}
+		if first == nil {
+			first = fr.Details
+			continue
+		}
+		for i, o := range fr.Details {
+			if o != first[i] {
+				t.Errorf("%s: mutant %d classified %s, first engine classified %s",
+					eng, i, o, first[i])
+			}
+		}
+	}
+}
+
+// TestIRTJob runs the interrupt-response-time qualification as a
+// service job over a named demonstrator and over the same source
+// submitted as a custom program: both must come back sound, and the
+// measured campaigns must be bit-identical (the custom path feeds the
+// same stimuli through the request).
+func TestIRTJob(t *testing.T) {
+	s := newServer(t, Config{Workers: 2})
+	w, _ := workloads.ByName("pid_timer")
+
+	named, err := s.Submit(Request{
+		Type: "irt",
+		IRQ:  &IRQSpec{Workload: "pid_timer", Samples: 8, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom, err := s.Submit(Request{
+		Type: "irt", Source: w.Source, Budget: w.Budget,
+		Sensor: w.Sensor, Stream: w.Stream, UARTIn: string(w.UARTIn),
+		Bounds: w.LoopBounds,
+		IRQ: &IRQSpec{
+			Handler: w.Handler, Expect: w.Expect, Samples: 8, Seed: 3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results := make([]*flow.IRTResult, 2)
+	for i, st := range []Status{named, custom} {
+		st = wait(t, s, st.ID)
+		if st.State != StateDone {
+			t.Fatalf("irt job %d state %s (err %q)", i, st.State, st.Error)
+		}
+		_, res, _ := s.Result(st.ID)
+		r, ok := res.(*flow.IRTResult)
+		if !ok {
+			t.Fatalf("irt job %d result type %T", i, res)
+		}
+		if !r.Sound {
+			t.Errorf("irt job %d unsound: bound %d, observed max %d",
+				i, r.Static.Bound, r.Measured.MaxLatency)
+		}
+		if r.Measured.Delivered == 0 {
+			t.Errorf("irt job %d delivered no interrupts", i)
+		}
+		if r.Measured.Mismatches != 0 {
+			t.Errorf("irt job %d: %d co-sim mismatches", i, r.Measured.Mismatches)
+		}
+		results[i] = r
+	}
+	if results[0].Static.Bound != results[1].Static.Bound {
+		t.Errorf("bounds differ: workload %d, custom %d",
+			results[0].Static.Bound, results[1].Static.Bound)
+	}
+	if results[0].Measured.MaxLatency != results[1].Measured.MaxLatency {
+		t.Errorf("measurements differ: workload max %d, custom max %d",
+			results[0].Measured.MaxLatency, results[1].Measured.MaxLatency)
 	}
 }

@@ -27,6 +27,8 @@ const (
 	CLINTBase  = 0x0200_0000
 	UARTBase   = 0x1000_0000
 	SensorBase = 0x1001_0000
+	DMABase    = 0x1002_0000
+	PLICBase   = 0x1003_0000
 	RAMBase    = 0x8000_0000
 
 	// DefaultRAMSize is 4 MiB, plenty for the edge workloads.
@@ -40,6 +42,8 @@ type Config struct {
 	ISA        isa.ExtSet      // defaults to isa.RV32Full
 	ConsoleOut io.Writer       // defaults to discarding (UART still records)
 	Sensor     []int16         // samples preloaded into the sensor device
+	Stream     []int16         // samples preloaded into the DMA stream engine
+	UARTIn     []byte          // bytes preloaded into the UART receive queue
 }
 
 // Platform is one assembled virtual platform instance.
@@ -49,6 +53,8 @@ type Platform struct {
 	UART    *dev.UART
 	Clint   *dev.CLINT
 	Sensor  *dev.Sensor
+	DMA     *dev.DMAStream
+	Plic    *dev.PLIC
 
 	// Restore accounting: how many rewinds this platform performed and
 	// how much RAM they actually copied. Plain fields (a platform is
@@ -78,7 +84,10 @@ func New(cfg Config) (*Platform, error) {
 		UART:   dev.NewUART(cfg.ConsoleOut),
 		Clint:  dev.NewCLINT(),
 		Sensor: dev.NewSensor(cfg.Sensor),
+		DMA:    dev.NewDMAStream(cfg.Stream),
+		Plic:   dev.NewPLIC(),
 	}
+	p.UART.Feed(cfg.UARTIn)
 	syscon := &dev.SysCon{}
 	type mapping struct {
 		base, size uint32
@@ -90,6 +99,8 @@ func New(cfg Config) (*Platform, error) {
 		{CLINTBase, dev.CLINTSize, p.Clint, "clint"},
 		{UARTBase, 0x1000, p.UART, "uart"},
 		{SensorBase, 0x1000, p.Sensor, "sensor"},
+		{DMABase, dev.DMASize, p.DMA, "dma"},
+		{PLICBase, dev.PLICSize, p.Plic, "plic"},
 		{RAMBase, cfg.RAMSize, p.RAM, "ram"},
 	}
 	for _, m := range maps {
@@ -102,8 +113,59 @@ func New(cfg Config) (*Platform, error) {
 	p.Machine.Profile = cfg.Profile
 	p.Machine.Clint = p.Clint
 	p.Machine.ISA = cfg.ISA
+	p.Machine.Ext = extSources{p}
 	syscon.OnExit = p.Machine.RequestStop
+
+	// The DMA engine reaches guest memory over the bus (WriteBytes feeds
+	// the write notification, keeping dirty-page tracking sound) and
+	// anchors kicks to guest time; its completion line and the UART's
+	// receive line feed the PLIC, which the machine polls as its
+	// external-interrupt source.
+	p.DMA.Mem = dmaBusMem{p}
+	p.DMA.Now = func() uint64 { return p.Machine.Hart.Cycle }
+	p.Plic.SetSource(dev.PLICLineDMA, p.DMA.IRQ)
+	p.Plic.SetSource(dev.PLICLineUART, p.UART.RxAvail)
 	return p, nil
+}
+
+// extSources is the machine's external-interrupt view of the platform:
+// each interrupt poll advances the DMA engine and the PLIC's test-line
+// latch to the current cycle, then mirrors the PLIC's live pending
+// state into MEIP. Device state thus changes only at poll points (and
+// guest MMIO stores), which all engines replicate exactly.
+type extSources struct{ p *Platform }
+
+func (e extSources) Tick(cycle uint64) {
+	e.p.DMA.Tick(cycle)
+	e.p.Plic.Tick(cycle)
+}
+
+func (e extSources) Pending() bool { return e.p.Plic.Pending() }
+
+// dmaBusMem routes DMA guest-memory accesses over the platform bus so
+// host-side copies stay visible to the dirty-state tracking, and drops
+// any translations covering code the DMA overwrites (a fault campaign
+// can corrupt a descriptor to point at code; engine equivalence demands
+// the translated engines observe the new bytes exactly as Step does).
+type dmaBusMem struct{ p *Platform }
+
+func (m dmaBusMem) ReadWord(addr uint32) (uint32, error) {
+	b, err := m.p.Machine.Bus.ReadBytes(addr, 4)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+func (m dmaBusMem) WriteWord(addr uint32, val uint32) error {
+	b := [4]byte{byte(val), byte(val >> 8), byte(val >> 16), byte(val >> 24)}
+	if err := m.p.Machine.Bus.WriteBytes(addr, b[:]); err != nil {
+		return err
+	}
+	if cLo, cHi := m.p.Machine.CodeRange(); addr < cHi && addr+4 > cLo {
+		m.p.Machine.InvalidateRange(addr, addr+4)
+	}
+	return nil
 }
 
 // LoadImage places a flat binary at addr and resets the hart to entry
@@ -198,6 +260,8 @@ type Snapshot struct {
 	uart   dev.UARTState
 	clint  dev.CLINTState
 	sensor int
+	dma    dev.DMAState
+	plic   dev.PLICState
 }
 
 // Snapshot captures the current platform state.
@@ -210,6 +274,8 @@ func (p *Platform) Snapshot() *Snapshot {
 		uart:   p.UART.Snapshot(),
 		clint:  p.Clint.Snapshot(),
 		sensor: p.Sensor.Pos(),
+		dma:    p.DMA.Snapshot(),
+		plic:   p.Plic.Snapshot(),
 	}
 }
 
@@ -242,6 +308,8 @@ func (p *Platform) Restore(s *Snapshot) {
 	p.UART.Restore(s.uart)
 	p.Clint.Restore(s.clint)
 	p.Sensor.SetPos(s.sensor)
+	p.DMA.Restore(s.dma)
+	p.Plic.Restore(s.plic)
 	p.Machine.ClearStop()
 }
 
@@ -349,6 +417,8 @@ func (p *Platform) RestoreReuse(s *Snapshot, prog *asm.Program) {
 	p.UART.Restore(s.uart)
 	p.Clint.Restore(s.clint)
 	p.Sensor.SetPos(s.sensor)
+	p.DMA.Restore(s.dma)
+	p.Plic.Restore(s.plic)
 	p.Machine.FlushICache()
 	p.Machine.ClearStop()
 }
@@ -371,4 +441,17 @@ const Prelude = `
 	.equ SENSOR_BASE,   0x10010000
 	.equ SENSOR_SAMPLE, 0x10010000
 	.equ SENSOR_COUNT,  0x10010004
+	.equ DMA_BASE,   0x10020000
+	.equ DMA_RING,   0x10020000
+	.equ DMA_COUNT,  0x10020004
+	.equ DMA_CTRL,   0x10020008
+	.equ DMA_STATUS, 0x1002000c
+	.equ DMA_CLEAR,  0x10020010
+	.equ DMA_HEAD,   0x10020014
+	.equ PLIC_BASE,    0x10030000
+	.equ PLIC_PENDING, 0x10030000
+	.equ PLIC_ENABLE,  0x10030004
+	.equ PLIC_CLAIM,   0x10030008
+	.equ UART_RX,     0x10000004
+	.equ UART_STATUS, 0x10000008
 `

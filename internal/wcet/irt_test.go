@@ -1,0 +1,132 @@
+package wcet_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/timing"
+	"repro/internal/wcet"
+)
+
+func analyzeIRT(t *testing.T, src string, bounds map[string]int) (*wcet.IRTReport, error) {
+	t.Helper()
+	prog, err := asm.AssembleAt(src, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := prog.Symbols["handler"]
+	if !ok {
+		t.Fatal("no handler symbol")
+	}
+	return wcet.AnalyzeIRT(prog.Bytes, prog.Org, wcet.IRTConfig{
+		Profile:      timing.Unit(),
+		HandlerEntry: h,
+		Entry:        prog.Entry,
+		Bounds:       bounds,
+		Symbols:      prog.Symbols,
+	})
+}
+
+// TestIRTComponents pins the decomposition on a minimal program under
+// the unit profile (1 cycle/inst, no penalties): a 4-instruction
+// critical section, a 3-instruction handler.
+func TestIRTComponents(t *testing.T) {
+	rep, err := analyzeIRT(t, `
+_start:
+	li t0, 5
+	csrci mstatus, 8
+	addi t0, t0, 1
+	addi t0, t0, 2
+	csrsi mstatus, 8
+loop:
+	j loop
+handler:
+	addi t1, t1, 1
+	addi t1, t1, 1
+	mret
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CriticalSites != 1 {
+		t.Errorf("CriticalSites = %d, want 1", rep.CriticalSites)
+	}
+	if rep.CriticalMax != 4 { // csrci + addi + addi + csrsi
+		t.Errorf("CriticalMax = %d, want 4", rep.CriticalMax)
+	}
+	if rep.HandlerWCET != 3 { // addi + addi + mret
+		t.Errorf("HandlerWCET = %d, want 3", rep.HandlerWCET)
+	}
+	handlerCost := rep.TrapCost + rep.HandlerWCET + rep.MretPenalty
+	if rep.Blocking != rep.CriticalMax { // 4 > handlerCost 3
+		t.Errorf("Blocking = %d, want CriticalMax %d", rep.Blocking, rep.CriticalMax)
+	}
+	if rep.Chain == 0 {
+		t.Error("Chain = 0: poll granularity unaccounted")
+	}
+	if want := rep.Blocking + rep.Chain + handlerCost; rep.Bound != want {
+		t.Errorf("Bound = %d, want %d", rep.Bound, want)
+	}
+}
+
+// TestIRTHandlerDominatesBlocking checks the in-flight-handler case:
+// with no software critical section, Blocking is the full handler cost.
+func TestIRTHandlerDominatesBlocking(t *testing.T) {
+	rep, err := analyzeIRT(t, `
+_start:
+loop:
+	j loop
+handler:
+	addi t1, t1, 1
+	addi t1, t1, 2
+	addi t1, t1, 3
+	mret
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CriticalSites != 0 || rep.CriticalMax != 0 {
+		t.Errorf("critical sections = %d/%d, want none", rep.CriticalSites, rep.CriticalMax)
+	}
+	if want := rep.TrapCost + rep.HandlerWCET + rep.MretPenalty; rep.Blocking != want {
+		t.Errorf("Blocking = %d, want handler cost %d", rep.Blocking, want)
+	}
+}
+
+// TestIRTUnboundedCritical rejects a critical section that can loop
+// without re-enabling interrupts.
+func TestIRTUnboundedCritical(t *testing.T) {
+	_, err := analyzeIRT(t, `
+_start:
+	csrci mstatus, 8
+spin:
+	addi t0, t0, 1
+	j spin
+handler:
+	mret
+`, nil)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v, want unbounded-blocking cycle error", err)
+	}
+}
+
+// TestIRTChainCap checks the straight-line chain term saturates at the
+// emulator's translation-block cap instead of growing with program size.
+func TestIRTChainCap(t *testing.T) {
+	rep, err := analyzeIRT(t, `
+_start:
+`+strings.Repeat("\taddi t0, t0, 1\n", 100)+`
+loop:
+	j loop
+handler:
+	mret
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit profile: 64 capped instructions, zero transfer penalty.
+	if rep.Chain != 64 {
+		t.Errorf("Chain = %d, want 64 (translation cap)", rep.Chain)
+	}
+}

@@ -1,0 +1,364 @@
+package workloads
+
+// The interrupt-driven edge demonstrators: reactive firmware in the
+// style the source paper's qualification story targets, where the
+// quantity under analysis is not batch throughput but the worst-case
+// latency from stimulus to response. Each demonstrator installs a
+// machine-mode trap handler, enables its interrupt sources, and idles
+// in a wfi loop while all real work happens in the ISR; the checksum is
+// accumulated exclusively by the ISR from the device data stream, so it
+// is independent of exactly where interrupt delivery lands in the main
+// loop — the property that keeps the engine differential tests and the
+// fault-campaign classification exact across execution engines.
+//
+// Every handler also enables the PLIC's host-armed test-trigger line
+// and claim-drains unknown lines, which is what lets the IRT co-sim
+// (internal/qta) assert an interrupt at any adversarial cycle and
+// measure the response on an unmodified demonstrator.
+
+// Interrupt returns the interrupt-driven demonstrators. They are kept
+// out of All(): the batch experiment axes (WCET co-sim, coverage,
+// throughput) assume straight-line kernels, while these spend their
+// lives in wfi loops with an unbounded main loop. ByName finds both.
+func Interrupt() []Workload {
+	return []Workload{pidTimer(), dmaStream(), uartCmd()}
+}
+
+// isrSave/isrRestore spill the temporaries the handlers clobber. The
+// stack frame they create is a prime fault-campaign target (a bit flip
+// in a saved register resurfaces in the interrupted context).
+const isrSave = `
+	addi sp, sp, -32
+	sw t0, 0(sp)
+	sw t1, 4(sp)
+	sw t2, 8(sp)
+	sw t3, 12(sp)
+	sw t4, 16(sp)
+	sw t5, 20(sp)
+`
+
+const isrRestore = `
+	lw t0, 0(sp)
+	lw t1, 4(sp)
+	lw t2, 8(sp)
+	lw t3, 12(sp)
+	lw t4, 16(sp)
+	lw t5, 20(sp)
+	addi sp, sp, 32
+	mret
+`
+
+// ------------------------------------------------------------ pid_timer
+
+// pidTimer is the periodic-control demonstrator: a CLINT timer
+// interrupt fires every pidPeriod cycles; the ISR reads one sensor
+// sample, runs the PID step (same constants as the batch pid kernel)
+// and re-arms the compare register. The main loop demonstrates the
+// blocking pattern the IRT analysis bounds: a short interrupts-disabled
+// critical section that reads the ISR's accumulator/tick pair
+// coherently.
+const pidPeriod = 600
+
+func pidTimer() Workload {
+	return Workload{
+		Name:       "pid_timer",
+		Desc:       "periodic PID control in a timer ISR, wfi main loop with critical section",
+		Budget:     400_000,
+		Expect:     refPID(),
+		Sensor:     pidSamples(),
+		Handler:    "handler",
+		LoopBounds: map[string]int{"claim": 4},
+		Source: `
+	.equ SETPOINT, 100
+	.equ PERIOD, 600
+	.equ TICKS, 40
+_start:
+	la t0, handler
+	csrw mtvec, t0
+	li t0, PLIC_ENABLE        # test-trigger line for the latency harness
+	li t1, 8
+	sw t1, 0(t0)
+	li t1, CLINT_MTIME
+	lw t2, 0(t1)
+	addi t2, t2, PERIOD
+	li t1, CLINT_MTIMECMP
+	sw t2, 0(t1)
+	sw zero, 4(t1)
+	li s0, 0                  # integral
+	li s1, 0                  # prev error
+	li s2, 0                  # acc
+	li s3, 0                  # ticks
+	li s4, TICKS
+	li t3, 0x880              # MTIE | MEIE
+	csrw mie, t3
+	csrsi mstatus, 8          # MIE
+main:
+	wfi
+	csrci mstatus, 8          # critical section: coherent acc/ticks pair
+	mv a0, s2
+	mv a1, s3
+	csrsi mstatus, 8
+	blt a1, s4, main
+	csrw mie, zero
+` + exit + `
+handler:
+` + isrSave + `
+	csrr t0, mcause
+	li t1, 0x80000007
+	beq t0, t1, timer
+claim:                        # external: drain the PLIC (test line etc.)
+	li t1, PLIC_CLAIM
+	lw t2, 0(t1)
+	bnez t2, claim
+	j hdone
+timer:
+	li t1, SENSOR_SAMPLE
+	lw t2, 0(t1)              # sample
+	li t3, SETPOINT
+	sub t3, t3, t2            # err
+	add s0, s0, t3            # integral += err
+	sub t4, t3, s1            # deriv = err - prev
+	mv s1, t3
+	li t5, 3
+	mul t2, t3, t5            # kp*err
+	li t5, 8
+	div t5, s0, t5            # ki*integral/8 (ki=1)
+	add t2, t2, t5
+	slli t5, t4, 1            # kd*deriv (kd=2)
+	add t2, t2, t5
+	add s2, s2, t2            # acc += out
+	addi s3, s3, 1            # ticks++
+	li t1, CLINT_MTIMECMP
+	bge s3, s4, park
+	lw t2, 0(t1)
+	addi t2, t2, PERIOD       # re-arm, drift-free
+	sw t2, 0(t1)
+	j hdone
+park:                         # final tick: push the compare out of reach
+	li t2, -1
+	sw t2, 0(t1)
+	sw t2, 4(t1)
+hdone:
+` + isrRestore,
+	}
+}
+
+// ------------------------------------------------------------ dma_stream
+
+func dmaSamples() []int16 {
+	out := make([]int16, 64)
+	x := uint32(0xd00d)
+	for i := range out {
+		x = x*1664525 + 1013904223
+		out[i] = int16(x>>17) % 500
+	}
+	return out
+}
+
+func refDMAStream() uint32 {
+	var acc int32
+	for _, s := range dmaSamples() {
+		if s > 0 { // threshold filter
+			acc += int32(s)
+		}
+	}
+	return uint32(acc)
+}
+
+// dmaStream is the sensor-pipeline demonstrator: a 4-descriptor ring
+// feeds 16-sample bursts into a shared buffer; the completion ISR
+// (bottom half) clears the device, filter-accumulates the burst and
+// kicks the next descriptor, so the pipeline is entirely
+// interrupt-clocked.
+func dmaStream() Workload {
+	return Workload{
+		Name:       "dma_stream",
+		Desc:       "DMA descriptor-ring sensor pipeline, read-filter-accumulate in the ISR",
+		Budget:     200_000,
+		Expect:     refDMAStream(),
+		Stream:     dmaSamples(),
+		Handler:    "handler",
+		LoopBounds: map[string]int{"bld": 4, "claim": 6, "flt": 16},
+		Source: `
+	.equ BURST, 16
+	.equ DESCS, 4
+_start:
+	la t0, ring               # build the descriptor ring
+	la t1, buf
+	li t2, DESCS
+bld:
+	sw t1, 0(t0)              # dst = shared burst buffer
+	li t3, BURST
+	sw t3, 4(t0)
+	sw zero, 8(t0)
+	addi t0, t0, 12
+	addi t2, t2, -1
+	bnez t2, bld
+	la t0, ring
+	li t1, DMA_RING
+	sw t0, 0(t1)
+	li t0, DESCS
+	li t1, DMA_COUNT
+	sw t0, 0(t1)
+	la t0, handler
+	csrw mtvec, t0
+	li t0, PLIC_ENABLE
+	li t1, 0xa                # DMA line + test-trigger line
+	sw t1, 0(t0)
+	li s2, 0                  # acc
+	li s3, 0                  # completed bursts
+	li s4, DESCS
+	li t0, 0x800              # MEIE
+	csrw mie, t0
+	csrsi mstatus, 8
+	li t0, DMA_CTRL           # kick the first transfer
+	li t1, 1
+	sw t1, 0(t0)
+main:
+	wfi
+	csrci mstatus, 8
+	mv a0, s2
+	mv a1, s3
+	csrsi mstatus, 8
+	blt a1, s4, main
+	csrw mie, zero
+` + exit + `
+handler:
+` + isrSave + `
+claim:
+	li t1, PLIC_CLAIM
+	lw t2, 0(t1)
+	beqz t2, hdone
+	li t3, 1
+	bne t2, t3, claim         # not the DMA line: the claim acked it
+	li t1, DMA_CLEAR          # bottom half: clear, filter, accumulate
+	li t2, 1
+	sw t2, 0(t1)
+	la t1, buf
+	li t2, BURST
+flt:
+	lw t3, 0(t1)
+	blez t3, fskip            # threshold filter
+	add s2, s2, t3
+fskip:
+	addi t1, t1, 4
+	addi t2, t2, -1
+	bnez t2, flt
+	addi s3, s3, 1
+	bge s3, s4, claim         # ring drained: no further kicks
+	li t1, DMA_CTRL
+	li t2, 1
+	sw t2, 0(t1)
+	j claim
+hdone:
+` + isrRestore + `
+ring:
+	.space 48                 # 4 descriptors x 3 words
+buf:
+	.space 64                 # 16-word burst buffer
+`,
+	}
+}
+
+// ------------------------------------------------------------ uart_cmd
+
+// uartCmdInput is the command script: an accumulator calculator where
+// digits build a value, '+' folds it into the sum, and 'x' reports the
+// sum through the syscon exit register — from inside the ISR.
+const uartCmdInput = "1009+4021+77+x"
+
+func refUARTCmd() uint32 {
+	var acc, val uint32
+	for _, b := range []byte(uartCmdInput) {
+		switch {
+		case b >= '0' && b <= '9':
+			val = val*10 + uint32(b-'0')
+		case b == '+':
+			acc += val
+			val = 0
+		case b == 'x':
+			return acc
+		}
+	}
+	return acc
+}
+
+// uartCmd is the command-loop demonstrator: the UART receive line
+// interrupts on available bytes and the ISR runs the command
+// interpreter, draining one byte per claim. The 'x' command latches the
+// result and raises a done flag; the main loop observes the flag after
+// the handler's mret and reports the sum — so every ISR invocation
+// completes through mret and the IRT co-sim can time it.
+func uartCmd() Workload {
+	return Workload{
+		Name:       "uart_cmd",
+		Desc:       "UART command interpreter run entirely from the receive ISR",
+		Budget:     200_000,
+		Expect:     refUARTCmd(),
+		UARTIn:     []byte(uartCmdInput),
+		Handler:    "handler",
+		LoopBounds: map[string]int{"claim": 20},
+		Source: `
+_start:
+	la t0, handler
+	csrw mtvec, t0
+	li t0, PLIC_ENABLE
+	li t1, 0xc                # UART line + test-trigger line
+	sw t1, 0(t0)
+	li s2, 0                  # acc
+	li s3, 0                  # val
+	li t0, 0x800              # MEIE
+	csrw mie, t0
+	csrsi mstatus, 8
+main:                         # all work happens in the ISR
+	wfi
+	la t0, done
+	lw t1, 0(t0)
+	beqz t1, main
+	csrw mie, zero
+	la t0, result
+	lw a0, 0(t0)
+` + exit + `
+handler:
+` + isrSave + `
+claim:
+	li t1, PLIC_CLAIM
+	lw t2, 0(t1)
+	beqz t2, hdone
+	li t3, 2
+	bne t2, t3, claim         # not the UART line: the claim acked it
+	li t1, UART_RX
+	lw t2, 0(t1)              # pop one byte
+	li t3, '0'
+	blt t2, t3, notdig
+	li t3, '9'+1
+	bge t2, t3, notdig
+	addi t2, t2, -'0'         # digit: val = val*10 + d
+	li t3, 10
+	mul s3, s3, t3
+	add s3, s3, t2
+	j claim
+notdig:
+	li t3, '+'
+	bne t2, t3, notplus
+	add s2, s2, s3            # '+': fold val into acc
+	li s3, 0
+	j claim
+notplus:
+	li t3, 'x'
+	bne t2, t3, claim         # unknown bytes ignored
+	la t1, result             # 'x': latch acc, flag the main loop
+	sw s2, 0(t1)
+	la t1, done
+	li t2, 1
+	sw t2, 0(t1)
+	j hdone
+hdone:
+` + isrRestore + `
+done:
+	.space 4
+result:
+	.space 4
+`,
+	}
+}

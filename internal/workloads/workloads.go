@@ -30,6 +30,19 @@ type Workload struct {
 
 	// Sensor holds samples to preload into the sensor device.
 	Sensor []int16
+
+	// Stream holds samples to preload into the DMA stream engine
+	// (interrupt demonstrators only).
+	Stream []int16
+
+	// UARTIn holds bytes to preload into the UART receive queue
+	// (interrupt demonstrators only).
+	UARTIn []byte
+
+	// Handler names the label of the interrupt service routine for the
+	// interrupt demonstrators; empty for batch kernels. The IRT
+	// analyzer uses it as the entry of the handler-WCET computation.
+	Handler string
 }
 
 // lcg is the shared data generator: both the assembly kernels and the Go
@@ -83,9 +96,15 @@ func All() []Workload {
 	}
 }
 
-// ByName finds a workload.
+// ByName finds a workload, searching the batch kernels and the
+// interrupt demonstrators.
 func ByName(name string) (Workload, bool) {
 	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	for _, w := range Interrupt() {
 		if w.Name == name {
 			return w, true
 		}
